@@ -1,0 +1,49 @@
+"""Shared fixtures for the figure/table benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper, prints it,
+saves the rendered text under ``benchmarks/results/``, and asserts the
+qualitative *shape* the paper reports (who wins, trend directions, dominant
+locality classes).  Campaign results are memoised per process, so figures
+sharing a sweep (Fig. 2 and Fig. 3 both use the DGEMM campaigns) only pay
+for it once.
+
+Set ``REPRO_SCALE=paper`` to run at the paper's input sizes (slow) or
+``REPRO_SCALE=test`` for a smoke pass; the default is the ``default``
+scale described in ``repro.analysis.experiments``.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+#: Experiment scale for the whole benchmark session.
+SCALE = os.environ.get("REPRO_SCALE", "default")
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def save_figure(results_dir):
+    """Persist a rendered figure and echo it to the terminal."""
+
+    def _save(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Benchmark a build function with a single timed round.
+
+    Campaigns are deterministic and memoised; multiple rounds would time
+    the cache, not the work.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,83 @@
+"""Section V-A claim — ABFT applicability from spatial locality.
+
+"Applying ABFT, DGEMM would be affected by only 20% to 40% of all errors
+on K40, and 60% to 80% on Xeon Phi."
+
+Two levels of evidence:
+
+* the locality-based residual (the paper's argument) over the campaign
+  breakdowns;
+* an end-to-end check: the checksum ABFT implementation actually corrects
+  the single/line-class corrupted outputs and only detects the wider ones.
+"""
+
+import numpy as np
+from conftest import SCALE, run_once
+
+from repro.analysis.claims import rebuild_output
+from repro.analysis.experiments import dgemm_sweep, run_spec
+from repro.analysis.fitbreakdown import fit_figure
+from repro.core.abft import AbftOutcome, AbftScheme, abft_outcome
+from repro.core.locality import ABFT_CORRECTABLE
+from repro.kernels.registry import make_kernel
+
+
+def test_abft_residual_k40_vs_phi(benchmark, save_figure):
+    def build():
+        k40 = fit_figure("k40", [run_spec(s) for s in dgemm_sweep("k40", SCALE)])
+        phi = fit_figure(
+            "xeonphi", [run_spec(s) for s in dgemm_sweep("xeonphi", SCALE)]
+        )
+        return k40, phi
+
+    k40_fig, phi_fig = run_once(benchmark, build)
+    lines = ["ABFT residual FIT fraction (uncorrectable error share):"]
+    for fig in (k40_fig, phi_fig):
+        for (label, _, __), residual in zip(fig.bars, fig.abft_residual()):
+            lines.append(f"  {label}: {residual:.2f}")
+    save_figure("claim_abft_residual", "\n".join(lines))
+
+    # K40 residual band (paper 0.2-0.4, widened) below the Phi's (0.6-0.8).
+    for residual in k40_fig.abft_residual():
+        assert residual <= 0.5, residual
+    for residual in phi_fig.abft_residual():
+        assert residual >= 0.35, residual
+    assert float(np.mean(phi_fig.abft_residual())) > float(
+        np.mean(k40_fig.abft_residual())
+    )
+
+
+def test_abft_end_to_end_on_campaign_outputs(benchmark):
+    """The checksum scheme, run on real corrupted outputs, delivers what the
+    locality argument promises: single/line corrected, wider only detected."""
+
+    def evaluate():
+        spec = dgemm_sweep("k40", "test")[0]
+        result = run_spec(spec)
+        kernel = make_kernel("dgemm", **dict(spec.kernel_config))
+        scheme = AbftScheme()
+        row_sum, col_sum = kernel.golden_checksums()
+        verdicts = []
+        for report in result.sdc_reports()[:40]:
+            if report.max_relative_error < 1e-4:
+                # Below the checksum comparison's resolution: real ABFT has
+                # a detection threshold too, so these are out of scope.
+                continue
+            corrupted = rebuild_output(kernel, report)
+            fixed, outcome = scheme.check_and_correct(corrupted, row_sum, col_sum)
+            predicted = abft_outcome(report)
+            corrected_ok = (
+                outcome is AbftOutcome.CORRECTED
+                and bool(np.allclose(fixed, kernel.golden().output, rtol=1e-6, atol=1e-7, equal_nan=False))
+            )
+            verdicts.append((report.locality, predicted, outcome, corrected_ok))
+        return verdicts
+
+    verdicts = run_once(benchmark, evaluate)
+    assert verdicts
+    for locality, predicted, actual, corrected_ok in verdicts:
+        if locality in ABFT_CORRECTABLE:
+            assert actual is AbftOutcome.CORRECTED, (locality, actual)
+            assert corrected_ok
+        else:
+            assert actual is not AbftOutcome.NOT_TRIGGERED

@@ -1,0 +1,16 @@
+"""The claims scoreboard: every registered paper claim, one verdict each.
+
+This is EXPERIMENTS.md as an executable artefact — the single benchmark
+whose green state means "the reproduction still reproduces".
+"""
+
+from conftest import SCALE, run_once
+
+from repro.analysis.verification import render_verification, verify_claims
+
+
+def test_all_registered_claims_within_band(benchmark, save_figure):
+    results = run_once(benchmark, lambda: verify_claims(SCALE))
+    save_figure("claim_scoreboard", render_verification(results))
+    failing = [r.claim.claim_id for r in results if not r.passed]
+    assert not failing, failing

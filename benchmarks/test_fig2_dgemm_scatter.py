@@ -1,0 +1,62 @@
+"""Figs. 2a/2b — DGEMM mean relative error vs. incorrect elements.
+
+Shapes asserted (Section V-A):
+
+* both devices: most executions corrupt a small output fraction (<= ~0.4%);
+* element counts grow with input size (shared resources, more threads);
+* K40: ~75% of SDCs below 10% mean relative error (the ECC'd, single-bit
+  error population);
+* Xeon Phi: "almost all the corrupted elements are extremely different
+  from the expected value" — high mean errors, independent of input size.
+"""
+
+import numpy as np
+from conftest import SCALE, run_once
+
+from repro.analysis.experiments import dgemm_sweep, run_spec
+from repro.analysis.scatter import scatter_figure
+
+
+def build(device):
+    results = [run_spec(s) for s in dgemm_sweep(device, SCALE)]
+    return scatter_figure(f"Fig. 2 ({device})", results), results
+
+
+def test_fig2a_dgemm_k40(benchmark, save_figure):
+    fig, results = run_once(benchmark, lambda: build("k40"))
+    save_figure("fig2a_dgemm_k40", fig.render())
+
+    assert fig.n_points() > 50
+    # "about 75% of radiation-induced output errors have a lower than 10%
+    # mean relative error" (we accept a generous band around 0.75).
+    assert 0.5 <= fig.fraction_with_error_below(10.0) <= 0.95
+    # Corrupted fractions stay small.
+    for result in results:
+        for report in result.sdc_reports():
+            assert report.corrupted_fraction() <= 0.05
+
+
+def test_fig2b_dgemm_xeonphi(benchmark, save_figure):
+    fig, results = run_once(benchmark, lambda: build("xeonphi"))
+    save_figure("fig2b_dgemm_xeonphi", fig.render())
+
+    assert fig.n_points() > 50
+    # Phi errors are extreme: the typical SDC sits at the error cap.
+    assert fig.median_error() >= 50.0
+    # ... and that holds for every input size, not just in aggregate.
+    for label, points in fig.series.items():
+        errors = [e for _, e in points]
+        assert np.median(errors) >= 30.0, label
+
+
+def test_fig2_cross_device_criticality(benchmark):
+    """K40 DGEMM errors are less critical than the Phi's (Section V-A)."""
+
+    def both():
+        k40_fig, _ = build("k40")
+        phi_fig, _ = build("xeonphi")
+        return k40_fig, phi_fig
+
+    k40_fig, phi_fig = run_once(benchmark, both)
+    assert k40_fig.median_error() < phi_fig.median_error()
+    assert k40_fig.fraction_with_error_below(10.0) > phi_fig.fraction_with_error_below(10.0)

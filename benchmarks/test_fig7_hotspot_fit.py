@@ -1,0 +1,58 @@
+"""Figs. 7a/7b — HotSpot spatial locality and magnitude (FIT breakdowns).
+
+Shapes asserted (Section V-C):
+
+* "Both architectures presented only square and line errors" — the
+  neighbour-coupled stencil always smears a strike into a 2-D patch;
+* "we could consider as correct about 80% to 95% of faulty executions"
+  after the 2% filter — HotSpot is intrinsically robust, and judging it by
+  raw mismatches would overstate its sensitivity by up to ~95%.
+"""
+
+from conftest import SCALE, run_once
+
+from repro.analysis.claims import fully_filtered_fraction
+from repro.analysis.experiments import hotspot_spec, run_spec
+from repro.analysis.fitbreakdown import fit_figure
+from repro.core.locality import Locality
+
+
+def build(device):
+    result = run_spec(hotspot_spec(device, SCALE))
+    return fit_figure(f"Fig. 7 ({device})", [result]), result
+
+
+def check_common_shape(fig, result):
+    # Square + line dominate both the raw and the filtered view.
+    assert fig.locality_share(Locality.SQUARE, Locality.LINE)[0] >= 0.85
+    # The filter removes the large majority of faulty executions.
+    assert fully_filtered_fraction(result) >= 0.55
+    # ... so the filtered FIT collapses relative to All.
+    assert fig.totals(filtered=True)[0] <= 0.5 * fig.totals()[0]
+
+
+def test_fig7a_hotspot_k40(benchmark, save_figure):
+    fig, result = run_once(benchmark, lambda: build("k40"))
+    save_figure("fig7a_hotspot_k40", fig.render())
+    check_common_shape(fig, result)
+
+
+def test_fig7b_hotspot_xeonphi(benchmark, save_figure):
+    fig, result = run_once(benchmark, lambda: build("xeonphi"))
+    save_figure("fig7b_hotspot_xeonphi", fig.render())
+    check_common_shape(fig, result)
+
+
+def test_fig7_k40_slightly_more_resilient(benchmark):
+    """Section V-E: 'K40 seems slightly more resilient than Xeon Phi as the
+    former shows less incorrect elements' — and a higher filtered share."""
+
+    def both():
+        _, k40_result = build("k40")
+        _, phi_result = build("xeonphi")
+        return k40_result, phi_result
+
+    k40_result, phi_result = run_once(benchmark, both)
+    assert fully_filtered_fraction(k40_result) >= fully_filtered_fraction(
+        phi_result
+    ) - 0.05

@@ -1,0 +1,48 @@
+"""Fig. 9 — the CLAMR error-locality map.
+
+The paper maps one faulty execution's incorrect elements onto the 2-D
+output: a contiguous wave of red dots.  Asserted shape: the corrupted
+region is a filled, contiguous blob (high compactness), not scattered
+noise, and square patterns amount to ~99% of CLAMR's spatial locality.
+"""
+
+from conftest import SCALE, run_once
+
+from repro.analysis.claims import locality_share_of_executions
+from repro.analysis.experiments import clamr_spec, run_spec
+from repro.analysis.localitymap import locality_map_figure
+from repro.core.locality import Locality
+
+
+def build():
+    result = run_spec(clamr_spec("xeonphi", SCALE))
+    return locality_map_figure("Fig. 9 (CLAMR error map)", result), result
+
+
+def test_fig9_error_locality_map(benchmark, save_figure):
+    fig, _ = run_once(benchmark, lambda: build())
+    save_figure("fig9_clamr_map", fig.render())
+
+    # A propagating wave: filled and contiguous.
+    assert fig.n_incorrect > 100
+    assert fig.compactness() > 0.5
+    # It covers a substantial part of the domain.
+    assert fig.covered_fraction() > 0.1
+
+
+def test_fig9_square_share(benchmark):
+    _, result = run_once(benchmark, lambda: build())
+    # "Square errors amount to 99% of spatial locality."
+    share = locality_share_of_executions(result, Locality.SQUARE)
+    assert share >= 0.9
+
+
+def test_fig9_median_execution_also_wave(benchmark, save_figure):
+    """Not just the headline execution: the typical SDC is also a wave."""
+    def build_median():
+        result = run_spec(clamr_spec("xeonphi", SCALE))
+        return locality_map_figure("Fig. 9 (median)", result, pick="median")
+
+    fig = run_once(benchmark, build_median)
+    save_figure("fig9_clamr_map_median", fig.render())
+    assert fig.compactness() > 0.3

@@ -1,0 +1,81 @@
+"""Forensic fingerprints — device character read off the corrupted values.
+
+The paper characterises the two devices' error populations qualitatively
+(K40 DGEMM: small, mantissa-scale deviations; Phi DGEMM: "extremely
+different" values).  The forensics module recovers those fingerprints from
+nothing but the logged (read, expected) pairs — the analysis a third party
+could run on the public logs [1].
+"""
+
+from conftest import SCALE, run_once
+
+from repro._util.text import format_table
+from repro.analysis.experiments import dgemm_sweep, lavamd_sweep, run_spec
+from repro.core.forensics import MagnitudeClass, campaign_magnitude_profile
+
+
+def profile_for(device, sweeper):
+    results = [run_spec(s) for s in sweeper(device, SCALE)]
+    observations = [
+        report.observation
+        for result in results
+        for report in result.sdc_reports()
+    ]
+    return campaign_magnitude_profile(observations)
+
+
+def render(profiles):
+    classes = list(MagnitudeClass)
+    rows = [
+        (label, *(f"{profile.get(c, 0.0):.2f}" for c in classes))
+        for label, profile in profiles.items()
+    ]
+    return format_table(("campaign", *(c.value for c in classes)), rows)
+
+
+def test_dgemm_fingerprints(benchmark, save_figure):
+    def build():
+        return {
+            "dgemm/k40": profile_for("k40", dgemm_sweep),
+            "dgemm/xeonphi": profile_for("xeonphi", dgemm_sweep),
+        }
+
+    profiles = run_once(benchmark, build)
+    save_figure("forensics_dgemm", render(profiles))
+
+    k40 = profiles["dgemm/k40"]
+    phi = profiles["dgemm/xeonphi"]
+
+    def bounded(profile):
+        return profile.get(MagnitudeClass.NOISE, 0) + profile.get(
+            MagnitudeClass.MANTISSA, 0
+        )
+
+    def violent(profile):
+        return (
+            profile.get(MagnitudeClass.SCALE, 0)
+            + profile.get(MagnitudeClass.SPECIAL, 0)
+            + profile.get(MagnitudeClass.SIGN, 0)
+        )
+
+    # K40: the ECC-survivor population is noise/mantissa heavy.
+    assert bounded(k40) > violent(k40)
+    # Phi: word-garbled vector lanes — violence dominates.
+    assert violent(phi) > bounded(phi)
+
+
+def test_lavamd_fingerprints(benchmark, save_figure):
+    def build():
+        return {
+            "lavamd/k40": profile_for("k40", lavamd_sweep),
+            "lavamd/xeonphi": profile_for("xeonphi", lavamd_sweep),
+        }
+
+    profiles = run_once(benchmark, build)
+    save_figure("forensics_lavamd", render(profiles))
+    # Both devices show scale-class elements (the exp amplification), the
+    # K40's share being at least comparable to the Phi's.
+    k40_scale = profiles["lavamd/k40"].get(MagnitudeClass.SCALE, 0)
+    phi_scale = profiles["lavamd/xeonphi"].get(MagnitudeClass.SCALE, 0)
+    assert k40_scale > 0.05
+    assert phi_scale > 0.0

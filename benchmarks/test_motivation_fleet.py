@@ -1,0 +1,72 @@
+"""Introduction / §IV-D motivation numbers, regenerated.
+
+* the 400-beam-hour campaign covers "at least 8 x 10^8 hours of normal
+  operations, which are about 91,000 years";
+* at Titan scale (18,688 GPUs) most radiation failures are the *silent*
+  kind — the reason criticality analysis exists;
+* checkpointing, tuned optimally (Young/Daly) for the measured
+  detectable-failure rate, is blind to the entire SDC stream.
+"""
+
+from conftest import SCALE, run_once
+
+from repro.analysis.checkpointing import plan_checkpointing
+from repro.analysis.experiments import dgemm_sweep, run_spec
+from repro.analysis.fleet import (
+    natural_equivalent_hours,
+    natural_equivalent_years,
+    project_fleet,
+)
+from repro.beam.facility import LANSCE
+
+
+def test_beam_time_equivalence(benchmark, save_figure):
+    def build():
+        hours = natural_equivalent_hours(800.0, LANSCE)
+        years = natural_equivalent_years(800.0, LANSCE)
+        return hours, years
+
+    hours, years = run_once(benchmark, build)
+    save_figure(
+        "motivation_beam_equivalence",
+        f"800 effective beam hours at LANSCE = {hours:.3g} natural hours "
+        f"= {years:,.0f} years (paper: >= 8e8 hours, ~91,000 years)",
+    )
+    assert hours >= 8e8
+    assert years >= 91_000
+
+
+def test_titan_scale_silent_fraction(benchmark, save_figure):
+    def build():
+        result = run_spec(dgemm_sweep("k40", SCALE)[0])
+        projection = project_fleet(result)  # Titan's 18,688 GPUs
+        # Costs in the same arbitrary time units as 1/FIT; chosen well
+        # below the fleet MTBF, as real checkpoint writes are.
+        mtbf = 1.0 / (projection.detectable_fit * projection.n_devices)
+        plan = plan_checkpointing(
+            projection, checkpoint_cost=mtbf / 2e4, restart_cost=mtbf / 2e3
+        )
+        return projection, plan
+
+    projection, plan = run_once(benchmark, build)
+    save_figure(
+        "motivation_titan",
+        "\n".join(
+            [
+                f"fleet: {projection.n_devices} K40s running DGEMM",
+                f"silent share of radiation failures: "
+                f"{projection.silent_fraction():.0%}",
+                f"optimal checkpoint interval (Young/Daly, a.u.): "
+                f"{plan.optimal_interval:.3g}",
+                f"overhead at optimum: {plan.overhead_at_optimum:.1%}",
+                f"SDCs slipping through per interval: "
+                f"{plan.silent_corruptions_per_checkpoint_interval():.2g}",
+            ]
+        ),
+    )
+    # SDCs dominate (the paper: 1.1x to tens of times more likely).
+    assert projection.silent_fraction() > 0.5
+    # Checkpointing's blind spot is non-empty at any interval.
+    assert plan.silent_corruption_rate() > 0
+    # The optimum is sane: overhead well below total loss.
+    assert plan.overhead_at_optimum < 0.5

@@ -1,0 +1,44 @@
+"""Table II — parallel kernels' details (domains, input sizes, threads).
+
+Regenerates the table at paper-scale configurations and checks the thread
+formulas the architecture models consume: DGEMM side^2/16, LavaMD
+grid^3 x particles, HotSpot/CLAMR one thread per cell ("or more" under AMR).
+"""
+
+from conftest import run_once
+
+from repro.analysis.tables import table2_rows, table2_text
+from repro.kernels import Clamr, Dgemm, HotSpot, LavaMD
+
+
+def build_paper_kernels():
+    return [
+        Dgemm(n=1024),
+        LavaMD(nb=13, particles_per_box=192),
+        HotSpot(n=1024, iterations=64),
+        Clamr(n=512, steps=8),
+    ]
+
+
+def test_table2_kernel_details(benchmark, save_figure):
+    kernels = build_paper_kernels()
+    rows = run_once(benchmark, lambda: table2_rows(kernels))
+    save_figure("table2", table2_text(kernels))
+
+    by_name = {r[0]: r for r in rows}
+    assert by_name["DGEMM"][1] == "Linear algebra"
+    assert by_name["LAVAMD"][1] == "Molecular dynamics"
+    assert by_name["HOTSPOT"][1] == "Physics simulation"
+    assert by_name["CLAMR"][1] == "Fluid dynamics"
+
+    # Thread-count formulas from Table II.
+    assert kernels[0].thread_count() == 1024 * 1024 // 16
+    assert kernels[1].thread_count() == 13**3 * 192
+    assert kernels[2].thread_count() == 1024 * 1024
+    assert kernels[3].thread_count() >= 512 * 512  # "#cells or more (AMR)"
+
+
+def test_table2_phi_particle_count(benchmark):
+    """Table II: 100 particles/box on the Xeon Phi configuration."""
+    kernel = run_once(benchmark, lambda: LavaMD(nb=13, particles_per_box=100))
+    assert kernel.thread_count() == 13**3 * 100

@@ -1,0 +1,75 @@
+"""ABFT evaluation: should you deploy checksum ABFT on your accelerator?
+
+The paper's Section V-A argument made executable: spatial locality tells
+you how much of a device's DGEMM FIT checksum-based ABFT would remove
+(single and line errors are correctable; square and random are not), and
+the checksum scheme itself is exercised end-to-end on real corrupted
+outputs.
+
+Run:
+    python examples/abft_evaluation.py
+"""
+
+import numpy as np
+
+from repro.analysis.claims import rebuild_output
+from repro.arch import k40, xeonphi
+from repro.beam import Campaign
+from repro.core.abft import AbftOutcome, AbftScheme, abft_residual_fraction
+from repro.kernels import Dgemm
+
+
+def evaluate_device(device, n_faulty=150):
+    kernel = Dgemm(n=256)
+    result = Campaign(kernel=kernel, device=device, n_faulty=n_faulty, seed=11).run()
+    breakdown = result.breakdown()
+    residual = abft_residual_fraction(breakdown)
+
+    # End-to-end: run the checksum scheme on every corrupted output.
+    scheme = AbftScheme()
+    row_sum, col_sum = kernel.golden_checksums()
+    corrected = detected = silent = 0
+    for report in result.sdc_reports():
+        output = rebuild_output(kernel, report)
+        fixed, outcome = scheme.check_and_correct(output, row_sum, col_sum)
+        if outcome is AbftOutcome.CORRECTED and np.allclose(
+            fixed, kernel.golden().output, rtol=1e-6, atol=1e-8
+        ):
+            corrected += 1
+        elif outcome is AbftOutcome.NOT_TRIGGERED:
+            silent += 1  # below the checksum's detection resolution
+        else:
+            detected += 1
+
+    print(f"\n== {device.name} ==")
+    print(f"  DGEMM FIT (All)          : {breakdown.total:8.2f} a.u.")
+    print(f"  locality-predicted residual after ABFT: {residual:.0%}")
+    total = corrected + detected + silent
+    print(f"  checksum scheme on {total} corrupted outputs:")
+    print(f"    corrected exactly      : {corrected}")
+    print(f"    detected, uncorrectable: {detected}")
+    print(f"    below detection        : {silent}")
+    return breakdown, residual
+
+
+def main():
+    print("ABFT applicability study (paper Section V-A)")
+    k40_breakdown, k40_residual = evaluate_device(k40())
+    phi_breakdown, phi_residual = evaluate_device(xeonphi())
+
+    print("\n== verdict ==")
+    print(f"  K40 residual {k40_residual:.0%} vs Xeon Phi residual {phi_residual:.0%}")
+    print("  -> ABFT removes most K40 DGEMM errors (its corruption is")
+    print("     single/line shaped) but leaves the bulk of the Phi's")
+    print("     (vector-lane and block-shaped corruption).")
+    raw_gap = k40_breakdown.total / phi_breakdown.total
+    abft_gap = (k40_breakdown.total * k40_residual) / max(
+        phi_breakdown.total * phi_residual, 1e-9
+    )
+    print(f"  raw FIT gap K40/Phi: {raw_gap:.1f}x -> after ABFT: {abft_gap:.1f}x")
+    print("  (the paper: 'If ABFT is applied to both devices the error")
+    print("   rates become comparable.')")
+
+
+if __name__ == "__main__":
+    main()

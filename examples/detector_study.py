@@ -1,0 +1,97 @@
+"""Detector study: mass-conservation and entropy checks (paper Section V-C/D).
+
+Evaluates the two application-level SDC detectors the paper proposes, on
+live campaign data:
+
+* CLAMR's in-run total-mass check — what it catches (~82% in [4]) and the
+  structural blind spot it cannot close (mass-preserving corruption);
+* entropy monitoring for HotSpot — end-of-run vs. interval checking, the
+  overhead/latency trade-off the paper discusses.
+
+Run:
+    python examples/detector_study.py
+"""
+
+from repro._util.text import format_table
+from repro.arch import k40, xeonphi
+from repro.beam import Campaign
+from repro.bitflip import MantissaBitFlip
+from repro.core.detectors import EntropyDetector, MassConservationDetector
+from repro.faults import OutcomeKind
+from repro.kernels import Clamr, HotSpot, KernelFault
+
+
+def clamr_mass_study():
+    kernel = Clamr(n=64, steps=240)
+    result = Campaign(kernel=kernel, device=xeonphi(), n_faulty=220, seed=3).run()
+    detector = MassConservationDetector(
+        expected_mass=kernel.golden().aux["initial_mass"], rtol=1e-9
+    )
+
+    per_site: dict[str, list[bool]] = {}
+    for record in result.records:
+        if record.outcome is not OutcomeKind.SDC or record.fault is None:
+            continue
+        replay = kernel.run(record.fault)
+        detected = detector.check_total(replay.aux["mass"]).detected
+        per_site.setdefault(record.site, []).append(detected)
+
+    rows = []
+    total = caught = 0
+    for site, verdicts in sorted(per_site.items()):
+        caught_here = sum(verdicts)
+        rows.append((site, len(verdicts), caught_here, f"{caught_here/len(verdicts):.0%}"))
+        total += len(verdicts)
+        caught += caught_here
+
+    print("== CLAMR in-run mass check (Xeon Phi campaign) ==")
+    print(format_table(("fault site", "SDCs", "caught", "coverage"), rows))
+    print(f"overall coverage: {caught/total:.0%}  (paper [4]: ~82%)")
+    print(
+        "blind spot: momentum strikes, corrupted face fluxes and\n"
+        "mis-refinements move mass around without changing the total.\n"
+    )
+
+
+def hotspot_entropy_study():
+    kernel = HotSpot(n=128, iterations=512)
+    golden = kernel.golden()
+    detector = EntropyDetector.calibrate(golden.aux["snapshots"], tolerance_bits=0.05)
+
+    rows = []
+    for label, extent, progress in (
+        ("single cell, early", 1, 0.2),
+        ("single cell, late", 1, 0.9),
+        ("cache line, early", 16, 0.2),
+        ("cache line, late", 16, 0.9),
+    ):
+        fault = KernelFault(
+            site="cell_temp", progress=progress,
+            flip=MantissaBitFlip(top_bits=1), seed=17, extent=extent,
+        )
+        faulty = kernel.run(fault)
+        interval = detector.check_series(faulty.aux["snapshots"])
+        final = detector.check(faulty.output, len(golden.aux["snapshots"]) - 1)
+        n_bad = len(kernel.observe(faulty.output))
+        rows.append(
+            (label, n_bad, "yes" if interval.detected else "no",
+             "yes" if final.detected else "no")
+        )
+
+    print("== HotSpot entropy monitoring (K40 model constants) ==")
+    print(
+        format_table(
+            ("strike", "incorrect at end", "interval check", "end-only check"),
+            rows,
+        )
+    )
+    print(
+        "interval checking catches widespread errors while they are still\n"
+        "hot; an end-only check misses whatever the stencil has already\n"
+        "dissipated — the paper's overhead-vs-latency trade-off."
+    )
+
+
+if __name__ == "__main__":
+    clamr_mass_study()
+    hotspot_entropy_study()

@@ -1,0 +1,69 @@
+"""Tolerance sweep: how much reliability does imprecision buy your code?
+
+The paper fixes its relative-error filter at a conservative 2% and notes
+that acceptable imprecision "may vary widely" per application (seismic
+codes take ~4% misfits; imprecise computing takes more).  This study
+generalises the filter: for each kernel it sweeps the tolerance and
+reports how the effective FIT and the surviving error patterns change —
+the data an operator needs to pick a tolerance for their own workload.
+
+Run:
+    python examples/imprecise_filter_study.py
+"""
+
+from repro._util.text import format_table
+from repro.arch import k40
+from repro.beam import Campaign
+from repro.core.fit import locality_breakdown
+from repro.core.locality import Locality
+from repro.kernels import Clamr, Dgemm, HotSpot, LavaMD
+
+TOLERANCES = (0.5, 1.0, 2.0, 4.0, 10.0)
+
+
+def sweep(kernel, device, n_faulty=120):
+    result = Campaign(kernel=kernel, device=device, n_faulty=n_faulty, seed=5).run()
+    reports = result.sdc_reports()
+    rows = []
+    for tolerance in TOLERANCES:
+        refiltered = [r.refiltered(tolerance) for r in reports]
+        surviving = [r for r in refiltered if r.survives_filter]
+        breakdown = locality_breakdown(
+            refiltered, result.fluence, filtered=True, scale=1e10
+        )
+        abft_ok = breakdown.fraction(Locality.SINGLE, Locality.LINE)
+        rows.append(
+            (
+                f"{tolerance:g}%",
+                len(surviving),
+                f"{breakdown.total:.2f}",
+                f"{100 * (1 - len(surviving) / max(len(reports), 1)):.0f}%",
+                f"{abft_ok:.0%}",
+            )
+        )
+    print(f"\n== {kernel.name} on {device.name} ({len(reports)} SDCs) ==")
+    print(
+        format_table(
+            ("tolerance", "surviving SDCs", "FIT [a.u.]", "errors forgiven", "ABFT-fixable"),
+            rows,
+        )
+    )
+
+
+def main():
+    device = k40()
+    sweep(Dgemm(n=256), device)
+    sweep(LavaMD(nb=6, particles_per_box=24), device)
+    sweep(HotSpot(n=128, iterations=512), device)
+    sweep(Clamr(n=64, steps=240), device)
+    print(
+        "\nReading guide: HotSpot forgives most errors at any tolerance\n"
+        "(stencil dissipation); LavaMD forgives almost nothing (exp()\n"
+        "amplification); CLAMR forgives nothing and its surviving errors\n"
+        "stay square-shaped (conservation); DGEMM sits in between, and its\n"
+        "surviving single/line errors are exactly the ABFT-fixable kind."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Quickstart: one strike, four metrics; then a small beam campaign.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro.arch import k40
+from repro.beam import Campaign
+from repro.bitflip import SingleBitFlip
+from repro.core import classify_locality, evaluate_execution
+from repro.kernels import Dgemm, KernelFault
+
+
+def single_strike():
+    """Inject one strike by hand and read the paper's four metrics."""
+    kernel = Dgemm(n=256)
+
+    # A neutron corrupts one element of the input matrix A in cache, 30%
+    # of the way through execution, flipping a single random bit.
+    fault = KernelFault(
+        site="input_a", progress=0.3, flip=SingleBitFlip(), seed=42
+    )
+    output = kernel.run(fault).output
+
+    observation = kernel.observe(output)
+    report = evaluate_execution(observation, threshold_pct=2.0)
+
+    print("== one strike into DGEMM ==")
+    print(f"  incorrect elements : {report.n_incorrect}")
+    print(f"  mean relative error: {report.mean_relative_error:.4g}%")
+    print(f"  max relative error : {report.max_relative_error:.4g}%")
+    print(f"  spatial locality   : {report.locality}")
+    print(f"  after 2% filter    : {report.filtered_n_incorrect} elements, "
+          f"{report.filtered_locality}")
+    assert classify_locality(observation) is report.locality
+
+
+def small_campaign():
+    """Run a small accelerated beam campaign on the K40 model."""
+    campaign = Campaign(
+        kernel=Dgemm(n=256),
+        device=k40(),
+        n_faulty=100,
+        seed=7,
+    )
+    result = campaign.run()
+    print("\n== 100-strike campaign: DGEMM on the K40 ==")
+    print(result.summary())
+
+    breakdown = result.breakdown()
+    print("\nFIT by locality class [a.u.]:")
+    for locality, fit in sorted(breakdown.per_locality.items(), key=lambda kv: -kv[1]):
+        print(f"  {locality.value:8s} {fit:8.2f}")
+
+
+if __name__ == "__main__":
+    single_strike()
+    small_campaign()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no network and no ``wheel`` package, so PEP 660
+editable installs fail; this shim enables ``pip install -e . --no-build-isolation
+--no-use-pep517`` (``setup.py develop``), which needs neither. All metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

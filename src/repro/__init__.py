@@ -1,0 +1,49 @@
+"""repro — reproduction of "Radiation-Induced Error Criticality in Modern
+HPC Parallel Accelerators" (Oliveira et al., HPCA 2017).
+
+The library rebuilds the paper's entire experimental stack in Python:
+
+* :mod:`repro.core` — the paper's contribution: the four error-criticality
+  metrics (incorrect elements, relative error, mean relative error, spatial
+  locality), relative-error filtering, FIT breakdowns, ABFT and detector
+  analyses;
+* :mod:`repro.kernels` — the four benchmark codes (DGEMM, LavaMD, HotSpot,
+  CLAMR) implemented from scratch with mid-flight fault hooks;
+* :mod:`repro.arch` — structural models of the NVIDIA K40 and Intel Xeon
+  Phi 3120A built from the die parameters in Section IV-A;
+* :mod:`repro.bitflip` — IEEE-754 corruption machinery;
+* :mod:`repro.faults` — the neutron-strike fault injector and outcome
+  taxonomy (masked / SDC / crash / hang);
+* :mod:`repro.beam` — the simulated LANSCE/ISIS beam campaigns (the
+  substitution for the physical beam; see DESIGN.md);
+* :mod:`repro.analysis` — the per-table / per-figure experiment harness,
+  FIT projection, fleet math, exact confidence intervals;
+* :mod:`repro.hardening` — ABFT, conservation/entropy checks and
+  replication, evaluated for coverage and residual FIT on campaign data.
+
+Quickstart::
+
+    from repro import beam, arch, kernels
+
+    campaign = beam.Campaign(
+        kernel=kernels.Dgemm(n=256),
+        device=arch.k40(),
+        n_faulty=50,
+        seed=7,
+    )
+    result = campaign.run()
+    print(result.summary())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "arch",
+    "beam",
+    "bitflip",
+    "core",
+    "faults",
+    "hardening",
+    "kernels",
+]

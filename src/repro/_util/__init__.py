@@ -1,0 +1,17 @@
+"""Internal utilities shared across the :mod:`repro` packages.
+
+Nothing in here is part of the public API; the leading underscore marks the
+whole package as an implementation detail.
+"""
+
+from repro._util.rng import child_rng, spawn_rngs, stable_seed
+from repro._util.text import format_table, histogram_line, si_number
+
+__all__ = [
+    "child_rng",
+    "spawn_rngs",
+    "stable_seed",
+    "format_table",
+    "histogram_line",
+    "si_number",
+]

@@ -1,0 +1,45 @@
+"""Plain-text rendering helpers for tables and tiny histograms.
+
+The benchmark harness reproduces the paper's tables and figures as printed
+series; these helpers keep that output aligned and readable without pulling
+in a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def si_number(value: float, digits: int = 3) -> str:
+    """Format ``value`` compactly: ``12.3k``, ``4.56M``, ``789``.
+
+    >>> si_number(12345)
+    '12.3k'
+    >>> si_number(0.5)
+    '0.5'
+    """
+    for threshold, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(value) >= threshold:
+            return f"{value / threshold:.{digits}g}{suffix}"
+    return f"{value:.{digits}g}"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a list of rows as an aligned monospace table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    rule = "  ".join("-" * w for w in widths)
+    return "\n".join([line(list(headers)), rule, *(line(r) for r in str_rows)])
+
+
+def histogram_line(value: float, maximum: float, width: int = 40, char: str = "#") -> str:
+    """Render ``value`` as a proportional bar of at most ``width`` chars."""
+    if maximum <= 0:
+        return ""
+    filled = int(round(width * min(value, maximum) / maximum))
+    return char * filled

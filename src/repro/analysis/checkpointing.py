@@ -1,0 +1,116 @@
+"""Checkpoint/restart economics under the measured failure rates.
+
+The paper's introduction frames why criticality matters operationally:
+crashes and hangs "lead to performance penalties and eventual data loss if
+a checkpoint was not performed", while SDCs "remain undetected and
+unpredictable" — i.e. checkpointing addresses the *detectable* failures
+and does nothing for the silent ones.  This module quantifies both halves
+with the standard first-order model:
+
+* :func:`young_daly_interval` — the optimal checkpoint interval
+  ``sqrt(2 * C * MTBF)`` (Young 1974 / Daly 2006) for a given checkpoint
+  cost and the campaign-measured detectable-failure rate;
+* :func:`checkpoint_overhead` — expected fraction of machine time lost to
+  checkpoint writes, restarts and recomputation at a given interval;
+* :func:`silent_corruption_rate` — the failure stream checkpointing
+  cannot see, straight from the campaign's SDC FIT: the number the
+  paper's whole methodology exists to reduce.
+
+All times are in the same arbitrary units as FIT (relative comparisons
+only, like the paper's own rates).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.fleet import FleetProjection
+
+
+def young_daly_interval(checkpoint_cost: float, mtbf: float) -> float:
+    """Young's optimal checkpoint interval: ``sqrt(2 * C * MTBF)``.
+
+    Valid in the usual regime ``C << MTBF``; callers in the opposite
+    regime are already losing most of the machine and the formula's
+    recommendation (checkpoint continuously) is moot.
+    """
+    if checkpoint_cost <= 0 or mtbf <= 0:
+        raise ValueError("checkpoint cost and MTBF must be positive")
+    return math.sqrt(2.0 * checkpoint_cost * mtbf)
+
+
+def checkpoint_overhead(
+    interval: float,
+    checkpoint_cost: float,
+    mtbf: float,
+    *,
+    restart_cost: float = 0.0,
+) -> float:
+    """Expected fraction of time lost at a given checkpoint interval.
+
+    First-order model: every interval pays one checkpoint write; a failure
+    (rate ``1/mtbf``) costs the restart plus, on average, half an interval
+    of recomputation.
+    """
+    if interval <= 0:
+        raise ValueError("interval must be positive")
+    if checkpoint_cost < 0 or restart_cost < 0 or mtbf <= 0:
+        raise ValueError("costs must be non-negative and MTBF positive")
+    write_share = checkpoint_cost / (interval + checkpoint_cost)
+    failure_loss_per_unit = (restart_cost + interval / 2.0) / mtbf
+    return min(1.0, write_share + failure_loss_per_unit)
+
+
+@dataclass(frozen=True)
+class CheckpointPlan:
+    """A fleet's checkpoint economics under measured failure rates."""
+
+    projection: FleetProjection
+    checkpoint_cost: float
+    restart_cost: float
+
+    @property
+    def detectable_mtbf(self) -> float:
+        """Fleet MTBF counting only the failures checkpointing can see."""
+        rate = self.projection.detectable_fit * self.projection.n_devices
+        if rate <= 0:
+            return float("inf")
+        return 1.0 / rate
+
+    @property
+    def optimal_interval(self) -> float:
+        return young_daly_interval(self.checkpoint_cost, self.detectable_mtbf)
+
+    @property
+    def overhead_at_optimum(self) -> float:
+        return checkpoint_overhead(
+            self.optimal_interval,
+            self.checkpoint_cost,
+            self.detectable_mtbf,
+            restart_cost=self.restart_cost,
+        )
+
+    def silent_corruption_rate(self) -> float:
+        """Silent failures per unit time — untouched by any checkpointing."""
+        return self.projection.fleet_sdc_rate
+
+    def silent_corruptions_per_checkpoint_interval(self) -> float:
+        """Expected SDCs slipping through per optimally-chosen interval —
+        the paper's argument for criticality-aware protection in one
+        number."""
+        return self.silent_corruption_rate() * self.optimal_interval
+
+
+def plan_checkpointing(
+    projection: FleetProjection,
+    *,
+    checkpoint_cost: float,
+    restart_cost: float = 0.0,
+) -> CheckpointPlan:
+    """Build the checkpoint economics for a fleet projection."""
+    return CheckpointPlan(
+        projection=projection,
+        checkpoint_cost=checkpoint_cost,
+        restart_cost=restart_cost,
+    )

@@ -1,0 +1,55 @@
+"""CSV export of figure data — for plotting outside the library.
+
+Every figure object renders to text for the terminal; these exporters
+write the underlying *data* as CSV so downstream users can regenerate the
+paper's plots with their own tooling (the library deliberately has no
+plotting dependency).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.analysis.fitbreakdown import FitFigure
+from repro.analysis.localitymap import LocalityMapFigure
+from repro.analysis.scatter import ScatterFigure
+from repro.core.locality import Locality
+
+
+def export_scatter(figure: ScatterFigure, path: str | Path) -> Path:
+    """One row per SDC execution: series, incorrect elements, mean error."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["series", "incorrect_elements", "mean_relative_error_pct"])
+        for label, points in sorted(figure.series.items()):
+            for n, err in points:
+                writer.writerow([label, n, err])
+    return path
+
+
+def export_fit(figure: FitFigure, path: str | Path) -> Path:
+    """One row per (input, set, locality class): the Fig. 3/5/7 bars."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["input", "set", "locality", "fit_au"])
+        for label, raw, filtered in figure.bars:
+            for tag, breakdown in (("all", raw), ("filtered", filtered)):
+                for locality in Locality:
+                    fit = breakdown.get(locality)
+                    if fit > 0:
+                        writer.writerow([label, tag, locality.value, fit])
+    return path
+
+
+def export_locality_map(figure: LocalityMapFigure, path: str | Path) -> Path:
+    """One row per corrupted cell: the Fig. 9 red dots."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["row", "col"])
+        for r, c in zip(*figure.grid.nonzero()):
+            writer.writerow([int(r), int(c)])
+    return path

@@ -1,0 +1,101 @@
+"""FIT-by-locality bar figures (Figs. 3/5/7).
+
+For each input size two bars: *All* errors and errors surviving the
+relative-error filter (*> 2%* in the paper), each broken down by spatial
+locality class.  The ABFT discussion of Section V-A reads directly off
+these bars: single + line is the correctable share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util.text import format_table, histogram_line
+from repro.beam.campaign import CampaignResult
+from repro.core.abft import abft_residual_fraction
+from repro.core.fit import FitBreakdown, scaling_ratio
+from repro.core.locality import Locality
+
+_BAR_ORDER = (
+    Locality.CUBIC,
+    Locality.SQUARE,
+    Locality.LINE,
+    Locality.SINGLE,
+    Locality.RANDOM,
+)
+
+
+@dataclass
+class FitFigure:
+    """One FIT figure: per-input (All, filtered) breakdown pairs."""
+
+    name: str
+    kernel_name: str
+    device_name: str
+    bars: list[tuple[str, FitBreakdown, FitBreakdown]] = field(default_factory=list)
+
+    def totals(self, *, filtered: bool = False) -> list[float]:
+        return [
+            (flt if filtered else raw).total for _, raw, flt in self.bars
+        ]
+
+    def growth(self, *, filtered: bool = False) -> float:
+        """FIT ratio last/first input size (the paper's 7x / 1.8x numbers)."""
+        breakdowns = [flt if filtered else raw for _, raw, flt in self.bars]
+        return scaling_ratio(breakdowns)
+
+    def filtered_share(self) -> list[float]:
+        """Per input, the FIT fraction surviving the filter."""
+        return [
+            flt.total / raw.total if raw.total else 0.0
+            for _, raw, flt in self.bars
+        ]
+
+    def abft_residual(self, *, filtered: bool = False) -> list[float]:
+        """Per input, the FIT fraction ABFT cannot correct (square+random+cubic)."""
+        return [
+            abft_residual_fraction(flt if filtered else raw)
+            for _, raw, flt in self.bars
+        ]
+
+    def locality_share(self, *classes: Locality, filtered: bool = False) -> list[float]:
+        """Per input, the FIT fraction in the given locality classes."""
+        return [
+            (flt if filtered else raw).fraction(*classes)
+            for _, raw, flt in self.bars
+        ]
+
+    def render(self) -> str:
+        peak = max((raw.total for _, raw, _ in self.bars), default=1.0)
+        rows = []
+        for label, raw, flt in self.bars:
+            for tag, bd in (("All", raw), (f"> {2:g}%", flt)):
+                cells = [label if tag == "All" else "", tag, f"{bd.total:8.2f}"]
+                parts = [
+                    f"{loc.value}:{bd.get(loc):.1f}"
+                    for loc in _BAR_ORDER
+                    if bd.get(loc) > 0
+                ]
+                cells.append(histogram_line(bd.total, peak, width=30))
+                cells.append(" ".join(parts))
+                rows.append(tuple(cells))
+        header = f"{self.name}: {self.kernel_name} on {self.device_name} (FIT [a.u.])"
+        return header + "\n" + format_table(
+            ("input", "set", "FIT", "bar", "by locality"), rows
+        )
+
+
+def fit_figure(name: str, results: "list[CampaignResult]") -> FitFigure:
+    """Build a FIT figure from an input-size sweep of campaigns."""
+    if not results:
+        raise ValueError("need at least one campaign result")
+    figure = FitFigure(
+        name=name,
+        kernel_name=results[0].kernel_name,
+        device_name=results[0].device_name,
+    )
+    for result in results:
+        figure.bars.append(
+            (result.label, result.breakdown(), result.breakdown(filtered=True))
+        )
+    return figure

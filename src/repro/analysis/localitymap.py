@@ -1,0 +1,90 @@
+"""The CLAMR error-locality map (Fig. 9).
+
+The paper maps one faulty CLAMR execution's incorrect elements onto the 2-D
+output grid: the corruption forms a filled wave front spreading from the
+strike point ("a wave of incorrect elements was propagating").  This module
+extracts that map from a campaign's SDC records and renders it as text,
+plus the quantitative statistics the figure supports (compactness of the
+region, fraction of the grid covered).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.beam.campaign import CampaignResult
+from repro.core.criticality import CriticalityReport
+
+
+@dataclass
+class LocalityMapFigure:
+    """A 2-D boolean grid of incorrect elements for one SDC execution."""
+
+    name: str
+    grid: np.ndarray  #: (n, n) bool
+    report: CriticalityReport
+
+    @property
+    def n_incorrect(self) -> int:
+        return int(self.grid.sum())
+
+    def covered_fraction(self) -> float:
+        return float(self.grid.mean())
+
+    def bounding_box(self) -> tuple[int, int, int, int]:
+        """(row0, row1, col0, col1) of the corrupted region, inclusive."""
+        rows = np.flatnonzero(self.grid.any(axis=1))
+        cols = np.flatnonzero(self.grid.any(axis=0))
+        return int(rows[0]), int(rows[-1]), int(cols[0]), int(cols[-1])
+
+    def compactness(self) -> float:
+        """Corrupted fraction of the bounding box — a filled wave front is
+        compact (close to 1), scattered noise is not."""
+        r0, r1, c0, c1 = self.bounding_box()
+        area = (r1 - r0 + 1) * (c1 - c0 + 1)
+        return self.n_incorrect / area
+
+    def render(self, width: int = 64) -> str:
+        """Downsampled ASCII map: '#' corrupted, '.' correct (Fig. 9's dots)."""
+        n = self.grid.shape[0]
+        stride = max(1, n // width)
+        rows = []
+        for i in range(0, n, stride):
+            cells = []
+            for j in range(0, n, stride):
+                block = self.grid[i : i + stride, j : j + stride]
+                cells.append("#" if block.any() else ".")
+            rows.append("".join(cells))
+        header = (
+            f"{self.name}: {self.n_incorrect} incorrect elements, "
+            f"{100 * self.covered_fraction():.1f}% of grid, "
+            f"compactness {self.compactness():.2f}"
+        )
+        return header + "\n" + "\n".join(rows)
+
+
+def locality_map_figure(
+    name: str, result: CampaignResult, *, pick: str = "largest"
+) -> LocalityMapFigure:
+    """Extract one execution's error map from a CLAMR campaign.
+
+    Args:
+        name: figure label.
+        result: a campaign whose kernel has a 2-D output.
+        pick: which SDC to map — ``"largest"`` (most incorrect elements,
+            the paper's representative case) or ``"median"``.
+    """
+    reports = result.sdc_reports()
+    if not reports:
+        raise ValueError("campaign has no SDC executions to map")
+    reports = sorted(reports, key=lambda r: r.n_incorrect)
+    report = reports[-1] if pick == "largest" else reports[len(reports) // 2]
+    shape = report.observation.shape
+    if len(shape) != 2:
+        raise ValueError(f"locality map needs a 2-D output, got shape {shape}")
+    grid = np.zeros(shape, dtype=bool)
+    idx = report.observation.indices
+    grid[idx[:, 0], idx[:, 1]] = True
+    return LocalityMapFigure(name=name, grid=grid, report=report)

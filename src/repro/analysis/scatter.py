@@ -1,0 +1,129 @@
+"""Scatter figures: mean relative error vs. incorrect elements (Figs. 2/4/6/8).
+
+One point per SDC execution; series keyed by input size.  The paper caps
+both axes for readability (100% relative error for DGEMM, 20 000% for
+LavaMD, 25% for HotSpot, 50 000 elements for HotSpot's x axis); the same
+caps are applied here so the series are directly comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util.text import format_table
+from repro.beam.campaign import CampaignResult
+
+#: The per-figure axis caps used in the paper.
+FIGURE_CAPS = {
+    "dgemm": {"error_cap": 100.0, "elements_cap": 20_000},
+    "lavamd": {"error_cap": 20_000.0, "elements_cap": 5_000},
+    "hotspot": {"error_cap": 25.0, "elements_cap": 50_000},
+    "clamr": {"error_cap": 100.0, "elements_cap": None},
+}
+
+
+@dataclass
+class ScatterFigure:
+    """One scatter figure: per-size series of (incorrect, mean error) points."""
+
+    name: str
+    kernel_name: str
+    device_name: str
+    error_cap: float | None
+    elements_cap: int | None
+    series: dict[str, list[tuple[int, float]]] = field(default_factory=dict)
+
+    def all_points(self) -> list[tuple[int, float]]:
+        return [p for pts in self.series.values() for p in pts]
+
+    def n_points(self) -> int:
+        return len(self.all_points())
+
+    def median_error(self) -> float:
+        points = self.all_points()
+        if not points:
+            return 0.0
+        return float(np.median([e for _, e in points]))
+
+    def median_elements(self) -> float:
+        points = self.all_points()
+        if not points:
+            return 0.0
+        return float(np.median([n for n, _ in points]))
+
+    def max_elements(self) -> int:
+        points = self.all_points()
+        return max((n for n, _ in points), default=0)
+
+    def fraction_with_error_below(self, threshold_pct: float) -> float:
+        """Fraction of SDC executions with mean relative error below a bound
+        (e.g. the paper's "about 75% of K40 DGEMM errors below 10%")."""
+        points = self.all_points()
+        if not points:
+            return 0.0
+        return sum(1 for _, e in points if e < threshold_pct) / len(points)
+
+    def render(self, max_rows: int = 12) -> str:
+        """Text rendering: per-series summaries plus sample points."""
+        rows = []
+        for label, points in sorted(self.series.items()):
+            if not points:
+                rows.append((label, 0, "-", "-", "-"))
+                continue
+            errors = [e for _, e in points]
+            elements = [n for n, _ in points]
+            rows.append(
+                (
+                    label,
+                    len(points),
+                    f"{np.median(elements):.0f}",
+                    f"{np.median(errors):.2f}",
+                    f"{max(errors):.2f}",
+                )
+            )
+        header = f"{self.name}: {self.kernel_name} on {self.device_name} " \
+                 f"(mean rel. error [%] vs incorrect elements)"
+        table = format_table(
+            ("input", "SDCs", "median elems", "median err%", "max err%"), rows
+        )
+        return header + "\n" + table
+
+
+def scatter_figure(
+    name: str,
+    results: "list[CampaignResult]",
+    *,
+    error_cap: float | None = None,
+    elements_cap: int | None = None,
+) -> ScatterFigure:
+    """Build a scatter figure from one or more campaigns (one series each)."""
+    if not results:
+        raise ValueError("need at least one campaign result")
+    kernel_name = results[0].kernel_name
+    caps = FIGURE_CAPS.get(kernel_name, {})
+    if error_cap is None:
+        error_cap = caps.get("error_cap")
+    if elements_cap is None:
+        elements_cap = caps.get("elements_cap")
+
+    figure = ScatterFigure(
+        name=name,
+        kernel_name=kernel_name,
+        device_name=results[0].device_name,
+        error_cap=error_cap,
+        elements_cap=elements_cap,
+    )
+    for result in results:
+        points = []
+        for report in result.sdc_reports():
+            error = report.mean_relative_error
+            if error_cap is not None:
+                error = min(error, error_cap)
+            n = report.n_incorrect
+            if elements_cap is not None:
+                n = min(n, elements_cap)
+            points.append((n, float(error)))
+        figure.series[result.label] = points
+    return figure

@@ -1,0 +1,54 @@
+"""SDC : crash+hang ratios — the opening statistics of Section V.
+
+The paper reports SDCs to be 1.1x to tens of times more likely than
+crashes and hangs, with code- and device-specific patterns: K40 DGEMM
+falls from ~4x toward ~1.1x as the input grows (the crash-prone hardware
+scheduler takes a growing share of the strike surface), the Phi sits near
+4x independent of input, LavaMD on the Phi *rises* from ~3x to ~12x with
+input (its growing dataset exposes ever more of the SDC-prone L2), and
+HotSpot shows ~7x (K40) vs ~3x (Phi).
+"""
+
+from __future__ import annotations
+
+from repro._util.text import format_table
+from repro.beam.campaign import CampaignResult
+from repro.faults.outcomes import OutcomeKind
+
+
+def sdc_ratio_rows(
+    results: "list[CampaignResult]",
+) -> list[tuple[str, int, int, int, float]]:
+    """(label, n_sdc, n_crash, n_hang, ratio) per campaign."""
+    rows = []
+    for result in results:
+        counts = result.counts()
+        rows.append(
+            (
+                result.label,
+                counts[OutcomeKind.SDC],
+                counts[OutcomeKind.CRASH],
+                counts[OutcomeKind.HANG],
+                result.sdc_to_detectable_ratio(),
+            )
+        )
+    return rows
+
+
+def render_ratios(results: "list[CampaignResult]") -> str:
+    rows = [
+        (label, sdc, crash, hang, f"{ratio:.2f}")
+        for label, sdc, crash, hang, ratio in sdc_ratio_rows(results)
+    ]
+    return format_table(("campaign", "SDC", "crash", "hang", "SDC:(crash+hang)"), rows)
+
+
+def ratio_trend(results: "list[CampaignResult]") -> float:
+    """Last/first ratio across an input sweep (>1 = ratio grows with input)."""
+    rows = sdc_ratio_rows(results)
+    if len(rows) < 2:
+        raise ValueError("need a sweep of at least two campaigns")
+    first, last = rows[0][-1], rows[-1][-1]
+    if first == 0:
+        raise ValueError("first campaign has a zero ratio")
+    return last / first

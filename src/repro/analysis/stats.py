@@ -1,0 +1,129 @@
+"""Statistical machinery for campaign estimates: confidence intervals.
+
+Beam papers (this one included) report counts of rare events; the honest
+way to compare two bars is with the uncertainty that counting statistics
+imply.  This module provides the standard radiation-test intervals:
+
+* **Poisson (garwood) intervals** for event counts — and therefore for
+  FIT, which is ``events / fluence``;
+* **Clopper-Pearson intervals** for proportions (coverage fractions,
+  filtered fractions, locality shares);
+* a ratio test for comparing two campaigns' FIT values.
+
+Everything is exact (chi-squared / beta quantiles via scipy), not normal
+approximations — the counts here are often single digits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from scipy import stats as _stats
+
+from repro.beam.campaign import CampaignResult
+from repro.faults.outcomes import OutcomeKind
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A two-sided confidence interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def overlaps(self, other: "Interval") -> bool:
+        return self.low <= other.high and other.low <= self.high
+
+
+def poisson_interval(events: int, *, confidence: float = 0.95) -> Interval:
+    """Exact (Garwood) interval for a Poisson count.
+
+    >>> poisson_interval(0).low
+    0.0
+    """
+    if events < 0:
+        raise ValueError("events must be non-negative")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    alpha = 1.0 - confidence
+    low = 0.0 if events == 0 else _stats.chi2.ppf(alpha / 2, 2 * events) / 2.0
+    high = _stats.chi2.ppf(1 - alpha / 2, 2 * (events + 1)) / 2.0
+    return Interval(estimate=float(events), low=float(low), high=float(high),
+                    confidence=confidence)
+
+
+def fit_interval(
+    events: int, fluence: float, *, scale: float = 1.0e10, confidence: float = 0.95
+) -> Interval:
+    """Confidence interval on FIT = events / fluence * scale."""
+    if fluence <= 0:
+        raise ValueError("fluence must be positive")
+    counts = poisson_interval(events, confidence=confidence)
+    factor = scale / fluence
+    return Interval(
+        estimate=counts.estimate * factor,
+        low=counts.low * factor,
+        high=counts.high * factor,
+        confidence=confidence,
+    )
+
+
+def proportion_interval(
+    successes: int, trials: int, *, confidence: float = 0.95
+) -> Interval:
+    """Exact Clopper-Pearson interval for a binomial proportion."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must be in [0, trials]")
+    alpha = 1.0 - confidence
+    low = (
+        0.0
+        if successes == 0
+        else float(_stats.beta.ppf(alpha / 2, successes, trials - successes + 1))
+    )
+    high = (
+        1.0
+        if successes == trials
+        else float(_stats.beta.ppf(1 - alpha / 2, successes + 1, trials - successes))
+    )
+    return Interval(
+        estimate=successes / trials, low=low, high=high, confidence=confidence
+    )
+
+
+def campaign_fit_interval(
+    result: CampaignResult, *, confidence: float = 0.95
+) -> Interval:
+    """Interval on a campaign's total SDC FIT (matching its own units)."""
+    from repro.beam.campaign import FIT_AU_SCALE
+
+    events = result.counts()[OutcomeKind.SDC]
+    return fit_interval(
+        events, result.fluence, scale=FIT_AU_SCALE, confidence=confidence
+    )
+
+
+def fit_ratio_significant(
+    a: CampaignResult, b: CampaignResult, *, confidence: float = 0.95
+) -> bool:
+    """Is campaign ``a``'s FIT significantly above campaign ``b``'s?
+
+    Uses the exact conditional (binomial) test for the ratio of two Poisson
+    rates with known exposure ratio — the standard two-rate comparison.
+    """
+    events_a = a.counts()[OutcomeKind.SDC]
+    events_b = b.counts()[OutcomeKind.SDC]
+    total = events_a + events_b
+    if total == 0:
+        return False
+    # Under H0 (equal FIT), events_a | total ~ Binomial(total, p0) with
+    # p0 set by the fluence split.
+    p0 = a.fluence / (a.fluence + b.fluence)
+    test = _stats.binomtest(events_a, total, p0, alternative="greater")
+    return test.pvalue < (1.0 - confidence)

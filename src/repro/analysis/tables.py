@@ -1,0 +1,53 @@
+"""Tables I and II of the paper, generated from the kernel implementations.
+
+Table I (kernel classification) comes from each kernel's declared
+classification; Table II (domains, input sizes, thread-count formulas) is
+evaluated from live kernel instances so the printed thread counts are the
+ones the architecture models actually use.
+"""
+
+from __future__ import annotations
+
+from repro._util.text import format_table, si_number
+from repro.kernels.base import Kernel
+from repro.kernels.classification import TABLE_I
+
+
+def table1_rows() -> list[tuple[str, str, str, str]]:
+    """(kernel, bound, balance, access) — the paper's Table I."""
+    order = ("dgemm", "lavamd", "hotspot", "clamr")
+    return [(name.upper(), *TABLE_I[name].as_row()) for name in order]
+
+
+def table1_text() -> str:
+    return "Table I: Classification of parallel kernels\n" + format_table(
+        ("Kernel", "Bound by", "Load Balance", "Memory Access"), table1_rows()
+    )
+
+
+def table2_rows(kernels: "list[Kernel]") -> list[tuple[str, str, str, str]]:
+    """(kernel, domain, input size, #threads) for live kernel instances."""
+    rows = []
+    for kernel in kernels:
+        domain = kernel.classification.domain
+        if kernel.name == "dgemm":
+            size = f"{kernel.n}x{kernel.n}"
+        elif kernel.name == "lavamd":
+            size = f"grid {kernel.nb}, {kernel.np_box} particles/box"
+        elif kernel.name == "hotspot":
+            size = f"{kernel.n}x{kernel.n} cells"
+        elif kernel.name == "clamr":
+            size = f"{kernel.n}x{kernel.n} cells (AMR)"
+        else:  # pragma: no cover - future kernels
+            size = "?"
+        threads = si_number(kernel.thread_count())
+        if kernel.name == "clamr":
+            threads += " or more (AMR)"
+        rows.append((kernel.name.upper(), domain, size, threads))
+    return rows
+
+
+def table2_text(kernels: "list[Kernel]") -> str:
+    return "Table II: Parallel kernels' details\n" + format_table(
+        ("Kernel", "Domain", "Input size", "#Threads"), table2_rows(kernels)
+    )

@@ -1,0 +1,74 @@
+"""Structural models of the tested accelerators (paper Section IV-A).
+
+The paper cannot compare the two devices' raw silicon sensitivity (circuit
+details are proprietary) and neither do we: the models here encode only what
+the paper publishes —
+
+* the **resource inventories**: the K40's 30 Mbit register file, 960 KB
+  L1/shared, 1536 KB L2, hardware scheduler, FPU/SFU; the Xeon Phi 3120A's
+  57 cores with 32x512-bit vector registers, 3648 KB L1, 29184 KB coherent
+  L2 on a ring, OS-based scheduling;
+* the **process difference**: 28 nm planar (K40) vs 22 nm 3-D trigate
+  (Phi), with the ~10x per-bit sensitivity gap the paper cites [28];
+* the **parallelism-management philosophies**: a hardware scheduler whose
+  exposed state grows with the number of scheduled threads (K40) versus an
+  operating system whose footprint does not (Phi) — the mechanism behind
+  the paper's FIT-vs-input-size findings;
+* **ECC coverage** (K40 registers and caches; Phi caches) and the
+  unprotected state (queues, flip-flops, vector lanes) whose corruption
+  survives it.
+
+A :class:`~repro.arch.device.DeviceModel` exposes everything the fault
+injector needs: per-resource strike cross-sections for a given kernel and
+input, outcome profiles (crash/hang/masking), flip-model and burst-extent
+policies.
+"""
+
+from repro.arch.device import DeviceModel, FlipPolicy, OutcomeProfile
+from repro.arch.k40 import k40
+from repro.arch.memory import CacheLevel, MemoryHierarchy
+from repro.arch.registry import DEVICE_FACTORIES, make_device
+from repro.arch.resources import Resource, ResourceKind, SharingDomain
+from repro.arch.scheduler import HardwareScheduler, OsScheduler, SchedulerModel
+from repro.arch.stress import occupancy_factor, stress_factor
+from repro.arch.utilization import (
+    UtilizationReport,
+    minimal_saturating_size,
+    utilization,
+)
+from repro.arch.variants import (
+    SOFTWARE_VISIBLE,
+    restricted_to,
+    with_scheduler,
+    with_sharing_breadth,
+    without_ecc,
+)
+from repro.arch.xeonphi import xeonphi
+
+__all__ = [
+    "DeviceModel",
+    "FlipPolicy",
+    "OutcomeProfile",
+    "k40",
+    "CacheLevel",
+    "MemoryHierarchy",
+    "DEVICE_FACTORIES",
+    "make_device",
+    "Resource",
+    "ResourceKind",
+    "SharingDomain",
+    "HardwareScheduler",
+    "OsScheduler",
+    "SchedulerModel",
+    "occupancy_factor",
+    "stress_factor",
+    "UtilizationReport",
+    "minimal_saturating_size",
+    "utilization",
+    "SOFTWARE_VISIBLE",
+    "restricted_to",
+    "with_scheduler",
+    "with_sharing_breadth",
+    "without_ecc",
+    "xeonphi",
+]

@@ -1,0 +1,115 @@
+"""Device datasheets: render a device model the way Section IV-A reads.
+
+Every number the injector uses — footprints, ECC coverage, sharing,
+scheduler behaviour, per-resource outcome probabilities, flip policies —
+in one human-readable document.  Used by ``repro device <name>`` and by
+reviewers checking the model against the paper's published parameters.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro._util.text import format_table, si_number
+from repro.arch.device import DeviceModel
+from repro.arch.resources import ResourceKind
+from repro.kernels.base import Kernel
+
+
+def render_datasheet(device: DeviceModel) -> str:
+    """The full structural description of one device model."""
+    out = io.StringIO()
+    out.write(f"Device: {device.name}\n")
+    out.write(f"Process: {device.process}\n")
+    out.write(f"Relative per-bit sensitivity: {device.per_bit_sensitivity:g}\n")
+    out.write(
+        f"Scheduler: {type(device.scheduler).__name__} "
+        f"({'hardware' if device.scheduler.is_hardware() else 'OS-based'})\n"
+    )
+    out.write(f"Resident threads: {si_number(device.resident_threads)}\n")
+    if device.vector_lanes:
+        out.write(f"Vector lanes (doubles): {device.vector_lanes}\n")
+
+    out.write("\nResources:\n")
+    rows = []
+    for kind, res in sorted(device.resources.items(), key=lambda kv: kv[0].value):
+        profile = device.outcome_profile(kind)
+        rows.append(
+            (
+                kind.value,
+                si_number(res.footprint_bits) + "b",
+                f"{res.ecc_coverage:.0%}",
+                res.sharing.value,
+                f"{profile.p_masked:.2f}",
+                f"{profile.p_crash:.2f}",
+                f"{profile.p_hang:.2f}",
+                f"{profile.p_data:.2f}",
+            )
+        )
+    out.write(
+        format_table(
+            ("resource", "footprint", "ECC", "sharing",
+             "P(mask)", "P(crash)", "P(hang)", "P(data)"),
+            rows,
+        )
+    )
+
+    out.write("\n\nCache hierarchy:\n")
+    out.write(
+        format_table(
+            ("level", "size", "line", "sharing breadth", "ECC"),
+            [
+                (
+                    level.name,
+                    f"{level.size_kb:g} KB",
+                    f"{level.line_bytes} B",
+                    f"{level.sharing_breadth:g}",
+                    f"{level.ecc_coverage:.0%}",
+                )
+                for level in device.hierarchy.levels
+            ],
+        )
+    )
+
+    out.write("\n\nFlip policy (defaults):\n")
+    out.write(
+        format_table(
+            ("resource", "model"),
+            [
+                (kind.value, repr(model))
+                for kind, model in sorted(
+                    device.flip_policy.defaults.items(), key=lambda kv: kv[0].value
+                )
+            ],
+        )
+    )
+    if device.flip_policy.overrides:
+        out.write("\n\nFlip policy (per-kernel overrides):\n")
+        out.write(
+            format_table(
+                ("kernel", "resource", "model"),
+                [
+                    (kernel, kind.value, repr(model))
+                    for (kernel, kind), model in sorted(
+                        device.flip_policy.overrides.items(),
+                        key=lambda kv: (kv[0][0], kv[0][1].value),
+                    )
+                ],
+            )
+        )
+    return out.getvalue()
+
+
+def render_strike_surface(device: DeviceModel, kernel: Kernel) -> str:
+    """The per-resource strike surface for one kernel configuration."""
+    weights = device.strike_weights(kernel)
+    total = sum(weights.values())
+    rows = [
+        (kind.value, f"{weight:.3g}", f"{weight / total:.1%}")
+        for kind, weight in sorted(weights.items(), key=lambda kv: -kv[1])
+    ]
+    header = (
+        f"Strike surface: {kernel.name} on {device.name} "
+        f"({si_number(kernel.thread_count())} threads, sigma={total:.3g} a.u.)"
+    )
+    return header + "\n" + format_table(("resource", "sigma [a.u.]", "share"), rows)

@@ -1,0 +1,203 @@
+"""The device model: everything the fault injector asks an architecture.
+
+A :class:`DeviceModel` answers four questions about a strike:
+
+1. **Where does it land?** — :meth:`DeviceModel.strike_weights` gives the
+   per-resource cross-sections for a kernel: footprint surviving ECC x
+   per-bit process sensitivity x kernel stress x (for caches) dataset
+   utilisation, with the scheduler's exposed state computed from the
+   kernel's thread count (the input-size mechanism of Section V-A).
+2. **Does the device survive it?** — :meth:`DeviceModel.outcome_profile`
+   gives the architectural masking / crash / hang probabilities per
+   resource; what remains attempts to corrupt data.
+3. **What does the corrupted word look like?** — the :class:`FlipPolicy`
+   picks the flip model per resource (with per-kernel calibration
+   overrides; see DESIGN.md on calibrated choices).
+4. **How wide is the damage?** — :meth:`DeviceModel.burst_extent` samples
+   the number of adjacent words corrupted (cache-line width, vector lanes).
+
+FIT in arbitrary units falls out of the same quantities: the total
+cross-section is the expected strikes per unit fluence, so a campaign's FIT
+is ``total_cross_section * P(outcome) * scale``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.memory import MemoryHierarchy
+from repro.arch.resources import Resource, ResourceKind
+from repro.arch.scheduler import SchedulerModel
+from repro.arch.stress import occupancy_factor, stress_factor
+from repro.bitflip.models import FlipModel, SingleBitFlip
+from repro.kernels.base import Kernel
+
+
+@dataclass(frozen=True)
+class OutcomeProfile:
+    """Architectural fate of a strike on one resource class.
+
+    The probabilities cover the outcomes decided *before* the computation
+    sees the corruption; the remainder (``p_data``) reaches the kernel,
+    which then decides between masked-by-the-algorithm, SDC, or a
+    computation-level crash (e.g. CLAMR's solver blowing up).
+    """
+
+    p_masked: float = 0.0
+    p_crash: float = 0.0
+    p_hang: float = 0.0
+
+    def __post_init__(self):
+        for p in (self.p_masked, self.p_crash, self.p_hang):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError("probabilities must be in [0, 1]")
+        if self.p_masked + self.p_crash + self.p_hang > 1.0 + 1e-12:
+            raise ValueError("outcome probabilities exceed 1")
+
+    @property
+    def p_data(self) -> float:
+        """Probability the corruption reaches the computation."""
+        return max(0.0, 1.0 - self.p_masked - self.p_crash - self.p_hang)
+
+
+@dataclass
+class FlipPolicy:
+    """Flip-model selection per resource, with per-kernel overrides.
+
+    ``overrides[(kernel_name, kind)]`` wins over ``defaults[kind]``; a
+    missing entry falls back to a single-bit flip.  Overrides encode
+    calibrated observations (e.g. the bounded error magnitudes the paper
+    measured for single-precision stencil state on the K40) — each override
+    is documented where the device is built.
+    """
+
+    defaults: dict[ResourceKind, FlipModel] = field(default_factory=dict)
+    overrides: dict[tuple[str, ResourceKind], FlipModel] = field(default_factory=dict)
+
+    def model_for(self, kind: ResourceKind, kernel_name: str) -> FlipModel:
+        if (kernel_name, kind) in self.overrides:
+            return self.overrides[(kernel_name, kind)]
+        return self.defaults.get(kind, SingleBitFlip())
+
+
+@dataclass
+class DeviceModel:
+    """A structural accelerator model (see :mod:`repro.arch.k40` / ``xeonphi``).
+
+    Attributes:
+        name: short identifier ("k40", "xeonphi").
+        process: fabrication-node description.
+        per_bit_sensitivity: relative per-bit strike sensitivity of the
+            process (the paper cites ~10x planar-vs-trigate [28]); an
+            arbitrary unit shared by every device in a study.
+        resources: the strikeable resource inventory.
+        scheduler: the parallelism-management model.
+        hierarchy: cache levels (line widths, sharing breadth).
+        outcome_profiles: per-resource architectural outcome probabilities.
+        flip_policy: per-resource corruption models.
+        vector_lanes: SIMD lanes per vector register (burst extent source);
+            0 when the device has no exposed wide vector file.
+        stress_overrides: per-(kernel, resource) multipliers on top of the
+            generic stress table — device-specific calibration documented
+            at the definition site.
+        resident_threads: maximum simultaneously resident threads (K40:
+            15 SMs x 2048; Phi: 57 cores x 4 hardware threads) — the
+            denominator of the paper's ">97.5% multiprocessor activity"
+            input-sizing rule (Section IV-C).
+    """
+
+    name: str
+    process: str
+    per_bit_sensitivity: float
+    resources: dict[ResourceKind, Resource]
+    scheduler: SchedulerModel
+    hierarchy: MemoryHierarchy
+    outcome_profiles: dict[ResourceKind, OutcomeProfile]
+    flip_policy: FlipPolicy
+    vector_lanes: int = 0
+    stress_overrides: dict[tuple[str, ResourceKind], float] = field(default_factory=dict)
+    resident_threads: int = 0
+
+    # -- strike surface ----------------------------------------------------------
+
+    def _cache_utilisation(self, kind: ResourceKind, kernel: Kernel) -> float:
+        """Fraction of a cache the kernel's live dataset occupies.
+
+        Saturates at 1; below saturation, only the occupied lines hold data
+        whose corruption can matter.  This is what makes the Xeon Phi's
+        LavaMD exposure grow with input size (its 29 MB L2 only fills at
+        the largest grids) while the K40's small L2 is always full.
+
+        Local memory (shared memory / L1) is block-private working-set
+        storage: resident thread blocks keep it full at any input size
+        (that is why the paper tailors inputs for >97.5% utilisation), so
+        only the device-wide L2 scales with the dataset.
+        """
+        if kind is not ResourceKind.L2_CACHE:
+            return 1.0
+        resource = self.resources[kind]
+        return min(1.0, kernel.dataset_bits() / resource.footprint_bits)
+
+    def strike_weights(self, kernel: Kernel) -> dict[ResourceKind, float]:
+        """Per-resource strike cross-sections (a.u.) for a kernel run."""
+        weights: dict[ResourceKind, float] = {}
+        for kind, resource in self.resources.items():
+            stress = stress_factor(kernel.name, kind) * self.stress_overrides.get(
+                (kernel.name, kind), 1.0
+            )
+            if stress == 0.0:
+                continue
+            if kind is ResourceKind.SCHEDULER:
+                bits = self.scheduler.exposed_bits(
+                    kernel.thread_count(), strain=occupancy_factor(kernel.name)
+                )
+            else:
+                bits = resource.effective_bits() * self._cache_utilisation(kind, kernel)
+            weight = bits * self.per_bit_sensitivity * stress
+            if weight > 0.0:
+                weights[kind] = weight
+        return weights
+
+    def total_cross_section(self, kernel: Kernel) -> float:
+        """Expected strikes per unit fluence for one execution (a.u.)."""
+        return sum(self.strike_weights(kernel).values())
+
+    # -- strike fate ----------------------------------------------------------------
+
+    def outcome_profile(self, kind: ResourceKind) -> OutcomeProfile:
+        """Architectural outcome probabilities for a resource strike."""
+        return self.outcome_profiles.get(kind, OutcomeProfile())
+
+    def flip_model(self, kind: ResourceKind, kernel_name: str) -> FlipModel:
+        return self.flip_policy.model_for(kind, kernel_name)
+
+    def sharing_breadth(self, kind: ResourceKind, kernel: Kernel) -> float:
+        """Expected consumers of one corrupted word before eviction.
+
+        For caches this is the level's sharing breadth damped by occupancy
+        pressure (a dataset overflowing the cache evicts lines before many
+        consumers see them — the paper's Section V-B/V-E argument for the
+        K40's cubic share *shrinking* with input size while the Phi's big
+        L2 keeps corrupted data alive for many cores).  Non-cache resources
+        are private: ``inf`` (the kernel's own fan-out applies unchanged).
+        """
+        if kind is ResourceKind.LOCAL_MEMORY:
+            # Block-private working sets: the line's consumers are the
+            # block's own threads, independent of dataset pressure.
+            return self.hierarchy.levels[0].sharing_breadth
+        if kind is not ResourceKind.L2_CACHE:
+            return float("inf")
+        level = self.hierarchy.levels[-1]
+        pressure = kernel.dataset_bits() / level.size_bits
+        return max(1.0, level.sharing_breadth * min(1.0, 1.0 / pressure))
+
+    def burst_extent(self, kind: ResourceKind, rng: np.random.Generator) -> int:
+        """Adjacent words corrupted by one strike on this resource."""
+        if kind is ResourceKind.VECTOR_UNIT and self.vector_lanes > 1:
+            return int(rng.integers(1, self.vector_lanes + 1))
+        if kind in (ResourceKind.L2_CACHE, ResourceKind.LOCAL_MEMORY):
+            words = max(level.line_words() for level in self.hierarchy.levels)
+            return int(rng.integers(1, words + 1))
+        return 1

@@ -1,0 +1,166 @@
+"""The NVIDIA Tesla K40 model (Kepler GK110b) — paper Section IV-A.
+
+Published parameters encoded below: 15 SMs, up to 2048 threads/SM, 30 Mbit
+register file, 960 KB total L1/shared (64 KB per SM), 1536 KB L2, hardware
+scheduling, 28 nm planar bulk TSMC process (the ~10x per-bit sensitivity
+penalty versus trigate, [28]).  GDDR5 is outside the beam spot and outside
+the model.
+
+Calibrated choices (each validated against the paper's figures by the
+benchmark suite; see DESIGN.md §5):
+
+* ECC covers the register file and caches; survivors are words in flight
+  through operand collectors / queues / flip-flops (Section V-A) — modelled
+  as single-bit flips for registers and per-word single-bit bursts for
+  cache lines.
+* Shared-memory words consumed by LavaMD arrive through the operand
+  datapath where a strike garbles the word (``WordRandomize``) — the
+  source of the K40's enormous LavaMD relative errors; for the
+  single-precision HotSpot state the observed error magnitudes are bounded,
+  encoded as mantissa-limited corruption.
+* The SFU (exp/rsqrt) is the paper's suspect for LavaMD: strikes there
+  garble the transcendental result outright.
+* Scheduler state grows ~40 bits per scheduled thread — fitted to the
+  paper's 7x DGEMM FIT growth over the 16x thread sweep.
+"""
+
+from __future__ import annotations
+
+from repro.arch.device import DeviceModel, FlipPolicy, OutcomeProfile
+from repro.arch.memory import CacheLevel, MemoryHierarchy
+from repro.arch.resources import KB, MBIT, Resource, ResourceKind, SharingDomain
+from repro.arch.scheduler import HardwareScheduler
+from repro.bitflip.models import (
+    BurstFlip,
+    MantissaBitFlip,
+    SingleBitFlip,
+    WordRandomize,
+)
+
+_R = ResourceKind
+
+
+def k40() -> DeviceModel:
+    """Build the K40 device model."""
+    resources = {
+        _R.REGISTER_FILE: Resource(
+            kind=_R.REGISTER_FILE,
+            footprint_bits=30 * MBIT,
+            sharing=SharingDomain.THREAD,
+            ecc_coverage=0.94,
+            description="30 Mbit RF across 15 SMs, ECC; survivors sit in "
+            "unprotected queues and flip-flops (Section V-A)",
+        ),
+        _R.LOCAL_MEMORY: Resource(
+            kind=_R.LOCAL_MEMORY,
+            footprint_bits=960 * KB,
+            sharing=SharingDomain.BLOCK,
+            ecc_coverage=0.90,
+            description="64 KB L1/shared per SM x 15",
+        ),
+        _R.L2_CACHE: Resource(
+            kind=_R.L2_CACHE,
+            footprint_bits=1536 * KB,
+            sharing=SharingDomain.DEVICE,
+            ecc_coverage=0.90,
+            description="1536 KB unified L2",
+        ),
+        _R.SCHEDULER: Resource(
+            kind=_R.SCHEDULER,
+            footprint_bits=2.0e5,  # informational; the scheduler model rules
+            sharing=SharingDomain.DEVICE,
+            description="hardware gigathread/warp schedulers",
+        ),
+        _R.CONTROL_LOGIC: Resource(
+            kind=_R.CONTROL_LOGIC,
+            footprint_bits=4.0e5,
+            sharing=SharingDomain.DEVICE,
+            description="fetch/decode/dispatch logic (effective state)",
+        ),
+        _R.FPU: Resource(
+            kind=_R.FPU,
+            footprint_bits=6.0e5,
+            sharing=SharingDomain.THREAD,
+            description="FP32/FP64 datapath transient-latch surface",
+        ),
+        _R.SFU: Resource(
+            kind=_R.SFU,
+            footprint_bits=3.0e5,
+            sharing=SharingDomain.THREAD,
+            description="special-function units (exp, rsqrt); the paper's "
+            "LavaMD suspect (Section V-B)",
+        ),
+    }
+
+    outcome_profiles = {
+        _R.REGISTER_FILE: OutcomeProfile(p_masked=0.35, p_crash=0.04, p_hang=0.01),
+        _R.LOCAL_MEMORY: OutcomeProfile(p_masked=0.35, p_crash=0.05, p_hang=0.01),
+        _R.L2_CACHE: OutcomeProfile(p_masked=0.40, p_crash=0.05, p_hang=0.01),
+        # Mis-scheduled warps more often compute wrong data than kill the
+        # kernel: the data share is what makes the K40's DGEMM FIT track
+        # thread count while the SDC:crash ratio falls with input size.
+        _R.SCHEDULER: OutcomeProfile(p_masked=0.25, p_crash=0.18, p_hang=0.07),
+        _R.CONTROL_LOGIC: OutcomeProfile(p_masked=0.20, p_crash=0.50, p_hang=0.20),
+        _R.FPU: OutcomeProfile(p_masked=0.45, p_crash=0.02, p_hang=0.0),
+        _R.SFU: OutcomeProfile(p_masked=0.30, p_crash=0.02, p_hang=0.0),
+    }
+
+    flip_policy = FlipPolicy(
+        defaults={
+            _R.REGISTER_FILE: SingleBitFlip(),
+            _R.LOCAL_MEMORY: WordRandomize(),
+            _R.L2_CACHE: BurstFlip(SingleBitFlip()),
+            _R.FPU: MantissaBitFlip(),
+            _R.SFU: WordRandomize(),
+            _R.SCHEDULER: WordRandomize(),
+            _R.CONTROL_LOGIC: WordRandomize(),
+        },
+        overrides={
+            # Single-precision stencil state: the paper observes bounded
+            # HotSpot error magnitudes (<25% mean) — corruption reaching the
+            # FP32 pipeline is mantissa-limited but visible (top bits), so
+            # it diffuses into the paper's wide square patterns before
+            # decaying below the 2% tolerance.
+            ("hotspot", _R.LOCAL_MEMORY): BurstFlip(MantissaBitFlip(top_bits=9)),
+            ("hotspot", _R.REGISTER_FILE): MantissaBitFlip(top_bits=9),
+            ("hotspot", _R.L2_CACHE): BurstFlip(MantissaBitFlip(top_bits=9)),
+            ("hotspot", _R.SCHEDULER): MantissaBitFlip(top_bits=9),
+            # DGEMM inputs cross the same ECC'd paths as registers:
+            # survivors are single-bit.
+            ("dgemm", _R.LOCAL_MEMORY): BurstFlip(SingleBitFlip()),
+            # LavaMD's dot-product/exp pipeline garbles in-flight words —
+            # the paper's "no K40 LavaMD error below 2%" observation.
+            ("lavamd", _R.FPU): WordRandomize(),
+            # CLAMR state takes raw single-bit upsets: the CFL-adaptive
+            # solver itself sorts them into crashes (negative/non-finite
+            # depth), time-stalling massive SDCs (exponent-scale heights)
+            # and propagating waves (mantissa-scale) — no flip shaping
+            # needed.
+        },
+    )
+
+    hierarchy = MemoryHierarchy(
+        levels=(
+            CacheLevel(
+                name="L1/shared", size_kb=960, line_bytes=128,
+                sharing_breadth=4.0, ecc_coverage=0.90,
+            ),
+            CacheLevel(
+                name="L2", size_kb=1536, line_bytes=128,
+                sharing_breadth=8.0, ecc_coverage=0.90,
+            ),
+        )
+    )
+
+    return DeviceModel(
+        name="k40",
+        process="28nm planar bulk (TSMC)",
+        per_bit_sensitivity=10.0,
+        resources=resources,
+        scheduler=HardwareScheduler(base_bits=2.0e5, bits_per_thread=40.0),
+        hierarchy=hierarchy,
+        outcome_profiles=outcome_profiles,
+        flip_policy=flip_policy,
+        vector_lanes=0,
+        resident_threads=15 * 2048,  # 15 SMs, up to 2048 threads each
+    )

@@ -1,0 +1,68 @@
+"""Cache-hierarchy models: capacity, line width, sharing breadth.
+
+The paper's Section V-E attributes the Xeon Phi's larger incorrect-element
+counts to its caches: "Xeon Phi has larger caches than K40, so its data is
+not evicted as often.  Hence, corrupted data, once in the caches, will be
+used by more elements before eviction."  The hierarchy model captures the
+two quantities that argument needs: how much cache state is exposed, and
+how many consumers read one corrupted line before it dies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.resources import KB
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One cache level.
+
+    Attributes:
+        name: display name ("L1/shared", "L2", ...).
+        size_kb: total capacity across the device, in KB.
+        line_bytes: cache-line width (burst-extent source).
+        sharing_breadth: expected number of distinct consumers (threads /
+            cores) that read a live line before eviction — the error
+            multiplication factor.
+        ecc_coverage: fraction of strikes scrubbed.
+    """
+
+    name: str
+    size_kb: float
+    line_bytes: int = 64
+    sharing_breadth: float = 1.0
+    ecc_coverage: float = 0.0
+
+    def __post_init__(self):
+        if self.size_kb <= 0 or self.line_bytes <= 0 or self.sharing_breadth < 1:
+            raise ValueError("invalid cache-level parameters")
+
+    @property
+    def size_bits(self) -> float:
+        return self.size_kb * KB
+
+    def line_words(self, word_bytes: int = 8) -> int:
+        """Words per line — the natural burst extent of a line strike."""
+        return max(1, self.line_bytes // word_bytes)
+
+
+@dataclass(frozen=True)
+class MemoryHierarchy:
+    """A device's on-die cache levels (DRAM is outside the beam spot)."""
+
+    levels: tuple[CacheLevel, ...]
+
+    def total_bits(self) -> float:
+        return sum(level.size_bits for level in self.levels)
+
+    def level(self, name: str) -> CacheLevel:
+        for lvl in self.levels:
+            if lvl.name == name:
+                return lvl
+        raise KeyError(f"no cache level named {name!r}")
+
+    def widest_sharing(self) -> float:
+        """The largest consumer fan-out of any level."""
+        return max(level.sharing_breadth for level in self.levels)

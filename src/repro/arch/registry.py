@@ -1,0 +1,27 @@
+"""Device registry: build device models by name."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.arch.device import DeviceModel
+from repro.arch.k40 import k40
+from repro.arch.xeonphi import xeonphi
+
+DEVICE_FACTORIES: dict[str, Callable[[], DeviceModel]] = {
+    "k40": k40,
+    "xeonphi": xeonphi,
+}
+
+
+def make_device(name: str) -> DeviceModel:
+    """Instantiate a device model by name.
+
+    >>> make_device("k40").process
+    '28nm planar bulk (TSMC)'
+    """
+    try:
+        return DEVICE_FACTORIES[name]()
+    except KeyError:
+        known = ", ".join(sorted(DEVICE_FACTORIES))
+        raise KeyError(f"unknown device {name!r}; known devices: {known}")

@@ -1,0 +1,79 @@
+"""Device resources: footprints, sensitivities, sharing and ECC.
+
+A resource is a class of on-die state (register file, L2, scheduler, ...)
+with a strike cross-section proportional to its footprint in bits times the
+process's per-bit sensitivity.  ECC absorbs most storage strikes; what
+survives ECC (data in transit through queues, operand collectors and
+flip-flops — the paper's Section V-A argument) is the part the injector
+sees.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ResourceKind(enum.Enum):
+    """Classes of strikeable on-die state."""
+
+    REGISTER_FILE = "register_file"
+    LOCAL_MEMORY = "local_memory"   #: shared memory / L1, block-private
+    L2_CACHE = "l2_cache"           #: last-level on-die cache, widely shared
+    SCHEDULER = "scheduler"         #: dispatch/queue state (HW or OS-backed)
+    CONTROL_LOGIC = "control_logic" #: decoders, fetch, AMR/mesh management
+    FPU = "fpu"                     #: floating-point datapath (transients)
+    SFU = "sfu"                     #: special-function unit (exp, rsqrt, ...)
+    VECTOR_UNIT = "vector_unit"     #: wide SIMD lanes and their registers
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class SharingDomain(enum.Enum):
+    """How widely one corrupted copy of the resource is consumed.
+
+    The wider the domain, the more output elements one strike can touch —
+    the paper's explanation for the Xeon Phi's higher incorrect-element
+    counts (its big coherent L2 keeps corrupted data live for many cores).
+    """
+
+    THREAD = "thread"
+    BLOCK = "block"
+    CORE = "core"
+    DEVICE = "device"
+
+
+@dataclass(frozen=True)
+class Resource:
+    """One strikeable resource of a device.
+
+    Attributes:
+        kind: the resource class.
+        footprint_bits: amount of state, in bits (from the die parameters
+            the paper lists; logic resources use an effective state size).
+        sharing: how widely a corrupted copy is consumed.
+        ecc_coverage: fraction of strikes absorbed by ECC/parity scrubbing
+            (0 for unprotected state).  Survivors reach the computation.
+        description: provenance of the numbers.
+    """
+
+    kind: ResourceKind
+    footprint_bits: float
+    sharing: SharingDomain
+    ecc_coverage: float = 0.0
+    description: str = ""
+
+    def __post_init__(self):
+        if self.footprint_bits <= 0:
+            raise ValueError("footprint_bits must be positive")
+        if not 0.0 <= self.ecc_coverage < 1.0:
+            raise ValueError("ecc_coverage must be in [0, 1)")
+
+    def effective_bits(self) -> float:
+        """Footprint surviving ECC: the strike surface the injector samples."""
+        return self.footprint_bits * (1.0 - self.ecc_coverage)
+
+
+KB = 8 * 1024          #: bits per kilobyte
+MBIT = 1024 * 1024     #: bits per megabit

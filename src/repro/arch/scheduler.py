@@ -1,0 +1,85 @@
+"""Parallel-thread management models (paper Sections IV-A / V-A).
+
+NVIDIA schedules thread blocks in hardware: the pending-work queues,
+scoreboards and dispatch state live on-die and grow with the number of
+threads the kernel instantiates — so more threads mean more strikeable
+scheduler state ("the scheduler strain", the paper's mechanism (1) for the
+K40's FIT growing ~7x across the DGEMM input sweep, already observed in
+[34]).
+
+Intel instead runs a Linux-based OS on the Xeon Phi: scheduling state is a
+fixed-size kernel structure (and largely resident in DRAM, outside the
+irradiated area), so its exposed footprint barely depends on the number of
+application threads — the paper's explanation for the Phi's nearly flat
+FIT (~1.8x over an 8x input sweep).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+
+class SchedulerModel(abc.ABC):
+    """Exposed (strikeable) scheduler state as a function of thread count."""
+
+    @abc.abstractmethod
+    def exposed_bits(self, threads: int, *, strain: float = 1.0) -> float:
+        """On-die scheduler state, in bits.
+
+        Args:
+            threads: threads the kernel instantiates (Table II).
+            strain: kernel-specific dispatch-pressure factor in [0, 1]; low
+                occupancy (e.g. LavaMD's heavy local-memory usage limiting
+                resident threads) reduces the pending-queue churn and with
+                it the exposed state.
+        """
+
+    @abc.abstractmethod
+    def is_hardware(self) -> bool:
+        """True for an on-die hardware scheduler."""
+
+
+@dataclass(frozen=True)
+class HardwareScheduler(SchedulerModel):
+    """NVIDIA-style on-die scheduler: state grows with scheduled threads.
+
+    Attributes:
+        base_bits: dispatch/scoreboard state present regardless of load.
+        bits_per_thread: queue state per scheduled thread.  The affine form
+            reproduces the paper's observed ratios: FIT grows steeply while
+            threads dominate and saturates toward linear growth.
+    """
+
+    base_bits: float = 2.0e5
+    bits_per_thread: float = 2.0
+
+    def exposed_bits(self, threads: int, *, strain: float = 1.0) -> float:
+        if threads < 0:
+            raise ValueError("threads must be non-negative")
+        return self.base_bits + self.bits_per_thread * threads * strain
+
+    def is_hardware(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class OsScheduler(SchedulerModel):
+    """Xeon-Phi-style OS scheduling: (almost) constant exposed state.
+
+    Attributes:
+        resident_bits: the on-die slice of OS scheduling state.
+        bits_per_thread: a small per-task residue (run-queue entries touched
+            by the cores); orders of magnitude below the hardware case.
+    """
+
+    resident_bits: float = 4.0e5
+    bits_per_thread: float = 0.02
+
+    def exposed_bits(self, threads: int, *, strain: float = 1.0) -> float:
+        if threads < 0:
+            raise ValueError("threads must be non-negative")
+        return self.resident_bits + self.bits_per_thread * threads * strain
+
+    def is_hardware(self) -> bool:
+        return False

@@ -1,0 +1,97 @@
+"""Resource-utilisation reports and input-size selection (paper §IV-C).
+
+"To have a proper reliability evaluation, it is essential to fully utilize
+the device resources.  An underused device can give different error
+criticalities due to smaller resource usage and fewer threads created.
+Input sizes were tailored to achieve high resource utilization (e.g., over
+97.5% multiprocessor activity on the K40)."
+
+This module makes that tailoring reproducible: a
+:class:`UtilizationReport` says how much of a device a kernel
+configuration actually occupies (thread residency, cache fill), and
+:func:`minimal_saturating_size` finds the smallest input meeting the
+paper's activity target — the same procedure the authors used to choose
+Table II's sizes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.arch.device import DeviceModel
+from repro.arch.resources import ResourceKind
+from repro.kernels.base import Kernel
+
+#: The paper's multiprocessor-activity target.
+PAPER_ACTIVITY_TARGET = 0.975
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    """How fully one kernel configuration occupies one device."""
+
+    kernel_name: str
+    device_name: str
+    threads: int
+    thread_occupancy: float       #: resident-slot fill, in [0, 1]
+    oversubscription: float       #: instantiated / resident threads
+    cache_fill: dict[str, float]  #: per cache level, dataset / capacity (capped)
+
+    def is_saturating(self, target: float = PAPER_ACTIVITY_TARGET) -> bool:
+        """Does this configuration meet the paper's activity target?"""
+        return self.thread_occupancy >= target
+
+
+def utilization(kernel: Kernel, device: DeviceModel) -> UtilizationReport:
+    """Measure a configuration's device occupancy.
+
+    Thread occupancy compares the kernel's instantiated threads against
+    the device's resident capacity; values at 1.0 mean every hardware slot
+    stays busy (with oversubscription recording how many waves of threads
+    rotate through).  Cache fill compares the live dataset against each
+    level's capacity.
+    """
+    if device.resident_threads <= 0:
+        raise ValueError(f"device {device.name!r} has no resident-thread capacity set")
+    threads = kernel.thread_count()
+    occupancy = min(1.0, threads / device.resident_threads)
+    fill = {
+        level.name: min(1.0, kernel.dataset_bits() / level.size_bits)
+        for level in device.hierarchy.levels
+    }
+    return UtilizationReport(
+        kernel_name=kernel.name,
+        device_name=device.name,
+        threads=threads,
+        thread_occupancy=occupancy,
+        oversubscription=threads / device.resident_threads,
+        cache_fill=fill,
+    )
+
+
+def minimal_saturating_size(
+    make: Callable[[int], Kernel],
+    device: DeviceModel,
+    sizes: Sequence[int],
+    *,
+    target: float = PAPER_ACTIVITY_TARGET,
+) -> int:
+    """Smallest size in ``sizes`` meeting the activity target.
+
+    Args:
+        make: builds a kernel from a size parameter (e.g.
+            ``lambda n: Dgemm(n=n)``).
+        device: the device to saturate.
+        sizes: candidate sizes, ascending.
+        target: activity fraction to reach.
+
+    Raises:
+        ValueError: when no candidate saturates the device.
+    """
+    for size in sizes:
+        if utilization(make(size), device).is_saturating(target):
+            return size
+    raise ValueError(
+        f"no candidate size saturates {device.name} to {target:.1%} activity"
+    )

@@ -1,0 +1,106 @@
+"""Device-model variants for ablation studies.
+
+The architecture models encode specific mechanisms (ECC scrubbing, the
+hardware-vs-OS scheduler split, cache sharing breadth).  Each variant
+switches one mechanism off or swaps it, so ablation benchmarks can show
+that the paper-shaped behaviour actually comes from the mechanism the
+paper names — and disappears without it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.arch.device import DeviceModel
+from repro.arch.memory import CacheLevel, MemoryHierarchy
+from repro.arch.resources import Resource, ResourceKind
+from repro.arch.scheduler import SchedulerModel
+
+#: Resource classes a SASSIFI-style software fault injector can reach:
+#: architecturally visible state only.  Schedulers, dispatchers and control
+#: logic are out of reach — the paper's Section IV-D reason for preferring
+#: beam experiments.
+SOFTWARE_VISIBLE = frozenset(
+    {
+        ResourceKind.REGISTER_FILE,
+        ResourceKind.LOCAL_MEMORY,
+        ResourceKind.L2_CACHE,
+        ResourceKind.VECTOR_UNIT,
+    }
+)
+
+
+def without_ecc(device: DeviceModel) -> DeviceModel:
+    """The device with every ECC/parity mechanism disabled.
+
+    Exposes the full storage footprint to strikes: register files and
+    caches dominate the strike surface, masking drops, and the error
+    population shifts toward raw storage corruption.
+    """
+    resources = {
+        kind: dataclasses.replace(res, ecc_coverage=0.0)
+        for kind, res in device.resources.items()
+    }
+    hierarchy = MemoryHierarchy(
+        levels=tuple(
+            dataclasses.replace(level, ecc_coverage=0.0)
+            for level in device.hierarchy.levels
+        )
+    )
+    return dataclasses.replace(
+        device,
+        name=f"{device.name}-noecc",
+        resources=resources,
+        hierarchy=hierarchy,
+    )
+
+
+def with_scheduler(device: DeviceModel, scheduler: SchedulerModel, *, suffix: str) -> DeviceModel:
+    """The device with its parallelism-management model swapped.
+
+    Giving the K40 an OS-style scheduler removes the thread-proportional
+    strike surface — its DGEMM FIT then stops tracking input size, which is
+    the paper's core scheduler argument run in reverse.
+    """
+    return dataclasses.replace(
+        device, name=f"{device.name}-{suffix}", scheduler=scheduler
+    )
+
+
+def restricted_to(
+    device: DeviceModel, kinds: "frozenset[ResourceKind] | set[ResourceKind]"
+) -> DeviceModel:
+    """The device as seen by an injector that can only reach ``kinds``.
+
+    Used to model software fault injection (:data:`SOFTWARE_VISIBLE`): the
+    strike surface is truncated to the reachable resources and everything
+    else simply cannot be struck.
+    """
+    resources = {
+        kind: res for kind, res in device.resources.items() if kind in kinds
+    }
+    if not resources:
+        raise ValueError("restriction removes every strikeable resource")
+    return dataclasses.replace(
+        device, name=f"{device.name}-restricted", resources=resources
+    )
+
+
+def with_sharing_breadth(device: DeviceModel, breadth: float) -> DeviceModel:
+    """The device with every cache level's sharing breadth forced.
+
+    ``breadth=1`` turns off error multiplication through shared caches:
+    LavaMD's cubic clusters collapse to per-box corruption, isolating the
+    mechanism behind the paper's Section V-E observation.
+    """
+    if breadth < 1:
+        raise ValueError("breadth must be >= 1")
+    hierarchy = MemoryHierarchy(
+        levels=tuple(
+            dataclasses.replace(level, sharing_breadth=breadth)
+            for level in device.hierarchy.levels
+        )
+    )
+    return dataclasses.replace(
+        device, name=f"{device.name}-share{breadth:g}", hierarchy=hierarchy
+    )

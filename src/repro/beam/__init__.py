@@ -1,0 +1,47 @@
+"""Simulated neutron-beam campaigns (the substitution for LANSCE / ISIS).
+
+The physical beam's role in the paper is narrow and fully characterised
+(Section IV-D): deliver an accelerated but spectrum-equivalent neutron flux
+to the chip, tuned so at most one strike causes a failure per execution,
+while a host computer diffs every output against a golden copy and logs the
+result.  This package reproduces that harness over the simulated devices:
+
+* :mod:`repro.beam.facility` — LANSCE and ISIS flux parameters, spot
+  masking and distance derating;
+* :mod:`repro.beam.campaign` — the host loop in both *accelerated* mode
+  (every execution struck once, fluence-weighted — the efficient way to
+  gather SDC statistics) and *natural* mode (Poisson strike arrivals at the
+  tuned rate, mostly clean executions — used to validate the ≤1e-3
+  errors/execution regime);
+* :mod:`repro.beam.logs` — JSONL campaign logs in the spirit of the
+  public UFRGS-CAROL log repository [1], and re-analysis from logs alone.
+"""
+
+from repro.beam.campaign import Campaign, CampaignResult, tuned_exposure_seconds
+from repro.beam.facility import ISIS, LANSCE, Facility
+from repro.beam.logs import read_log, write_log
+from repro.beam.parallel import BeamSession, BoardResult, BoardSlot
+from repro.beam.planner import (
+    CampaignPlan,
+    expected_events_per_hour,
+    hours_for_ci_width,
+    hours_for_events,
+)
+
+__all__ = [
+    "Campaign",
+    "CampaignResult",
+    "tuned_exposure_seconds",
+    "ISIS",
+    "LANSCE",
+    "Facility",
+    "read_log",
+    "write_log",
+    "BeamSession",
+    "BoardResult",
+    "BoardSlot",
+    "CampaignPlan",
+    "expected_events_per_hour",
+    "hours_for_ci_width",
+    "hours_for_events",
+]

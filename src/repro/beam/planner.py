@@ -1,0 +1,187 @@
+"""Beam-time planning: how many hours buy how much statistical power.
+
+Beam time is the scarce resource of radiation testing — the paper's 400+
+hours per device were spread across four codes, multiple input sizes and
+two facilities.  This module plans such campaigns quantitatively:
+
+* :func:`hours_for_events` — beam hours needed to *expect* N failures of a
+  given kind, from a device/kernel cross-section and a facility flux;
+* :func:`hours_for_ci_width` — beam hours needed to pin FIT within a
+  target relative confidence-interval half-width (Poisson statistics: the
+  relative width shrinks like 1/sqrt(events), so "twice as precise" costs
+  four times the hours);
+* :class:`CampaignPlan` — an allocation over several (kernel, device)
+  configurations with per-item expected statistics, renderable as the
+  run sheet a test campaign actually uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util.text import format_table
+from repro.analysis.stats import poisson_interval
+from repro.arch.device import DeviceModel
+from repro.beam.campaign import STRIKES_PER_FLUENCE_AU
+from repro.beam.facility import Facility
+from repro.kernels.base import Kernel
+
+
+def expected_events_per_hour(
+    kernel: Kernel,
+    device: DeviceModel,
+    facility: Facility,
+    *,
+    event_fraction: float = 1.0,
+    derating: float = 1.0,
+) -> float:
+    """Expected failures per beam hour for one configuration.
+
+    Args:
+        event_fraction: the share of strikes producing the event of
+            interest (e.g. a measured P(SDC|strike) from a pilot
+            campaign); 1.0 counts raw strikes.
+    """
+    if not 0 <= event_fraction <= 1:
+        raise ValueError("event_fraction must be in [0, 1]")
+    fluence_per_hour = facility.derated_flux(derating) * 3600.0
+    sigma = device.total_cross_section(kernel)
+    return fluence_per_hour * sigma * STRIKES_PER_FLUENCE_AU * event_fraction
+
+
+def hours_for_events(
+    kernel: Kernel,
+    device: DeviceModel,
+    facility: Facility,
+    *,
+    target_events: float,
+    event_fraction: float = 1.0,
+    derating: float = 1.0,
+) -> float:
+    """Beam hours to expect ``target_events`` failures."""
+    if target_events <= 0:
+        raise ValueError("target_events must be positive")
+    rate = expected_events_per_hour(
+        kernel, device, facility,
+        event_fraction=event_fraction, derating=derating,
+    )
+    return target_events / rate
+
+
+def events_for_ci_width(
+    relative_half_width: float, *, confidence: float = 0.95
+) -> int:
+    """Smallest Poisson count whose CI half-width is within the target.
+
+    The relative half-width of a Garwood interval shrinks ~1/sqrt(N); this
+    searches the exact intervals rather than trusting the approximation.
+    """
+    if not 0 < relative_half_width < 1:
+        raise ValueError("relative_half_width must be in (0, 1)")
+    events = 1
+    while events < 10_000_000:
+        interval = poisson_interval(events, confidence=confidence)
+        half_width = (interval.high - interval.low) / 2.0 / events
+        if half_width <= relative_half_width:
+            return events
+        # The width scales ~1/sqrt(N): jump most of the way, then refine.
+        scale = (half_width / relative_half_width) ** 2
+        events = max(events + 1, int(events * min(scale, 4.0)))
+    raise ValueError("target precision requires implausibly many events")
+
+
+def hours_for_ci_width(
+    kernel: Kernel,
+    device: DeviceModel,
+    facility: Facility,
+    *,
+    relative_half_width: float,
+    event_fraction: float = 1.0,
+    confidence: float = 0.95,
+    derating: float = 1.0,
+) -> float:
+    """Beam hours to pin the event FIT within a relative CI half-width."""
+    events = events_for_ci_width(relative_half_width, confidence=confidence)
+    return hours_for_events(
+        kernel, device, facility,
+        target_events=events, event_fraction=event_fraction, derating=derating,
+    )
+
+
+@dataclass(frozen=True)
+class PlanItem:
+    """One configuration's slot in a campaign plan."""
+
+    label: str
+    hours: float
+    expected_events: float
+
+    @property
+    def expected_ci(self):
+        return poisson_interval(max(1, round(self.expected_events)))
+
+
+@dataclass
+class CampaignPlan:
+    """An allocation of a beam-hour budget over configurations.
+
+    Hours are split so every item *expects the same number of events* —
+    the allocation that equalises statistical power across configurations
+    (a high-cross-section code needs fewer hours for the same precision).
+    """
+
+    facility: Facility
+    items: list[PlanItem]
+
+    @classmethod
+    def equal_power(
+        cls,
+        configurations: "list[tuple[str, Kernel, DeviceModel]]",
+        facility: Facility,
+        *,
+        total_hours: float,
+        event_fraction: float = 1.0,
+    ) -> "CampaignPlan":
+        """Split ``total_hours`` for equal expected events per item."""
+        if total_hours <= 0:
+            raise ValueError("total_hours must be positive")
+        if not configurations:
+            raise ValueError("need at least one configuration")
+        rates = [
+            expected_events_per_hour(
+                kernel, device, facility, event_fraction=event_fraction
+            )
+            for __, kernel, device in configurations
+        ]
+        # hours_i ∝ 1/rate_i  ->  events_i equal across items.
+        inv = [1.0 / r for r in rates]
+        norm = total_hours / sum(inv)
+        items = [
+            PlanItem(
+                label=label,
+                hours=norm / rate,
+                expected_events=(norm / rate) * rate,
+            )
+            for (label, __, ___), rate in zip(configurations, rates)
+        ]
+        return cls(facility=facility, items=items)
+
+    def total_hours(self) -> float:
+        return sum(item.hours for item in self.items)
+
+    def render(self) -> str:
+        rows = [
+            (
+                item.label,
+                f"{item.hours:.1f}",
+                f"{item.expected_events:.0f}",
+            )
+            for item in self.items
+        ]
+        header = (
+            f"Beam plan at {self.facility.name} "
+            f"({self.total_hours():.0f} h total)"
+        )
+        return header + "\n" + format_table(
+            ("configuration", "hours", "expected events"), rows
+        )

@@ -1,0 +1,43 @@
+"""IEEE-754 bit manipulation and radiation flip models.
+
+A neutron strike perturbs transistor state; latched, it becomes one or more
+bit-flips in a data word (paper Section II-A).  This package provides the
+word-level corruption machinery every other layer shares:
+
+* :mod:`repro.bitflip.bits` — raw XOR-mask bit manipulation on float32 /
+  float64 arrays;
+* :mod:`repro.bitflip.models` — the flip-model taxonomy (single bit, multiple
+  bits, whole-word randomisation, burst across adjacent words) with
+  field-targeted variants (mantissa-only, exponent-capable) used to express
+  architectural differences such as ECC-scrubbed register files versus wide
+  unprotected vector registers.
+
+The package is deliberately dependency-free within :mod:`repro` so both the
+kernels (which apply corruption to live data) and the fault injector (which
+decides *what* to corrupt) can use it without layering cycles.
+"""
+
+from repro.bitflip.bits import bit_width, flip_bits, float_to_uint, uint_to_float
+from repro.bitflip.models import (
+    BurstFlip,
+    ExponentBitFlip,
+    FlipModel,
+    MantissaBitFlip,
+    MultiBitFlip,
+    SingleBitFlip,
+    WordRandomize,
+)
+
+__all__ = [
+    "bit_width",
+    "flip_bits",
+    "float_to_uint",
+    "uint_to_float",
+    "BurstFlip",
+    "ExponentBitFlip",
+    "FlipModel",
+    "MantissaBitFlip",
+    "MultiBitFlip",
+    "SingleBitFlip",
+    "WordRandomize",
+]

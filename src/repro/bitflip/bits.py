@@ -1,0 +1,89 @@
+"""Raw bit manipulation on IEEE-754 floating-point words.
+
+Floats are reinterpreted as unsigned integers of the same width, XORed with a
+flip mask, and reinterpreted back.  This is exactly what a latched particle
+strike does to a stored word, including the possibility of producing NaN or
+Inf patterns when exponent bits flip.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+_UINT_FOR_FLOAT = {
+    np.dtype(np.float32): np.uint32,
+    np.dtype(np.float64): np.uint64,
+}
+
+#: (mantissa bits, exponent bits) per float dtype; bit 0 is the mantissa LSB,
+#: the top bit is the sign.
+FIELD_LAYOUT = {
+    np.dtype(np.float32): (23, 8),
+    np.dtype(np.float64): (52, 11),
+}
+
+
+def bit_width(dtype: np.dtype) -> int:
+    """Number of bits in one word of ``dtype`` (32 or 64)."""
+    dtype = np.dtype(dtype)
+    if dtype not in _UINT_FOR_FLOAT:
+        raise TypeError(f"unsupported dtype {dtype}; use float32 or float64")
+    return dtype.itemsize * 8
+
+
+def float_to_uint(values: np.ndarray) -> np.ndarray:
+    """Reinterpret a float array as unsigned integers of the same width."""
+    values = np.asarray(values)
+    try:
+        uint = _UINT_FOR_FLOAT[values.dtype]
+    except KeyError:
+        raise TypeError(f"unsupported dtype {values.dtype}; use float32 or float64")
+    return values.view(uint)
+
+
+def uint_to_float(words: np.ndarray, dtype: np.dtype) -> np.ndarray:
+    """Reinterpret unsigned integer words back as floats of ``dtype``."""
+    dtype = np.dtype(dtype)
+    if dtype not in _UINT_FOR_FLOAT:
+        raise TypeError(f"unsupported dtype {dtype}; use float32 or float64")
+    expected = np.dtype(_UINT_FOR_FLOAT[dtype])
+    words = np.asarray(words, dtype=expected)
+    return words.view(dtype)
+
+
+def flip_bits(values: np.ndarray, positions: Iterable[int]) -> np.ndarray:
+    """Return a copy of ``values`` with the given bit positions XOR-flipped.
+
+    Args:
+        values: float32 or float64 array (any shape).
+        positions: bit indices to flip in *every* element; 0 is the mantissa
+            LSB, ``bit_width - 1`` is the sign bit.
+
+    >>> import numpy as np
+    >>> flip_bits(np.array([1.0]), [63])[0]  # sign flip
+    -1.0
+    """
+    values = np.asarray(values)
+    width = bit_width(values.dtype)
+    mask = np.array(0, dtype=_UINT_FOR_FLOAT[values.dtype])
+    for pos in positions:
+        if not 0 <= pos < width:
+            raise ValueError(f"bit position {pos} out of range for {width}-bit word")
+        mask |= np.array(1, dtype=mask.dtype) << np.array(pos, dtype=mask.dtype)
+    words = float_to_uint(values).copy()
+    words ^= mask
+    return uint_to_float(words, values.dtype)
+
+
+def mantissa_range(dtype: np.dtype) -> range:
+    """Bit positions of the mantissa field."""
+    mant, _ = FIELD_LAYOUT[np.dtype(dtype)]
+    return range(0, mant)
+
+
+def exponent_range(dtype: np.dtype) -> range:
+    """Bit positions of the exponent field."""
+    mant, exp = FIELD_LAYOUT[np.dtype(dtype)]
+    return range(mant, mant + exp)

@@ -1,0 +1,214 @@
+"""Flip-model taxonomy: how a strike corrupts a word (or several).
+
+A flip model turns a correct value (or a small vector of values, for burst
+models) into its corrupted counterpart using a per-fault random stream.  The
+architecture models pick flip models per resource:
+
+* ECC-protected K40 register files mostly mask strikes; the survivors (data
+  sitting in unprotected queues and flip-flops, Section V-A) appear as
+  **single-bit** flips, frequently in the mantissa — the source of the K40's
+  many sub-2% DGEMM errors;
+* the Xeon Phi's 512-bit vector registers have no per-lane scrubbing in this
+  model, so a strike randomises a whole word or bursts across adjacent
+  lanes — the source of the Phi's "almost all corrupted elements are
+  extremely different from the expected value" behaviour (Fig. 2b);
+* cache lines take **burst** corruption spanning several adjacent words.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bitflip.bits import (
+    bit_width,
+    exponent_range,
+    flip_bits,
+    float_to_uint,
+    mantissa_range,
+    uint_to_float,
+)
+
+
+class FlipModel(abc.ABC):
+    """Transforms correct values into radiation-corrupted values."""
+
+    @abc.abstractmethod
+    def apply(self, values: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Return corrupted copies of ``values`` (same shape and dtype)."""
+
+    def apply_scalar(self, value: float, rng: np.random.Generator, dtype=np.float64) -> float:
+        """Convenience wrapper corrupting one scalar."""
+        out = self.apply(np.array([value], dtype=dtype), rng)
+        return float(out[0])
+
+
+def _flip_each(values: np.ndarray, rng: np.random.Generator, positions_for) -> np.ndarray:
+    """Flip independently chosen positions in each element."""
+    flat = np.ascontiguousarray(values).ravel()
+    out = flat.copy()
+    for i in range(flat.size):
+        out[i : i + 1] = flip_bits(flat[i : i + 1], positions_for(rng))
+    return out.reshape(values.shape)
+
+
+@dataclass(frozen=True)
+class SingleBitFlip(FlipModel):
+    """One uniformly random bit flips in each struck word.
+
+    The classic single-event-upset model: the corrupted magnitude depends
+    entirely on which field the bit lands in — mantissa LSBs give relative
+    errors far below 1%, exponent bits give errors of 2^±k.
+    """
+
+    def apply(self, values, rng):
+        width = bit_width(np.asarray(values).dtype)
+        return _flip_each(values, rng, lambda r: [int(r.integers(width))])
+
+
+@dataclass(frozen=True)
+class MantissaBitFlip(FlipModel):
+    """A single flip restricted to (a slice of) the mantissa field.
+
+    Models datapath upsets whose magnitude stays bounded (e.g. an FMA
+    product term): relative error at most ~50% and as small as 2^-52.
+    ``max_bit`` restricts the flip to the least significant mantissa bits
+    (even smaller errors); ``top_bits`` restricts it to the ``top_bits``
+    most significant ones (bounded-but-visible: the relative perturbation
+    lies in [2^-top_bits, 2^-1] regardless of dtype).
+    """
+
+    max_bit: int | None = None
+    top_bits: int | None = None
+
+    def __post_init__(self):
+        if self.max_bit is not None and self.top_bits is not None:
+            raise ValueError("max_bit and top_bits are mutually exclusive")
+        if self.max_bit is not None and self.max_bit < 1:
+            raise ValueError("max_bit must be >= 1")
+        if self.top_bits is not None and self.top_bits < 1:
+            raise ValueError("top_bits must be >= 1")
+
+    def apply(self, values, rng):
+        field = mantissa_range(np.asarray(values).dtype)
+        m = len(field)
+        if self.max_bit is not None:
+            low, top = 0, min(self.max_bit, m)
+        elif self.top_bits is not None:
+            low, top = max(0, m - self.top_bits), m
+        else:
+            low, top = 0, m
+        return _flip_each(values, rng, lambda r: [int(r.integers(low, top))])
+
+
+@dataclass(frozen=True)
+class ExponentBitFlip(FlipModel):
+    """A single flip restricted to the exponent field.
+
+    Models the high-criticality upsets behind the paper's 10^3–10^4 %
+    relative errors (LavaMD on the K40): the value scales by 2^(2^k).
+    """
+
+    def apply(self, values, rng):
+        field = exponent_range(np.asarray(values).dtype)
+        positions = list(field)
+        return _flip_each(values, rng, lambda r: [positions[int(r.integers(len(positions)))]])
+
+
+@dataclass(frozen=True)
+class MultiBitFlip(FlipModel):
+    """``n_bits`` distinct random bits flip in each struck word.
+
+    Multiple-bit upsets from a single particle are increasingly common in
+    dense technologies (Section II-A).
+    """
+
+    n_bits: int = 2
+
+    def __post_init__(self):
+        if self.n_bits < 1:
+            raise ValueError("n_bits must be >= 1")
+
+    def apply(self, values, rng):
+        width = bit_width(np.asarray(values).dtype)
+        if self.n_bits > width:
+            raise ValueError(f"cannot flip {self.n_bits} distinct bits in {width}-bit word")
+        return _flip_each(
+            values,
+            rng,
+            lambda r: list(r.choice(width, size=self.n_bits, replace=False)),
+        )
+
+
+@dataclass(frozen=True)
+class WordRandomize(FlipModel):
+    """The whole word is replaced by uniformly random bits.
+
+    Models a word read through corrupted control/addressing logic (wrong
+    operand fetched, lane shuffled): the observed value carries no
+    information about the correct one.
+    """
+
+    def apply(self, values, rng):
+        values = np.asarray(values)
+        words = float_to_uint(values)
+        random_words = rng.integers(
+            0, np.iinfo(words.dtype).max, size=values.shape, dtype=words.dtype, endpoint=True
+        )
+        return uint_to_float(random_words, values.dtype)
+
+
+def flip_to_dict(model: FlipModel) -> dict:
+    """Serialise a flip model to a JSON-safe dict (for campaign logs)."""
+    if isinstance(model, BurstFlip):
+        return {"type": "BurstFlip", "per_word": flip_to_dict(model.per_word)}
+    if isinstance(model, MantissaBitFlip):
+        return {
+            "type": "MantissaBitFlip",
+            "max_bit": model.max_bit,
+            "top_bits": model.top_bits,
+        }
+    if isinstance(model, MultiBitFlip):
+        return {"type": "MultiBitFlip", "n_bits": model.n_bits}
+    if isinstance(model, (SingleBitFlip, ExponentBitFlip, WordRandomize)):
+        return {"type": type(model).__name__}
+    raise TypeError(f"cannot serialise flip model {model!r}")
+
+
+def flip_from_dict(payload: dict) -> FlipModel:
+    """Rebuild a flip model serialised by :func:`flip_to_dict`."""
+    kind = payload["type"]
+    if kind == "BurstFlip":
+        return BurstFlip(per_word=flip_from_dict(payload["per_word"]))
+    if kind == "MantissaBitFlip":
+        return MantissaBitFlip(
+            max_bit=payload.get("max_bit"), top_bits=payload.get("top_bits")
+        )
+    if kind == "MultiBitFlip":
+        return MultiBitFlip(n_bits=payload["n_bits"])
+    simple = {
+        "SingleBitFlip": SingleBitFlip,
+        "ExponentBitFlip": ExponentBitFlip,
+        "WordRandomize": WordRandomize,
+    }
+    if kind in simple:
+        return simple[kind]()
+    raise ValueError(f"unknown flip model type {kind!r}")
+
+
+@dataclass(frozen=True)
+class BurstFlip(FlipModel):
+    """A contiguous burst: every word in the struck extent takes ``per_word`` flips.
+
+    Models a particle track crossing a cache line or a wide vector register:
+    physically adjacent words are corrupted together.  The caller chooses
+    the extent (how many words) when it builds the fault; this model decides
+    the per-word damage.
+    """
+
+    per_word: FlipModel = SingleBitFlip()
+
+    def apply(self, values, rng):
+        return self.per_word.apply(values, rng)

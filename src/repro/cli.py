@@ -1,0 +1,303 @@
+"""Command-line interface: campaigns, figures and log analysis.
+
+Usage (also available as ``python -m repro``)::
+
+    repro tables                             # Tables I and II
+    repro campaign dgemm k40 --config n=256 --faulty 100 --log out.jsonl
+    repro figure fig3a                       # any paper figure, by name
+    repro analyze out.jsonl --threshold 4.0  # re-analyse a campaign log
+    repro fleet out.jsonl --devices 18688    # Titan-style projection
+
+Figures accept ``--scale test|default|paper`` (matching the benchmark
+harness).  Every command prints plain text; campaign logs are JSONL.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.experiments import (
+    clamr_spec,
+    dgemm_sweep,
+    hotspot_spec,
+    lavamd_sweep,
+    run_spec,
+)
+from repro.analysis.fitbreakdown import fit_figure
+from repro.analysis.localitymap import locality_map_figure
+from repro.analysis.scatter import scatter_figure
+from repro.analysis.sdc_ratio import render_ratios
+from repro.analysis.tables import table1_text, table2_text
+from repro.arch.registry import DEVICE_FACTORIES, make_device
+from repro.beam.campaign import Campaign
+from repro.beam.logs import read_log, write_log
+from repro.kernels.registry import KERNEL_FACTORIES, make_kernel
+
+#: figure name -> (builder kind, kernel, device) for the `figure` command.
+_FIGURES = {
+    "fig2a": ("scatter", "dgemm", "k40"),
+    "fig2b": ("scatter", "dgemm", "xeonphi"),
+    "fig3a": ("fit", "dgemm", "k40"),
+    "fig3b": ("fit", "dgemm", "xeonphi"),
+    "fig4a": ("scatter", "lavamd", "k40"),
+    "fig4b": ("scatter", "lavamd", "xeonphi"),
+    "fig5a": ("fit", "lavamd", "k40"),
+    "fig5b": ("fit", "lavamd", "xeonphi"),
+    "fig6a": ("scatter", "hotspot", "k40"),
+    "fig6b": ("scatter", "hotspot", "xeonphi"),
+    "fig7a": ("fit", "hotspot", "k40"),
+    "fig7b": ("fit", "hotspot", "xeonphi"),
+    "fig8": ("scatter", "clamr", "xeonphi"),
+    "fig9": ("map", "clamr", "xeonphi"),
+}
+
+
+def _parse_config(pairs: "list[str]") -> dict:
+    """Parse ``key=value`` kernel options, int-ifying where possible."""
+    config = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"bad --config entry {pair!r}; expected key=value")
+        key, value = pair.split("=", 1)
+        try:
+            config[key] = int(value)
+        except ValueError:
+            try:
+                config[key] = float(value)
+            except ValueError:
+                config[key] = value
+    return config
+
+
+def _specs_for(kernel: str, device: str, scale: str):
+    if kernel == "dgemm":
+        return dgemm_sweep(device, scale)
+    if kernel == "lavamd":
+        return lavamd_sweep(device, scale)
+    if kernel == "hotspot":
+        return [hotspot_spec(device, scale)]
+    if kernel == "clamr":
+        return [clamr_spec(device, scale)]
+    raise SystemExit(f"unknown kernel {kernel!r}")
+
+
+def cmd_tables(args) -> int:
+    print(table1_text())
+    print()
+    kernels = [
+        make_kernel("dgemm", n=1024),
+        make_kernel("lavamd", nb=13, particles_per_box=192),
+        make_kernel("hotspot", n=1024, iterations=64),
+        make_kernel("clamr", n=512, steps=8),
+    ]
+    print(table2_text(kernels))
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    kernel = make_kernel(args.kernel, **_parse_config(args.config))
+    device = make_device(args.device)
+    campaign = Campaign(
+        kernel=kernel, device=device, n_faulty=args.faulty, seed=args.seed
+    )
+    if args.natural:
+        result = campaign.run_natural(args.natural)
+    else:
+        result = campaign.run()
+    print(result.summary())
+    if args.log:
+        path = write_log(result, args.log)
+        print(f"\nlog written to {path}")
+    return 0
+
+
+def cmd_figure(args) -> int:
+    try:
+        kind, kernel, device = _FIGURES[args.name]
+    except KeyError:
+        known = ", ".join(sorted(_FIGURES))
+        raise SystemExit(f"unknown figure {args.name!r}; known: {known}")
+    results = [run_spec(s) for s in _specs_for(kernel, device, args.scale)]
+    if kind == "scatter":
+        print(scatter_figure(args.name, results).render())
+    elif kind == "fit":
+        print(fit_figure(args.name, results).render())
+    else:
+        print(locality_map_figure(args.name, results[0]).render())
+    print()
+    print(render_ratios(results))
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    result = read_log(args.log)
+    print(result.summary())
+    if args.threshold is not None:
+        reports = [r.refiltered(args.threshold) for r in result.sdc_reports()]
+        surviving = sum(1 for r in reports if r.survives_filter)
+        print(
+            f"\nre-filtered at {args.threshold:g}%: "
+            f"{surviving}/{len(reports)} SDCs survive"
+        )
+    breakdown = result.breakdown()
+    print("\nFIT by locality [a.u.]:")
+    for locality, fit in sorted(breakdown.per_locality.items(), key=lambda kv: -kv[1]):
+        print(f"  {locality.value:8s} {fit:8.2f}")
+    return 0
+
+
+def cmd_verify(args) -> int:
+    from repro.analysis.verification import render_verification, verify_claims
+
+    results = verify_claims(args.scale)
+    print(render_verification(results))
+    return 0 if all(r.passed for r in results) else 1
+
+
+def cmd_plan(args) -> int:
+    from repro.beam.facility import ISIS, LANSCE
+    from repro.beam.planner import CampaignPlan
+
+    facility = {"lansce": LANSCE, "isis": ISIS}[args.facility]
+    configurations = []
+    for name in args.kernels:
+        for device_name in ("k40", "xeonphi"):
+            kernel = make_kernel(name, **_parse_config(args.config))
+            configurations.append(
+                (f"{name}/{device_name}", kernel, make_device(device_name))
+            )
+    plan = CampaignPlan.equal_power(
+        configurations, facility, total_hours=args.hours
+    )
+    print(plan.render())
+    return 0
+
+
+def cmd_device(args) -> int:
+    from repro.arch.datasheet import render_datasheet, render_strike_surface
+
+    device = make_device(args.device)
+    print(render_datasheet(device))
+    if args.kernel:
+        kernel = make_kernel(args.kernel, **_parse_config(args.config))
+        print()
+        print(render_strike_surface(device, kernel))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.analysis.report import generate_report
+
+    text = generate_report(args.scale)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_fleet(args) -> int:
+    from repro.analysis.fleet import project_fleet
+
+    result = read_log(args.log)
+    projection = project_fleet(result, n_devices=args.devices)
+    print(f"fleet of {projection.n_devices} devices running {projection.label}:")
+    print(f"  per-device SDC FIT      : {projection.device_fit:.2f} a.u.")
+    print(f"  fleet SDC rate          : {projection.fleet_sdc_rate:.1f} a.u.")
+    print(f"  fleet MTBF (relative)   : {projection.fleet_mtbf:.3g} a.u. hours")
+    print(f"  silent share of failures: {projection.silent_fraction():.0%}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Radiation-induced error criticality: campaigns, "
+        "figures, log analysis (HPCA 2017 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="print Tables I and II").set_defaults(
+        func=cmd_tables
+    )
+
+    campaign = sub.add_parser("campaign", help="run one beam campaign")
+    campaign.add_argument("kernel", choices=sorted(KERNEL_FACTORIES))
+    campaign.add_argument("device", choices=sorted(DEVICE_FACTORIES))
+    campaign.add_argument(
+        "--config", nargs="*", default=[], metavar="KEY=VALUE",
+        help="kernel options, e.g. n=256 / nb=6 particles_per_box=24",
+    )
+    campaign.add_argument("--faulty", type=int, default=100)
+    campaign.add_argument("--seed", type=int, default=2017)
+    campaign.add_argument(
+        "--natural", type=int, default=0, metavar="N",
+        help="natural mode with N executions (Poisson strikes)",
+    )
+    campaign.add_argument("--log", help="write a JSONL campaign log here")
+    campaign.set_defaults(func=cmd_campaign)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("name", help="fig2a..fig9 (see module docstring)")
+    figure.add_argument(
+        "--scale", default="default", choices=("test", "default", "paper")
+    )
+    figure.set_defaults(func=cmd_figure)
+
+    analyze = sub.add_parser("analyze", help="re-analyse a campaign log")
+    analyze.add_argument("log")
+    analyze.add_argument(
+        "--threshold", type=float, default=None,
+        help="re-filter at this relative-error tolerance (percent)",
+    )
+    analyze.set_defaults(func=cmd_analyze)
+
+    fleet = sub.add_parser("fleet", help="project a campaign onto a fleet")
+    fleet.add_argument("log")
+    fleet.add_argument("--devices", type=int, default=18_688)
+    fleet.set_defaults(func=cmd_fleet)
+
+    verify = sub.add_parser(
+        "verify", help="check every registered paper claim against the model"
+    )
+    verify.add_argument(
+        "--scale", default="default", choices=("test", "default", "paper")
+    )
+    verify.set_defaults(func=cmd_verify)
+
+    plan = sub.add_parser("plan", help="allocate beam hours across configs")
+    plan.add_argument("kernels", nargs="+", choices=sorted(KERNEL_FACTORIES))
+    plan.add_argument("--hours", type=float, default=400.0)
+    plan.add_argument("--facility", choices=("lansce", "isis"), default="lansce")
+    plan.add_argument("--config", nargs="*", default=[], metavar="KEY=VALUE")
+    plan.set_defaults(func=cmd_plan)
+
+    device = sub.add_parser("device", help="print a device-model datasheet")
+    device.add_argument("device", choices=sorted(DEVICE_FACTORIES))
+    device.add_argument(
+        "--kernel", choices=sorted(KERNEL_FACTORIES), default=None,
+        help="also print this kernel's strike surface on the device",
+    )
+    device.add_argument("--config", nargs="*", default=[], metavar="KEY=VALUE")
+    device.set_defaults(func=cmd_device)
+
+    report = sub.add_parser("report", help="run the full study, render it")
+    report.add_argument(
+        "--scale", default="default", choices=("test", "default", "paper")
+    )
+    report.add_argument("--output", help="write the report here")
+    report.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""Error-criticality metrics — the paper's primary contribution (Section III).
+
+The four metrics characterise a radiation-corrupted output:
+
+* :func:`~repro.core.metrics.count_incorrect` — how many output elements
+  differ from the golden output (error-propagation breadth);
+* :func:`~repro.core.metrics.relative_errors` — per-element magnitude,
+  ``|read - expected| / |expected| * 100``;
+* :func:`~repro.core.metrics.mean_relative_error` — dataset-wise average of
+  the per-element relative errors;
+* :func:`~repro.core.locality.classify_locality` — the spatial pattern of
+  the corrupted elements (single / line / square / cubic / random).
+
+On top of the raw metrics the package provides the paper's relative-error
+filter (:mod:`repro.core.filtering`), FIT bookkeeping and per-locality
+breakdowns (:mod:`repro.core.fit`), ABFT correctability analysis
+(:mod:`repro.core.abft`), the detector models discussed in Section V
+(:mod:`repro.core.detectors`), and the per-execution
+:class:`~repro.core.criticality.CriticalityReport` that ties it all together.
+"""
+
+from repro.core.abft import AbftScheme, abft_outcome, abft_residual_fit
+from repro.core.criticality import CriticalityReport, evaluate_execution
+from repro.core.detectors import (
+    DetectionResult,
+    EntropyDetector,
+    MassConservationDetector,
+    detection_coverage,
+)
+from repro.core.filtering import apply_threshold, is_fully_masked_by, surviving_fraction
+from repro.core.forensics import (
+    MagnitudeClass,
+    campaign_magnitude_profile,
+    classify_magnitude,
+    magnitude_profile,
+)
+from repro.core.fit import FitBreakdown, fit_from_events, locality_breakdown, scaling_ratio
+from repro.core.locality import Locality, classify_locality
+from repro.core.metrics import (
+    ErrorObservation,
+    compare_outputs,
+    count_incorrect,
+    mean_relative_error,
+    relative_errors,
+)
+
+__all__ = [
+    "AbftScheme",
+    "abft_outcome",
+    "abft_residual_fit",
+    "CriticalityReport",
+    "evaluate_execution",
+    "DetectionResult",
+    "EntropyDetector",
+    "MassConservationDetector",
+    "detection_coverage",
+    "apply_threshold",
+    "is_fully_masked_by",
+    "surviving_fraction",
+    "MagnitudeClass",
+    "campaign_magnitude_profile",
+    "classify_magnitude",
+    "magnitude_profile",
+    "FitBreakdown",
+    "fit_from_events",
+    "locality_breakdown",
+    "scaling_ratio",
+    "Locality",
+    "classify_locality",
+    "ErrorObservation",
+    "compare_outputs",
+    "count_incorrect",
+    "mean_relative_error",
+    "relative_errors",
+]

@@ -1,0 +1,101 @@
+"""Per-execution criticality evaluation — the four metrics combined.
+
+A :class:`CriticalityReport` is the library's unit of analysis: one faulty
+execution summarised by the paper's four metrics, before and after the
+relative-error filter.  Campaign-level analyses (scatter plots, FIT
+breakdowns, filter statistics) consume lists of reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.filtering import PAPER_THRESHOLD_PCT, apply_threshold
+from repro.core.locality import Locality, classify_locality
+from repro.core.metrics import (
+    ErrorObservation,
+    count_incorrect,
+    mean_relative_error,
+    relative_errors,
+)
+
+
+@dataclass(frozen=True)
+class CriticalityReport:
+    """The four criticality metrics of one faulty execution.
+
+    Attributes:
+        n_incorrect: number of incorrect output elements (metric 1).
+        max_relative_error: largest per-element relative error, in percent
+            (metric 2 summarised; the full distribution lives on the
+            underlying observation).
+        mean_relative_error: dataset-wise mean relative error, in percent
+            (metric 3).
+        locality: spatial pattern of the corrupted elements (metric 4).
+        threshold_pct: the relative-error tolerance used for the filtered
+            view.
+        filtered_n_incorrect: incorrect elements with relative error above
+            the threshold.
+        filtered_locality: locality re-classified after filtering — the
+            paper notes a square can demote to a line or single.
+        observation: the underlying corrupted elements (kept so analyses can
+            re-filter at other thresholds).
+    """
+
+    n_incorrect: int
+    max_relative_error: float
+    mean_relative_error: float
+    locality: Locality
+    threshold_pct: float
+    filtered_n_incorrect: int
+    filtered_locality: Locality
+    observation: ErrorObservation
+
+    @property
+    def is_sdc(self) -> bool:
+        """True when the unfiltered output differs from the golden output."""
+        return self.n_incorrect > 0
+
+    @property
+    def survives_filter(self) -> bool:
+        """True when the execution still counts as an SDC after filtering."""
+        return self.filtered_n_incorrect > 0
+
+    def refiltered(self, threshold_pct: float) -> "CriticalityReport":
+        """Return a report with the filtered view recomputed at a new tolerance."""
+        return evaluate_execution(self.observation, threshold_pct=threshold_pct)
+
+    def corrupted_fraction(self) -> float:
+        """Fraction of output elements corrupted (paper: at most ~0.4% for DGEMM)."""
+        total = int(np.prod(self.observation.shape))
+        return self.n_incorrect / total if total else 0.0
+
+
+def evaluate_execution(
+    obs: ErrorObservation,
+    *,
+    threshold_pct: float = PAPER_THRESHOLD_PCT,
+    mean_cap: float | None = None,
+) -> CriticalityReport:
+    """Evaluate the four metrics over one execution's corrupted elements.
+
+    Args:
+        obs: output diff of the execution (possibly empty → a masked run).
+        threshold_pct: relative-error tolerance for the filtered view.
+        mean_cap: optional per-element cap applied when averaging relative
+            errors, mirroring the axis caps in the paper's figures.
+    """
+    filtered = apply_threshold(obs, threshold_pct)
+    err = relative_errors(obs)
+    return CriticalityReport(
+        n_incorrect=count_incorrect(obs),
+        max_relative_error=float(np.max(err)) if len(obs) else 0.0,
+        mean_relative_error=mean_relative_error(obs, cap=mean_cap),
+        locality=classify_locality(obs),
+        threshold_pct=threshold_pct,
+        filtered_n_incorrect=count_incorrect(filtered),
+        filtered_locality=classify_locality(filtered),
+        observation=obs,
+    )

@@ -1,0 +1,84 @@
+"""Relative-error filtering (paper Sections II-B / III).
+
+HPC outputs tolerate imprecision: floating-point results carry intrinsic
+variance, seismic-wave codes accept ~4% misfits, and imprecise computing
+accepts more still.  The paper therefore *filters* corrupted elements whose
+relative error falls below a tolerance threshold — 2% in the paper, kept
+parametric here — and drops faulty executions with no surviving mismatch
+from the error count entirely.
+
+Filtering interacts with spatial locality: removing low-magnitude elements
+can demote a square pattern to a line or a single, so locality must be
+re-classified *after* filtering (the paper makes the same observation about
+Fig. 3a).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.metrics import ErrorObservation, relative_errors
+
+#: The conservative tolerance the paper adopts throughout Section V.
+PAPER_THRESHOLD_PCT = 2.0
+
+
+def apply_threshold(obs: ErrorObservation, threshold_pct: float) -> ErrorObservation:
+    """Drop corrupted elements with relative error ``<= threshold_pct``.
+
+    The paper counts an element as an error only when its relative error is
+    *greater than* the threshold ("we chose to consider only mismatches with
+    relative errors greater than 2%"), so the comparison is strict.
+
+    Returns:
+        A new observation containing only the surviving elements.  If every
+        element survives the original observation is returned unchanged.
+    """
+    if threshold_pct < 0:
+        raise ValueError("threshold_pct must be non-negative")
+    if len(obs) == 0:
+        return obs
+    keep = relative_errors(obs) > threshold_pct
+    if bool(np.all(keep)):
+        return obs
+    locality = None
+    if obs.locality_indices is not None:
+        locality = obs.locality_indices[keep]
+    return ErrorObservation(
+        shape=obs.shape,
+        indices=obs.indices[keep],
+        read=obs.read[keep],
+        expected=obs.expected[keep],
+        locality_indices=locality,
+    )
+
+
+def is_fully_masked_by(obs: ErrorObservation, threshold_pct: float) -> bool:
+    """True when *every* corrupted element falls within the tolerance.
+
+    Such executions are removed from the faulty-execution count ("we remove
+    faulty executions where there are no mismatches left after the filter").
+    A clean execution (no mismatch at all) is vacuously masked.
+    """
+    return len(apply_threshold(obs, threshold_pct)) == 0
+
+
+def surviving_fraction(
+    observations: "list[ErrorObservation]", threshold_pct: float
+) -> float:
+    """Fraction of faulty executions still counted as SDCs after filtering.
+
+    Args:
+        observations: one observation per faulty execution (each must have at
+            least one corrupted element).
+        threshold_pct: the tolerance.
+
+    Returns:
+        ``surviving / total``; 1.0 for an empty list (nothing to filter).
+    """
+    if not observations:
+        return 1.0
+    surviving = sum(
+        1 for obs in observations if not is_fully_masked_by(obs, threshold_pct)
+    )
+    return surviving / len(observations)

@@ -1,0 +1,130 @@
+"""FIT (Failure-In-Time) bookkeeping and per-locality breakdowns.
+
+The paper reports *relative* FIT in arbitrary units: error counts per unit
+fluence, normalised identically for every device and code so that
+cross-comparisons remain meaningful while absolute cross-sections (business
+sensitive in the paper) stay out of the picture.  We keep the same
+convention.
+
+``FIT = events / fluence * scale`` where fluence is in n/cm² and the scale
+is an arbitrary normalisation constant shared across a study.  The
+per-locality breakdown (Figs. 3, 5, 7) splits a code's FIT across the
+spatial-locality classes of its SDCs, both for all errors and after the
+relative-error filter.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.criticality import CriticalityReport
+from repro.core.locality import Locality
+
+#: Arbitrary-unit normalisation: with the default campaign fluence this puts
+#: single-code FIT values in the 1–1000 range, like the paper's plots.
+DEFAULT_FIT_SCALE = 1.0e6
+
+#: Terrestrial neutron flux at sea level, n/(cm^2 * h) (paper Section II-A,
+#: JEDEC [23]).  Used to scale accelerated-beam FIT to natural conditions.
+SEA_LEVEL_FLUX_PER_H = 13.0
+
+
+def fit_from_events(n_events: float, fluence: float, *, scale: float = DEFAULT_FIT_SCALE) -> float:
+    """FIT in arbitrary units from an event count and the fluence that caused it.
+
+    Args:
+        n_events: number of observed failures (possibly weighted).
+        fluence: total particle fluence delivered, n/cm².
+        scale: shared arbitrary-unit normalisation.
+    """
+    if fluence <= 0:
+        raise ValueError("fluence must be positive")
+    return n_events / fluence * scale
+
+
+def mtbf_hours(fit_au: float, *, devices: int = 1) -> float:
+    """Mean time between failures for a fleet, in (arbitrary) hours.
+
+    Purely illustrative — with relative FIT the absolute value is arbitrary,
+    but the *ratio* across codes/devices is meaningful (the paper motivates
+    with Titan's dozens-of-hours radiation MTBF over ~18 000 GPUs).
+    """
+    if fit_au <= 0:
+        raise ValueError("fit must be positive")
+    return 1.0 / (fit_au * devices)
+
+
+@dataclass
+class FitBreakdown:
+    """A code's relative FIT split across spatial-locality classes.
+
+    One instance corresponds to one bar of Figs. 3/5/7: a (device, code,
+    input size) triple, either unfiltered ("All") or after the
+    relative-error filter ("> 2%").
+    """
+
+    label: str
+    fluence: float
+    scale: float = DEFAULT_FIT_SCALE
+    per_locality: dict[Locality, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        """Total FIT across all locality classes."""
+        return sum(self.per_locality.values())
+
+    def fraction(self, *classes: Locality) -> float:
+        """Fraction of FIT attributable to the given locality classes."""
+        total = self.total
+        if total == 0:
+            return 0.0
+        return sum(self.per_locality.get(c, 0.0) for c in classes) / total
+
+    def get(self, locality: Locality) -> float:
+        return self.per_locality.get(locality, 0.0)
+
+
+def locality_breakdown(
+    reports: Iterable[CriticalityReport],
+    fluence: float,
+    *,
+    label: str = "",
+    filtered: bool = False,
+    scale: float = DEFAULT_FIT_SCALE,
+) -> FitBreakdown:
+    """Build a per-locality FIT breakdown from per-execution reports.
+
+    Args:
+        reports: one report per faulty execution of a campaign.
+        fluence: total fluence delivered over the campaign (including the
+            clean executions).
+        label: display label, e.g. ``"dgemm/k40/2048 All"``.
+        filtered: when True use the post-filter locality and drop executions
+            fully masked by the tolerance (the "> 2%" bars).
+        scale: arbitrary-unit normalisation.
+    """
+    counts: dict[Locality, int] = {}
+    for report in reports:
+        locality = report.filtered_locality if filtered else report.locality
+        if locality is Locality.NONE:
+            continue
+        counts[locality] = counts.get(locality, 0) + 1
+    per_locality = {
+        loc: fit_from_events(n, fluence, scale=scale) for loc, n in counts.items()
+    }
+    return FitBreakdown(label=label, fluence=fluence, scale=scale, per_locality=per_locality)
+
+
+def scaling_ratio(breakdowns: Sequence[FitBreakdown]) -> float:
+    """FIT growth factor from the first to the last breakdown of a sweep.
+
+    The paper quotes these ratios for the input-size sweeps: K40 DGEMM grows
+    ~7x (All) across the sweep while the Xeon Phi grows only ~1.8x.
+    """
+    if len(breakdowns) < 2:
+        raise ValueError("need at least two breakdowns to form a ratio")
+    first, last = breakdowns[0].total, breakdowns[-1].total
+    if first <= 0:
+        raise ValueError("first breakdown has zero FIT")
+    return last / first

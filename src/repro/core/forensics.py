@@ -1,0 +1,118 @@
+"""Error forensics: inferring corruption character from corrupted values.
+
+Beam logs carry (read, expected) pairs but not the underlying flip; yet
+the pair often betrays the corruption's character, which the paper uses
+informally throughout Section V ("errors affecting the least significant
+positions of the mantissa", "the exponentiation ... can turn small value
+variations into large differences").  This module makes those inferences
+systematic:
+
+* :func:`classify_magnitude` — bins one corrupted element into the
+  magnitude regimes the discussion uses: ``noise`` (below any tolerance),
+  ``mantissa`` (bounded by a factor of 2), ``scale`` (order-of-magnitude —
+  exponent-field corruption or multiplicative blow-up), ``special``
+  (NaN/Inf), ``sign`` (flipped sign, same magnitude);
+* :func:`magnitude_profile` — the mix over a campaign, the fingerprint
+  that distinguishes e.g. the K40's ECC-survivor population (noise +
+  mantissa heavy) from the Phi's vector-lane population (scale heavy);
+* :func:`xor_bits` — for *directly stored* outputs, the exact flipped-bit
+  positions (an element that went through arithmetic loses this, which
+  :func:`looks_like_stored_flip` detects).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections import Counter
+
+import numpy as np
+
+from repro.core.metrics import ErrorObservation
+
+
+class MagnitudeClass(enum.Enum):
+    """Character of one corrupted element's deviation."""
+
+    NOISE = "noise"        #: relative error below 0.01%
+    MANTISSA = "mantissa"  #: bounded: within a factor of 2 of expected
+    SIGN = "sign"          #: same magnitude, opposite sign
+    SCALE = "scale"        #: order-of-magnitude (exponent-level) deviation
+    SPECIAL = "special"    #: NaN or Inf
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def classify_magnitude(read: float, expected: float) -> MagnitudeClass:
+    """Bin one (read, expected) pair into a magnitude regime."""
+    if not math.isfinite(read):
+        return MagnitudeClass.SPECIAL
+    if expected == 0.0:
+        return MagnitudeClass.SCALE if read != 0.0 else MagnitudeClass.NOISE
+    if read == -expected:
+        return MagnitudeClass.SIGN
+    relative = abs(read - expected) / abs(expected)
+    if relative < 1e-4:
+        return MagnitudeClass.NOISE
+    ratio = abs(read) / abs(expected)
+    if 0.5 <= ratio <= 2.0 and (read >= 0) == (expected >= 0):
+        return MagnitudeClass.MANTISSA
+    if (read >= 0) != (expected >= 0) and 0.5 <= ratio <= 2.0:
+        return MagnitudeClass.SIGN
+    return MagnitudeClass.SCALE
+
+
+def magnitude_profile(obs: ErrorObservation) -> dict[MagnitudeClass, float]:
+    """The magnitude-class mix of one observation (fractions summing to 1)."""
+    if len(obs) == 0:
+        return {}
+    counts = Counter(
+        classify_magnitude(float(r), float(e))
+        for r, e in zip(obs.read, obs.expected)
+    )
+    return {cls: n / len(obs) for cls, n in counts.items()}
+
+
+def campaign_magnitude_profile(
+    observations: "list[ErrorObservation]",
+) -> dict[MagnitudeClass, float]:
+    """Element-weighted magnitude mix over many observations."""
+    counts: Counter = Counter()
+    total = 0
+    for obs in observations:
+        for r, e in zip(obs.read, obs.expected):
+            counts[classify_magnitude(float(r), float(e))] += 1
+            total += 1
+    if total == 0:
+        return {}
+    return {cls: n / total for cls, n in counts.items()}
+
+
+def xor_bits(read: float, expected: float, *, dtype=np.float64) -> list[int]:
+    """Bit positions where the two values' representations differ.
+
+    For outputs that store a struck word directly (an accumulator flip, a
+    corrupted stored element), this recovers the exact flip positions.
+    """
+    a = np.array([read], dtype=dtype)
+    b = np.array([expected], dtype=dtype)
+    from repro.bitflip.bits import float_to_uint
+
+    xor = int(float_to_uint(a)[0] ^ float_to_uint(b)[0])
+    return [i for i in range(a.dtype.itemsize * 8) if xor >> i & 1]
+
+
+def looks_like_stored_flip(
+    read: float, expected: float, *, max_bits: int = 2, dtype=np.float64
+) -> bool:
+    """Whether a pair is consistent with a directly stored bit flip.
+
+    Values that passed through arithmetic after corruption differ in many
+    scattered bits; a stored flip differs in very few.  The paper's
+    locality analysis distinguishes stored-data corruption from computed
+    corruption the same way, via plausibility of the observed value.
+    """
+    if not (math.isfinite(read) and math.isfinite(expected)):
+        return True  # an exponent-field flip to Inf/NaN is a stored flip
+    return len(xor_bits(read, expected, dtype=dtype)) <= max_bits

@@ -1,0 +1,104 @@
+"""Spatial-locality classification of corrupted elements (paper Section III).
+
+The paper classifies the pattern of incorrect elements in a 1/2/3-D output:
+
+* **single** — exactly one corrupted element;
+* **line** — the corrupted elements vary along exactly one axis (a row, a
+  column, or a pillar);
+* **square** — the elements spread over two axes;
+* **cubic** — the elements spread over all three axes of a 3-D output;
+* **random** — several corrupted elements that *"do not share the same
+  position in one of the axis"*: no two elements agree on any coordinate, so
+  there is no structure to exploit.
+
+The distinction between a full-dimensional spread (square in 2-D, cubic in
+3-D) and *random* is axis-sharing: if at least two elements share a
+coordinate on some axis the spread is structured (it came from a shared
+resource such as a cache line or a mis-scheduled block), otherwise the
+corrupted elements are isolated points.
+
+Spatial locality drives the hardening discussion in the paper: ABFT for
+matrix multiplication corrects single and line errors in linear time but not
+square or random patterns (Section III, [20], [33]).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.core.metrics import ErrorObservation
+
+
+class Locality(enum.Enum):
+    """Spatial pattern of the corrupted elements."""
+
+    NONE = "none"          #: no corrupted elements (masked execution)
+    SINGLE = "single"
+    LINE = "line"
+    SQUARE = "square"
+    CUBIC = "cubic"
+    RANDOM = "random"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Classes the paper's DGEMM ABFT can detect *and correct* (Section III).
+ABFT_CORRECTABLE = frozenset({Locality.SINGLE, Locality.LINE})
+
+
+def classify_coordinates(coords: np.ndarray) -> Locality:
+    """Classify a set of integer coordinates.
+
+    Args:
+        coords: ``(n, ndim)`` array of element coordinates, ``ndim`` in
+            ``{1, 2, 3}``.
+
+    Returns:
+        The :class:`Locality` of the pattern.  An empty set is
+        :attr:`Locality.NONE`; one element is :attr:`Locality.SINGLE`.
+    """
+    coords = np.asarray(coords)
+    if coords.size == 0:
+        return Locality.NONE
+    if coords.ndim != 2:
+        raise ValueError(f"coords must be (n, ndim), got shape {coords.shape}")
+    ndim = coords.shape[1]
+    if ndim not in (1, 2, 3):
+        raise ValueError(f"locality is defined for 1/2/3-D outputs, got {ndim}-D")
+
+    unique = np.unique(coords, axis=0)
+    if len(unique) == 1:
+        return Locality.SINGLE
+
+    varying = [len(np.unique(unique[:, axis])) > 1 for axis in range(ndim)]
+    n_varying = sum(varying)
+
+    if n_varying == 1:
+        return Locality.LINE
+
+    if n_varying < ndim:
+        # Spread over two of three axes: the constant third axis is shared by
+        # every element, so the pattern is structured by construction.
+        return Locality.SQUARE
+
+    # Full-dimensional spread: structured (square/cubic) iff some coordinate
+    # value repeats on some axis; otherwise every element is isolated.
+    shares_axis = any(
+        len(np.unique(unique[:, axis])) < len(unique) for axis in range(ndim)
+    )
+    if not shares_axis:
+        return Locality.RANDOM
+    return Locality.SQUARE if ndim == 2 else Locality.CUBIC
+
+
+def classify_locality(obs: ErrorObservation) -> Locality:
+    """Classify an :class:`~repro.core.metrics.ErrorObservation`.
+
+    Uses the observation's locality coordinates (which default to the storage
+    coordinates; kernels with a non-spatial storage layout, such as LavaMD's
+    per-particle array, provide explicit 3-D box coordinates).
+    """
+    return classify_coordinates(obs.coordinates_for_locality())

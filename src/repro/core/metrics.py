@@ -1,0 +1,168 @@
+"""Raw error metrics over a corrupted output (paper Section III).
+
+An execution's output is compared element-wise against a pre-computed golden
+output, exactly like the host computer in the paper's beam setup
+(Section IV-D).  Every mismatching element contributes one *incorrect
+element* with an observed (``read``) and an ``expected`` value; the
+collection is an :class:`ErrorObservation`, the unit every other metric in
+:mod:`repro.core` consumes.
+
+Relative error follows the paper's definition::
+
+    relative_error = |read - expected| / |expected| * 100
+
+expressed in percent.  A corrupted element worth ten times the expected value
+therefore scores 900%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Denominator floor used when ``expected == 0``.  The paper's formula is
+#: undefined there; we treat a corruption of an exactly-zero element as
+#: maximally off by substituting this floor, which sends the relative error
+#: far above any realistic tolerance threshold instead of raising.
+ZERO_EXPECTED_FLOOR = 1e-30
+
+
+@dataclass(frozen=True)
+class ErrorObservation:
+    """The corrupted elements of one faulty execution.
+
+    Attributes:
+        shape: shape of the (possibly reshaped) output array the coordinates
+            refer to.
+        indices: ``(n, ndim)`` integer coordinates of the corrupted elements.
+        read: ``(n,)`` observed (corrupted) values.
+        expected: ``(n,)`` golden values.
+        locality_indices: optional ``(n, k)`` coordinates to use for spatial
+            locality classification when the natural layout differs from the
+            storage layout (e.g. LavaMD stores per-particle potentials but
+            the paper classifies locality over the 3-D *box* grid).  ``None``
+            means "use :attr:`indices`".
+    """
+
+    shape: tuple[int, ...]
+    indices: np.ndarray
+    read: np.ndarray
+    expected: np.ndarray
+    locality_indices: np.ndarray | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.indices.ndim != 2:
+            raise ValueError(f"indices must be (n, ndim), got {self.indices.shape}")
+        n, ndim = self.indices.shape
+        if ndim != len(self.shape):
+            raise ValueError(
+                f"indices have {ndim} axes but shape has {len(self.shape)}"
+            )
+        if self.read.shape != (n,) or self.expected.shape != (n,):
+            raise ValueError("read/expected must be 1-D and match indices length")
+        if self.locality_indices is not None and len(self.locality_indices) != n:
+            raise ValueError("locality_indices must match indices length")
+
+    def __len__(self) -> int:
+        return len(self.read)
+
+    @property
+    def is_sdc(self) -> bool:
+        """True when at least one element differs — a Silent Data Corruption."""
+        return len(self) > 0
+
+    def coordinates_for_locality(self) -> np.ndarray:
+        """Coordinates the spatial-locality classifier should use."""
+        if self.locality_indices is not None:
+            return self.locality_indices
+        return self.indices
+
+
+def compare_outputs(
+    observed: np.ndarray,
+    golden: np.ndarray,
+    *,
+    atol: float = 0.0,
+    locality_map: "np.ndarray | None" = None,
+) -> ErrorObservation:
+    """Diff an observed output against the golden output.
+
+    This mirrors the paper's host-side mismatch detection: any element whose
+    absolute difference exceeds ``atol`` (default: any bitwise-value
+    difference) is an incorrect element.
+
+    Args:
+        observed: the output produced by the (possibly faulty) execution.
+        golden: the fault-free output, same shape.
+        atol: absolute tolerance below which a difference is not a mismatch.
+            The paper compares exactly (golden outputs are produced on the
+            same device), so the default is exact comparison; NaN/Inf in the
+            observed output always count as mismatches.
+        locality_map: optional array of shape ``golden.shape + (k,)`` giving,
+            for each element, the coordinates to use for spatial-locality
+            classification.
+
+    Returns:
+        An :class:`ErrorObservation` over the flattened-to-natural-shape
+        output.
+    """
+    if observed.shape != golden.shape:
+        raise ValueError(
+            f"observed shape {observed.shape} != golden shape {golden.shape}"
+        )
+    with np.errstate(invalid="ignore"):  # Inf - Inf etc. in corrupted outputs
+        diff = np.abs(observed.astype(np.float64) - golden.astype(np.float64))
+        mismatch = ~(diff <= atol)  # NaN diffs compare False, hence count as mismatch
+    idx = np.argwhere(mismatch)
+    flat = mismatch.ravel()
+    locality = None
+    if locality_map is not None:
+        locality = locality_map.reshape(-1, locality_map.shape[-1])[flat]
+    return ErrorObservation(
+        shape=golden.shape,
+        indices=idx,
+        read=observed.ravel()[flat].astype(np.float64),
+        expected=golden.ravel()[flat].astype(np.float64),
+        locality_indices=locality,
+    )
+
+
+def relative_errors(obs: ErrorObservation) -> np.ndarray:
+    """Per-element relative errors in percent (paper Section III).
+
+    Non-finite observed values (NaN / Inf produced by the corrupted
+    computation) yield ``inf`` — they are unbounded corruptions.
+    """
+    expected = np.abs(obs.expected)
+    expected = np.where(expected == 0.0, ZERO_EXPECTED_FLOOR, expected)
+    with np.errstate(invalid="ignore", over="ignore"):
+        err = np.abs(obs.read - obs.expected) / expected * 100.0
+    return np.where(np.isnan(err), np.inf, err)
+
+
+def count_incorrect(obs: ErrorObservation) -> int:
+    """Number of incorrect elements in the output."""
+    return len(obs)
+
+
+def mean_relative_error(obs: ErrorObservation, *, cap: float | None = None) -> float:
+    """Dataset-wise mean of the per-element relative errors, in percent.
+
+    Args:
+        obs: the corrupted elements.
+        cap: if given, each per-element error is clipped to ``cap`` before
+            averaging.  The paper's figures do this for readability (100% in
+            Fig. 2, 20 000% in Fig. 4); with a cap, executions containing an
+            unbounded (Inf) error still yield a finite mean.
+
+    Returns:
+        0.0 for an empty observation (no corruption).
+    """
+    if len(obs) == 0:
+        return 0.0
+    err = relative_errors(obs)
+    if cap is not None:
+        err = np.minimum(err, cap)
+    with np.errstate(over="ignore"):  # huge-but-finite errors may sum to inf
+        return float(np.mean(err))

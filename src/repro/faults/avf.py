@@ -1,0 +1,177 @@
+"""AVF estimation and software-injection bias (paper Section IV-D).
+
+The paper reviews fault-injection studies (GPU-Qin, AVF/PVF work) and
+rejects injection for its blind spots: "Fault injectors provide the user
+with access to only a limited set of GPU resources ... Hardware schedulers
+and dispatchers as well as the PCIe controller, for instance, are among
+the inaccessible resources."  Because our devices are simulated, both
+methodologies can be run side by side:
+
+* :func:`avf_by_resource` measures the Architectural Vulnerability Factor
+  of each resource class — the probability that a strike there corrupts
+  the output (Mukherjee et al. [26]) — plus the crash/hang conversion;
+* :class:`SoftwareInjectionStudy` runs the same campaign through a
+  SASSIFI-style injector that can only reach architecturally visible state
+  (:data:`repro.arch.variants.SOFTWARE_VISIBLE`) and quantifies the bias:
+  how much FIT the injector never sees, and how the criticality profile
+  (locality mix, crash rates) is distorted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from typing import TYPE_CHECKING
+
+from repro.arch.device import DeviceModel
+from repro.arch.resources import ResourceKind
+from repro.arch.variants import SOFTWARE_VISIBLE, restricted_to
+from repro.core.locality import Locality
+from repro.faults.outcomes import OutcomeKind
+from repro.kernels.base import Kernel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.beam.campaign import CampaignResult
+
+# NOTE: repro.beam imports repro.faults (the injector), so the campaign
+# runner is imported lazily inside the functions below to keep the package
+# import graph acyclic.
+
+
+@dataclass(frozen=True)
+class AvfEstimate:
+    """Vulnerability of one resource class, from targeted injection."""
+
+    resource: ResourceKind
+    n_strikes: int
+    sdc_fraction: float          #: AVF in the SDC sense
+    detectable_fraction: float   #: crash+hang conversion
+    masked_fraction: float
+
+    @property
+    def any_failure_fraction(self) -> float:
+        return self.sdc_fraction + self.detectable_fraction
+
+
+def avf_by_resource(
+    kernel: Kernel,
+    device: DeviceModel,
+    *,
+    n_per_resource: int = 60,
+    seed: int = 0,
+) -> dict[ResourceKind, AvfEstimate]:
+    """Measure per-resource AVF by injecting into one resource at a time."""
+    from repro.beam.campaign import Campaign
+
+    estimates: dict[ResourceKind, AvfEstimate] = {}
+    for kind in device.strike_weights(kernel):
+        targeted = restricted_to(device, {kind})
+        result = Campaign(
+            kernel=kernel,
+            device=targeted,
+            n_faulty=n_per_resource,
+            seed=seed,
+            label=f"avf/{kernel.name}/{device.name}/{kind.value}",
+        ).run()
+        counts = result.counts()
+        estimates[kind] = AvfEstimate(
+            resource=kind,
+            n_strikes=n_per_resource,
+            sdc_fraction=counts[OutcomeKind.SDC] / n_per_resource,
+            detectable_fraction=(
+                counts[OutcomeKind.CRASH] + counts[OutcomeKind.HANG]
+            )
+            / n_per_resource,
+            masked_fraction=counts[OutcomeKind.MASKED] / n_per_resource,
+        )
+    return estimates
+
+
+@dataclass
+class BiasReport:
+    """Beam campaign vs. software-injection campaign, same kernel/device."""
+
+    beam: "CampaignResult"
+    software: "CampaignResult"
+    unreachable_weight_fraction: float  #: strike surface the injector misses
+
+    def fit_underestimate(self) -> float:
+        """Fraction of beam-measured SDC FIT the software study misses."""
+        beam_fit = self.beam.fit_total()
+        if beam_fit == 0:
+            return 0.0
+        return max(0.0, 1.0 - self.software.fit_total() / beam_fit)
+
+    def detectable_underestimate(self) -> float:
+        """Crash+hang FIT bias: schedulers/control crash the most, and the
+        injector cannot reach them.
+
+        Measured in FIT terms (events per fluence): the software study's
+        effective fluence accounting only covers the reachable
+        cross-section, so the unreachable crash surface never enters its
+        books at all.
+        """
+
+        def detectable_fit(result: "CampaignResult") -> float:
+            counts = result.counts()
+            events = counts[OutcomeKind.CRASH] + counts[OutcomeKind.HANG]
+            return events / result.fluence
+
+        beam_fit = detectable_fit(self.beam)
+        if beam_fit == 0:
+            return 0.0
+        return max(0.0, 1.0 - detectable_fit(self.software) / beam_fit)
+
+    def locality_shift(self) -> dict[Locality, float]:
+        """Per-class difference in SDC-execution share (software - beam)."""
+
+        def shares(result: "CampaignResult") -> dict[Locality, float]:
+            reports = result.sdc_reports()
+            if not reports:
+                return {}
+            out: dict[Locality, float] = {}
+            for report in reports:
+                out[report.locality] = out.get(report.locality, 0) + 1
+            return {k: v / len(reports) for k, v in out.items()}
+
+        beam_shares = shares(self.beam)
+        soft_shares = shares(self.software)
+        keys = set(beam_shares) | set(soft_shares)
+        return {
+            k: soft_shares.get(k, 0.0) - beam_shares.get(k, 0.0) for k in keys
+        }
+
+
+def injection_bias_study(
+    kernel: Kernel,
+    device: DeviceModel,
+    *,
+    n_faulty: int = 200,
+    seed: int = 0,
+) -> BiasReport:
+    """Run beam and software-injection campaigns side by side.
+
+    The software campaign uses the identical pipeline restricted to
+    architecturally visible resources; its FIT normalisation keeps the
+    restricted cross-section, which is exactly the blind spot: the
+    unreachable cross-section never enters its books.
+    """
+    from repro.beam.campaign import Campaign
+
+    beam = Campaign(
+        kernel=kernel, device=device, n_faulty=n_faulty, seed=seed,
+        label=f"beam/{kernel.name}/{device.name}",
+    ).run()
+    visible = SOFTWARE_VISIBLE & set(device.resources)
+    software_device = restricted_to(device, visible)
+    software = Campaign(
+        kernel=kernel, device=software_device, n_faulty=n_faulty, seed=seed,
+        label=f"swinj/{kernel.name}/{device.name}",
+    ).run()
+    total = sum(device.strike_weights(kernel).values())
+    reachable = sum(software_device.strike_weights(kernel).values())
+    return BiasReport(
+        beam=beam,
+        software=software,
+        unreachable_weight_fraction=1.0 - reachable / total,
+    )

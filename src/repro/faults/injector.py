@@ -1,0 +1,140 @@
+"""The strike injector: one neutron in, one execution record out.
+
+The injection pipeline for one strike (Section IV-D's "at most one neutron
+generating a failure per execution" regime):
+
+1. sample the struck resource ∝ the device's per-resource cross-sections
+   for this kernel (footprint x sensitivity x stress x scheduler strain);
+2. roll the architectural fate — ECC scrubbing and dead state mask, control
+   strikes crash or hang with the resource's profile;
+3. a data-reaching strike maps to a kernel fault site (or is masked when
+   the kernel never consumes that resource's data);
+4. the kernel re-executes with the corruption applied mid-flight by its own
+   arithmetic; a blown-up solve is a crash;
+5. the output is diffed against the golden copy and the paper's four
+   metrics are evaluated — identical output means the algorithm itself
+   masked the corruption.
+
+Every step draws from a per-execution seed, so any record can be replayed
+in isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util.rng import child_rng, stable_seed
+from repro.arch.device import DeviceModel
+from repro.arch.resources import ResourceKind
+from repro.core.criticality import evaluate_execution
+from repro.core.filtering import PAPER_THRESHOLD_PCT
+from repro.faults.outcomes import ExecutionRecord, OutcomeKind
+from repro.faults.sites import choose_site
+from repro.kernels.base import Kernel, KernelCrashError, KernelFault
+
+
+@dataclass
+class Injector:
+    """Injects single strikes into a (kernel, device) pair.
+
+    Args:
+        kernel: the workload under beam.
+        device: the accelerator model.
+        seed: campaign seed; execution ``i`` uses the derived stream
+            ``(seed, kernel, device, i)`` and nothing else.
+        threshold_pct: relative-error tolerance for the filtered metrics.
+    """
+
+    kernel: Kernel
+    device: DeviceModel
+    seed: int = 0
+    threshold_pct: float = PAPER_THRESHOLD_PCT
+
+    def __post_init__(self):
+        weights = self.device.strike_weights(self.kernel)
+        if not weights:
+            raise ValueError(
+                f"device {self.device.name!r} exposes no strikeable resources "
+                f"for kernel {self.kernel.name!r}"
+            )
+        self._kinds = sorted(weights, key=lambda k: k.value)
+        total = sum(weights.values())
+        self._probabilities = np.array([weights[k] / total for k in self._kinds])
+        self._total_cross_section = total
+
+    @property
+    def total_cross_section(self) -> float:
+        """Expected strikes per unit fluence (a.u.) — the FIT normaliser."""
+        return self._total_cross_section
+
+    def _rng_for(self, index: int) -> np.random.Generator:
+        return child_rng(self.seed, "strike", self.kernel.name, self.device.name, index)
+
+    def inject_one(self, index: int) -> ExecutionRecord:
+        """Simulate one struck execution and classify its outcome."""
+        rng = self._rng_for(index)
+        kind = self._kinds[int(rng.choice(len(self._kinds), p=self._probabilities))]
+        profile = self.device.outcome_profile(kind)
+
+        roll = rng.uniform()
+        if roll < profile.p_masked:
+            return ExecutionRecord(
+                index=index, outcome=OutcomeKind.MASKED, resource=kind,
+                detail="architectural masking (ECC / dead state)",
+            )
+        roll -= profile.p_masked
+        if roll < profile.p_crash:
+            return ExecutionRecord(
+                index=index, outcome=OutcomeKind.CRASH, resource=kind,
+                detail="architectural crash",
+            )
+        roll -= profile.p_crash
+        if roll < profile.p_hang:
+            return ExecutionRecord(
+                index=index, outcome=OutcomeKind.HANG, resource=kind,
+                detail="architectural hang",
+            )
+
+        site = choose_site(self.kernel, kind, rng)
+        if site is None:
+            return ExecutionRecord(
+                index=index, outcome=OutcomeKind.MASKED, resource=kind,
+                detail="corrupted data not consumed by the kernel",
+            )
+
+        fault = KernelFault(
+            site=site.name,
+            progress=float(rng.uniform()),
+            flip=self.device.flip_model(kind, self.kernel.name),
+            seed=stable_seed(self.seed, "fault", self.kernel.name, index),
+            extent=(
+                self.device.burst_extent(kind, rng) if site.supports_extent else 1
+            ),
+            sharing=self.device.sharing_breadth(kind, self.kernel),
+        )
+        try:
+            output = self.kernel.run(fault).output
+        except KernelCrashError as crash:
+            return ExecutionRecord(
+                index=index, outcome=OutcomeKind.CRASH, resource=kind,
+                site=site.name, fault=fault, detail=str(crash),
+            )
+
+        observation = self.kernel.observe(output)
+        if not observation.is_sdc:
+            return ExecutionRecord(
+                index=index, outcome=OutcomeKind.MASKED, resource=kind,
+                site=site.name, fault=fault,
+                detail="corruption masked by the algorithm",
+            )
+        report = evaluate_execution(observation, threshold_pct=self.threshold_pct)
+        return ExecutionRecord(
+            index=index, outcome=OutcomeKind.SDC, resource=kind,
+            site=site.name, report=report, fault=fault,
+        )
+
+    def inject_many(self, count: int, *, start: int = 0) -> list[ExecutionRecord]:
+        """Simulate ``count`` struck executions (indices ``start..start+count``)."""
+        return [self.inject_one(start + i) for i in range(count)]

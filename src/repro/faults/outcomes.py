@@ -1,0 +1,69 @@
+"""The paper's strike-outcome taxonomy (Section II-A).
+
+A strike in an HPC accelerator ends in one of four ways: (1) no effect —
+masked or unused, (2) Silent Data Corruption, (3) application crash, or
+(4) system hang.  SDCs are the harmful case (undetected, unpredictable);
+crashes and hangs are at least detectable, which is why the paper reports
+their rates but focuses the criticality analysis on SDCs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.arch.resources import ResourceKind
+from repro.core.criticality import CriticalityReport
+from repro.kernels.base import KernelFault
+
+
+class OutcomeKind(enum.Enum):
+    """Fate of one (potentially) struck execution."""
+
+    MASKED = "masked"  #: corruption absorbed — output identical to golden
+    SDC = "sdc"        #: output differs silently
+    CRASH = "crash"    #: application aborted (detectable)
+    HANG = "hang"      #: node wedged until reboot (detectable)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def is_detectable(self) -> bool:
+        """Crashes and hangs announce themselves; SDCs do not."""
+        return self in (OutcomeKind.CRASH, OutcomeKind.HANG)
+
+
+@dataclass(frozen=True)
+class ExecutionRecord:
+    """One struck execution, as the beam host would log it.
+
+    Attributes:
+        index: execution number within the campaign.
+        outcome: the taxonomy verdict.
+        resource: the resource the strike landed in.
+        site: the kernel fault site it mapped to (``None`` when the strike
+            never reached the data: architectural masking, crash, hang, or
+            a resource the kernel's data never touches).
+        report: criticality metrics of the corrupted output (``None``
+            unless the outcome is :attr:`OutcomeKind.SDC`).
+        fault: the exact kernel fault that ran (``None`` when the strike
+            never reached the data).  Faults are fully deterministic, so a
+            record can be replayed in isolation — detectors that need the
+            live execution (CLAMR's in-run mass check) re-run it from here.
+        detail: free-form context ("ecc scrubbed", "solver blow-up", ...).
+    """
+
+    index: int
+    outcome: OutcomeKind
+    resource: ResourceKind
+    site: str | None = None
+    report: CriticalityReport | None = None
+    fault: KernelFault | None = None
+    detail: str = ""
+
+    def __post_init__(self):
+        if self.outcome is OutcomeKind.SDC and self.report is None:
+            raise ValueError("an SDC record needs a criticality report")
+        if self.outcome is not OutcomeKind.SDC and self.report is not None:
+            raise ValueError("only SDC records carry criticality reports")

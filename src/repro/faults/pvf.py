@@ -1,0 +1,112 @@
+"""Program Vulnerability Factor — per-site, architecture-independent (cf. [37]).
+
+Sridharan & Kaeli's PVF separates the *program's* vulnerability from the
+architecture's: given that a piece of program-visible state is corrupted,
+what is the probability the program's output is wrong?  The paper cites
+PVF among the injection-based approaches it complements with beam data.
+
+Here PVF is measured directly from the kernels: for a fault site, inject a
+fixed flip model across uniformly sampled (progress, location) pairs —
+with no architectural masking, crash profiles, or cross-section weighting —
+and record how often the output differs.  This characterises the
+*algorithm*: DGEMM's inputs are always live (high PVF), HotSpot's state is
+self-healing (low visible PVF), CLAMR's conservative state never heals
+(high PVF), and LavaMD sits in between, depending on which operand the
+site feeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util.rng import stable_seed
+from repro._util.text import format_table
+from repro.bitflip.models import FlipModel, SingleBitFlip
+from repro.kernels.base import Kernel, KernelCrashError, KernelFault
+
+
+@dataclass(frozen=True)
+class PvfEstimate:
+    """Vulnerability of one fault site of one kernel."""
+
+    site: str
+    n_injections: int
+    sdc_fraction: float        #: output differs (the PVF proper)
+    crash_fraction: float      #: computation blows up
+    masked_fraction: float     #: output identical
+    surviving_fraction: float  #: SDCs that survive the 2% tolerance
+
+    @property
+    def pvf(self) -> float:
+        return self.sdc_fraction
+
+
+def pvf_by_site(
+    kernel: Kernel,
+    *,
+    flip: FlipModel | None = None,
+    n_per_site: int = 50,
+    seed: int = 0,
+    threshold_pct: float = 2.0,
+) -> dict[str, PvfEstimate]:
+    """Measure PVF for every fault site of a kernel.
+
+    Args:
+        kernel: the program under study.
+        flip: corruption model (default: single random bit — the classic
+            PVF setting).
+        n_per_site: injections per site, spread uniformly over execution
+            progress.
+        seed: derives every injection's randomness.
+        threshold_pct: tolerance for the ``surviving_fraction`` column.
+    """
+    from repro.core.filtering import is_fully_masked_by
+
+    flip = flip or SingleBitFlip()
+    estimates: dict[str, PvfEstimate] = {}
+    for spec in kernel.fault_sites():
+        sdc = crash = masked = surviving = 0
+        for i in range(n_per_site):
+            fault = KernelFault(
+                site=spec.name,
+                progress=(i + 0.5) / n_per_site,
+                flip=flip,
+                seed=stable_seed(seed, "pvf", kernel.name, spec.name, i),
+            )
+            try:
+                output = kernel.run(fault).output
+            except KernelCrashError:
+                crash += 1
+                continue
+            observation = kernel.observe(output)
+            if not observation.is_sdc:
+                masked += 1
+                continue
+            sdc += 1
+            if not is_fully_masked_by(observation, threshold_pct):
+                surviving += 1
+        estimates[spec.name] = PvfEstimate(
+            site=spec.name,
+            n_injections=n_per_site,
+            sdc_fraction=sdc / n_per_site,
+            crash_fraction=crash / n_per_site,
+            masked_fraction=masked / n_per_site,
+            surviving_fraction=surviving / n_per_site,
+        )
+    return estimates
+
+
+def render_pvf(kernel_name: str, estimates: dict[str, PvfEstimate]) -> str:
+    rows = [
+        (
+            e.site,
+            f"{e.pvf:.2f}",
+            f"{e.crash_fraction:.2f}",
+            f"{e.masked_fraction:.2f}",
+            f"{e.surviving_fraction:.2f}",
+        )
+        for e in sorted(estimates.values(), key=lambda e: -e.pvf)
+    ]
+    return f"PVF by fault site — {kernel_name}\n" + format_table(
+        ("site", "PVF (SDC)", "crash", "masked", "SDC > 2%"), rows
+    )

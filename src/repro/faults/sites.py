@@ -1,0 +1,77 @@
+"""Resource-to-site mapping: where a strike surfaces inside a kernel.
+
+Each kernel declares fault sites tagged with the device resource whose
+corruption manifests there (:class:`~repro.kernels.base.FaultSiteSpec`).
+A strike on a resource the kernel exposes maps to one of the matching
+sites; a strike on a resource whose data the kernel never consumes is
+masked (the paper's outcome (1): "corrupted data is not used").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.resources import ResourceKind
+from repro.kernels.base import FaultSiteSpec, Kernel
+
+
+def sites_for(kernel: Kernel, kind: ResourceKind) -> list[FaultSiteSpec]:
+    """The kernel's fault sites backed by the given resource class."""
+    return [spec for spec in kernel.fault_sites() if spec.resource == kind.value]
+
+
+def site_weights(kernel: Kernel, kind: ResourceKind) -> dict[str, float]:
+    """Relative likelihood of each matching site, normalised to sum 1.
+
+    Kernel-specific knowledge goes here: CLAMR's height field is read by
+    both the flux computation and the AMR refinement criterion, so it is
+    resident (and strikeable) far more often than the momentum components —
+    the exposure split behind the paper's ~82% mass-check coverage [4].
+    Unlisted sites share the remaining mass uniformly.
+    """
+    specs = sites_for(kernel, kind)
+    if not specs:
+        return {}
+    preferred = _SITE_PREFERENCE.get((kernel.name, kind), {})
+    weights = {spec.name: preferred.get(spec.name, 1.0) for spec in specs}
+    total = sum(weights.values())
+    return {name: w / total for name, w in weights.items()}
+
+
+def choose_site(
+    kernel: Kernel, kind: ResourceKind, rng: np.random.Generator
+) -> FaultSiteSpec | None:
+    """Sample one site for a strike on ``kind`` (None when nothing matches)."""
+    weights = site_weights(kernel, kind)
+    if not weights:
+        return None
+    names = sorted(weights)
+    p = np.array([weights[name] for name in names])
+    name = names[int(rng.choice(len(names), p=p))]
+    return kernel.site(name)
+
+
+#: Exposure-based preferences for resources backing several sites.
+#: Values are relative weights (not probabilities); see :func:`site_weights`.
+_SITE_PREFERENCE: dict[tuple[str, ResourceKind], dict[str, float]] = {
+    # CLAMR: h feeds fluxes, both momentum updates and the refinement
+    # criterion; momenta are read once per step.
+    ("clamr", ResourceKind.REGISTER_FILE): {"cell_h": 4.0, "cell_momentum": 1.0},
+    # DGEMM: A and B equally exposed in cache.
+    ("dgemm", ResourceKind.L2_CACHE): {"input_a": 1.0, "input_b": 1.0},
+    # DGEMM scheduler strikes: mis-dispatching a whole block is rarer than
+    # perturbing a few threads' issue state.
+    ("dgemm", ResourceKind.SCHEDULER): {
+        "scheduler_block": 1.0,
+        "scheduler_threads": 1.0,
+    },
+    # LavaMD: charges are re-read for every one of a particle's ~27*N
+    # interactions, while position words stream through the distance
+    # pipeline whose exp(-u^2) output saturates into [0, 1] — a corrupted
+    # position mostly vanishes below threshold, a corrupted charge scales
+    # whole interaction terms.  Charge exposure dominates.
+    ("lavamd", ResourceKind.LOCAL_MEMORY): {"charge": 4.0, "position": 1.0},
+    # HotSpot: the temperature grid is read five times per cell per
+    # iteration (self + four neighbours), the power grid once.
+    ("hotspot", ResourceKind.L2_CACHE): {"cell_line": 5.0, "power_input": 1.0},
+}

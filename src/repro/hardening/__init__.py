@@ -1,0 +1,42 @@
+"""Hardening strategies and their measured cost/coverage trade-offs.
+
+The paper's criticality analysis exists to guide protection: ABFT where
+errors are single/line shaped (Section V-A), conservation checks for
+conservative solvers (Section V-D), entropy monitoring for stencils
+(Section V-C), replication where nothing cheaper works [8], and selective
+hardening of the most critical resources (Section VI).  This package
+implements each strategy as a :class:`~repro.hardening.base.Hardening`
+that post-processes campaign executions, so a single harness
+(:func:`~repro.hardening.evaluate.evaluate_hardening`) measures what the
+paper could only argue: residual silent FIT, detection coverage, and
+overhead, side by side on identical strike populations.
+"""
+
+from repro.hardening.base import Hardening, HardenedOutcome, ProtectionResult
+from repro.hardening.evaluate import HardeningEvaluation, evaluate_hardening
+from repro.hardening.selective import (
+    SelectivePlan,
+    critical_fit_by_resource,
+    select_hardening,
+)
+from repro.hardening.strategies import (
+    AbftHardening,
+    DuplicationHardening,
+    EntropyHardening,
+    MassCheckHardening,
+)
+
+__all__ = [
+    "Hardening",
+    "HardenedOutcome",
+    "ProtectionResult",
+    "HardeningEvaluation",
+    "evaluate_hardening",
+    "SelectivePlan",
+    "critical_fit_by_resource",
+    "select_hardening",
+    "AbftHardening",
+    "DuplicationHardening",
+    "EntropyHardening",
+    "MassCheckHardening",
+]

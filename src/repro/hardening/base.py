@@ -1,0 +1,78 @@
+"""The hardening protocol: what a protection does with one faulty execution.
+
+A hardening sees what the application would see at runtime — the (possibly
+corrupted) output, the kernel that produced it, and whatever cheap
+statistics the strategy maintains — and classifies the execution:
+
+* **corrected** — the error was repaired in place (ABFT's single/line
+  cases): the execution ends clean;
+* **detected** — the error was flagged (checksum mismatch, broken
+  conservation, entropy jump): a recovery mechanism (checkpoint restart,
+  recomputation) can take over, so the SDC is downgraded to a detectable
+  outcome;
+* **missed** — the corruption passes silently: it remains an SDC.
+
+Each strategy also declares its runtime overhead as a fraction of the
+unprotected execution time, so coverage can be judged per unit of cost —
+the trade-off the paper's Sections V-C/V-D walk through qualitatively.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.outcomes import ExecutionRecord
+from repro.kernels.base import Kernel
+
+
+class HardenedOutcome(enum.Enum):
+    """What a protection achieved on one faulty execution."""
+
+    CORRECTED = "corrected"
+    DETECTED = "detected"
+    MISSED = "missed"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class ProtectionResult:
+    """A protection's verdict on one execution."""
+
+    outcome: HardenedOutcome
+    detail: str = ""
+
+
+class Hardening(abc.ABC):
+    """A protection strategy evaluated against campaign executions."""
+
+    #: short identifier for tables.
+    name: str = ""
+
+    @abc.abstractmethod
+    def overhead(self) -> float:
+        """Runtime overhead as a fraction of the unprotected execution
+        (0.02 = 2% slower; 1.0 = twice the work)."""
+
+    @abc.abstractmethod
+    def prepare(self, kernel: Kernel) -> None:
+        """One-time setup from the fault-free kernel (golden checksums,
+        conserved totals, entropy calibration)."""
+
+    @abc.abstractmethod
+    def protect(
+        self, kernel: Kernel, record: ExecutionRecord, output: np.ndarray
+    ) -> ProtectionResult:
+        """Judge one SDC execution: corrected, detected, or missed.
+
+        Args:
+            kernel: the workload (for goldens and, where the strategy runs
+                inside the solve, deterministic fault replay).
+            record: the campaign record, including the replayable fault.
+            output: the corrupted output as the host observed it.
+        """

@@ -1,0 +1,119 @@
+"""The hardening evaluation harness: coverage and residual FIT per strategy.
+
+Runs a protection over every SDC of a campaign (reconstructing each
+corrupted output from the log-style observation) and reports the numbers a
+deployment decision needs: correction/detection coverage, residual silent
+FIT, and residual-per-overhead — so ABFT's 2% can be compared fairly with
+duplication's 105%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util.text import format_table
+from repro.analysis.claims import rebuild_output
+from repro.beam.campaign import CampaignResult
+from repro.faults.outcomes import OutcomeKind
+from repro.hardening.base import Hardening, HardenedOutcome
+from repro.kernels.base import Kernel
+
+
+@dataclass
+class HardeningEvaluation:
+    """One strategy's measured performance over one campaign."""
+
+    strategy: str
+    overhead: float
+    n_sdc: int
+    corrected: int
+    detected: int
+    missed: int
+    baseline_fit: float
+    residual_fit: float
+    details: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of SDCs no longer silent (corrected or detected)."""
+        if self.n_sdc == 0:
+            return 0.0
+        return (self.corrected + self.detected) / self.n_sdc
+
+    @property
+    def residual_fraction(self) -> float:
+        if self.baseline_fit == 0:
+            return 0.0
+        return self.residual_fit / self.baseline_fit
+
+    def efficiency(self) -> float:
+        """Coverage bought per unit of overhead (higher is better)."""
+        if self.overhead == 0:
+            return float("inf")
+        return self.coverage / self.overhead
+
+
+def evaluate_hardening(
+    strategy: Hardening, result: CampaignResult, kernel: Kernel
+) -> HardeningEvaluation:
+    """Measure one strategy against one campaign's SDC population."""
+    strategy.prepare(kernel)
+    corrected = detected = missed = 0
+    details: dict[str, int] = {}
+    for record in result.records:
+        if record.outcome is not OutcomeKind.SDC:
+            continue
+        output = rebuild_output(kernel, record.report)
+        verdict = strategy.protect(kernel, record, output)
+        if verdict.outcome is HardenedOutcome.CORRECTED:
+            corrected += 1
+        elif verdict.outcome is HardenedOutcome.DETECTED:
+            detected += 1
+        else:
+            missed += 1
+        if verdict.detail:
+            details[verdict.detail] = details.get(verdict.detail, 0) + 1
+
+    baseline = result.fit_total()
+    n_sdc = corrected + detected + missed
+    residual = baseline * (missed / n_sdc) if n_sdc else baseline
+    return HardeningEvaluation(
+        strategy=strategy.name,
+        overhead=strategy.overhead(),
+        n_sdc=n_sdc,
+        corrected=corrected,
+        detected=detected,
+        missed=missed,
+        baseline_fit=baseline,
+        residual_fit=residual,
+        details=details,
+    )
+
+
+def render_evaluations(evaluations: "list[HardeningEvaluation]") -> str:
+    rows = [
+        (
+            e.strategy,
+            f"{e.overhead:.0%}",
+            e.n_sdc,
+            e.corrected,
+            e.detected,
+            e.missed,
+            f"{e.coverage:.0%}",
+            f"{e.residual_fraction:.0%}",
+        )
+        for e in sorted(evaluations, key=lambda e: e.residual_fraction)
+    ]
+    return format_table(
+        (
+            "strategy",
+            "overhead",
+            "SDCs",
+            "corrected",
+            "detected",
+            "missed",
+            "coverage",
+            "residual FIT",
+        ),
+        rows,
+    )

@@ -1,0 +1,150 @@
+"""Selective hardening as an optimisation (Section VI, operationalised).
+
+The paper's future work: use criticality data "to apply selective
+hardening to only those procedures, variables, or resources whose
+corruption is likely to produce the observed critical errors."  That is a
+budgeted-selection problem, and campaign data provides its inputs:
+
+* **benefit** of hardening a resource = the critical-SDC FIT its strikes
+  contribute (measured from the campaign records);
+* **cost** = the fraction of the die-area/energy budget protecting that
+  resource consumes (caller-supplied; ECC on a big cache costs more than
+  parity on a queue).
+
+:func:`select_hardening` runs the classic greedy benefit-per-cost
+selection (optimal for this fractional-knapsack-like setting up to the
+last item) and reports the protected portfolio with its residual critical
+FIT — a quantitative answer to the paper's closing question.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util.text import format_table
+from repro.arch.resources import ResourceKind
+from repro.beam.campaign import CampaignResult, FIT_AU_SCALE, STRIKES_PER_FLUENCE_AU
+from repro.core.locality import ABFT_CORRECTABLE
+from repro.faults.outcomes import ExecutionRecord, OutcomeKind
+
+
+def is_critical(record: ExecutionRecord, *, error_floor_pct: float = 100.0) -> bool:
+    """The default criticality predicate: an SDC that survives the 2%
+    filter and is either uncorrectable-by-pattern or large in magnitude."""
+    if record.outcome is not OutcomeKind.SDC:
+        return False
+    report = record.report
+    if not report.survives_filter:
+        return False
+    return (
+        report.filtered_locality not in ABFT_CORRECTABLE
+        or report.mean_relative_error > error_floor_pct
+    )
+
+
+def critical_fit_by_resource(
+    result: CampaignResult, *, error_floor_pct: float = 100.0
+) -> dict[ResourceKind, float]:
+    """Each resource's contribution to the campaign's critical-SDC FIT."""
+    sigma = result.cross_section * STRIKES_PER_FLUENCE_AU * FIT_AU_SCALE
+    n = len(result.records)
+    counts: dict[ResourceKind, int] = {}
+    for record in result.records:
+        if is_critical(record, error_floor_pct=error_floor_pct):
+            counts[record.resource] = counts.get(record.resource, 0) + 1
+    return {kind: sigma * c / n for kind, c in counts.items()}
+
+
+@dataclass(frozen=True)
+class HardeningChoice:
+    resource: ResourceKind
+    cost: float
+    critical_fit_removed: float
+
+    @property
+    def benefit_per_cost(self) -> float:
+        return self.critical_fit_removed / self.cost if self.cost > 0 else float("inf")
+
+
+@dataclass
+class SelectivePlan:
+    """A budgeted hardening portfolio."""
+
+    chosen: list[HardeningChoice]
+    budget: float
+    total_critical_fit: float
+
+    @property
+    def spent(self) -> float:
+        return sum(c.cost for c in self.chosen)
+
+    @property
+    def removed_fit(self) -> float:
+        return sum(c.critical_fit_removed for c in self.chosen)
+
+    @property
+    def residual_fit(self) -> float:
+        return self.total_critical_fit - self.removed_fit
+
+    @property
+    def removed_fraction(self) -> float:
+        if self.total_critical_fit == 0:
+            return 0.0
+        return self.removed_fit / self.total_critical_fit
+
+    def render(self) -> str:
+        rows = [
+            (
+                c.resource.value,
+                f"{c.cost:.2f}",
+                f"{c.critical_fit_removed:.2f}",
+                f"{c.benefit_per_cost:.2f}",
+            )
+            for c in self.chosen
+        ]
+        header = (
+            f"selective hardening: spend {self.spent:.2f} of {self.budget:.2f} "
+            f"-> remove {self.removed_fraction:.0%} of critical FIT"
+        )
+        return header + "\n" + format_table(
+            ("resource", "cost", "critical FIT removed", "benefit/cost"), rows
+        )
+
+
+def select_hardening(
+    result: CampaignResult,
+    costs: "dict[ResourceKind, float]",
+    *,
+    budget: float,
+    error_floor_pct: float = 100.0,
+) -> SelectivePlan:
+    """Greedy benefit-per-cost selection under a hardening budget.
+
+    Args:
+        result: the campaign whose critical-SDC population defines benefit.
+        costs: protection cost per resource (arbitrary budget units);
+            resources missing from the map are unprotectable.
+        budget: total budget.
+    """
+    if budget <= 0:
+        raise ValueError("budget must be positive")
+    benefits = critical_fit_by_resource(result, error_floor_pct=error_floor_pct)
+    candidates = [
+        HardeningChoice(
+            resource=kind, cost=costs[kind], critical_fit_removed=fit
+        )
+        for kind, fit in benefits.items()
+        if kind in costs and costs[kind] > 0
+    ]
+    candidates.sort(key=lambda c: -c.benefit_per_cost)
+    chosen: list[HardeningChoice] = []
+    remaining = budget
+    for candidate in candidates:
+        if candidate.cost <= remaining:
+            chosen.append(candidate)
+            remaining -= candidate.cost
+    return SelectivePlan(
+        chosen=chosen,
+        budget=budget,
+        total_critical_fit=sum(benefits.values()),
+    )

@@ -1,0 +1,59 @@
+"""The paper's benchmark kernels, implemented from scratch (Section IV-B).
+
+Four codes, chosen by the paper as representatives of broader HPC classes:
+
+* :class:`~repro.kernels.dgemm.Dgemm` — dense matrix multiplication
+  (Dense Linear Algebra; compute bound, balanced, regular);
+* :class:`~repro.kernels.lavamd.LavaMD` — particle potentials via
+  finite-difference-style N-body interactions within a 3-D box grid
+  (Rodinia; memory bound, imbalanced, regular);
+* :class:`~repro.kernels.hotspot.HotSpot` — 2-D thermal stencil
+  (Rodinia / Structured Grid; memory bound, balanced, regular);
+* :class:`~repro.kernels.clamr.Clamr` — shallow-water fluid dynamics with
+  cell-based AMR, circular dam-break problem (DOE mini-app stand-in;
+  compute bound, imbalanced, irregular).
+
+Every kernel computes a cached golden output and can re-execute with a
+:class:`~repro.kernels.base.KernelFault` injected mid-flight; the corrupted
+output is produced by the *real* kernel mathematics, so error propagation —
+the quantity the criticality metrics measure — is genuine, not modelled.
+"""
+
+from repro.kernels.base import (
+    ExecutionOutput,
+    FaultSiteSpec,
+    Kernel,
+    KernelCrashError,
+    KernelFault,
+)
+from repro.kernels.classification import (
+    Bound,
+    KernelClassification,
+    LoadBalance,
+    MemoryAccess,
+    TABLE_I,
+)
+from repro.kernels.clamr import Clamr
+from repro.kernels.dgemm import Dgemm
+from repro.kernels.hotspot import HotSpot
+from repro.kernels.lavamd import LavaMD
+from repro.kernels.registry import KERNEL_FACTORIES, make_kernel
+
+__all__ = [
+    "ExecutionOutput",
+    "FaultSiteSpec",
+    "Kernel",
+    "KernelCrashError",
+    "KernelFault",
+    "Bound",
+    "KernelClassification",
+    "LoadBalance",
+    "MemoryAccess",
+    "TABLE_I",
+    "Clamr",
+    "Dgemm",
+    "HotSpot",
+    "LavaMD",
+    "KERNEL_FACTORIES",
+    "make_kernel",
+]

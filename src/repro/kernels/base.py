@@ -1,0 +1,201 @@
+"""Kernel protocol: golden outputs, fault hooks, and observation.
+
+The beam host in the paper sends pre-selected input, runs the code, and
+diffs the result against a golden output computed on the same device
+(Section IV-D).  A :class:`Kernel` mirrors that loop:
+
+* :meth:`Kernel.golden` — the fault-free output, computed once and cached;
+* :meth:`Kernel.run` — re-execute with an optional :class:`KernelFault`
+  corrupting one logical site mid-flight;
+* :meth:`Kernel.observe` — diff an output against the golden copy into an
+  :class:`~repro.core.metrics.ErrorObservation` (with the kernel's natural
+  locality coordinates attached).
+
+Faults are expressed at the kernel's semantic level ("the charge of particle
+p in box b, struck 37% of the way through execution") because that is where
+architecture meets algorithm: the fault injector translates a device-level
+strike (a hit in the L2, in a register, in the scheduler) into the matching
+kernel site and flip model.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bitflip.models import FlipModel
+from repro.core.metrics import ErrorObservation, compare_outputs
+from repro.kernels.classification import KernelClassification
+
+
+class KernelCrashError(RuntimeError):
+    """The faulty execution crashed (non-finite state, solver blow-up, ...).
+
+    Maps to the paper's *Crash* outcome: detectable, costs the run, but no
+    silent corruption escapes.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSiteSpec:
+    """One kind of logical fault site a kernel exposes.
+
+    Attributes:
+        name: kernel-unique site identifier (e.g. ``"input_a"``).
+        resource: the device resource class whose corruption manifests at
+            this site — one of the :class:`~repro.arch.resources.ResourceKind`
+            value strings (kept as a string to avoid a layering cycle).
+        description: what corrupting this site means physically.
+        supports_extent: whether the site accepts multi-word bursts
+            (cache-line-like sites do; scalar registers do not).
+    """
+
+    name: str
+    resource: str
+    description: str
+    supports_extent: bool = False
+
+
+@dataclass(frozen=True)
+class KernelFault:
+    """One injected corruption, fully describing a faulty execution.
+
+    Attributes:
+        site: name of a :class:`FaultSiteSpec` the kernel exposes.
+        progress: fraction of the execution completed when the strike lands,
+            in ``[0, 1)``.  Kernels interpret it against their own notion of
+            progress (column sweep for DGEMM, iteration for HotSpot, ...).
+        flip: the word-level corruption model.
+        seed: per-fault seed; the kernel derives every internal random choice
+            (victim element, flip bits) from it, so a fault replays exactly.
+        extent: number of adjacent words corrupted (cache-line bursts);
+            sites with ``supports_extent=False`` ignore it.
+        sharing: maximum distinct consumers that read the corrupted datum
+            before it is evicted/overwritten.  Set by the injector from the
+            cache's sharing breadth and occupancy pressure (Section V-E:
+            "increased pressure ... reduces the sharing of resources like
+            caches"); ``inf`` means unconstrained (private state).  Kernels
+            whose sites fan out to many consumers (LavaMD's neighbour boxes)
+            honour it.
+    """
+
+    site: str
+    progress: float
+    flip: FlipModel
+    seed: int
+    extent: int = 1
+    sharing: float = float("inf")
+
+    def __post_init__(self):
+        if not 0.0 <= self.progress < 1.0:
+            raise ValueError(f"progress must be in [0, 1), got {self.progress}")
+        if self.extent < 1:
+            raise ValueError("extent must be >= 1")
+        if self.sharing < 1:
+            raise ValueError("sharing must be >= 1")
+
+    def rng(self) -> np.random.Generator:
+        """The fault's private random stream."""
+        return np.random.default_rng(self.seed)
+
+
+@dataclass
+class ExecutionOutput:
+    """Result of one (possibly faulty) kernel execution.
+
+    Attributes:
+        output: the kernel's output array.
+        aux: kernel-specific extras consumed by detectors and analyses
+            (e.g. CLAMR's total mass, HotSpot's entropy snapshots).
+    """
+
+    output: np.ndarray
+    aux: dict = field(default_factory=dict)
+
+
+class Kernel(abc.ABC):
+    """A benchmark kernel with golden-output caching and fault hooks."""
+
+    #: short identifier, e.g. ``"dgemm"``.
+    name: str = ""
+
+    def __init__(self) -> None:
+        self._golden: ExecutionOutput | None = None
+
+    # -- fault-free reference -------------------------------------------------
+
+    def golden(self) -> ExecutionOutput:
+        """The fault-free execution, computed once and cached."""
+        if self._golden is None:
+            self._golden = self._execute(None)
+        return self._golden
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, fault: KernelFault | None = None) -> ExecutionOutput:
+        """Execute the kernel, optionally with one injected fault.
+
+        Raises:
+            KernelCrashError: when the corrupted computation blows up — the
+                execution counts as a Crash, not an SDC.
+            KeyError: when the fault names a site the kernel does not expose.
+        """
+        if fault is not None and fault.site not in {s.name for s in self.fault_sites()}:
+            raise KeyError(f"{self.name} has no fault site {fault.site!r}")
+        return self._execute(fault)
+
+    @abc.abstractmethod
+    def _execute(self, fault: KernelFault | None) -> ExecutionOutput:
+        """Run the kernel; honour ``fault`` if given."""
+
+    # -- fault surface ----------------------------------------------------------
+
+    @abc.abstractmethod
+    def fault_sites(self) -> tuple[FaultSiteSpec, ...]:
+        """The logical sites a strike can corrupt in this kernel."""
+
+    def site(self, name: str) -> FaultSiteSpec:
+        """Look up one fault site by name."""
+        for spec in self.fault_sites():
+            if spec.name == name:
+                return spec
+        raise KeyError(f"{self.name} has no fault site {name!r}")
+
+    # -- shape and scale ---------------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def classification(self) -> KernelClassification:
+        """The paper's Table I classification for this kernel."""
+
+    @abc.abstractmethod
+    def thread_count(self) -> int:
+        """Parallel threads the configured input instantiates (Table II)."""
+
+    @abc.abstractmethod
+    def dataset_bits(self) -> float:
+        """Live working-set size in bits (inputs + state + output).
+
+        Architecture models use it to compute cache utilisation: below
+        saturation only the occupied fraction of a cache holds data whose
+        corruption can reach the output.
+        """
+
+    def locality_map(self) -> np.ndarray | None:
+        """Per-element coordinates for locality classification.
+
+        ``None`` means the output's own array coordinates are the natural
+        spatial layout.  Kernels whose storage order differs from the
+        physical layout (LavaMD) override this.
+        """
+        return None
+
+    # -- observation --------------------------------------------------------------
+
+    def observe(self, output: np.ndarray) -> ErrorObservation:
+        """Diff an output against the golden output."""
+        return compare_outputs(
+            output, self.golden().output, locality_map=self.locality_map()
+        )

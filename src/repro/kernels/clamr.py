@@ -1,0 +1,457 @@
+"""CLAMR stand-in — shallow-water dam break with cell-based AMR bookkeeping.
+
+The paper's CLAMR is a DOE-proprietary fluid-dynamics mini-app solving the
+shallow-water equations (conservation of mass and x/y momentum) on a
+cell-based AMR mesh, with the standard circular dam-break test problem
+(Section IV-B/IV-C).  We implement the same physics from scratch:
+
+* a conservative finite-volume solver (Rusanov/local Lax-Friedrichs fluxes)
+  for ``(h, hu, hv)`` with reflective walls, double precision;
+* the circular dam-break initial condition;
+* AMR mesh management (:mod:`repro.kernels.amr`) recomputed every
+  ``remesh_every`` steps, driving per-step thread counts and load imbalance.
+
+**Documented simplification**: the solver integrates on the uniform fine
+grid while the AMR machinery tracks refinement for resource accounting.
+Every behaviour the paper derives from CLAMR — conservation-law physics, a
+corruption that propagates outward as a wave and never dissipates (Fig. 9),
+square-dominated locality, and the mass-conservation check with its
+momentum-shaped blind spot — lives in the conservative update itself and is
+preserved; only the mesh-dependent work distribution is approximated, and it
+feeds the architecture model, not the physics.
+
+Faults corrupt the live state mid-run and the solver continues on the real
+equations: a height strike changes total mass (detectable by the mass check)
+and advects outward with the flow; momentum strikes, corrupted face fluxes,
+and mis-refinements (conservative block averaging) leave total mass intact —
+together they form the ~18% of SDCs the paper's mass check misses [4].
+A strike that drives the state unphysical (non-finite values or non-positive
+depth) crashes the run, as real CLAMR would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.amr import RefinementMap, coarsen_block, coarsen_smooth_blocks
+from repro.kernels.base import (
+    ExecutionOutput,
+    FaultSiteSpec,
+    Kernel,
+    KernelCrashError,
+    KernelFault,
+)
+from repro.kernels.classification import TABLE_I, KernelClassification
+
+GRAVITY = 9.8
+CFL = 0.4
+
+_SITES = (
+    FaultSiteSpec(
+        "cell_h",
+        resource="register_file",
+        description="a cell's water height corrupted; changes total mass and "
+        "propagates outward as a wave",
+        supports_extent=True,
+    ),
+    FaultSiteSpec(
+        "cell_momentum",
+        resource="register_file",
+        description="a cell's x or y momentum corrupted; total mass intact, "
+        "so the mass check is blind to it",
+        supports_extent=True,
+    ),
+    FaultSiteSpec(
+        "cache_line_h",
+        resource="l2_cache",
+        description="a cache line of adjacent heights corrupted",
+        supports_extent=True,
+    ),
+    FaultSiteSpec(
+        "vector_cells_h",
+        resource="vector_unit",
+        description="adjacent heights corrupted in vector-register lanes",
+        supports_extent=True,
+    ),
+    FaultSiteSpec(
+        "flux_term",
+        resource="fpu",
+        description="one face flux corrupted for one step; moves mass "
+        "between neighbours conservatively",
+    ),
+    FaultSiteSpec(
+        "amr_map",
+        resource="control_logic",
+        description="a mis-refinement conservatively coarsens a block; "
+        "mass-preserving accuracy loss",
+    ),
+)
+
+
+class Clamr(Kernel):
+    """Circular dam break on an ``n x n`` grid for ``steps`` timesteps.
+
+    Args:
+        n: grid side (the paper uses 512 with 5000 timesteps; defaults are
+            scaled down for campaign throughput — the propagation physics is
+            size independent).
+        steps: number of timesteps.
+        h_inside: dam height inside the circle.
+        h_outside: ambient water height.
+        seed: reserved for interface symmetry (the dam break is
+            deterministic).
+        remesh_every: AMR recomputation interval, in steps.
+        coarsen_fraction: AMR smoothness tolerance as a fraction of the dam
+            contrast ``h_inside - h_outside``; 2x2 blocks whose height
+            range stays below it are conservatively coarsened at every
+            remesh.  This is the mesh-decision feedback that keeps
+            radiation errors alive (see :func:`coarsen_smooth_blocks`);
+            0 disables coarsening (uniform fine mesh).
+        scheme: ``"rusanov"`` (first order, the default — heavy numerical
+            diffusion, like the most robust production settings) or
+            ``"muscl"`` (second-order MUSCL reconstruction with a minmod
+            limiter over Rusanov interface fluxes — sharper fronts, less
+            diffusion).  The scheme is an error-criticality variable in its
+            own right: numerical diffusion is an accidental error-masking
+            mechanism, and the ablation benchmark measures how much.
+    """
+
+    name = "clamr"
+
+    def __init__(
+        self,
+        n: int = 96,
+        steps: int = 240,
+        *,
+        h_inside: float = 10.0,
+        h_outside: float = 2.0,
+        seed: int = 2017,
+        remesh_every: int = 8,
+        coarsen_fraction: float = 0.02,
+        scheme: str = "rusanov",
+        snapshot_every: int | None = None,
+    ):
+        super().__init__()
+        if n < 8 or n % 2:
+            raise ValueError("n must be >= 8 and even")
+        if coarsen_fraction < 0:
+            raise ValueError("coarsen_fraction must be non-negative")
+        if scheme not in ("rusanov", "muscl"):
+            raise ValueError(f"unknown scheme {scheme!r}; use rusanov or muscl")
+        self.scheme = scheme
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        if not 0 < h_outside < h_inside:
+            raise ValueError("need 0 < h_outside < h_inside")
+        self.n = n
+        self.steps = steps
+        self.h_inside = h_inside
+        self.h_outside = h_outside
+        self.seed = seed
+        self.remesh_every = remesh_every
+        self.coarsen_threshold = coarsen_fraction * (h_inside - h_outside)
+        self.snapshot_every = snapshot_every or max(1, steps // 16)
+        self.dx = 1.0
+        #: initial CFL timestep estimate; the solver recomputes dt from the
+        #: live state every step (CLAMR's CFL-adaptive timestepping).  This
+        #: adaptivity is itself an error-criticality mechanism: a corrupted
+        #: huge (or tiny) height drives the wave speed up, the timestep
+        #: toward zero, and physical time stalls over the fixed step count —
+        #: the output then differs from the golden run across the entire
+        #: active region by the size of the missed dynamics, which is how
+        #: CLAMR SDCs reach the paper's 25-50% mean relative errors.
+        self.dt0 = CFL * self.dx / np.sqrt(GRAVITY * h_inside * 4.0)
+
+    # -- initial condition --------------------------------------------------------
+
+    def initial_state(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The circular dam break: still water, raised disc in the centre."""
+        coords = np.arange(self.n) - (self.n - 1) / 2.0
+        yy, xx = np.meshgrid(coords, coords, indexing="ij")
+        inside = xx**2 + yy**2 <= (self.n / 6.0) ** 2
+        h = np.where(inside, self.h_inside, self.h_outside).astype(np.float64)
+        return h, np.zeros_like(h), np.zeros_like(h)
+
+    # -- solver ----------------------------------------------------------------------
+
+    @staticmethod
+    def _phys_flux_x(h, hu, hv):
+        u = hu / h
+        return hu, hu * u + 0.5 * GRAVITY * h * h, hv * u
+
+    @staticmethod
+    def _phys_flux_y(h, hu, hv):
+        v = hv / h
+        return hv, hu * v, hv * v + 0.5 * GRAVITY * h * h
+
+    def _step(self, h, hu, hv):
+        """One conservative Rusanov update with reflective walls.
+
+        Corrupted state may legitimately overflow here; the resulting
+        non-finite values are caught by :meth:`_check_state` and turned into
+        a crash, so numpy warnings are suppressed for the update.
+        """
+        with np.errstate(all="ignore"):
+            if self.scheme == "muscl":
+                return self._step_muscl(h, hu, hv)
+            return self._step_impl(h, hu, hv)
+
+    # -- second-order MUSCL scheme ---------------------------------------------
+
+    @staticmethod
+    def _minmod(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """The minmod slope limiter: 0 at extrema, the smaller slope else."""
+        return np.where(a * b <= 0.0, 0.0, np.where(np.abs(a) < np.abs(b), a, b))
+
+    def _pad2(self, h, hu, hv):
+        """Two reflective ghost layers: mirrored state, negated normal
+        momentum at each wall."""
+        hp = np.pad(h, 2, mode="symmetric")
+        hup = np.pad(hu, 2, mode="symmetric")
+        hvp = np.pad(hv, 2, mode="symmetric")
+        hup[:, :2] *= -1.0
+        hup[:, -2:] *= -1.0
+        hvp[:2, :] *= -1.0
+        hvp[-2:, :] *= -1.0
+        return hp, hup, hvp
+
+    def _muscl_flux_1d(self, h, hn, ht):
+        """MUSCL-reconstructed Rusanov fluxes along axis 1.
+
+        Args:
+            h / hn / ht: padded (2 ghosts per side) depth, *normal* momentum
+                and *transverse* momentum.
+
+        Returns:
+            ``(f_h, f_hn, f_ht, smax)`` — interface fluxes of shape
+            ``(rows, n + 1)`` restricted to interior rows, and the largest
+            interface wave speed (for the CFL timestep).
+        """
+        def slopes(u):
+            return self._minmod(u[:, 1:-1] - u[:, :-2], u[:, 2:] - u[:, 1:-1])
+
+        rows = slice(2, -2)
+        cells = [u[rows, 1:-1] for u in (h, hn, ht)]
+        slps = [slopes(u)[rows] for u in (h, hn, ht)]
+
+        # Interface states: left cell's right face / right cell's left face.
+        # The minmod limiter is TVD, so reconstructed depths stay within
+        # neighbouring cell values — positivity is preserved.
+        left = [c[:, :-1] + 0.5 * s[:, :-1] for c, s in zip(cells, slps)]
+        right = [c[:, 1:] - 0.5 * s[:, 1:] for c, s in zip(cells, slps)]
+
+        def phys(hh, nn, tt):
+            u = nn / hh
+            return nn, nn * u + 0.5 * GRAVITY * hh * hh, tt * u
+
+        flux_left = phys(*left)
+        flux_right = phys(*right)
+        speed = np.maximum(
+            np.abs(left[1] / left[0]) + np.sqrt(GRAVITY * left[0]),
+            np.abs(right[1] / right[0]) + np.sqrt(GRAVITY * right[0]),
+        )
+        fluxes = [
+            0.5 * (fl + fr) - 0.5 * speed * (ur - ul)
+            for fl, fr, ul, ur in zip(flux_left, flux_right, left, right)
+        ]
+        smax = float(speed.max())
+        return fluxes[0], fluxes[1], fluxes[2], smax
+
+    def _step_muscl(self, h, hu, hv):
+        hp, hup, hvp = self._pad2(h, hu, hv)
+        fx_h, fx_hn, fx_ht, ax = self._muscl_flux_1d(hp, hup, hvp)
+        fy_h, fy_hn, fy_ht, ay = self._muscl_flux_1d(hp.T, hvp.T, hup.T)
+
+        smax = max(ax, ay)
+        if not np.isfinite(smax) or smax <= 0.0:
+            raise KernelCrashError("clamr: CFL computation diverged")
+        lam = CFL * (self.dx / smax) / self.dx
+
+        def div(fx, fy):
+            return lam * (fx[:, 1:] - fx[:, :-1]) + lam * (fy[:, 1:] - fy[:, :-1]).T
+
+        return (
+            h - div(fx_h, fy_h),
+            hu - div(fx_hn, fy_ht),
+            hv - div(fx_ht, fy_hn),
+        )
+
+    # -- first-order Rusanov scheme ----------------------------------------------
+
+    def _step_impl(self, h, hu, hv):
+        # Reflective ghost cells: mirrored state, negated normal momentum.
+        hp = np.pad(h, 1, mode="edge")
+        hup = np.pad(hu, 1, mode="edge")
+        hvp = np.pad(hv, 1, mode="edge")
+        hup[:, 0] = -hup[:, 1]
+        hup[:, -1] = -hup[:, -2]
+        hvp[0, :] = -hvp[1, :]
+        hvp[-1, :] = -hvp[-2, :]
+
+        c = np.sqrt(GRAVITY * hp)
+        speed_x = np.abs(hup / hp) + c
+        speed_y = np.abs(hvp / hp) + c
+        smax = max(float(speed_x.max()), float(speed_y.max()))
+        if not np.isfinite(smax) or smax <= 0.0:
+            raise KernelCrashError("clamr: CFL computation diverged")
+        dt = CFL * self.dx / smax
+
+        fh, fhu, fhv = self._phys_flux_x(hp, hup, hvp)
+        a = np.maximum(speed_x[:, :-1], speed_x[:, 1:])
+        flux_x = [
+            0.5 * (f[:, :-1] + f[:, 1:]) - 0.5 * a * (u[:, 1:] - u[:, :-1])
+            for f, u in ((fh, hp), (fhu, hup), (fhv, hvp))
+        ]
+
+        gh, ghu, ghv = self._phys_flux_y(hp, hup, hvp)
+        b = np.maximum(speed_y[:-1, :], speed_y[1:, :])
+        flux_y = [
+            0.5 * (g[:-1, :] + g[1:, :]) - 0.5 * b * (u[1:, :] - u[:-1, :])
+            for g, u in ((gh, hp), (ghu, hup), (ghv, hvp))
+        ]
+
+        lam = dt / self.dx
+        rows = slice(1, -1)
+        out = []
+        for state, fx, fy in zip((h, hu, hv), flux_x, flux_y):
+            out.append(
+                state
+                - lam * (fx[rows, 1:] - fx[rows, :-1])
+                - lam * (fy[1:, rows] - fy[:-1, rows])
+            )
+        return tuple(out)
+
+    def _check_state(self, h, hu, hv):
+        with np.errstate(all="ignore"):
+            total = float(h.sum() + hu.sum() + hv.sum())
+        if not np.isfinite(total):
+            raise KernelCrashError("clamr: non-finite state")
+        if float(h.min()) <= 0.0:
+            raise KernelCrashError("clamr: non-positive water depth")
+
+    # -- execution ------------------------------------------------------------------------
+
+    def _simulate(
+        self,
+        start_step: int,
+        state: tuple[np.ndarray, np.ndarray, np.ndarray],
+        fault: KernelFault | None,
+        strike_step: int,
+        record_states: bool,
+    ) -> ExecutionOutput:
+        h, hu, hv = (a.copy() for a in state)
+        rng = fault.rng() if fault is not None else None
+
+        states: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        if record_states:
+            states[start_step] = (h.copy(), hu.copy(), hv.copy())
+        cell_counts: list[int] = []
+        imbalance: list[float] = []
+        mesh = RefinementMap.from_height_field(h)
+
+        for step in range(start_step, self.steps):
+            if fault is not None and step == strike_step:
+                h, hu, hv = self._inject(fault, rng, h, hu, hv)
+                self._check_state(h, hu, hv)
+            h, hu, hv = self._step(h, hu, hv)
+            self._check_state(h, hu, hv)
+            done = step + 1
+            if done % self.remesh_every == 0 or done == self.steps:
+                mesh = RefinementMap.from_height_field(h)
+                if self.coarsen_threshold > 0:
+                    (h, hu, hv), __ = coarsen_smooth_blocks(
+                        (h, hu, hv), h, self.coarsen_threshold
+                    )
+            cell_counts.append(mesh.thread_count())
+            imbalance.append(mesh.load_imbalance())
+            if record_states and (
+                done % self.snapshot_every == 0 or done == self.steps
+            ):
+                states[done] = (h.copy(), hu.copy(), hv.copy())
+
+        aux = {
+            "mass": float(h.sum()),
+            "initial_mass": float(self.initial_state()[0].sum()),
+            "momentum": (float(hu.sum()), float(hv.sum())),
+            "cell_counts": cell_counts,
+            "load_imbalance": imbalance,
+            "final_mesh": mesh,
+        }
+        if record_states:
+            aux["states"] = states
+        # Checkpoint files store fixed-precision values (one decimal, then
+        # single precision): the host's output compare sees quantised
+        # heights, so sub-resolution numerical noise — e.g. the global
+        # timestep ripple a low-mantissa corruption causes through the
+        # CFL-adaptive dt — is masked, exactly as a file-diffing beam host
+        # masks it.  The in-run conservation data (aux) stays double
+        # precision, as in CLAMR itself.
+        with np.errstate(all="ignore"):
+            checkpoint = np.round(h, 1).astype(np.float32)
+        return ExecutionOutput(output=checkpoint, aux=aux)
+
+    def _execute(self, fault: KernelFault | None) -> ExecutionOutput:
+        if fault is None:
+            return self._simulate(0, self.initial_state(), None, -1, record_states=True)
+        strike_step = int(fault.progress * self.steps)
+        states = self.golden().aux["states"]
+        start = max(s for s in states if s <= strike_step)
+        result = self._simulate(
+            start, states[start], fault, strike_step, record_states=False
+        )
+        return result
+
+    # -- fault injection ------------------------------------------------------------------
+
+    def _inject(self, fault: KernelFault, rng, h, hu, hv):
+        if fault.site in ("cell_h", "cache_line_h", "vector_cells_h"):
+            r = int(rng.integers(self.n))
+            c0 = int(rng.integers(self.n))
+            c1 = min(c0 + fault.extent, self.n)
+            h = h.copy()
+            h[r, c0:c1] = fault.flip.apply(h[r, c0:c1], rng)
+        elif fault.site == "cell_momentum":
+            r = int(rng.integers(self.n))
+            c0 = int(rng.integers(self.n))
+            c1 = min(c0 + fault.extent, self.n)
+            strike_hu = bool(rng.integers(2) == 0)
+            target = (hu if strike_hu else hv).copy()
+            target[r, c0:c1] = fault.flip.apply(target[r, c0:c1], rng)
+            if strike_hu:
+                hu = target
+            else:
+                hv = target
+        elif fault.site == "flux_term":
+            # A wrong face flux moves a parcel between two adjacent cells.
+            r = int(rng.integers(self.n))
+            c = int(rng.integers(self.n - 1))
+            parcel = fault.flip.apply_scalar(float(h[r, c]), rng) - float(h[r, c])
+            parcel *= self.dt0 / self.dx
+            h = h.copy()
+            h[r, c] += parcel
+            h[r, c + 1] -= parcel
+        elif fault.site == "amr_map":
+            r = int(rng.integers(self.n - 1))
+            c = int(rng.integers(self.n - 1))
+            h = coarsen_block(h, r, c, size=2)
+        else:  # pragma: no cover - guarded by Kernel.run
+            raise KeyError(fault.site)
+        return h, hu, hv
+
+    # -- protocol -----------------------------------------------------------------------------
+
+    @property
+    def classification(self) -> KernelClassification:
+        return TABLE_I["clamr"]
+
+    def thread_count(self) -> int:
+        """Table II: one thread per cell, "or more" once AMR refines."""
+        mesh = RefinementMap.from_height_field(self.initial_state()[0])
+        return max(self.n * self.n, mesh.thread_count())
+
+    def dataset_bits(self) -> float:
+        """The (h, hu, hv) state in double precision, plus the level map."""
+        return self.n * self.n * (3.0 * 64 + 8)
+
+    def fault_sites(self) -> tuple[FaultSiteSpec, ...]:
+        return _SITES

@@ -1,0 +1,89 @@
+"""Kernel classification — the paper's Table I.
+
+Each benchmark is classified along three axes that the paper uses to argue
+its results generalise to wider algorithm classes: the resource bounding
+execution, the load balance, and the regularity of memory accesses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Bound(enum.Enum):
+    """Resource bounding the execution."""
+
+    CPU = "CPU"
+    MEMORY = "Memory"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class LoadBalance(enum.Enum):
+    """Whether work divides evenly across the parallel resources."""
+
+    BALANCED = "Balanced"
+    IMBALANCED = "Imbalanced"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class MemoryAccess(enum.Enum):
+    """Regularity of the memory access pattern (coalescing-friendliness)."""
+
+    REGULAR = "Regular"
+    IRREGULAR = "Irregular"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class KernelClassification:
+    """One row of the paper's Table I, plus the application domain/class."""
+
+    bound: Bound
+    load_balance: LoadBalance
+    memory_access: MemoryAccess
+    domain: str            #: Table II "Domain" column
+    berkeley_class: str    #: the Berkeley dwarf / application class ([3])
+
+    def as_row(self) -> tuple[str, str, str]:
+        """The (bound, balance, access) cells as printed in Table I."""
+        return (str(self.bound), str(self.load_balance), str(self.memory_access))
+
+
+#: The paper's Table I verbatim.
+TABLE_I: dict[str, KernelClassification] = {
+    "dgemm": KernelClassification(
+        bound=Bound.CPU,
+        load_balance=LoadBalance.BALANCED,
+        memory_access=MemoryAccess.REGULAR,
+        domain="Linear algebra",
+        berkeley_class="Dense Linear Algebra",
+    ),
+    "lavamd": KernelClassification(
+        bound=Bound.MEMORY,
+        load_balance=LoadBalance.IMBALANCED,
+        memory_access=MemoryAccess.REGULAR,
+        domain="Molecular dynamics",
+        berkeley_class="N-Body Methods",
+    ),
+    "hotspot": KernelClassification(
+        bound=Bound.MEMORY,
+        load_balance=LoadBalance.BALANCED,
+        memory_access=MemoryAccess.REGULAR,
+        domain="Physics simulation",
+        berkeley_class="Structured Grid",
+    ),
+    "clamr": KernelClassification(
+        bound=Bound.CPU,
+        load_balance=LoadBalance.IMBALANCED,
+        memory_access=MemoryAccess.IRREGULAR,
+        domain="Fluid dynamics",
+        berkeley_class="Structured Grid (AMR)",
+    ),
+}

@@ -1,0 +1,253 @@
+"""DGEMM — dense matrix multiplication with fault hooks.
+
+The paper's representative of highly arithmetic, compute-bound codes with
+static partitioning and regular access (Section IV-B): ``C = A @ B`` over
+double precision, executed as a grid of thread blocks each owning a
+``tile x tile`` patch of ``C`` and sweeping the shared dimension.
+
+Because the product is *linear* in each input element, the corrupted output
+for input-side faults is computed exactly as ``golden + delta`` — the delta
+of a corrupted ``A[i, k]`` is ``(a' - a) * B[k, j]`` over every output
+column ``j`` consumed after the strike.  Compute-side faults (accumulators,
+FMA terms, mis-scheduled blocks) are recomputed directly.  Either way the
+observed corruption is the one the real algorithm produces, which is what
+gives the paper's locality taxonomy its meaning here:
+
+* corrupted ``A`` element/line → (partial) row of ``C`` — **line**;
+* corrupted ``B`` element → column of ``C`` — **line**;
+* corrupted block-private shared-memory tile → patch of ``C`` — **square**;
+* corrupted accumulator register → one element — **single**;
+* mis-scheduled scattered threads → isolated elements — **random**.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util.rng import stable_seed
+from repro.kernels.base import ExecutionOutput, FaultSiteSpec, Kernel, KernelFault
+from repro.kernels.classification import TABLE_I, KernelClassification
+from repro.kernels.inputs import balanced_matrix
+
+#: Table II: each DGEMM thread produces 16 output elements.
+ELEMENTS_PER_THREAD = 16
+
+_SITES = (
+    FaultSiteSpec(
+        "input_a",
+        resource="l2_cache",
+        description="an element (or cache line) of A corrupted in cache; "
+        "consumers reading it after the strike produce a partial row of C",
+        supports_extent=True,
+    ),
+    FaultSiteSpec(
+        "input_b",
+        resource="l2_cache",
+        description="an element (or cache line) of B corrupted in cache; "
+        "produces (partial) columns of C",
+        supports_extent=True,
+    ),
+    FaultSiteSpec(
+        "shared_tile",
+        resource="local_memory",
+        description="a B-tile value in one block's shared memory; corrupts a "
+        "patch of C confined to that block",
+        supports_extent=True,
+    ),
+    FaultSiteSpec(
+        "accumulator",
+        resource="register_file",
+        description="the accumulator register of one C element",
+    ),
+    FaultSiteSpec(
+        "product_term",
+        resource="fpu",
+        description="one FMA product corrupted in flight; perturbs a single "
+        "term of one element's N-term sum",
+    ),
+    FaultSiteSpec(
+        "vector_lane",
+        resource="vector_unit",
+        description="adjacent lanes of a vector register holding C elements "
+        "corrupted at writeback",
+        supports_extent=True,
+    ),
+    FaultSiteSpec(
+        "scheduler_block",
+        resource="scheduler",
+        description="a thread block mis-dispatched; its C tile sums only a "
+        "truncated share of the K dimension",
+    ),
+    FaultSiteSpec(
+        "scheduler_threads",
+        resource="scheduler",
+        description="scattered threads mis-scheduled; isolated C elements "
+        "carry truncated sums",
+        supports_extent=True,
+    ),
+)
+
+
+class Dgemm(Kernel):
+    """``C = A @ B`` on ``n x n`` double-precision matrices.
+
+    Args:
+        n: matrix side (the paper sweeps 2^10..2^13).
+        tile: thread-block tile side for block-level fault extents.
+        seed: input-generation seed (the inputs have the paper's balanced-bit
+            and size-subset properties).
+    """
+
+    name = "dgemm"
+
+    def __init__(self, n: int = 1024, *, tile: int = 16, seed: int = 2017):
+        super().__init__()
+        if n < 2:
+            raise ValueError("n must be >= 2")
+        if not 1 <= tile <= n:
+            raise ValueError("tile must be in [1, n]")
+        self.n = n
+        self.tile = tile
+        self.seed = seed
+        self._a: np.ndarray | None = None
+        self._b: np.ndarray | None = None
+
+    # Inputs are built lazily: analyses that only need thread counts and
+    # dataset sizes (e.g. paper-scale FIT projection) never materialise the
+    # matrices.
+    @property
+    def a(self) -> np.ndarray:
+        if self._a is None:
+            self._a = balanced_matrix(self.seed, "dgemm.a", (self.n, self.n))
+        return self._a
+
+    @property
+    def b(self) -> np.ndarray:
+        if self._b is None:
+            self._b = balanced_matrix(self.seed, "dgemm.b", (self.n, self.n))
+        return self._b
+
+    # -- protocol ---------------------------------------------------------------
+
+    @property
+    def classification(self) -> KernelClassification:
+        return TABLE_I["dgemm"]
+
+    def thread_count(self) -> int:
+        """Table II: ``side^2 / 16`` threads."""
+        return self.n * self.n // ELEMENTS_PER_THREAD
+
+    def dataset_bits(self) -> float:
+        """A, B and C in double precision."""
+        return 3.0 * self.n * self.n * 64
+
+    def fault_sites(self) -> tuple[FaultSiteSpec, ...]:
+        return _SITES
+
+    # -- execution --------------------------------------------------------------
+
+    def _execute(self, fault: KernelFault | None) -> ExecutionOutput:
+        if fault is None:
+            return ExecutionOutput(output=self.a @ self.b)
+        golden = self.golden().output
+        handler = getattr(self, f"_fault_{fault.site}")
+        # Corrupted operands may legitimately overflow; the resulting
+        # Inf/NaN elements are themselves the observed corruption.
+        with np.errstate(all="ignore"):
+            return ExecutionOutput(output=handler(golden.copy(), fault))
+
+    # -- fault handlers -----------------------------------------------------------
+    #
+    # Each handler picks the victim location from the fault's private RNG,
+    # corrupts it with the fault's flip model, and computes the corrupted
+    # output the real algorithm would produce.
+
+    def _fault_input_a(self, c: np.ndarray, fault: KernelFault) -> np.ndarray:
+        rng = fault.rng()
+        i = int(rng.integers(self.n))
+        k0 = int(rng.integers(self.n))
+        j_start = int(fault.progress * self.n)
+        for k in range(k0, min(k0 + fault.extent, self.n)):
+            original = self.a[i, k]
+            corrupted = fault.flip.apply_scalar(original, rng)
+            c[i, j_start:] += (corrupted - original) * self.b[k, j_start:]
+        return c
+
+    def _fault_input_b(self, c: np.ndarray, fault: KernelFault) -> np.ndarray:
+        rng = fault.rng()
+        k = int(rng.integers(self.n))
+        j0 = int(rng.integers(self.n))
+        i_start = int(fault.progress * self.n)
+        for j in range(j0, min(j0 + fault.extent, self.n)):
+            original = self.b[k, j]
+            corrupted = fault.flip.apply_scalar(original, rng)
+            c[i_start:, j] += (corrupted - original) * self.a[i_start:, k]
+        return c
+
+    def _fault_shared_tile(self, c: np.ndarray, fault: KernelFault) -> np.ndarray:
+        rng = fault.rng()
+        bi = int(rng.integers(self.n // self.tile)) * self.tile
+        bj = int(rng.integers(self.n // self.tile)) * self.tile
+        k = int(rng.integers(self.n))
+        j_off = int(rng.integers(self.tile))
+        rows = slice(bi, bi + self.tile)
+        for j in range(bj + j_off, min(bj + j_off + fault.extent, bj + self.tile)):
+            original = self.b[k, j]
+            corrupted = fault.flip.apply_scalar(original, rng)
+            c[rows, j] += (corrupted - original) * self.a[rows, k]
+        return c
+
+    def _fault_accumulator(self, c: np.ndarray, fault: KernelFault) -> np.ndarray:
+        rng = fault.rng()
+        i = int(rng.integers(self.n))
+        j = int(rng.integers(self.n))
+        c[i, j] = fault.flip.apply_scalar(c[i, j], rng)
+        return c
+
+    def _fault_product_term(self, c: np.ndarray, fault: KernelFault) -> np.ndarray:
+        rng = fault.rng()
+        i = int(rng.integers(self.n))
+        j = int(rng.integers(self.n))
+        k = int(rng.integers(self.n))
+        product = self.a[i, k] * self.b[k, j]
+        c[i, j] += fault.flip.apply_scalar(product, rng) - product
+        return c
+
+    def _fault_vector_lane(self, c: np.ndarray, fault: KernelFault) -> np.ndarray:
+        rng = fault.rng()
+        i = int(rng.integers(self.n))
+        j0 = int(rng.integers(self.n))
+        j1 = min(j0 + fault.extent, self.n)
+        c[i, j0:j1] = fault.flip.apply(c[i, j0:j1], rng)
+        return c
+
+    def _fault_scheduler_block(self, c: np.ndarray, fault: KernelFault) -> np.ndarray:
+        rng = fault.rng()
+        bi = int(rng.integers(self.n // self.tile)) * self.tile
+        bj = int(rng.integers(self.n // self.tile)) * self.tile
+        k_cut = int(fault.progress * self.n)
+        rows = slice(bi, bi + self.tile)
+        cols = slice(bj, bj + self.tile)
+        c[rows, cols] = self.a[rows, :k_cut] @ self.b[:k_cut, cols]
+        return c
+
+    def _fault_scheduler_threads(self, c: np.ndarray, fault: KernelFault) -> np.ndarray:
+        rng = fault.rng()
+        count = min(fault.extent, self.n * self.n)
+        flat = rng.choice(self.n * self.n, size=count, replace=False)
+        for idx in flat:
+            i, j = divmod(int(idx), self.n)
+            k_cut = int(rng.uniform(fault.progress, 1.0) * self.n)
+            c[i, j] = float(self.a[i, :k_cut] @ self.b[:k_cut, j])
+        return c
+
+    # -- helpers for ABFT studies ---------------------------------------------------
+
+    def golden_checksums(self) -> tuple[np.ndarray, np.ndarray]:
+        """(row sums, column sums) of the golden product, as ABFT would carry."""
+        golden = self.golden().output
+        return golden.sum(axis=1), golden.sum(axis=0)
+
+    def make_fault_seed(self, index: int) -> int:
+        """Stable per-execution fault seed for campaign reproducibility."""
+        return stable_seed(self.seed, "dgemm-fault", index)

@@ -1,0 +1,276 @@
+"""HotSpot — the Rodinia 2-D thermal stencil with fault hooks.
+
+HotSpot estimates processor temperature by iterating a 2-D stencil over an
+architectural floor plan: each cell's next temperature is an affine
+combination of its own temperature, its four neighbours, its power input and
+the ambient sink (single-precision, as in the paper).  The physical
+constants and the update rule follow the Rodinia reference implementation.
+
+The update is a *contraction*: any injected disturbance spreads to the
+neighbourhood (raising the incorrect-element count) while its amplitude
+decays towards equilibrium — exactly the error-dissipation behaviour the
+paper measures (Section V-C: low mean relative error, square/line patterns,
+80–95% of faulty runs fully below the 2% tolerance).
+
+Faulty runs re-execute the real stencil from the snapshot preceding the
+strike, so the measured propagation is genuine.  Golden runs record
+periodic snapshots both to restart from and to calibrate the entropy
+detector the paper proposes for stencils.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import (
+    ExecutionOutput,
+    FaultSiteSpec,
+    Kernel,
+    KernelCrashError,
+    KernelFault,
+)
+from repro.kernels.classification import TABLE_I, KernelClassification
+from repro.kernels.inputs import balanced_matrix
+
+# Rodinia hotspot constants.
+AMBIENT_TEMP = 80.0
+MAX_PD = 3.0e6
+PRECISION = 0.001
+SPEC_HEAT_SI = 1.75e6
+K_SI = 100.0
+FACTOR_CHIP = 0.5
+T_CHIP = 0.0005
+CHIP_HEIGHT = 0.016
+CHIP_WIDTH = 0.016
+
+_SITES = (
+    FaultSiteSpec(
+        "cell_temp",
+        resource="register_file",
+        description="a cell temperature corrupted between iterations; the "
+        "delta diffuses over the remaining iterations",
+        supports_extent=True,
+    ),
+    FaultSiteSpec(
+        "cell_line",
+        resource="l2_cache",
+        description="a cache line of adjacent cell temperatures corrupted",
+        supports_extent=True,
+    ),
+    FaultSiteSpec(
+        "tile_cells",
+        resource="local_memory",
+        description="adjacent cell temperatures corrupted in a block's "
+        "shared-memory tile",
+        supports_extent=True,
+    ),
+    FaultSiteSpec(
+        "vector_cells",
+        resource="vector_unit",
+        description="adjacent cell temperatures corrupted in vector-register "
+        "lanes at writeback",
+        supports_extent=True,
+    ),
+    FaultSiteSpec(
+        "power_input",
+        resource="l2_cache",
+        description="a cell of the (read-every-iteration) power grid "
+        "corrupted; acts as a persistent wrong source term",
+        supports_extent=True,
+    ),
+    FaultSiteSpec(
+        "fpu_term",
+        resource="fpu",
+        description="one cell's freshly computed update corrupted in the "
+        "datapath for a single iteration",
+    ),
+    FaultSiteSpec(
+        "block_skip",
+        resource="scheduler",
+        description="a mis-scheduled tile misses one iteration's update; "
+        "its cells lag one timestep behind",
+    ),
+)
+
+
+class HotSpot(Kernel):
+    """Rodinia HotSpot on an ``n x n`` grid for ``iterations`` steps.
+
+    Args:
+        n: grid side (the paper uses 1024).
+        iterations: simulation steps.
+        tile: tile side used by the scheduler fault.
+        seed: input-generation seed.
+        snapshot_every: golden-state checkpoint interval, in iterations
+            (also the entropy-detector calibration points).
+    """
+
+    name = "hotspot"
+
+    def __init__(
+        self,
+        n: int = 256,
+        iterations: int = 128,
+        *,
+        tile: int = 16,
+        seed: int = 2017,
+        snapshot_every: int | None = None,
+    ):
+        super().__init__()
+        if n < 4:
+            raise ValueError("n must be >= 4")
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        self.n = n
+        self.iterations = iterations
+        self.tile = min(tile, n)
+        self.seed = seed
+        self.snapshot_every = snapshot_every or max(1, iterations // 16)
+
+        grid_h = CHIP_HEIGHT / n
+        grid_w = CHIP_WIDTH / n
+        cap = FACTOR_CHIP * SPEC_HEAT_SI * T_CHIP * grid_w * grid_h
+        self.rx = grid_w / (2.0 * K_SI * T_CHIP * grid_h)
+        self.ry = grid_h / (2.0 * K_SI * T_CHIP * grid_w)
+        self.rz = T_CHIP / (K_SI * grid_h * grid_w)
+        max_slope = MAX_PD / (FACTOR_CHIP * T_CHIP * SPEC_HEAT_SI)
+        self.step_div_cap = np.float32((PRECISION / max_slope) / cap)
+
+        # Initial temperatures around 323 K with balanced-bit variation;
+        # power densities positive, scaled to a realistic fraction of MAX_PD.
+        variation = balanced_matrix(seed, "hotspot.temp", (n, n))
+        self.initial_temp = (323.0 + 5.0 * variation).astype(np.float32)
+        power_raw = np.abs(balanced_matrix(seed, "hotspot.power", (n, n)))
+        self.power = (0.1 * MAX_PD * T_CHIP * power_raw / power_raw.max()).astype(
+            np.float32
+        )
+
+    # -- protocol ---------------------------------------------------------------
+
+    @property
+    def classification(self) -> KernelClassification:
+        return TABLE_I["hotspot"]
+
+    def thread_count(self) -> int:
+        """Table II: one thread per cell."""
+        return self.n * self.n
+
+    def dataset_bits(self) -> float:
+        """Temperature and power grids, single precision."""
+        return 2.0 * self.n * self.n * 32
+
+    def fault_sites(self) -> tuple[FaultSiteSpec, ...]:
+        return _SITES
+
+    # -- simulation --------------------------------------------------------------
+
+    def _step(self, temp: np.ndarray, power: np.ndarray) -> np.ndarray:
+        """One explicit stencil update (Rodinia update rule, edge-clamped).
+
+        Corrupted temperatures may overflow float32; the non-finite result
+        is caught at the end of the faulty run and becomes a crash.
+        """
+        with np.errstate(all="ignore"):
+            return self._step_impl(temp, power)
+
+    def _step_impl(self, temp: np.ndarray, power: np.ndarray) -> np.ndarray:
+        padded = np.pad(temp, 1, mode="edge")
+        north = padded[:-2, 1:-1]
+        south = padded[2:, 1:-1]
+        west = padded[1:-1, :-2]
+        east = padded[1:-1, 2:]
+        delta = self.step_div_cap * (
+            power
+            + (north + south - 2.0 * temp) / np.float32(self.ry)
+            + (east + west - 2.0 * temp) / np.float32(self.rx)
+            + (np.float32(AMBIENT_TEMP) - temp) / np.float32(self.rz)
+        )
+        return temp + delta
+
+    def _execute(self, fault: KernelFault | None) -> ExecutionOutput:
+        if fault is None:
+            return self._run_clean()
+        return self._run_faulty(fault)
+
+    def _run_clean(self) -> ExecutionOutput:
+        temp = self.initial_temp.copy()
+        snapshots: list[np.ndarray] = []
+        checkpoints: list[int] = []
+        states: dict[int, np.ndarray] = {0: temp.copy()}
+        for it in range(self.iterations):
+            temp = self._step(temp, self.power)
+            step_done = it + 1
+            if step_done % self.snapshot_every == 0 or step_done == self.iterations:
+                snapshots.append(temp.copy())
+                checkpoints.append(step_done)
+                states[step_done] = temp.copy()
+        return ExecutionOutput(
+            output=temp,
+            aux={"snapshots": snapshots, "checkpoints": checkpoints, "states": states},
+        )
+
+    def _restart_point(self, strike_iter: int) -> tuple[int, np.ndarray]:
+        """Latest golden checkpoint at or before the strike iteration."""
+        states = self.golden().aux["states"]
+        best = max(k for k in states if k <= strike_iter)
+        return best, states[best].copy()
+
+    def _run_faulty(self, fault: KernelFault) -> ExecutionOutput:
+        strike_iter = int(fault.progress * self.iterations)
+        start, temp = self._restart_point(strike_iter)
+        power = self.power
+        rng = fault.rng()
+        snapshots: list[np.ndarray] = []
+
+        frozen_tile: tuple[slice, slice] | None = None
+        corrupt_cell: tuple[int, int] | None = None
+
+        if fault.site in ("cell_temp", "cell_line", "tile_cells", "vector_cells"):
+            r = int(rng.integers(self.n))
+            c0 = int(rng.integers(self.n))
+            c1 = min(c0 + fault.extent, self.n)
+        elif fault.site == "power_input":
+            r = int(rng.integers(self.n))
+            c0 = int(rng.integers(self.n))
+            c1 = min(c0 + fault.extent, self.n)
+            power = self.power.copy()
+        elif fault.site == "fpu_term":
+            corrupt_cell = (int(rng.integers(self.n)), int(rng.integers(self.n)))
+        elif fault.site == "block_skip":
+            br = int(rng.integers(max(1, self.n // self.tile))) * self.tile
+            bc = int(rng.integers(max(1, self.n // self.tile))) * self.tile
+            frozen_tile = (slice(br, br + self.tile), slice(bc, bc + self.tile))
+
+        for it in range(start, self.iterations):
+            if it == strike_iter:
+                if fault.site in ("cell_temp", "cell_line", "tile_cells", "vector_cells"):
+                    temp[r, c0:c1] = fault.flip.apply(temp[r, c0:c1], rng)
+                elif fault.site == "power_input":
+                    power[r, c0:c1] = fault.flip.apply(power[r, c0:c1], rng)
+            if frozen_tile is not None and it == strike_iter:
+                before = temp[frozen_tile].copy()
+                temp = self._step(temp, power)
+                temp[frozen_tile] = before
+            else:
+                temp = self._step(temp, power)
+            if corrupt_cell is not None and it == strike_iter:
+                i, j = corrupt_cell
+                temp[i, j] = fault.flip.apply(
+                    np.array([temp[i, j]], dtype=np.float32), rng
+                )[0]
+            step_done = it + 1
+            if step_done % self.snapshot_every == 0 or step_done == self.iterations:
+                snapshots.append(temp.copy())
+
+        if not np.all(np.isfinite(temp)):
+            raise KernelCrashError("hotspot: non-finite temperatures")
+        # Snapshots before the restart point are identical to the golden ones.
+        golden_aux = self.golden().aux
+        prefix = [
+            s for s, cp in zip(golden_aux["snapshots"], golden_aux["checkpoints"])
+            if cp <= start
+        ]
+        return ExecutionOutput(
+            output=temp,
+            aux={"snapshots": prefix + snapshots, "checkpoints": golden_aux["checkpoints"]},
+        )

@@ -1,0 +1,37 @@
+"""Kernel registry: build kernels by name with per-experiment configuration.
+
+The analysis layer refers to kernels by name ("dgemm", "lavamd", "hotspot",
+"clamr"); this registry turns those names plus configuration keyword
+arguments into instances, so experiment definitions stay declarative.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.kernels.base import Kernel
+from repro.kernels.clamr import Clamr
+from repro.kernels.dgemm import Dgemm
+from repro.kernels.hotspot import HotSpot
+from repro.kernels.lavamd import LavaMD
+
+KERNEL_FACTORIES: dict[str, Callable[..., Kernel]] = {
+    "dgemm": Dgemm,
+    "lavamd": LavaMD,
+    "hotspot": HotSpot,
+    "clamr": Clamr,
+}
+
+
+def make_kernel(name: str, **config) -> Kernel:
+    """Instantiate a kernel by name.
+
+    >>> make_kernel("dgemm", n=64).name
+    'dgemm'
+    """
+    try:
+        factory = KERNEL_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(sorted(KERNEL_FACTORIES))
+        raise KeyError(f"unknown kernel {name!r}; known kernels: {known}")
+    return factory(**config)

@@ -1,0 +1,79 @@
+"""Tests for the checkpoint/restart economics model."""
+
+import math
+
+import pytest
+
+from repro.analysis.checkpointing import (
+    CheckpointPlan,
+    checkpoint_overhead,
+    plan_checkpointing,
+    young_daly_interval,
+)
+from repro.analysis.experiments import dgemm_sweep, run_spec
+from repro.analysis.fleet import FleetProjection, project_fleet
+
+
+class TestYoungDaly:
+    def test_formula(self):
+        assert young_daly_interval(1.0, 50.0) == pytest.approx(math.sqrt(100.0))
+
+    def test_interval_grows_with_mtbf(self):
+        assert young_daly_interval(1.0, 400.0) == 2 * young_daly_interval(1.0, 100.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            young_daly_interval(0.0, 10.0)
+        with pytest.raises(ValueError):
+            young_daly_interval(1.0, 0.0)
+
+
+class TestOverhead:
+    def test_optimum_is_near_minimal(self):
+        cost, mtbf = 0.5, 200.0
+        best = young_daly_interval(cost, mtbf)
+        at_best = checkpoint_overhead(best, cost, mtbf)
+        for factor in (0.25, 4.0):
+            assert checkpoint_overhead(best * factor, cost, mtbf) >= at_best * 0.99
+
+    def test_restart_cost_adds_loss(self):
+        base = checkpoint_overhead(10.0, 1.0, 100.0)
+        with_restart = checkpoint_overhead(10.0, 1.0, 100.0, restart_cost=5.0)
+        assert with_restart > base
+
+    def test_capped_at_one(self):
+        assert checkpoint_overhead(0.1, 10.0, 0.01) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            checkpoint_overhead(0.0, 1.0, 10.0)
+        with pytest.raises(ValueError):
+            checkpoint_overhead(1.0, -1.0, 10.0)
+
+
+class TestCheckpointPlan:
+    @pytest.fixture(scope="class")
+    def plan(self):
+        result = run_spec(dgemm_sweep("k40", "test")[0])
+        projection = project_fleet(result, n_devices=1000)
+        return plan_checkpointing(projection, checkpoint_cost=1e-4, restart_cost=1e-4)
+
+    def test_detectable_mtbf_positive(self, plan):
+        assert 0 < plan.detectable_mtbf < float("inf")
+
+    def test_optimum_consistent_with_formula(self, plan):
+        assert plan.optimal_interval == pytest.approx(
+            young_daly_interval(plan.checkpoint_cost, plan.detectable_mtbf)
+        )
+
+    def test_silent_stream_unaffected(self, plan):
+        """The paper's point: checkpointing leaves the SDC stream intact."""
+        assert plan.silent_corruption_rate() > 0
+        assert plan.silent_corruptions_per_checkpoint_interval() > 0
+
+    def test_no_detectable_failures_infinite_mtbf(self):
+        quiet = FleetProjection(
+            label="quiet", n_devices=10, device_fit=1.0, detectable_fit=0.0
+        )
+        plan = CheckpointPlan(quiet, checkpoint_cost=1.0, restart_cost=0.0)
+        assert plan.detectable_mtbf == float("inf")

@@ -1,0 +1,75 @@
+"""Tests for experiment specs, memoised runs, and scale presets."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    CampaignSpec,
+    N_FAULTY,
+    clamr_spec,
+    dgemm_sweep,
+    hotspot_spec,
+    lavamd_sweep,
+    run_spec,
+)
+
+
+class TestSpecs:
+    def test_dgemm_sweep_sizes_ascend(self):
+        specs = dgemm_sweep("k40", "test")
+        sizes = [dict(s.kernel_config)["n"] for s in specs]
+        assert sizes == sorted(sizes)
+
+    def test_phi_gets_one_extra_size(self):
+        k40_sizes = len(dgemm_sweep("k40", "test"))
+        phi_sizes = len(dgemm_sweep("xeonphi", "test"))
+        assert phi_sizes == k40_sizes + 1
+
+    def test_lavamd_particles_differ_per_device(self):
+        """Table II: 192 particles/box on K40, 100 on Phi (scaled here)."""
+        k40_p = dict(lavamd_sweep("k40", "test")[0].kernel_config)["particles_per_box"]
+        phi_p = dict(lavamd_sweep("xeonphi", "test")[0].kernel_config)[
+            "particles_per_box"
+        ]
+        assert k40_p == 2 * phi_p
+
+    def test_paper_scale_matches_table2(self):
+        sizes = [dict(s.kernel_config)["n"] for s in dgemm_sweep("k40", "paper")]
+        assert sizes == [1024, 2048, 4096]
+        grids = [dict(s.kernel_config)["nb"] for s in lavamd_sweep("k40", "paper")]
+        assert grids == [13, 15, 19, 23]
+        assert dict(lavamd_sweep("k40", "paper")[0].kernel_config)[
+            "particles_per_box"
+        ] == 192
+        assert dict(hotspot_spec("k40", "paper").kernel_config)["n"] == 1024
+        assert dict(clamr_spec("xeonphi", "paper").kernel_config)["n"] == 512
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(KeyError):
+            dgemm_sweep("k40", "huge")
+
+    def test_spec_seeds_differ_per_config(self):
+        specs = dgemm_sweep("k40", "test")
+        assert len({s.seed for s in specs}) == len(specs)
+
+    def test_spec_hashable_and_stable(self):
+        a = dgemm_sweep("k40", "test")[0]
+        b = dgemm_sweep("k40", "test")[0]
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestRunSpec:
+    def test_run_spec_memoised(self):
+        spec = hotspot_spec("k40", "test")
+        assert run_spec(spec) is run_spec(spec)
+
+    def test_run_spec_produces_expected_counts(self):
+        spec = clamr_spec("xeonphi", "test")
+        result = run_spec(spec)
+        assert result.n_executions == N_FAULTY["test"]
+        assert result.kernel_name == "clamr"
+        assert result.device_name == "xeonphi"
+
+    def test_labels_carry_config(self):
+        spec = dgemm_sweep("xeonphi", "test")[0]
+        assert "dgemm/xeonphi/" in spec.label

@@ -1,0 +1,48 @@
+"""Tests for CSV figure export."""
+
+import csv
+
+import pytest
+
+from repro.analysis.experiments import clamr_spec, dgemm_sweep, run_spec
+from repro.analysis.export import export_fit, export_locality_map, export_scatter
+from repro.analysis.fitbreakdown import fit_figure
+from repro.analysis.localitymap import locality_map_figure
+from repro.analysis.scatter import scatter_figure
+
+
+@pytest.fixture(scope="module")
+def dgemm_results():
+    return [run_spec(s) for s in dgemm_sweep("k40", "test")]
+
+
+def read_csv(path):
+    with open(path, newline="") as fh:
+        return list(csv.reader(fh))
+
+
+class TestExports:
+    def test_scatter_rows_match_points(self, dgemm_results, tmp_path):
+        fig = scatter_figure("fig2", dgemm_results)
+        rows = read_csv(export_scatter(fig, tmp_path / "scatter.csv"))
+        assert rows[0] == ["series", "incorrect_elements", "mean_relative_error_pct"]
+        assert len(rows) - 1 == fig.n_points()
+
+    def test_fit_rows_reconstruct_totals(self, dgemm_results, tmp_path):
+        fig = fit_figure("fig3", dgemm_results)
+        rows = read_csv(export_fit(fig, tmp_path / "fit.csv"))[1:]
+        total_all = sum(float(r[3]) for r in rows if r[1] == "all")
+        assert total_all == pytest.approx(sum(fig.totals()))
+
+    def test_locality_map_rows_match_cells(self, tmp_path):
+        result = run_spec(clamr_spec("xeonphi", "test"))
+        fig = locality_map_figure("fig9", result)
+        rows = read_csv(export_locality_map(fig, tmp_path / "map.csv"))
+        assert len(rows) - 1 == fig.n_incorrect
+
+    def test_csv_values_parse_back(self, dgemm_results, tmp_path):
+        fig = scatter_figure("fig2", dgemm_results)
+        rows = read_csv(export_scatter(fig, tmp_path / "s.csv"))[1:]
+        for _, n, err in rows:
+            assert int(n) >= 0
+            assert float(err) >= 0.0

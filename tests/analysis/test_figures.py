@@ -1,0 +1,144 @@
+"""Tests for the figure builders: scatter, FIT bars, locality maps, tables."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import clamr_spec, dgemm_sweep, run_spec
+from repro.analysis.fitbreakdown import fit_figure
+from repro.analysis.localitymap import locality_map_figure
+from repro.analysis.scatter import scatter_figure
+from repro.analysis.sdc_ratio import ratio_trend, render_ratios, sdc_ratio_rows
+from repro.analysis.tables import table1_rows, table1_text, table2_rows, table2_text
+from repro.core.locality import Locality
+from repro.kernels import Clamr, Dgemm, HotSpot, LavaMD
+
+
+@pytest.fixture(scope="module")
+def dgemm_results():
+    return [run_spec(s) for s in dgemm_sweep("k40", "test")]
+
+
+@pytest.fixture(scope="module")
+def clamr_result():
+    return run_spec(clamr_spec("xeonphi", "test"))
+
+
+class TestScatterFigure:
+    def test_one_series_per_campaign(self, dgemm_results):
+        fig = scatter_figure("fig2a", dgemm_results)
+        assert len(fig.series) == len(dgemm_results)
+
+    def test_points_match_sdc_counts(self, dgemm_results):
+        fig = scatter_figure("fig2a", dgemm_results)
+        assert fig.n_points() == sum(len(r.sdc_reports()) for r in dgemm_results)
+
+    def test_error_cap_applied(self, dgemm_results):
+        fig = scatter_figure("fig2a", dgemm_results)
+        assert fig.error_cap == 100.0  # the paper's DGEMM cap
+        assert all(e <= 100.0 for _, e in fig.all_points())
+
+    def test_fraction_below(self, dgemm_results):
+        fig = scatter_figure("fig2a", dgemm_results)
+        assert 0.0 <= fig.fraction_with_error_below(10.0) <= 1.0
+
+    def test_render_contains_series(self, dgemm_results):
+        text = scatter_figure("fig2a", dgemm_results).render()
+        for result in dgemm_results:
+            assert result.label in text
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(ValueError):
+            scatter_figure("fig", [])
+
+
+class TestFitFigure:
+    def test_bars_per_campaign(self, dgemm_results):
+        fig = fit_figure("fig3a", dgemm_results)
+        assert len(fig.bars) == len(dgemm_results)
+
+    def test_filtered_never_exceeds_all(self, dgemm_results):
+        fig = fit_figure("fig3a", dgemm_results)
+        for raw, flt in zip(fig.totals(), fig.totals(filtered=True)):
+            assert flt <= raw + 1e-12
+
+    def test_shares_are_fractions(self, dgemm_results):
+        fig = fit_figure("fig3a", dgemm_results)
+        for share in fig.filtered_share() + fig.abft_residual():
+            assert 0.0 <= share <= 1.0
+
+    def test_locality_share(self, dgemm_results):
+        fig = fit_figure("fig3a", dgemm_results)
+        total = fig.locality_share(*list(Locality))
+        assert all(s == pytest.approx(1.0) for s in total)
+
+    def test_render_mentions_fit(self, dgemm_results):
+        assert "FIT" in fit_figure("fig3a", dgemm_results).render()
+
+
+class TestLocalityMap:
+    def test_map_matches_report(self, clamr_result):
+        fig = locality_map_figure("fig9", clamr_result)
+        biggest = max(r.n_incorrect for r in clamr_result.sdc_reports())
+        assert fig.n_incorrect == biggest
+
+    def test_wave_is_compact(self, clamr_result):
+        """Fig. 9: a filled wave, not scattered noise."""
+        fig = locality_map_figure("fig9", clamr_result)
+        assert fig.compactness() > 0.3
+
+    def test_render_shows_grid(self, clamr_result):
+        text = locality_map_figure("fig9", clamr_result).render(width=32)
+        assert "#" in text
+
+    def test_median_pick(self, clamr_result):
+        largest = locality_map_figure("fig9", clamr_result, pick="largest")
+        median = locality_map_figure("fig9", clamr_result, pick="median")
+        assert median.n_incorrect <= largest.n_incorrect
+
+    def test_requires_2d(self, dgemm_results):
+        fig = locality_map_figure("x", dgemm_results[0])  # dgemm is 2-D: fine
+        assert fig.grid.ndim == 2
+
+
+class TestSdcRatios:
+    def test_rows_per_campaign(self, dgemm_results):
+        rows = sdc_ratio_rows(dgemm_results)
+        assert len(rows) == len(dgemm_results)
+        for label, sdc, crash, hang, ratio in rows:
+            assert sdc >= 0 and crash >= 0 and hang >= 0
+
+    def test_render(self, dgemm_results):
+        assert "SDC" in render_ratios(dgemm_results)
+
+    def test_trend_needs_two(self, dgemm_results):
+        with pytest.raises(ValueError):
+            ratio_trend(dgemm_results[:1])
+        assert ratio_trend(dgemm_results) > 0
+
+
+class TestTables:
+    def test_table1_verbatim(self):
+        rows = {r[0]: r[1:] for r in table1_rows()}
+        assert rows["DGEMM"] == ("CPU", "Balanced", "Regular")
+        assert rows["LAVAMD"] == ("Memory", "Imbalanced", "Regular")
+        assert rows["HOTSPOT"] == ("Memory", "Balanced", "Regular")
+        assert rows["CLAMR"] == ("CPU", "Imbalanced", "Irregular")
+
+    def test_table1_text(self):
+        assert "Table I" in table1_text()
+
+    def test_table2_thread_formulas(self):
+        kernels = [
+            Dgemm(n=64),
+            LavaMD(nb=3, particles_per_box=8),
+            HotSpot(n=32, iterations=8),
+            Clamr(n=24, steps=8),
+        ]
+        rows = {r[0]: r for r in table2_rows(kernels)}
+        assert "64x64" in rows["DGEMM"][2]
+        assert "or more (AMR)" in rows["CLAMR"][3]
+        assert "Molecular dynamics" == rows["LAVAMD"][1]
+
+    def test_table2_text(self):
+        kernels = [Dgemm(n=64)]
+        assert "Table II" in table2_text(kernels)

@@ -1,0 +1,79 @@
+"""Tests for fleet-level projection and beam-time arithmetic."""
+
+import pytest
+
+from repro.analysis.experiments import dgemm_sweep, run_spec
+from repro.analysis.fleet import (
+    HOURS_PER_YEAR,
+    TITAN_GPUS,
+    FleetProjection,
+    natural_equivalent_hours,
+    natural_equivalent_years,
+    project_fleet,
+)
+from repro.beam.facility import ISIS, LANSCE
+
+
+class TestNaturalEquivalence:
+    def test_papers_91000_years_order_of_magnitude(self):
+        """800 effective hours -> >= 8e8 natural hours (~91,000 years)."""
+        hours = natural_equivalent_hours(800.0, LANSCE)
+        assert hours >= 8e8
+        years = natural_equivalent_years(800.0, LANSCE)
+        assert 9e4 <= years <= 1e7  # "at least" 91,000 years
+
+    def test_acceleration_against_13_per_hour(self):
+        # One beam hour at LANSCE = flux*3600/13 natural hours.
+        assert natural_equivalent_hours(1.0, LANSCE) == pytest.approx(
+            1e5 * 3600 / 13
+        )
+
+    def test_isis_accelerates_more(self):
+        assert natural_equivalent_hours(1.0, ISIS) > natural_equivalent_hours(
+            1.0, LANSCE
+        )
+
+    def test_derating_reduces_equivalence(self):
+        assert natural_equivalent_hours(1.0, LANSCE, derating=0.5) == pytest.approx(
+            0.5 * natural_equivalent_hours(1.0, LANSCE)
+        )
+
+    def test_negative_hours_rejected(self):
+        with pytest.raises(ValueError):
+            natural_equivalent_hours(-1.0, LANSCE)
+
+    def test_hours_per_year(self):
+        assert HOURS_PER_YEAR == pytest.approx(8766.0)
+
+
+class TestFleetProjection:
+    @pytest.fixture(scope="class")
+    def projection(self):
+        result = run_spec(dgemm_sweep("k40", "test")[0])
+        return project_fleet(result)
+
+    def test_titan_default(self, projection):
+        assert projection.n_devices == TITAN_GPUS == 18_688
+
+    def test_fleet_rate_scales_with_devices(self, projection):
+        double = FleetProjection(
+            label=projection.label,
+            n_devices=2 * projection.n_devices,
+            device_fit=projection.device_fit,
+            detectable_fit=projection.detectable_fit,
+        )
+        assert double.fleet_sdc_rate == pytest.approx(2 * projection.fleet_sdc_rate)
+        assert double.fleet_mtbf == pytest.approx(projection.fleet_mtbf / 2)
+
+    def test_silent_fraction_in_unit_interval(self, projection):
+        assert 0.0 < projection.silent_fraction() < 1.0
+
+    def test_sdcs_dominate_failures(self, projection):
+        """The paper: SDCs are 1.1x to tens of times more likely than
+        crashes and hangs — most fleet failures are the silent kind."""
+        assert projection.silent_fraction() > 0.5
+
+    def test_empty_fleet_infinite_mtbf(self):
+        idle = FleetProjection(label="x", n_devices=10, device_fit=0.0, detectable_fit=0.0)
+        assert idle.fleet_mtbf == float("inf")
+        assert idle.silent_fraction() == 0.0

@@ -1,0 +1,50 @@
+"""Tests for the full-study report generator."""
+
+import pytest
+
+from repro.analysis.report import generate_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    return generate_report("test")
+
+
+class TestReport:
+    def test_contains_tables(self, report):
+        assert "Table I" in report
+        assert "Table II" in report
+
+    def test_contains_every_kernel_device_section(self, report):
+        for section in (
+            "DGEMM on k40",
+            "DGEMM on xeonphi",
+            "LAVAMD on k40",
+            "LAVAMD on xeonphi",
+            "HOTSPOT on k40",
+            "HOTSPOT on xeonphi",
+            "CLAMR on xeonphi",
+        ):
+            assert section in report
+
+    def test_contains_figures_and_claims(self, report):
+        for marker in (
+            "Fig. 2",
+            "Fig. 5",
+            "Fig. 9",
+            "ABFT residual",
+            "mass-check coverage",
+            "SDC:(crash+hang)",
+        ):
+            assert marker in report
+
+    def test_report_is_substantial(self, report):
+        assert len(report.splitlines()) > 100
+
+    def test_cli_report_to_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.txt"
+        assert main(["report", "--scale", "test", "--output", str(out)]) == 0
+        assert "report written" in capsys.readouterr().out
+        assert "Table I" in out.read_text()

@@ -1,0 +1,97 @@
+"""Tests for the exact confidence intervals and rate comparisons."""
+
+import pytest
+
+from repro.analysis.experiments import dgemm_sweep, run_spec
+from repro.analysis.stats import (
+    Interval,
+    campaign_fit_interval,
+    fit_interval,
+    fit_ratio_significant,
+    poisson_interval,
+    proportion_interval,
+)
+
+
+class TestPoissonInterval:
+    def test_zero_events(self):
+        interval = poisson_interval(0)
+        assert interval.low == 0.0
+        assert interval.high == pytest.approx(3.689, abs=0.01)  # textbook value
+
+    def test_known_value_ten_events(self):
+        interval = poisson_interval(10)
+        assert interval.low == pytest.approx(4.795, abs=0.01)
+        assert interval.high == pytest.approx(18.39, abs=0.01)
+
+    def test_interval_contains_estimate(self):
+        for n in (1, 5, 50, 500):
+            interval = poisson_interval(n)
+            assert interval.contains(n)
+
+    def test_narrows_with_counts(self):
+        wide = poisson_interval(4)
+        narrow = poisson_interval(400)
+        assert (wide.high - wide.low) / wide.estimate > (
+            narrow.high - narrow.low
+        ) / narrow.estimate
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_interval(-1)
+        with pytest.raises(ValueError):
+            poisson_interval(1, confidence=1.5)
+
+
+class TestProportionInterval:
+    def test_extremes(self):
+        assert proportion_interval(0, 10).low == 0.0
+        assert proportion_interval(10, 10).high == 1.0
+
+    def test_half(self):
+        interval = proportion_interval(50, 100)
+        assert interval.contains(0.5)
+        assert 0.39 < interval.low < 0.41  # Clopper-Pearson textbook value
+        assert 0.59 < interval.high < 0.61
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            proportion_interval(5, 0)
+        with pytest.raises(ValueError):
+            proportion_interval(11, 10)
+
+
+class TestFitInterval:
+    def test_scales_like_fit(self):
+        interval = fit_interval(10, fluence=1e10, scale=1e10)
+        assert interval.estimate == pytest.approx(10.0)
+        assert interval.low < 10.0 < interval.high
+
+    def test_campaign_interval_brackets_reported_fit(self):
+        result = run_spec(dgemm_sweep("k40", "test")[0])
+        interval = campaign_fit_interval(result)
+        assert interval.low <= result.fit_total() <= interval.high
+
+    def test_zero_fluence_rejected(self):
+        with pytest.raises(ValueError):
+            fit_interval(1, fluence=0.0)
+
+
+class TestRatioComparison:
+    def test_k40_dgemm_beats_phi_significantly(self):
+        """The paper's K40-vs-Phi DGEMM FIT gap survives counting noise."""
+        k40 = run_spec(dgemm_sweep("k40", "test")[0])
+        phi = run_spec(dgemm_sweep("xeonphi", "test")[0])
+        assert fit_ratio_significant(k40, phi)
+        assert not fit_ratio_significant(phi, k40)
+
+    def test_campaign_not_above_itself(self):
+        result = run_spec(dgemm_sweep("k40", "test")[0])
+        assert not fit_ratio_significant(result, result)
+
+    def test_interval_overlap_helper(self):
+        a = Interval(1.0, 0.5, 1.5, 0.95)
+        b = Interval(1.4, 1.2, 2.0, 0.95)
+        c = Interval(3.0, 2.5, 3.5, 0.95)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)

@@ -1,0 +1,56 @@
+"""Tests for device datasheets and strike-surface rendering."""
+
+import pytest
+
+from repro.arch import k40, xeonphi
+from repro.arch.datasheet import render_datasheet, render_strike_surface
+from repro.kernels import Dgemm
+
+
+class TestDatasheet:
+    def test_k40_datasheet_carries_paper_parameters(self):
+        text = render_datasheet(k40())
+        assert "28nm planar bulk" in text
+        assert "register_file" in text
+        assert "hardware" in text
+        assert "30.7k" in text or "15 SMs" not in text  # resident threads rendered
+
+    def test_phi_datasheet(self):
+        text = render_datasheet(xeonphi())
+        assert "22nm 3-D trigate" in text
+        assert "OS-based" in text
+        assert "Vector lanes (doubles): 8" in text
+
+    def test_outcome_probabilities_rendered(self):
+        text = render_datasheet(k40())
+        assert "P(crash)" in text
+        assert "P(data)" in text
+
+    def test_overrides_section_present(self):
+        text = render_datasheet(k40())
+        assert "per-kernel overrides" in text
+        assert "hotspot" in text
+
+
+class TestStrikeSurface:
+    def test_shares_sum_to_one(self):
+        text = render_strike_surface(k40(), Dgemm(n=256))
+        shares = [
+            float(line.split()[-1].rstrip("%"))
+            for line in text.splitlines()[3:]
+            if line.strip()
+        ]
+        assert sum(shares) == pytest.approx(100.0, abs=0.5)
+
+    def test_header_carries_sigma(self):
+        text = render_strike_surface(k40(), Dgemm(n=256))
+        assert "sigma=" in text
+        assert "dgemm on k40" in text
+
+    def test_cli_device_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["device", "k40", "--kernel", "dgemm", "--config", "n=128"]) == 0
+        out = capsys.readouterr().out
+        assert "Strike surface" in out
+        assert "scheduler" in out

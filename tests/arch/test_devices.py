@@ -1,0 +1,177 @@
+"""Tests for the K40 and Xeon Phi device models (Section IV-A parameters)."""
+
+import numpy as np
+import pytest
+
+from repro.arch import ResourceKind, k40, make_device, xeonphi
+from repro.arch.device import FlipPolicy, OutcomeProfile
+from repro.arch.resources import KB, MBIT
+from repro.bitflip import MantissaBitFlip, SingleBitFlip, WordRandomize
+from repro.kernels import Dgemm, HotSpot, LavaMD
+
+_R = ResourceKind
+
+
+class TestPaperParameters:
+    def test_k40_register_file_is_30_mbit(self):
+        assert k40().resources[_R.REGISTER_FILE].footprint_bits == 30 * MBIT
+
+    def test_k40_cache_sizes(self):
+        device = k40()
+        assert device.resources[_R.LOCAL_MEMORY].footprint_bits == 960 * KB
+        assert device.resources[_R.L2_CACHE].footprint_bits == 1536 * KB
+
+    def test_phi_cache_sizes(self):
+        device = xeonphi()
+        assert device.resources[_R.LOCAL_MEMORY].footprint_bits == 3648 * KB
+        assert device.resources[_R.L2_CACHE].footprint_bits == 29184 * KB
+
+    def test_phi_vector_file_57x32x512(self):
+        assert xeonphi().resources[_R.VECTOR_UNIT].footprint_bits == 57 * 32 * 512
+
+    def test_process_sensitivity_ratio_is_10x(self):
+        """[28]: planar shows ~10x the per-bit neutron sensitivity of trigate."""
+        assert k40().per_bit_sensitivity / xeonphi().per_bit_sensitivity == 10.0
+
+    def test_k40_uses_hardware_scheduler(self):
+        assert k40().scheduler.is_hardware()
+        assert not xeonphi().scheduler.is_hardware()
+
+    def test_phi_vector_lanes_are_8_doubles(self):
+        assert xeonphi().vector_lanes == 8
+        assert k40().vector_lanes == 0
+
+
+class TestStrikeWeights:
+    def test_weights_positive_and_cover_major_resources(self):
+        weights = k40().strike_weights(Dgemm(n=64))
+        assert all(w > 0 for w in weights.values())
+        assert _R.REGISTER_FILE in weights
+        assert _R.SCHEDULER in weights
+
+    def test_k40_scheduler_weight_grows_with_input(self):
+        """The paper's mechanism for DGEMM FIT growing with input size."""
+        device = k40()
+        small = device.strike_weights(Dgemm(n=512))[_R.SCHEDULER]
+        large = device.strike_weights(Dgemm(n=2048))[_R.SCHEDULER]
+        assert large > small * 4
+
+    def test_phi_scheduler_weight_nearly_flat(self):
+        device = xeonphi()
+        small = device.strike_weights(Dgemm(n=64))[_R.SCHEDULER]
+        large = device.strike_weights(Dgemm(n=256))[_R.SCHEDULER]
+        assert large / small < 2.0
+
+    def test_lavamd_occupancy_damps_k40_scheduler(self):
+        """LavaMD's local-memory pressure limits scheduler strain (V-B)."""
+        device = k40()
+        lavamd = LavaMD(nb=6, particles_per_box=32)
+        dgemm = Dgemm(n=128)
+        # Similar thread counts, very different scheduler exposure.
+        ratio_threads = lavamd.thread_count() / dgemm.thread_count()
+        sched_lavamd = device.strike_weights(lavamd)[_R.SCHEDULER]
+        sched_dgemm = device.strike_weights(dgemm)[_R.SCHEDULER]
+        assert sched_lavamd < sched_dgemm * max(ratio_threads, 1.0)
+
+    def test_unstressed_resources_absent(self):
+        # DGEMM does not exercise the SFU: no weight, strikes there are
+        # masked into the no-effect pool.
+        weights = k40().strike_weights(Dgemm(n=64))
+        assert _R.SFU not in weights
+
+    def test_cache_utilisation_saturates(self):
+        """Datasets larger than the cache expose the whole cache, no more."""
+        device = xeonphi()
+        small = LavaMD(nb=3, particles_per_box=8)
+        big = LavaMD(nb=8, particles_per_box=64)
+        w_small = device.strike_weights(small)[_R.L2_CACHE]
+        w_big = device.strike_weights(big)[_R.L2_CACHE]
+        assert w_big > w_small
+        full = device.resources[_R.L2_CACHE].effective_bits()
+        assert w_big <= full * device.per_bit_sensitivity * 1.0 + 1e-9
+
+    def test_total_cross_section_is_sum(self):
+        device = k40()
+        kernel = HotSpot(n=32, iterations=8)
+        assert device.total_cross_section(kernel) == pytest.approx(
+            sum(device.strike_weights(kernel).values())
+        )
+
+
+class TestOutcomeProfiles:
+    def test_probabilities_validated(self):
+        with pytest.raises(ValueError):
+            OutcomeProfile(p_masked=0.9, p_crash=0.2)
+        with pytest.raises(ValueError):
+            OutcomeProfile(p_masked=-0.1)
+
+    def test_p_data_is_remainder(self):
+        profile = OutcomeProfile(p_masked=0.3, p_crash=0.2, p_hang=0.1)
+        assert profile.p_data == pytest.approx(0.4)
+
+    def test_scheduler_strikes_crash_heavy(self):
+        for device in (k40(), xeonphi()):
+            sched = device.outcome_profile(_R.SCHEDULER)
+            mem = device.outcome_profile(_R.L2_CACHE)
+            assert sched.p_crash + sched.p_hang > mem.p_crash + mem.p_hang
+
+    def test_unknown_resource_defaults_to_data(self):
+        profile = k40().outcome_profile(_R.VECTOR_UNIT)  # K40 has none
+        assert profile.p_data == 1.0
+
+
+class TestFlipPolicy:
+    def test_default_and_override(self):
+        policy = FlipPolicy(
+            defaults={_R.FPU: MantissaBitFlip()},
+            overrides={("hotspot", _R.FPU): SingleBitFlip()},
+        )
+        assert isinstance(policy.model_for(_R.FPU, "dgemm"), MantissaBitFlip)
+        assert isinstance(policy.model_for(_R.FPU, "hotspot"), SingleBitFlip)
+
+    def test_missing_entry_falls_back_to_single_bit(self):
+        assert isinstance(FlipPolicy().model_for(_R.FPU, "dgemm"), SingleBitFlip)
+
+    def test_phi_vector_unit_randomizes_words(self):
+        assert isinstance(
+            xeonphi().flip_model(_R.VECTOR_UNIT, "dgemm"), WordRandomize
+        )
+
+    def test_hotspot_state_flips_are_bounded(self):
+        """Calibrated choice: FP32 stencil corruption is mantissa-limited."""
+        model = k40().flip_model(_R.REGISTER_FILE, "hotspot")
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            out = model.apply(np.array([300.0], dtype=np.float32), rng)[0]
+            assert abs(out - 300.0) / 300.0 <= 1.0
+
+
+class TestBurstExtent:
+    def test_vector_extent_bounded_by_lanes(self):
+        device = xeonphi()
+        rng = np.random.default_rng(1)
+        extents = {device.burst_extent(_R.VECTOR_UNIT, rng) for _ in range(100)}
+        assert max(extents) <= 8
+        assert min(extents) >= 1
+
+    def test_cache_extent_bounded_by_line(self):
+        device = k40()
+        rng = np.random.default_rng(2)
+        extents = {device.burst_extent(_R.L2_CACHE, rng) for _ in range(100)}
+        assert max(extents) <= 16  # 128-byte lines, 8-byte words
+
+    def test_scalar_resources_extent_one(self):
+        device = k40()
+        rng = np.random.default_rng(3)
+        assert device.burst_extent(_R.FPU, rng) == 1
+        assert device.burst_extent(_R.REGISTER_FILE, rng) == 1
+
+
+class TestRegistry:
+    def test_make_device(self):
+        assert make_device("k40").name == "k40"
+        assert make_device("xeonphi").name == "xeonphi"
+
+    def test_unknown_device(self):
+        with pytest.raises(KeyError):
+            make_device("h100")

@@ -1,0 +1,97 @@
+"""Tests for resources, schedulers and the cache hierarchy."""
+
+import pytest
+
+from repro.arch.memory import CacheLevel, MemoryHierarchy
+from repro.arch.resources import KB, MBIT, Resource, ResourceKind, SharingDomain
+from repro.arch.scheduler import HardwareScheduler, OsScheduler
+
+
+class TestResource:
+    def test_effective_bits_after_ecc(self):
+        r = Resource(
+            kind=ResourceKind.REGISTER_FILE,
+            footprint_bits=1000,
+            sharing=SharingDomain.THREAD,
+            ecc_coverage=0.9,
+        )
+        assert r.effective_bits() == pytest.approx(100)
+
+    def test_no_ecc_passes_everything(self):
+        r = Resource(
+            kind=ResourceKind.FPU, footprint_bits=500, sharing=SharingDomain.THREAD
+        )
+        assert r.effective_bits() == 500
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Resource(
+                kind=ResourceKind.FPU, footprint_bits=0, sharing=SharingDomain.THREAD
+            )
+        with pytest.raises(ValueError):
+            Resource(
+                kind=ResourceKind.FPU,
+                footprint_bits=10,
+                sharing=SharingDomain.THREAD,
+                ecc_coverage=1.0,
+            )
+
+    def test_unit_constants(self):
+        assert KB == 8192
+        assert MBIT == 1024 * 1024
+
+
+class TestSchedulers:
+    def test_hardware_scheduler_grows_with_threads(self):
+        hw = HardwareScheduler(base_bits=100, bits_per_thread=2)
+        assert hw.exposed_bits(0) == 100
+        assert hw.exposed_bits(1000) == 2100
+        assert hw.is_hardware()
+
+    def test_hardware_scheduler_strain_damps_growth(self):
+        """Low occupancy (LavaMD on the K40) reduces scheduler strain."""
+        hw = HardwareScheduler(base_bits=100, bits_per_thread=2)
+        assert hw.exposed_bits(1000, strain=0.1) < hw.exposed_bits(1000)
+
+    def test_os_scheduler_nearly_flat(self):
+        os_sched = OsScheduler(resident_bits=1000, bits_per_thread=0.01)
+        growth = os_sched.exposed_bits(100_000) / os_sched.exposed_bits(100)
+        assert growth < 2.1
+        assert not os_sched.is_hardware()
+
+    def test_negative_threads_rejected(self):
+        with pytest.raises(ValueError):
+            HardwareScheduler().exposed_bits(-1)
+        with pytest.raises(ValueError):
+            OsScheduler().exposed_bits(-1)
+
+
+class TestHierarchy:
+    def make(self):
+        return MemoryHierarchy(
+            levels=(
+                CacheLevel(name="L1", size_kb=64, line_bytes=64, sharing_breadth=2),
+                CacheLevel(name="L2", size_kb=512, line_bytes=128, sharing_breadth=8),
+            )
+        )
+
+    def test_total_bits(self):
+        assert self.make().total_bits() == (64 + 512) * KB
+
+    def test_level_lookup(self):
+        assert self.make().level("L2").line_bytes == 128
+        with pytest.raises(KeyError):
+            self.make().level("L3")
+
+    def test_line_words(self):
+        assert self.make().level("L1").line_words(word_bytes=8) == 8
+        assert self.make().level("L1").line_words(word_bytes=4) == 16
+
+    def test_widest_sharing(self):
+        assert self.make().widest_sharing() == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheLevel(name="bad", size_kb=0)
+        with pytest.raises(ValueError):
+            CacheLevel(name="bad", size_kb=1, sharing_breadth=0.5)

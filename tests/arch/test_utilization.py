@@ -1,0 +1,79 @@
+"""Tests for utilisation reports and the paper's input-size selection."""
+
+import pytest
+
+from repro.arch import k40, xeonphi
+from repro.arch.utilization import (
+    PAPER_ACTIVITY_TARGET,
+    minimal_saturating_size,
+    utilization,
+)
+from repro.kernels import Clamr, Dgemm, HotSpot, LavaMD
+
+
+class TestUtilization:
+    def test_paper_sizes_saturate_k40(self):
+        """Table II's input sizes hit the >97.5% activity target."""
+        device = k40()
+        for kernel in (
+            Dgemm(n=1024),
+            LavaMD(nb=13, particles_per_box=192),
+            HotSpot(n=1024, iterations=8),
+            Clamr(n=512, steps=4),
+        ):
+            report = utilization(kernel, device)
+            assert report.is_saturating(), kernel.name
+
+    def test_paper_sizes_saturate_phi(self):
+        device = xeonphi()
+        for kernel in (
+            Dgemm(n=1024),
+            LavaMD(nb=13, particles_per_box=100),
+            HotSpot(n=1024, iterations=8),
+        ):
+            assert utilization(kernel, device).is_saturating(), kernel.name
+
+    def test_tiny_inputs_do_not_saturate(self):
+        report = utilization(Dgemm(n=64), k40())
+        assert not report.is_saturating()
+        assert report.thread_occupancy < PAPER_ACTIVITY_TARGET
+
+    def test_oversubscription_counts_waves(self):
+        report = utilization(Dgemm(n=1024), k40())
+        # 65536 threads over 30720 resident slots: >2 waves.
+        assert report.oversubscription > 2.0
+        assert report.thread_occupancy == 1.0
+
+    def test_cache_fill_reported_per_level(self):
+        report = utilization(Dgemm(n=1024), k40())
+        assert set(report.cache_fill) == {"L1/shared", "L2"}
+        assert all(0 < v <= 1 for v in report.cache_fill.values())
+
+    def test_device_without_capacity_rejected(self):
+        import dataclasses
+
+        broken = dataclasses.replace(k40(), resident_threads=0)
+        with pytest.raises(ValueError):
+            utilization(Dgemm(n=64), broken)
+
+
+class TestMinimalSaturatingSize:
+    def test_finds_smallest_saturating_dgemm(self):
+        size = minimal_saturating_size(
+            lambda n: Dgemm(n=n), k40(), sizes=(128, 256, 512, 1024, 2048)
+        )
+        # 30720 resident threads need n^2/16 >= 30720 -> n >= 701.
+        assert size == 1024
+
+    def test_phi_saturates_earlier(self):
+        """228 hardware threads saturate at much smaller inputs."""
+        size = minimal_saturating_size(
+            lambda n: Dgemm(n=n), xeonphi(), sizes=(32, 64, 128, 256)
+        )
+        assert size <= 64
+
+    def test_raises_when_nothing_saturates(self):
+        with pytest.raises(ValueError):
+            minimal_saturating_size(
+                lambda n: Dgemm(n=n), k40(), sizes=(16, 32)
+            )

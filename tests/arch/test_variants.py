@@ -1,0 +1,103 @@
+"""Tests for device-model variants (ablation machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.arch import ResourceKind, k40, xeonphi
+from repro.arch.scheduler import OsScheduler
+from repro.arch.variants import (
+    SOFTWARE_VISIBLE,
+    restricted_to,
+    with_scheduler,
+    with_sharing_breadth,
+    without_ecc,
+)
+from repro.kernels import Dgemm, LavaMD
+
+_R = ResourceKind
+
+
+class TestWithoutEcc:
+    def test_exposes_full_footprint(self):
+        base = k40()
+        variant = without_ecc(base)
+        for kind, res in variant.resources.items():
+            assert res.ecc_coverage == 0.0
+            assert res.effective_bits() >= base.resources[kind].effective_bits()
+
+    def test_strike_surface_grows(self):
+        kernel = Dgemm(n=64)
+        assert without_ecc(k40()).total_cross_section(kernel) > k40().total_cross_section(kernel)
+
+    def test_original_untouched(self):
+        base = k40()
+        without_ecc(base)
+        assert base.resources[_R.REGISTER_FILE].ecc_coverage > 0
+
+    def test_name_tagged(self):
+        assert without_ecc(k40()).name == "k40-noecc"
+
+
+class TestWithScheduler:
+    def test_swapping_to_os_flattens_growth(self):
+        base = k40()
+        variant = with_scheduler(base, OsScheduler(), suffix="os")
+        small = variant.strike_weights(Dgemm(n=512))[_R.SCHEDULER]
+        large = variant.strike_weights(Dgemm(n=2048))[_R.SCHEDULER]
+        assert large / small < 1.5
+        # The stock hardware scheduler grows much faster.
+        base_small = base.strike_weights(Dgemm(n=512))[_R.SCHEDULER]
+        base_large = base.strike_weights(Dgemm(n=2048))[_R.SCHEDULER]
+        assert base_large / base_small > large / small
+
+
+class TestRestrictedTo:
+    def test_software_visible_excludes_scheduler(self):
+        variant = restricted_to(k40(), SOFTWARE_VISIBLE)
+        kernel = Dgemm(n=64)
+        weights = variant.strike_weights(kernel)
+        assert _R.SCHEDULER not in weights
+        assert _R.CONTROL_LOGIC not in weights
+        assert _R.REGISTER_FILE in weights
+
+    def test_empty_restriction_rejected(self):
+        with pytest.raises(ValueError):
+            restricted_to(k40(), set())
+
+    def test_cross_section_shrinks(self):
+        kernel = Dgemm(n=64)
+        assert restricted_to(k40(), SOFTWARE_VISIBLE).total_cross_section(
+            kernel
+        ) < k40().total_cross_section(kernel)
+
+
+class TestSharingBreadth:
+    def test_forced_breadth_applies(self):
+        variant = with_sharing_breadth(xeonphi(), 1.0)
+        kernel = LavaMD(nb=4, particles_per_box=8)
+        assert variant.sharing_breadth(_R.L2_CACHE, kernel) == 1.0
+        assert variant.sharing_breadth(_R.LOCAL_MEMORY, kernel) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            with_sharing_breadth(k40(), 0.5)
+
+    def test_breadth_one_shrinks_lavamd_clusters(self):
+        """Without cache sharing, a strike's spread collapses."""
+        from repro.faults import Injector, OutcomeKind
+
+        kernel = LavaMD(nb=4, particles_per_box=8)
+        wide = Injector(kernel=kernel, device=xeonphi(), seed=3)
+        narrow = Injector(
+            kernel=kernel, device=with_sharing_breadth(xeonphi(), 1.0), seed=3
+        )
+
+        def mean_elements(injector):
+            sizes = [
+                r.report.n_incorrect
+                for r in injector.inject_many(150)
+                if r.outcome is OutcomeKind.SDC
+            ]
+            return float(np.mean(sizes)) if sizes else 0.0
+
+        assert mean_elements(narrow) <= mean_elements(wide)

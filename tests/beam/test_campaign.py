@@ -1,0 +1,107 @@
+"""Tests for campaign orchestration: accelerated and natural modes."""
+
+import pytest
+
+from repro.arch import k40, xeonphi
+from repro.beam import LANSCE, Campaign
+from repro.beam.campaign import (
+    MAX_ERRORS_PER_EXECUTION,
+    tuned_exposure_seconds,
+)
+from repro.faults import OutcomeKind
+from repro.kernels import Dgemm, HotSpot
+
+
+@pytest.fixture(scope="module")
+def result():
+    return Campaign(kernel=Dgemm(n=64), device=k40(), n_faulty=120, seed=3).run()
+
+
+class TestAcceleratedMode:
+    def test_all_executions_struck(self, result):
+        assert len(result.records) == result.n_executions == 120
+
+    def test_counts_partition_executions(self, result):
+        assert sum(result.counts().values()) == result.n_executions
+
+    def test_sdc_reports_match_count(self, result):
+        assert len(result.sdc_reports()) == result.counts()[OutcomeKind.SDC]
+
+    def test_fluence_scales_with_trials(self):
+        small = Campaign(kernel=Dgemm(n=64), device=k40(), n_faulty=10, seed=3).run()
+        big = Campaign(kernel=Dgemm(n=64), device=k40(), n_faulty=40, seed=3).run()
+        assert big.fluence == pytest.approx(4 * small.fluence)
+
+    def test_fit_independent_of_sample_size(self):
+        """FIT is a rate: more trials refine it, not inflate it."""
+        small = Campaign(kernel=Dgemm(n=64), device=k40(), n_faulty=60, seed=3).run()
+        big = Campaign(kernel=Dgemm(n=64), device=k40(), n_faulty=240, seed=3).run()
+        assert big.fit_total() == pytest.approx(small.fit_total(), rel=0.5)
+
+    def test_campaign_reproducible(self):
+        a = Campaign(kernel=Dgemm(n=64), device=k40(), n_faulty=30, seed=9).run()
+        b = Campaign(kernel=Dgemm(n=64), device=k40(), n_faulty=30, seed=9).run()
+        assert [r.outcome for r in a.records] == [r.outcome for r in b.records]
+        assert a.fit_total() == pytest.approx(b.fit_total())
+
+    def test_filtered_fit_never_exceeds_all(self, result):
+        assert result.fit_total(filtered=True) <= result.fit_total()
+
+    def test_summary_mentions_key_quantities(self, result):
+        text = result.summary()
+        assert "SDC : crash+hang" in text
+        assert "FIT" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Campaign(kernel=Dgemm(n=64), device=k40(), n_faulty=0)
+
+
+class TestNaturalMode:
+    def test_error_rate_below_paper_bound(self):
+        """The paper's tuning: < 1e-3 errors/execution."""
+        campaign = Campaign(kernel=Dgemm(n=64), device=k40(), seed=5)
+        result = campaign.run_natural(3000)
+        assert result.error_rate_per_execution() <= MAX_ERRORS_PER_EXECUTION * 5
+        # Essentially every execution is clean.
+        assert len(result.records) < 30
+
+    def test_tuned_exposure_hits_target(self):
+        campaign = Campaign(kernel=Dgemm(n=64), device=k40(), seed=5)
+        seconds = tuned_exposure_seconds(LANSCE, campaign.cross_section)
+        assert seconds > 0
+        # strike mean = target rate by construction
+        result = campaign.run_natural(100, exposure_seconds=seconds)
+        assert result.aux["strike_mean"] == pytest.approx(1e-3)
+
+    def test_fluence_accounts_all_executions(self):
+        campaign = Campaign(kernel=Dgemm(n=64), device=k40(), seed=5)
+        result = campaign.run_natural(100, exposure_seconds=1.0)
+        assert result.fluence == pytest.approx(100 * LANSCE.flux)
+
+    def test_clean_executions_counted_masked(self):
+        campaign = Campaign(kernel=Dgemm(n=64), device=k40(), seed=5)
+        result = campaign.run_natural(500)
+        counts = result.counts()
+        assert counts[OutcomeKind.MASKED] >= 470
+
+    def test_validation(self):
+        campaign = Campaign(kernel=Dgemm(n=64), device=k40(), seed=5)
+        with pytest.raises(ValueError):
+            campaign.run_natural(0)
+        with pytest.raises(ValueError):
+            tuned_exposure_seconds(LANSCE, 0.0)
+
+
+class TestCrossDevice:
+    def test_same_normalisation_allows_comparison(self):
+        """K40 runs DGEMM with a higher FIT than the Phi (Figs. 3a/3b)."""
+        k = Campaign(kernel=Dgemm(n=128), device=k40(), n_faulty=150, seed=4).run()
+        p = Campaign(kernel=Dgemm(n=128), device=xeonphi(), n_faulty=150, seed=4).run()
+        assert k.fit_total() > p.fit_total()
+
+    def test_sdc_ratio_finite_with_enough_samples(self):
+        result = Campaign(
+            kernel=HotSpot(n=32, iterations=16), device=k40(), n_faulty=150, seed=6
+        ).run()
+        assert result.sdc_to_detectable_ratio() > 0

@@ -1,0 +1,42 @@
+"""Tests for the beam-facility model (paper Section IV-D)."""
+
+import pytest
+
+from repro.beam.facility import ISIS, LANSCE, SEA_LEVEL_FLUX_PER_H, Facility
+
+
+class TestFacility:
+    def test_published_fluxes(self):
+        # "between 1e5 and 2.5e6 n/(cm^2 s)".
+        assert LANSCE.flux == 1.0e5
+        assert ISIS.flux == 2.5e6
+
+    def test_spot_diameter_is_two_inches(self):
+        assert LANSCE.spot_diameter_in == 2.0
+
+    def test_acceleration_factor_6_to_8_orders(self):
+        """The paper: beams are ~6-8 orders above the natural flux."""
+        for facility in (LANSCE, ISIS):
+            assert 1e6 <= facility.acceleration_factor() <= 1e9
+
+    def test_fluence_accumulates_linearly(self):
+        assert LANSCE.fluence(10.0) == pytest.approx(1e6)
+
+    def test_derating_reduces_flux(self):
+        assert LANSCE.derated_flux(0.5) == pytest.approx(5e4)
+        assert LANSCE.fluence(10.0, derating=0.5) == pytest.approx(5e5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Facility(name="bad", flux=0.0)
+        with pytest.raises(ValueError):
+            Facility(name="bad", flux=1.0, spot_diameter_in=0)
+        with pytest.raises(ValueError):
+            LANSCE.derated_flux(0.0)
+        with pytest.raises(ValueError):
+            LANSCE.derated_flux(1.5)
+        with pytest.raises(ValueError):
+            LANSCE.fluence(-1.0)
+
+    def test_sea_level_reference(self):
+        assert SEA_LEVEL_FLUX_PER_H == 13.0

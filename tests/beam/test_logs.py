@@ -1,0 +1,81 @@
+"""Tests for campaign-log persistence and log-only re-analysis."""
+
+import pytest
+
+from repro.arch import k40
+from repro.beam import Campaign, read_log, write_log
+from repro.faults import OutcomeKind
+from repro.kernels import Dgemm
+
+
+@pytest.fixture(scope="module")
+def result():
+    return Campaign(kernel=Dgemm(n=64), device=k40(), n_faulty=80, seed=13).run()
+
+
+class TestRoundTrip:
+    def test_counts_survive(self, result, tmp_path):
+        path = write_log(result, tmp_path / "campaign.jsonl")
+        loaded = read_log(path)
+        assert loaded.counts() == result.counts()
+
+    def test_metadata_survives(self, result, tmp_path):
+        loaded = read_log(write_log(result, tmp_path / "c.jsonl"))
+        assert loaded.kernel_name == "dgemm"
+        assert loaded.device_name == "k40"
+        assert loaded.fluence == pytest.approx(result.fluence)
+        assert loaded.cross_section == pytest.approx(result.cross_section)
+
+    def test_fit_breakdown_recomputable_from_log(self, result, tmp_path):
+        loaded = read_log(write_log(result, tmp_path / "c.jsonl"))
+        assert loaded.fit_total() == pytest.approx(result.fit_total())
+        assert loaded.fit_total(filtered=True) == pytest.approx(
+            result.fit_total(filtered=True)
+        )
+
+    def test_criticality_metrics_survive(self, result, tmp_path):
+        loaded = read_log(write_log(result, tmp_path / "c.jsonl"))
+        for original, reloaded in zip(result.sdc_reports(), loaded.sdc_reports()):
+            assert reloaded.n_incorrect == original.n_incorrect
+            assert reloaded.locality == original.locality
+            assert reloaded.mean_relative_error == pytest.approx(
+                original.mean_relative_error, rel=1e-12, abs=1e-12
+            ) or (original.mean_relative_error == float("inf"))
+
+    def test_refiltering_from_log(self, result, tmp_path):
+        """The paper's public-log workflow: apply a different filter later."""
+        loaded = read_log(write_log(result, tmp_path / "c.jsonl"))
+        for report in loaded.sdc_reports():
+            strict = report.refiltered(10.0)
+            assert strict.filtered_n_incorrect <= report.n_incorrect
+
+    def test_truncation_keeps_summary_exact(self, result, tmp_path):
+        path = write_log(result, tmp_path / "tiny.jsonl", max_elements=3)
+        loaded = read_log(path)
+        for original, reloaded in zip(result.sdc_reports(), loaded.sdc_reports()):
+            assert reloaded.n_incorrect == original.n_incorrect
+            assert reloaded.locality == original.locality
+            assert len(reloaded.observation) <= max(3, 0)
+
+    def test_empty_file_rejected(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ValueError):
+            read_log(empty)
+
+    def test_bad_version_rejected(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"format_version": 99}\n')
+        with pytest.raises(ValueError):
+            read_log(bad)
+
+    def test_outcomes_preserved_per_record(self, result, tmp_path):
+        loaded = read_log(write_log(result, tmp_path / "c.jsonl"))
+        assert [r.outcome for r in loaded.records] == [
+            r.outcome for r in result.records
+        ]
+        assert all(
+            r.report is not None
+            for r in loaded.records
+            if r.outcome is OutcomeKind.SDC
+        )

@@ -1,0 +1,79 @@
+"""Tests for multi-board beam sessions and position derating."""
+
+import pytest
+
+from repro.arch import k40, xeonphi
+from repro.beam.parallel import BeamSession, BoardSlot
+from repro.kernels import Dgemm
+
+
+def four_board_session(n_faulty=150):
+    """The paper's setup: two K40s and two Phis in line, derated by
+    distance."""
+    return BeamSession(
+        slots=[
+            BoardSlot(kernel=Dgemm(n=64), device=k40(), derating=1.0),
+            BoardSlot(kernel=Dgemm(n=64), device=xeonphi(), derating=0.9),
+            BoardSlot(kernel=Dgemm(n=64), device=k40(), derating=0.8),
+            BoardSlot(kernel=Dgemm(n=64), device=xeonphi(), derating=0.7),
+        ],
+        n_faulty_reference=n_faulty,
+        seed=5,
+    )
+
+
+@pytest.fixture(scope="module")
+def results():
+    return four_board_session().run()
+
+
+class TestBeamSession:
+    def test_every_board_reports(self, results):
+        assert len(results) == 4
+
+    def test_derated_boards_see_fewer_strikes(self, results):
+        struck = [r.result.n_executions for r in results]
+        assert struck[0] > struck[2]  # same device, deeper position
+        assert struck[1] > struck[3]
+
+    def test_shared_exposure_equalises_beam_time(self, results):
+        """Same wall-clock exposure: per-board beam seconds agree for boards
+        with the same cross-section."""
+        k40_boards = [r for r in results if r.result.device_name == "k40"]
+        assert k40_boards[0].beam_seconds == pytest.approx(
+            k40_boards[1].beam_seconds, rel=0.05
+        )
+
+    def test_position_independence_after_derating(self, results):
+        """The paper: after de-rating, sensitivity is position-independent."""
+        assert BeamSession.position_check(results, tolerance=0.5)
+
+    def test_position_check_catches_wrong_derating(self, results):
+        # Corrupt one board's fluence accounting: the check must fail.
+        import dataclasses
+
+        broken = list(results)
+        bad = dataclasses.replace(
+            broken[2],
+            result=dataclasses.replace(
+                broken[2].result, fluence=broken[2].result.fluence * 10
+            ),
+        )
+        broken[2] = bad
+        assert not BeamSession.position_check(broken, tolerance=0.5)
+
+    def test_render(self, results):
+        text = BeamSession.render(results)
+        assert "derating" in text
+        assert "dgemm/k40@1" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BeamSession(slots=[])
+        with pytest.raises(ValueError):
+            BoardSlot(kernel=Dgemm(n=32), device=k40(), derating=0.0)
+        with pytest.raises(ValueError):
+            BeamSession(
+                slots=[BoardSlot(kernel=Dgemm(n=32), device=k40())],
+                n_faulty_reference=0,
+            )

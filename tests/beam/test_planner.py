@@ -1,0 +1,108 @@
+"""Tests for the beam-time planner."""
+
+import pytest
+
+from repro.arch import k40, xeonphi
+from repro.beam.facility import ISIS, LANSCE
+from repro.beam.planner import (
+    CampaignPlan,
+    events_for_ci_width,
+    expected_events_per_hour,
+    hours_for_ci_width,
+    hours_for_events,
+)
+from repro.kernels import Dgemm, HotSpot
+
+
+class TestRates:
+    def test_rate_positive_and_flux_linear(self):
+        kernel, device = Dgemm(n=128), k40()
+        lansce = expected_events_per_hour(kernel, device, LANSCE)
+        isis = expected_events_per_hour(kernel, device, ISIS)
+        assert lansce > 0
+        assert isis / lansce == pytest.approx(ISIS.flux / LANSCE.flux)
+
+    def test_event_fraction_scales(self):
+        kernel, device = Dgemm(n=128), k40()
+        full = expected_events_per_hour(kernel, device, LANSCE)
+        half = expected_events_per_hour(kernel, device, LANSCE, event_fraction=0.5)
+        assert half == pytest.approx(full / 2)
+
+    def test_sensitive_device_fails_faster(self):
+        kernel = Dgemm(n=128)
+        assert expected_events_per_hour(kernel, k40(), LANSCE) > (
+            expected_events_per_hour(kernel, xeonphi(), LANSCE)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_events_per_hour(Dgemm(n=64), k40(), LANSCE, event_fraction=2.0)
+
+
+class TestHoursForTargets:
+    def test_hours_scale_with_target(self):
+        kernel, device = Dgemm(n=128), k40()
+        ten = hours_for_events(kernel, device, LANSCE, target_events=10)
+        hundred = hours_for_events(kernel, device, LANSCE, target_events=100)
+        assert hundred == pytest.approx(10 * ten)
+
+    def test_precision_is_quadratically_expensive(self):
+        kernel, device = Dgemm(n=128), k40()
+        loose = hours_for_ci_width(kernel, device, LANSCE, relative_half_width=0.4)
+        tight = hours_for_ci_width(kernel, device, LANSCE, relative_half_width=0.1)
+        assert tight > 8 * loose  # ~(0.4/0.1)^2 = 16, allow CI discreteness
+
+    def test_events_for_ci_width_monotone(self):
+        assert events_for_ci_width(0.1) > events_for_ci_width(0.3)
+
+    def test_events_for_ci_width_meets_target(self):
+        from repro.analysis.stats import poisson_interval
+
+        events = events_for_ci_width(0.2)
+        interval = poisson_interval(events)
+        assert (interval.high - interval.low) / 2 / events <= 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            events_for_ci_width(0.0)
+        with pytest.raises(ValueError):
+            hours_for_events(Dgemm(n=64), k40(), LANSCE, target_events=0)
+
+
+class TestCampaignPlan:
+    def make_plan(self, hours=400.0):
+        return CampaignPlan.equal_power(
+            [
+                ("dgemm/k40", Dgemm(n=256), k40()),
+                ("dgemm/phi", Dgemm(n=256), xeonphi()),
+                ("hotspot/k40", HotSpot(n=64, iterations=8), k40()),
+            ],
+            LANSCE,
+            total_hours=hours,
+        )
+
+    def test_budget_respected(self):
+        plan = self.make_plan(400.0)
+        assert plan.total_hours() == pytest.approx(400.0)
+
+    def test_equal_expected_events(self):
+        plan = self.make_plan()
+        events = [item.expected_events for item in plan.items]
+        assert max(events) == pytest.approx(min(events))
+
+    def test_less_sensitive_configs_get_more_hours(self):
+        plan = self.make_plan()
+        hours = {item.label: item.hours for item in plan.items}
+        # The Phi (trigate, lower sensitivity) needs more beam time.
+        assert hours["dgemm/phi"] > hours["dgemm/k40"]
+
+    def test_render(self):
+        text = self.make_plan().render()
+        assert "Beam plan at LANSCE" in text
+        assert "expected events" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CampaignPlan.equal_power([], LANSCE, total_hours=10)
+        with pytest.raises(ValueError):
+            self.make_plan(hours=0.0)

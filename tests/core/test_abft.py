@@ -1,0 +1,145 @@
+"""Tests for the ABFT model: verdicts from locality, and checksum mechanics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.abft import (
+    AbftOutcome,
+    AbftScheme,
+    abft_outcome,
+    abft_residual_fit,
+    abft_residual_fraction,
+)
+from repro.core.criticality import evaluate_execution
+from repro.core.fit import FitBreakdown
+from repro.core.locality import Locality
+from repro.core.metrics import ErrorObservation
+
+
+def report_for(coords):
+    coords = np.asarray(coords, dtype=int)
+    n = len(coords)
+    return evaluate_execution(
+        ErrorObservation(
+            shape=(64, 64),
+            indices=coords,
+            read=np.full(n, 2.0),
+            expected=np.ones(n),
+        )
+    )
+
+
+class TestVerdicts:
+    def test_single_is_corrected(self):
+        assert abft_outcome(report_for([[0, 0]])) is AbftOutcome.CORRECTED
+
+    def test_line_is_corrected(self):
+        assert abft_outcome(report_for([[3, 0], [3, 9]])) is AbftOutcome.CORRECTED
+
+    def test_square_is_detected_only(self):
+        square = [[0, 0], [0, 1], [1, 0], [1, 1]]
+        assert abft_outcome(report_for(square)) is AbftOutcome.DETECTED_ONLY
+
+    def test_random_is_detected_only(self):
+        scattered = [[0, 0], [1, 3], [2, 7]]
+        assert abft_outcome(report_for(scattered)) is AbftOutcome.DETECTED_ONLY
+
+    def test_masked_run_not_triggered(self):
+        clean = evaluate_execution(
+            ErrorObservation(
+                shape=(4, 4),
+                indices=np.empty((0, 2), dtype=int),
+                read=np.empty(0),
+                expected=np.empty(0),
+            )
+        )
+        assert abft_outcome(clean) is AbftOutcome.NOT_TRIGGERED
+
+
+class TestResidualFit:
+    def test_residual_removes_single_and_line(self):
+        breakdown = FitBreakdown(
+            label="dgemm",
+            fluence=1.0,
+            per_locality={
+                Locality.SINGLE: 30.0,
+                Locality.LINE: 30.0,
+                Locality.SQUARE: 25.0,
+                Locality.RANDOM: 15.0,
+            },
+        )
+        assert abft_residual_fit(breakdown) == pytest.approx(40.0)
+        assert abft_residual_fraction(breakdown) == pytest.approx(0.4)
+
+    def test_empty_breakdown_residual_zero(self):
+        assert abft_residual_fraction(FitBreakdown(label="", fluence=1.0)) == 0.0
+
+
+class TestChecksumMechanics:
+    def setup_method(self):
+        rng = np.random.default_rng(7)
+        self.a = rng.normal(size=(16, 12))
+        self.b = rng.normal(size=(12, 16))
+        self.c = self.a @ self.b
+        self.scheme = AbftScheme()
+        self.row_sum, self.col_sum = self.scheme.checksums(self.c)
+
+    def test_clean_matrix_not_triggered(self):
+        _, outcome = self.scheme.check_and_correct(self.c, self.row_sum, self.col_sum)
+        assert outcome is AbftOutcome.NOT_TRIGGERED
+
+    def test_single_error_corrected_exactly(self):
+        corrupted = self.c.copy()
+        corrupted[5, 7] += 3.5
+        fixed, outcome = self.scheme.check_and_correct(
+            corrupted, self.row_sum, self.col_sum
+        )
+        assert outcome is AbftOutcome.CORRECTED
+        np.testing.assert_allclose(fixed, self.c, rtol=1e-8)
+
+    def test_row_error_corrected(self):
+        corrupted = self.c.copy()
+        corrupted[2, [1, 4, 9]] += 2.0
+        fixed, outcome = self.scheme.check_and_correct(
+            corrupted, self.row_sum, self.col_sum
+        )
+        assert outcome is AbftOutcome.CORRECTED
+        np.testing.assert_allclose(fixed, self.c, rtol=1e-8)
+
+    def test_column_error_corrected(self):
+        corrupted = self.c.copy()
+        corrupted[[0, 3, 8], 11] -= 1.5
+        fixed, outcome = self.scheme.check_and_correct(
+            corrupted, self.row_sum, self.col_sum
+        )
+        assert outcome is AbftOutcome.CORRECTED
+        np.testing.assert_allclose(fixed, self.c, rtol=1e-8)
+
+    def test_square_error_detected_but_not_corrected(self):
+        corrupted = self.c.copy()
+        corrupted[np.ix_([2, 5], [3, 7])] += 1.0
+        _, outcome = self.scheme.check_and_correct(
+            corrupted, self.row_sum, self.col_sum
+        )
+        assert outcome is AbftOutcome.DETECTED_ONLY
+
+    def test_nan_detected(self):
+        corrupted = self.c.copy()
+        corrupted[1, 1] = np.nan
+        _, outcome = self.scheme.check_and_correct(
+            corrupted, self.row_sum, self.col_sum
+        )
+        assert outcome is not AbftOutcome.NOT_TRIGGERED
+
+    @given(st.integers(0, 15), st.integers(0, 15), st.floats(0.5, 1e6))
+    @settings(max_examples=40)
+    def test_any_single_error_location_corrected(self, i, j, delta):
+        corrupted = self.c.copy()
+        corrupted[i, j] += delta
+        fixed, outcome = self.scheme.check_and_correct(
+            corrupted, self.row_sum, self.col_sum
+        )
+        assert outcome is AbftOutcome.CORRECTED
+        np.testing.assert_allclose(fixed, self.c, rtol=1e-6, atol=1e-8)

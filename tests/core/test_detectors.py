@@ -1,0 +1,105 @@
+"""Tests for the mass-conservation and entropy detectors."""
+
+import numpy as np
+import pytest
+
+from repro.core.detectors import (
+    DetectionResult,
+    EntropyDetector,
+    MassConservationDetector,
+    detection_coverage,
+    shannon_entropy,
+)
+
+
+class TestMassConservation:
+    def test_conserved_field_passes(self):
+        field = np.full((8, 8), 2.0)
+        detector = MassConservationDetector(expected_mass=float(field.sum()))
+        assert not detector.check(field).detected
+
+    def test_mass_changing_corruption_detected(self):
+        field = np.full((8, 8), 2.0)
+        detector = MassConservationDetector(expected_mass=float(field.sum()))
+        field[3, 3] *= 10
+        assert detector.check(field).detected
+
+    def test_mass_preserving_redistribution_evades(self):
+        # The ~18% the paper's mass check misses: total intact, layout wrong.
+        field = np.full((8, 8), 2.0)
+        detector = MassConservationDetector(expected_mass=float(field.sum()))
+        field[0, 0] += 1.0
+        field[7, 7] -= 1.0
+        assert not detector.check(field).detected
+
+    def test_nan_field_detected(self):
+        field = np.full((4, 4), 1.0)
+        detector = MassConservationDetector(expected_mass=16.0)
+        field[0, 0] = np.nan
+        assert detector.check(field).detected
+
+    def test_rounding_drift_tolerated(self):
+        field = np.full((8, 8), 2.0)
+        detector = MassConservationDetector(expected_mass=float(field.sum()))
+        field[0, 0] += 1e-12
+        assert not detector.check(field).detected
+
+
+class TestEntropy:
+    def test_entropy_of_constant_field_is_zero(self):
+        assert shannon_entropy(np.full((16, 16), 3.0)) == pytest.approx(0.0)
+
+    def test_entropy_increases_with_spread(self):
+        rng = np.random.default_rng(1)
+        narrow = rng.normal(0, 0.01, size=1000)
+        wide = rng.uniform(-10, 10, size=1000)
+        assert shannon_entropy(wide) > shannon_entropy(narrow)
+
+    def test_empty_or_nonfinite_field(self):
+        assert shannon_entropy(np.array([np.nan, np.inf])) == 0.0
+
+    def test_calibrated_detector_passes_golden(self):
+        rng = np.random.default_rng(2)
+        snapshots = [rng.normal(size=(32, 32)) for _ in range(4)]
+        detector = EntropyDetector.calibrate(snapshots)
+        for i, snap in enumerate(snapshots):
+            assert not detector.check(snap, i).detected
+
+    def test_widespread_disturbance_detected(self):
+        rng = np.random.default_rng(3)
+        snapshots = [rng.normal(size=(32, 32)) for _ in range(2)]
+        detector = EntropyDetector.calibrate(snapshots)
+        disturbed = snapshots[1].copy()
+        disturbed[:16, :] = 50.0  # half the field blown out
+        assert detector.check(disturbed, 1).detected
+
+    def test_nonfinite_snapshot_always_detected(self):
+        snapshots = [np.ones((8, 8))]
+        detector = EntropyDetector.calibrate(snapshots)
+        bad = np.ones((8, 8))
+        bad[0, 0] = np.inf
+        assert detector.check(bad, 0).detected
+
+    def test_checkpoint_out_of_range(self):
+        detector = EntropyDetector.calibrate([np.ones((4, 4))])
+        with pytest.raises(IndexError):
+            detector.check(np.ones((4, 4)), 5)
+
+    def test_check_series_short_circuits_on_detection(self):
+        rng = np.random.default_rng(4)
+        snapshots = [rng.normal(size=(16, 16)) for _ in range(3)]
+        detector = EntropyDetector.calibrate(snapshots)
+        disturbed = [snapshots[0], snapshots[1] + 100 * (snapshots[1] > 0), snapshots[2]]
+        assert detector.check_series(disturbed).detected
+
+
+class TestCoverage:
+    def test_coverage_fraction(self):
+        results = [DetectionResult(True, 1.0, 0.1)] * 82 + [
+            DetectionResult(False, 0.0, 0.1)
+        ] * 18
+        assert detection_coverage(results) == pytest.approx(0.82)
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(ValueError):
+            detection_coverage([])

@@ -1,0 +1,141 @@
+"""Tests for the relative-error filter and its interaction with locality."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.criticality import evaluate_execution
+from repro.core.filtering import (
+    PAPER_THRESHOLD_PCT,
+    apply_threshold,
+    is_fully_masked_by,
+    surviving_fraction,
+)
+from repro.core.locality import Locality
+from repro.core.metrics import ErrorObservation
+
+
+def obs_2d(cells):
+    """Build an observation from (i, j, read, expected) tuples."""
+    cells = list(cells)
+    return ErrorObservation(
+        shape=(32, 32),
+        indices=np.array([[c[0], c[1]] for c in cells], dtype=int),
+        read=np.array([c[2] for c in cells], dtype=float),
+        expected=np.array([c[3] for c in cells], dtype=float),
+    )
+
+
+class TestApplyThreshold:
+    def test_keeps_large_errors(self):
+        obs = obs_2d([(0, 0, 2.0, 1.0)])
+        assert len(apply_threshold(obs, 2.0)) == 1
+
+    def test_drops_small_errors(self):
+        obs = obs_2d([(0, 0, 1.01, 1.0)])  # 1% error
+        assert len(apply_threshold(obs, 2.0)) == 0
+
+    def test_threshold_is_strict(self):
+        # 1.25 and 1.0 are binary-exact, so the relative error is exactly 25%.
+        obs = obs_2d([(0, 0, 1.25, 1.0)])
+        assert len(apply_threshold(obs, 25.0)) == 0
+
+    def test_zero_threshold_keeps_everything(self):
+        obs = obs_2d([(0, 0, 1.0 + 1e-9, 1.0), (1, 1, 5.0, 1.0)])
+        assert len(apply_threshold(obs, 0.0)) == 2
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            apply_threshold(obs_2d([(0, 0, 2.0, 1.0)]), -1.0)
+
+    def test_empty_observation_passes_through(self):
+        obs = ErrorObservation(
+            shape=(4, 4),
+            indices=np.empty((0, 2), dtype=int),
+            read=np.empty(0),
+            expected=np.empty(0),
+        )
+        assert len(apply_threshold(obs, 2.0)) == 0
+
+    def test_locality_indices_filtered_consistently(self):
+        obs = ErrorObservation(
+            shape=(8, 8),
+            indices=np.array([[0, 0], [1, 1]]),
+            read=np.array([1.001, 10.0]),
+            expected=np.array([1.0, 1.0]),
+            locality_indices=np.array([[0, 0, 0], [1, 1, 1]]),
+        )
+        filtered = apply_threshold(obs, 2.0)
+        assert filtered.locality_indices.tolist() == [[1, 1, 1]]
+
+
+class TestLocalityDemotion:
+    def test_square_demotes_to_line_after_filter(self):
+        # A 2x2 block where one row is low-magnitude: filtering leaves a line.
+        obs = obs_2d(
+            [
+                (0, 0, 2.0, 1.0),
+                (0, 1, 2.0, 1.0),
+                (1, 0, 1.001, 1.0),
+                (1, 1, 1.001, 1.0),
+            ]
+        )
+        report = evaluate_execution(obs, threshold_pct=PAPER_THRESHOLD_PCT)
+        assert report.locality is Locality.SQUARE
+        assert report.filtered_locality is Locality.LINE
+
+    def test_line_demotes_to_single(self):
+        obs = obs_2d([(0, 0, 2.0, 1.0), (0, 1, 1.001, 1.0)])
+        report = evaluate_execution(obs)
+        assert report.locality is Locality.LINE
+        assert report.filtered_locality is Locality.SINGLE
+
+    def test_fully_masked_execution_has_locality_none(self):
+        obs = obs_2d([(0, 0, 1.001, 1.0)])
+        report = evaluate_execution(obs)
+        assert report.is_sdc
+        assert not report.survives_filter
+        assert report.filtered_locality is Locality.NONE
+
+
+class TestSurvivingFraction:
+    def test_all_survive(self):
+        observations = [obs_2d([(0, 0, 10.0, 1.0)]) for _ in range(5)]
+        assert surviving_fraction(observations, 2.0) == 1.0
+
+    def test_half_survive(self):
+        big = obs_2d([(0, 0, 10.0, 1.0)])
+        small = obs_2d([(0, 0, 1.001, 1.0)])
+        assert surviving_fraction([big, small], 2.0) == 0.5
+
+    def test_empty_list_is_one(self):
+        assert surviving_fraction([], 2.0) == 1.0
+
+    def test_is_fully_masked_by(self):
+        assert is_fully_masked_by(obs_2d([(0, 0, 1.001, 1.0)]), 2.0)
+        assert not is_fully_masked_by(obs_2d([(0, 0, 3.0, 1.0)]), 2.0)
+
+
+class TestFilterProperties:
+    @given(st.floats(0.0, 50.0), st.floats(0.0, 50.0))
+    def test_monotone_in_threshold(self, t1, t2):
+        lo, hi = sorted((t1, t2))
+        obs = obs_2d(
+            [(i, i, 1.0 + 0.01 * i, 1.0) for i in range(10)]
+        )
+        assert len(apply_threshold(obs, hi)) <= len(apply_threshold(obs, lo))
+
+    @given(st.floats(0.0, 100.0))
+    def test_idempotent(self, threshold):
+        obs = obs_2d([(i, 0, 1.0 + 0.03 * i, 1.0) for i in range(8)])
+        once = apply_threshold(obs, threshold)
+        twice = apply_threshold(once, threshold)
+        assert len(once) == len(twice)
+
+    @given(st.floats(0.0, 100.0))
+    def test_filtered_subset_of_original(self, threshold):
+        obs = obs_2d([(i, 2 * i % 7, 1.0 + 0.05 * i, 1.0) for i in range(8)])
+        filtered = apply_threshold(obs, threshold)
+        original = {tuple(ix) for ix in obs.indices}
+        assert all(tuple(ix) in original for ix in filtered.indices)

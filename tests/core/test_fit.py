@@ -1,0 +1,115 @@
+"""Tests for FIT arithmetic and locality breakdowns."""
+
+import numpy as np
+import pytest
+
+from repro.core.criticality import evaluate_execution
+from repro.core.fit import (
+    FitBreakdown,
+    fit_from_events,
+    locality_breakdown,
+    mtbf_hours,
+    scaling_ratio,
+)
+from repro.core.locality import Locality
+from repro.core.metrics import ErrorObservation
+
+
+def report_with_pattern(coords, rel_err_pct=50.0):
+    coords = np.asarray(coords, dtype=int)
+    n = len(coords)
+    expected = np.ones(n)
+    read = expected * (1.0 + rel_err_pct / 100.0)
+    obs = ErrorObservation(shape=(64, 64), indices=coords, read=read, expected=expected)
+    return evaluate_execution(obs)
+
+
+class TestFitFromEvents:
+    def test_linear_in_events(self):
+        assert fit_from_events(10, 1e6) == pytest.approx(2 * fit_from_events(5, 1e6))
+
+    def test_inverse_in_fluence(self):
+        assert fit_from_events(10, 1e6) == pytest.approx(fit_from_events(10, 2e6) * 2)
+
+    def test_zero_fluence_rejected(self):
+        with pytest.raises(ValueError):
+            fit_from_events(1, 0.0)
+
+    def test_mtbf_inverse_of_fit(self):
+        assert mtbf_hours(2.0) == pytest.approx(0.5)
+        assert mtbf_hours(2.0, devices=10) == pytest.approx(0.05)
+
+    def test_mtbf_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            mtbf_hours(0.0)
+
+
+class TestLocalityBreakdown:
+    def test_counts_split_by_class(self):
+        reports = [
+            report_with_pattern([[0, 0]]),                      # single
+            report_with_pattern([[1, 0], [1, 5]]),              # line
+            report_with_pattern([[0, 0], [0, 1], [1, 0], [1, 1]]),  # square
+        ]
+        breakdown = locality_breakdown(reports, fluence=1e6)
+        assert breakdown.get(Locality.SINGLE) > 0
+        assert breakdown.get(Locality.LINE) > 0
+        assert breakdown.get(Locality.SQUARE) > 0
+        assert breakdown.total == pytest.approx(
+            breakdown.get(Locality.SINGLE)
+            + breakdown.get(Locality.LINE)
+            + breakdown.get(Locality.SQUARE)
+        )
+
+    def test_filtered_breakdown_drops_masked_runs(self):
+        loud = report_with_pattern([[0, 0]], rel_err_pct=50.0)
+        quiet = report_with_pattern([[1, 1]], rel_err_pct=1.0)
+        all_errors = locality_breakdown([loud, quiet], fluence=1e6)
+        filtered = locality_breakdown([loud, quiet], fluence=1e6, filtered=True)
+        assert filtered.total < all_errors.total
+
+    def test_masked_runs_never_counted(self):
+        clean = evaluate_execution(
+            ErrorObservation(
+                shape=(4, 4),
+                indices=np.empty((0, 2), dtype=int),
+                read=np.empty(0),
+                expected=np.empty(0),
+            )
+        )
+        breakdown = locality_breakdown([clean], fluence=1e6)
+        assert breakdown.total == 0.0
+
+    def test_fraction(self):
+        reports = [report_with_pattern([[0, 0]]) for _ in range(3)] + [
+            report_with_pattern([[0, 0], [0, 1], [1, 0], [1, 1]])
+        ]
+        breakdown = locality_breakdown(reports, fluence=1e6)
+        assert breakdown.fraction(Locality.SINGLE) == pytest.approx(0.75)
+        assert breakdown.fraction(Locality.SINGLE, Locality.SQUARE) == pytest.approx(1.0)
+
+    def test_fraction_of_empty_breakdown_is_zero(self):
+        breakdown = FitBreakdown(label="empty", fluence=1.0)
+        assert breakdown.fraction(Locality.SINGLE) == 0.0
+
+
+class TestScalingRatio:
+    def test_ratio_between_first_and_last(self):
+        sweep = [
+            FitBreakdown(label="1k", fluence=1.0, per_locality={Locality.SINGLE: 10.0}),
+            FitBreakdown(label="2k", fluence=1.0, per_locality={Locality.SINGLE: 35.0}),
+            FitBreakdown(label="4k", fluence=1.0, per_locality={Locality.SINGLE: 70.0}),
+        ]
+        assert scaling_ratio(sweep) == pytest.approx(7.0)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            scaling_ratio([FitBreakdown(label="", fluence=1.0)])
+
+    def test_zero_baseline_rejected(self):
+        sweep = [
+            FitBreakdown(label="a", fluence=1.0),
+            FitBreakdown(label="b", fluence=1.0, per_locality={Locality.LINE: 1.0}),
+        ]
+        with pytest.raises(ValueError):
+            scaling_ratio(sweep)

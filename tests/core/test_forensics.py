@@ -1,0 +1,114 @@
+"""Tests for error forensics: magnitude classes and flip inference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitflip import SingleBitFlip, WordRandomize
+from repro.core.forensics import (
+    MagnitudeClass,
+    campaign_magnitude_profile,
+    classify_magnitude,
+    looks_like_stored_flip,
+    magnitude_profile,
+    xor_bits,
+)
+from repro.core.metrics import ErrorObservation
+
+
+class TestClassifyMagnitude:
+    def test_noise(self):
+        assert classify_magnitude(1.0 + 1e-9, 1.0) is MagnitudeClass.NOISE
+
+    def test_mantissa(self):
+        assert classify_magnitude(1.3, 1.0) is MagnitudeClass.MANTISSA
+        assert classify_magnitude(0.6, 1.0) is MagnitudeClass.MANTISSA
+
+    def test_sign(self):
+        assert classify_magnitude(-1.0, 1.0) is MagnitudeClass.SIGN
+        assert classify_magnitude(-0.9, 1.0) is MagnitudeClass.SIGN
+
+    def test_scale(self):
+        assert classify_magnitude(1000.0, 1.0) is MagnitudeClass.SCALE
+        assert classify_magnitude(1e-8, 1.0) is MagnitudeClass.SCALE
+
+    def test_special(self):
+        assert classify_magnitude(float("nan"), 1.0) is MagnitudeClass.SPECIAL
+        assert classify_magnitude(float("inf"), 1.0) is MagnitudeClass.SPECIAL
+
+    def test_zero_expected(self):
+        assert classify_magnitude(0.5, 0.0) is MagnitudeClass.SCALE
+
+    @given(st.floats(min_value=1e-6, max_value=1e6))
+    @settings(max_examples=40)
+    def test_every_pair_classified(self, expected):
+        for read in (expected * 1.0000001, -expected, expected * 1e4, float("nan")):
+            assert classify_magnitude(read, expected) in MagnitudeClass
+
+
+class TestProfiles:
+    def make_obs(self, reads, expecteds):
+        n = len(reads)
+        return ErrorObservation(
+            shape=(n,),
+            indices=np.arange(n).reshape(-1, 1),
+            read=np.array(reads, dtype=float),
+            expected=np.array(expecteds, dtype=float),
+        )
+
+    def test_profile_sums_to_one(self):
+        obs = self.make_obs([1.3, -1.0, 1e6], [1.0, 1.0, 1.0])
+        profile = magnitude_profile(obs)
+        assert sum(profile.values()) == pytest.approx(1.0)
+        assert profile[MagnitudeClass.MANTISSA] == pytest.approx(1 / 3)
+
+    def test_empty_profile(self):
+        obs = self.make_obs([], [])
+        assert magnitude_profile(obs) == {}
+
+    def test_campaign_profile_element_weighted(self):
+        small = self.make_obs([1.3], [1.0])
+        big = self.make_obs([1e6] * 3, [1.0] * 3)
+        profile = campaign_magnitude_profile([small, big])
+        assert profile[MagnitudeClass.SCALE] == pytest.approx(0.75)
+
+    def test_device_fingerprints_differ(self):
+        """The Phi's word-randomised DGEMM output is scale/special heavy;
+        the K40's single-bit population is not."""
+        rng = np.random.default_rng(3)
+        value = np.array([1.7])
+        k40_reads = [SingleBitFlip().apply(value, rng)[0] for _ in range(60)]
+        phi_reads = [WordRandomize().apply(value, rng)[0] for _ in range(60)]
+        k40_profile = magnitude_profile(self.make_obs(k40_reads, [1.7] * 60))
+        phi_profile = magnitude_profile(self.make_obs(phi_reads, [1.7] * 60))
+
+        def heavy(profile):
+            return profile.get(MagnitudeClass.SCALE, 0) + profile.get(
+                MagnitudeClass.SPECIAL, 0
+            )
+
+        assert heavy(phi_profile) > heavy(k40_profile)
+
+
+class TestFlipInference:
+    def test_xor_recovers_single_flip(self):
+        from repro.bitflip import flip_bits
+
+        original = 3.25
+        flipped = float(flip_bits(np.array([original]), [17])[0])
+        assert xor_bits(flipped, original) == [17]
+
+    def test_stored_flip_detected(self):
+        from repro.bitflip import flip_bits
+
+        original = 42.0
+        flipped = float(flip_bits(np.array([original]), [40])[0])
+        assert looks_like_stored_flip(flipped, original)
+
+    def test_computed_corruption_not_stored_flip(self):
+        # A value that passed through arithmetic: many scattered bits.
+        assert not looks_like_stored_flip(1.0 / 3.0, 0.3333)
+
+    def test_nonfinite_counts_as_stored(self):
+        assert looks_like_stored_flip(float("inf"), 1.0)

@@ -1,0 +1,118 @@
+"""Unit and property tests for the spatial-locality classifier."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.locality import Locality, classify_coordinates, classify_locality
+from repro.core.metrics import ErrorObservation
+
+
+def classify(coords):
+    return classify_coordinates(np.asarray(coords, dtype=int))
+
+
+class TestBasicClasses2D:
+    def test_empty_is_none(self):
+        assert classify(np.empty((0, 2), dtype=int)) is Locality.NONE
+
+    def test_one_element_is_single(self):
+        assert classify([[3, 4]]) is Locality.SINGLE
+
+    def test_duplicated_element_is_single(self):
+        assert classify([[3, 4], [3, 4]]) is Locality.SINGLE
+
+    def test_row_is_line(self):
+        assert classify([[2, 0], [2, 5], [2, 9]]) is Locality.LINE
+
+    def test_column_is_line(self):
+        assert classify([[0, 7], [3, 7], [8, 7]]) is Locality.LINE
+
+    def test_block_is_square(self):
+        coords = [[i, j] for i in (1, 2) for j in (4, 5)]
+        assert classify(coords) is Locality.SQUARE
+
+    def test_two_rows_sharing_columns_is_square(self):
+        assert classify([[0, 1], [0, 2], [5, 1]]) is Locality.SQUARE
+
+    def test_scattered_no_shared_axis_is_random(self):
+        # All rows distinct and all columns distinct: no structure.
+        assert classify([[0, 0], [1, 3], [2, 7], [5, 1]]) is Locality.RANDOM
+
+    def test_diagonal_is_random(self):
+        assert classify([[i, i] for i in range(5)]) is Locality.RANDOM
+
+
+class TestBasicClasses3D:
+    def test_pillar_is_line(self):
+        assert classify([[1, 2, k] for k in range(4)]) is Locality.LINE
+
+    def test_plane_patch_is_square(self):
+        coords = [[3, i, j] for i in (0, 1) for j in (0, 1)]
+        assert classify(coords) is Locality.SQUARE
+
+    def test_volume_cluster_is_cubic(self):
+        coords = [[i, j, k] for i in (0, 1) for j in (0, 1) for k in (0, 1)]
+        assert classify(coords) is Locality.CUBIC
+
+    def test_scattered_3d_is_random(self):
+        assert classify([[0, 1, 2], [3, 4, 5], [6, 7, 8]]) is Locality.RANDOM
+
+    def test_3d_sharing_one_axis_value_is_cubic(self):
+        # Varies on all axes but two elements share an x coordinate.
+        assert classify([[0, 1, 2], [0, 4, 5], [6, 7, 8]]) is Locality.CUBIC
+
+
+class TestEdgeCases:
+    def test_1d_multiple_is_line(self):
+        assert classify([[0], [3], [9]]) is Locality.LINE
+
+    def test_rejects_4d(self):
+        with pytest.raises(ValueError):
+            classify([[0, 0, 0, 0]])
+
+    def test_rejects_flat_array(self):
+        with pytest.raises(ValueError):
+            classify_coordinates(np.array([1, 2, 3]))
+
+    def test_observation_uses_locality_indices_when_present(self):
+        # Storage layout is 1-D but locality is classified on 3-D box coords.
+        obs = ErrorObservation(
+            shape=(10,),
+            indices=np.array([[0], [1], [2]]),
+            read=np.ones(3),
+            expected=np.zeros(3),
+            locality_indices=np.array([[0, 0, 0], [0, 0, 1], [0, 0, 2]]),
+        )
+        assert classify_locality(obs) is Locality.LINE
+
+
+coord_2d = st.tuples(st.integers(0, 6), st.integers(0, 6))
+
+
+class TestProperties:
+    @given(st.lists(coord_2d, min_size=1, max_size=12))
+    def test_classification_is_permutation_invariant(self, coords):
+        forward = classify(list(coords))
+        backward = classify(list(reversed(coords)))
+        assert forward is backward
+
+    @given(st.lists(coord_2d, min_size=1, max_size=12))
+    def test_classification_is_translation_invariant(self, coords):
+        arr = np.array(coords)
+        assert classify(arr) is classify(arr + 100)
+
+    @given(st.lists(coord_2d, min_size=2, max_size=12, unique=True))
+    @settings(max_examples=60)
+    def test_multi_element_patterns_are_never_single(self, coords):
+        assert classify(list(coords)) is not Locality.SINGLE
+
+    @given(st.lists(coord_2d, min_size=1, max_size=12))
+    def test_2d_never_classified_cubic(self, coords):
+        assert classify(list(coords)) is not Locality.CUBIC
+
+    @given(st.integers(0, 6), st.lists(st.integers(0, 6), min_size=2, unique=True))
+    def test_any_single_row_subset_is_line(self, row, cols):
+        coords = [[row, c] for c in cols]
+        assert classify(coords) is Locality.LINE

@@ -1,0 +1,152 @@
+"""Unit tests for the raw error metrics (paper Section III)."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    ErrorObservation,
+    compare_outputs,
+    count_incorrect,
+    mean_relative_error,
+    relative_errors,
+)
+
+
+def obs_from(read, expected, shape=None, indices=None):
+    read = np.asarray(read, dtype=np.float64)
+    expected = np.asarray(expected, dtype=np.float64)
+    n = len(read)
+    if indices is None:
+        indices = np.arange(n).reshape(-1, 1)
+        shape = shape or (max(n, 1),)
+    return ErrorObservation(
+        shape=shape, indices=np.asarray(indices), read=read, expected=expected
+    )
+
+
+class TestCompareOutputs:
+    def test_identical_outputs_produce_empty_observation(self):
+        golden = np.arange(12.0).reshape(3, 4)
+        obs = compare_outputs(golden.copy(), golden)
+        assert count_incorrect(obs) == 0
+        assert not obs.is_sdc
+
+    def test_single_mismatch_located(self):
+        golden = np.zeros((3, 4))
+        observed = golden.copy()
+        observed[1, 2] = 5.0
+        obs = compare_outputs(observed, golden)
+        assert count_incorrect(obs) == 1
+        assert tuple(obs.indices[0]) == (1, 2)
+        assert obs.read[0] == 5.0
+        assert obs.expected[0] == 0.0
+
+    def test_nan_counts_as_mismatch(self):
+        golden = np.ones((2, 2))
+        observed = golden.copy()
+        observed[0, 0] = np.nan
+        obs = compare_outputs(observed, golden)
+        assert count_incorrect(obs) == 1
+
+    def test_atol_suppresses_small_differences(self):
+        golden = np.ones(4)
+        observed = golden + np.array([0.0, 1e-12, 1e-3, 0.0])
+        obs = compare_outputs(observed, golden, atol=1e-6)
+        assert count_incorrect(obs) == 1
+        assert tuple(obs.indices[0]) == (2,)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            compare_outputs(np.zeros(3), np.zeros(4))
+
+    def test_locality_map_is_carried_through(self):
+        golden = np.zeros(4)
+        observed = golden.copy()
+        observed[2] = 1.0
+        locality_map = np.array([[0, 0], [0, 1], [1, 0], [1, 1]])
+        obs = compare_outputs(observed, golden, locality_map=locality_map)
+        assert obs.locality_indices.tolist() == [[1, 0]]
+
+    def test_3d_outputs_supported(self):
+        golden = np.zeros((2, 3, 4))
+        observed = golden.copy()
+        observed[1, 2, 3] = 1.0
+        obs = compare_outputs(observed, golden)
+        assert tuple(obs.indices[0]) == (1, 2, 3)
+
+
+class TestRelativeError:
+    def test_paper_example_ten_times_expected_is_900_percent(self):
+        obs = obs_from([10.0], [1.0])
+        assert relative_errors(obs)[0] == pytest.approx(900.0)
+
+    def test_percent_scale(self):
+        obs = obs_from([1.02], [1.0])
+        assert relative_errors(obs)[0] == pytest.approx(2.0)
+
+    def test_zero_expected_gives_huge_error(self):
+        obs = obs_from([1e-6], [0.0])
+        assert relative_errors(obs)[0] > 1e6
+
+    def test_nan_read_gives_inf(self):
+        obs = obs_from([np.nan], [1.0])
+        assert np.isinf(relative_errors(obs)[0])
+
+    def test_sign_does_not_matter(self):
+        low = obs_from([0.9], [1.0])
+        high = obs_from([1.1], [1.0])
+        assert relative_errors(low)[0] == pytest.approx(relative_errors(high)[0])
+
+
+class TestMeanRelativeError:
+    def test_empty_observation_is_zero(self):
+        obs = obs_from([], [])
+        assert mean_relative_error(obs) == 0.0
+
+    def test_mean_of_two(self):
+        obs = obs_from([1.1, 2.0], [1.0, 1.0])
+        assert mean_relative_error(obs) == pytest.approx((10.0 + 100.0) / 2)
+
+    def test_cap_clips_outliers(self):
+        obs = obs_from([1.0, 1000.0], [1.0 + 1e-12, 1.0])
+        assert mean_relative_error(obs, cap=100.0) <= 100.0
+
+    def test_cap_makes_inf_finite(self):
+        obs = obs_from([np.inf], [1.0])
+        assert mean_relative_error(obs, cap=100.0) == pytest.approx(100.0)
+
+
+class TestErrorObservationValidation:
+    def test_rejects_wrong_index_rank(self):
+        with pytest.raises(ValueError):
+            ErrorObservation(
+                shape=(4,),
+                indices=np.zeros(3, dtype=int),
+                read=np.zeros(3),
+                expected=np.zeros(3),
+            )
+
+    def test_rejects_dim_mismatch_with_shape(self):
+        with pytest.raises(ValueError):
+            ErrorObservation(
+                shape=(4, 4),
+                indices=np.zeros((3, 1), dtype=int),
+                read=np.zeros(3),
+                expected=np.zeros(3),
+            )
+
+    def test_rejects_value_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ErrorObservation(
+                shape=(4,),
+                indices=np.zeros((3, 1), dtype=int),
+                read=np.zeros(2),
+                expected=np.zeros(3),
+            )
+
+    def test_corrupted_fraction_uses_full_shape(self):
+        obs = obs_from([1.0], [2.0], shape=(10, 10), indices=[[0, 0]])
+        from repro.core.criticality import evaluate_execution
+
+        report = evaluate_execution(obs)
+        assert report.corrupted_fraction() == pytest.approx(0.01)

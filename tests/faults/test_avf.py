@@ -1,0 +1,78 @@
+"""Tests for AVF estimation and the software-injection bias study."""
+
+import pytest
+
+from repro.arch import ResourceKind, k40
+from repro.faults.avf import (
+    AvfEstimate,
+    avf_by_resource,
+    injection_bias_study,
+)
+from repro.kernels import Dgemm
+
+_R = ResourceKind
+
+
+@pytest.fixture(scope="module")
+def avf():
+    return avf_by_resource(Dgemm(n=64), k40(), n_per_resource=50, seed=5)
+
+
+class TestAvf:
+    def test_every_stressed_resource_estimated(self, avf):
+        assert _R.REGISTER_FILE in avf
+        assert _R.SCHEDULER in avf
+
+    def test_fractions_partition(self, avf):
+        for estimate in avf.values():
+            total = (
+                estimate.sdc_fraction
+                + estimate.detectable_fraction
+                + estimate.masked_fraction
+            )
+            assert total == pytest.approx(1.0)
+
+    def test_scheduler_crashes_more_than_memory(self, avf):
+        assert (
+            avf[_R.SCHEDULER].detectable_fraction
+            > avf[_R.L2_CACHE].detectable_fraction
+        )
+
+    def test_any_failure_property(self, avf):
+        e = avf[_R.REGISTER_FILE]
+        assert e.any_failure_fraction == pytest.approx(
+            e.sdc_fraction + e.detectable_fraction
+        )
+
+    def test_deterministic(self):
+        a = avf_by_resource(Dgemm(n=64), k40(), n_per_resource=20, seed=9)
+        b = avf_by_resource(Dgemm(n=64), k40(), n_per_resource=20, seed=9)
+        for kind in a:
+            assert a[kind] == b[kind]
+
+
+class TestInjectionBias:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return injection_bias_study(Dgemm(n=64), k40(), n_faulty=150, seed=7)
+
+    def test_injector_misses_strike_surface(self, report):
+        """The paper's argument: schedulers/dispatchers are unreachable."""
+        assert 0.0 < report.unreachable_weight_fraction < 1.0
+
+    def test_fit_underestimated(self, report):
+        assert report.fit_underestimate() > 0.0
+
+    def test_detectable_rate_underestimated(self, report):
+        """Crash-prone control resources are exactly the unreachable ones."""
+        assert report.detectable_underestimate() > 0.0
+
+    def test_locality_shift_sums_to_zero(self, report):
+        shift = report.locality_shift()
+        assert sum(shift.values()) == pytest.approx(0.0, abs=1e-9)
+
+    def test_software_campaign_sees_no_control_strikes(self, report):
+        from repro.arch.variants import SOFTWARE_VISIBLE
+
+        for record in report.software.records:
+            assert record.resource in SOFTWARE_VISIBLE

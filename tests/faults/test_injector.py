@@ -1,0 +1,151 @@
+"""Tests for the strike injector and outcome taxonomy."""
+
+import numpy as np
+import pytest
+
+from repro.arch import ResourceKind, k40, xeonphi
+from repro.faults import ExecutionRecord, Injector, OutcomeKind, site_weights, sites_for
+from repro.faults.sites import choose_site
+from repro.kernels import Clamr, Dgemm, HotSpot, LavaMD
+
+_R = ResourceKind
+
+
+@pytest.fixture(scope="module")
+def injector():
+    return Injector(kernel=Dgemm(n=64), device=k40(), seed=7)
+
+
+class TestOutcomeTaxonomy:
+    def test_sdc_record_requires_report(self):
+        with pytest.raises(ValueError):
+            ExecutionRecord(index=0, outcome=OutcomeKind.SDC, resource=_R.FPU)
+
+    def test_non_sdc_record_rejects_report(self):
+        from repro.core import evaluate_execution
+        from repro.core.metrics import ErrorObservation
+
+        report = evaluate_execution(
+            ErrorObservation(
+                shape=(4,),
+                indices=np.array([[0]]),
+                read=np.array([2.0]),
+                expected=np.array([1.0]),
+            )
+        )
+        with pytest.raises(ValueError):
+            ExecutionRecord(
+                index=0, outcome=OutcomeKind.MASKED, resource=_R.FPU, report=report
+            )
+
+    def test_detectability(self):
+        assert OutcomeKind.CRASH.is_detectable
+        assert OutcomeKind.HANG.is_detectable
+        assert not OutcomeKind.SDC.is_detectable
+        assert not OutcomeKind.MASKED.is_detectable
+
+
+class TestSiteMapping:
+    def test_sites_for_matches_resource(self):
+        kernel = Dgemm(n=32)
+        specs = sites_for(kernel, _R.L2_CACHE)
+        assert {s.name for s in specs} == {"input_a", "input_b"}
+
+    def test_no_sites_for_unused_resource(self):
+        kernel = Dgemm(n=32)
+        assert sites_for(kernel, _R.SFU) == []
+
+    def test_site_weights_normalised(self):
+        kernel = Clamr(n=16, steps=8)
+        weights = site_weights(kernel, _R.REGISTER_FILE)
+        assert sum(weights.values()) == pytest.approx(1.0)
+
+    def test_clamr_height_exposure_dominates(self):
+        """h feeds fluxes + refinement: ~4x the momentum exposure."""
+        kernel = Clamr(n=16, steps=8)
+        weights = site_weights(kernel, _R.REGISTER_FILE)
+        assert weights["cell_h"] == pytest.approx(0.8)
+        assert weights["cell_momentum"] == pytest.approx(0.2)
+
+    def test_choose_site_returns_none_for_unused(self):
+        rng = np.random.default_rng(0)
+        assert choose_site(Dgemm(n=32), _R.SFU, rng) is None
+
+    def test_choose_site_deterministic_per_stream(self):
+        kernel = Dgemm(n=32)
+        a = choose_site(kernel, _R.L2_CACHE, np.random.default_rng(5))
+        b = choose_site(kernel, _R.L2_CACHE, np.random.default_rng(5))
+        assert a == b
+
+
+class TestInjector:
+    def test_replays_exactly(self, injector):
+        a = injector.inject_one(3)
+        b = injector.inject_one(3)
+        assert a.outcome == b.outcome
+        assert a.resource == b.resource
+        assert a.site == b.site
+        if a.report is not None:
+            assert a.report.n_incorrect == b.report.n_incorrect
+            assert a.report.mean_relative_error == b.report.mean_relative_error
+
+    def test_different_indices_differ(self, injector):
+        records = injector.inject_many(30)
+        assert len({r.resource for r in records}) > 1
+
+    def test_all_outcomes_reachable(self):
+        injector = Injector(kernel=Dgemm(n=64), device=k40(), seed=1)
+        outcomes = {r.outcome for r in injector.inject_many(200)}
+        assert OutcomeKind.SDC in outcomes
+        assert OutcomeKind.MASKED in outcomes
+        assert OutcomeKind.CRASH in outcomes
+
+    def test_sdc_records_carry_metrics(self, injector):
+        for record in injector.inject_many(50):
+            if record.outcome is OutcomeKind.SDC:
+                assert record.report.n_incorrect > 0
+                assert record.site is not None
+                break
+        else:
+            pytest.fail("no SDC in 50 strikes")
+
+    def test_cross_section_positive_and_stable(self, injector):
+        assert injector.total_cross_section > 0
+        assert injector.total_cross_section == pytest.approx(
+            Injector(kernel=Dgemm(n=64), device=k40(), seed=99).total_cross_section
+        )
+
+    def test_clamr_solver_blowups_become_crashes(self):
+        injector = Injector(
+            kernel=Clamr(n=16, steps=24), device=xeonphi(), seed=3
+        )
+        records = injector.inject_many(150)
+        crash_details = {
+            r.detail for r in records if r.outcome is OutcomeKind.CRASH
+        }
+        assert any("clamr" in d for d in crash_details), crash_details
+
+    def test_strikes_follow_resource_weights(self):
+        """Sampled resources approximate the cross-section distribution."""
+        device = k40()
+        kernel = Dgemm(n=64)
+        injector = Injector(kernel=kernel, device=device, seed=11)
+        weights = device.strike_weights(kernel)
+        total = sum(weights.values())
+        records = injector.inject_many(400)
+        for kind, weight in weights.items():
+            share = sum(1 for r in records if r.resource is kind) / len(records)
+            assert share == pytest.approx(weight / total, abs=0.08)
+
+    def test_all_kernels_all_devices_injectable(self):
+        kernels = [
+            Dgemm(n=32),
+            HotSpot(n=32, iterations=16),
+            LavaMD(nb=3, particles_per_box=8),
+            Clamr(n=16, steps=12),
+        ]
+        for device in (k40(), xeonphi()):
+            for kernel in kernels:
+                injector = Injector(kernel=kernel, device=device, seed=5)
+                records = injector.inject_many(10)
+                assert len(records) == 10

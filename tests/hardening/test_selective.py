@@ -1,0 +1,88 @@
+"""Tests for the selective-hardening optimiser."""
+
+import pytest
+
+from repro.arch import ResourceKind, k40
+from repro.beam import Campaign
+from repro.hardening.selective import (
+    critical_fit_by_resource,
+    is_critical,
+    select_hardening,
+)
+from repro.faults.outcomes import OutcomeKind
+from repro.kernels import LavaMD
+
+_R = ResourceKind
+
+#: Illustrative protection costs (budget units): big SRAM arrays cost the
+#: most to protect, logic the least.
+COSTS = {
+    _R.REGISTER_FILE: 3.0,
+    _R.LOCAL_MEMORY: 2.0,
+    _R.L2_CACHE: 2.5,
+    _R.SCHEDULER: 1.0,
+    _R.FPU: 0.8,
+    _R.SFU: 0.5,
+    _R.CONTROL_LOGIC: 0.7,
+}
+
+
+@pytest.fixture(scope="module")
+def result():
+    return Campaign(
+        kernel=LavaMD(nb=5, particles_per_box=16), device=k40(),
+        n_faulty=260, seed=17,
+    ).run()
+
+
+class TestCriticality:
+    def test_critical_subset_of_sdcs(self, result):
+        critical = [r for r in result.records if is_critical(r)]
+        assert critical
+        assert all(r.outcome is OutcomeKind.SDC for r in critical)
+        sdc_count = result.counts()[OutcomeKind.SDC]
+        assert len(critical) <= sdc_count
+
+    def test_fit_attribution_sums(self, result):
+        by_resource = critical_fit_by_resource(result)
+        assert by_resource
+        assert all(fit > 0 for fit in by_resource.values())
+        # Total attribution never exceeds the campaign's SDC FIT.
+        assert sum(by_resource.values()) <= result.fit_total() + 1e-9
+
+
+class TestSelection:
+    def test_budget_respected(self, result):
+        plan = select_hardening(result, COSTS, budget=3.0)
+        assert plan.spent <= 3.0
+
+    def test_greedy_prefers_benefit_per_cost(self, result):
+        plan = select_hardening(result, COSTS, budget=2.0)
+        if len(plan.chosen) >= 2:
+            ratios = [c.benefit_per_cost for c in plan.chosen]
+            assert ratios == sorted(ratios, reverse=True)
+
+    def test_bigger_budget_removes_more(self, result):
+        small = select_hardening(result, COSTS, budget=1.0)
+        large = select_hardening(result, COSTS, budget=10.0)
+        assert large.removed_fit >= small.removed_fit
+        assert large.residual_fit <= small.residual_fit + 1e-12
+
+    def test_full_budget_clears_protectable_fit(self, result):
+        plan = select_hardening(result, COSTS, budget=100.0)
+        assert plan.removed_fraction == pytest.approx(1.0)
+        assert plan.residual_fit == pytest.approx(0.0, abs=1e-9)
+
+    def test_unprotectable_resources_skipped(self, result):
+        no_costs = {k: v for k, v in COSTS.items() if k is not _R.LOCAL_MEMORY}
+        plan = select_hardening(result, no_costs, budget=100.0)
+        assert all(c.resource is not _R.LOCAL_MEMORY for c in plan.chosen)
+
+    def test_render(self, result):
+        text = select_hardening(result, COSTS, budget=5.0).render()
+        assert "selective hardening" in text
+        assert "benefit/cost" in text
+
+    def test_validation(self, result):
+        with pytest.raises(ValueError):
+            select_hardening(result, COSTS, budget=0.0)

@@ -1,0 +1,220 @@
+"""Tests for the DGEMM kernel and its fault surface."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitflip import ExponentBitFlip, MantissaBitFlip, SingleBitFlip, WordRandomize
+from repro.core import Locality, classify_locality
+from repro.kernels import Dgemm, KernelFault
+
+
+@pytest.fixture(scope="module")
+def dgemm():
+    return Dgemm(n=64, tile=8)
+
+
+def fault(site, progress=0.0, flip=None, seed=0, extent=1):
+    return KernelFault(
+        site=site, progress=progress, flip=flip or WordRandomize(), seed=seed,
+        extent=extent,
+    )
+
+
+class TestGolden:
+    def test_golden_is_matrix_product(self, dgemm):
+        np.testing.assert_allclose(dgemm.golden().output, dgemm.a @ dgemm.b)
+
+    def test_golden_cached(self, dgemm):
+        assert dgemm.golden() is dgemm.golden()
+
+    def test_clean_run_matches_golden(self, dgemm):
+        obs = dgemm.observe(dgemm.run().output)
+        assert len(obs) == 0
+
+    def test_thread_count_table2(self):
+        # Table II: side^2 / 16.
+        assert Dgemm(n=64).thread_count() == 64 * 64 // 16
+
+    def test_classification_table1(self, dgemm):
+        assert dgemm.classification.as_row() == ("CPU", "Balanced", "Regular")
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            Dgemm(n=1)
+        with pytest.raises(ValueError):
+            Dgemm(n=16, tile=32)
+
+
+class TestFaultSurface:
+    def test_unknown_site_rejected(self, dgemm):
+        with pytest.raises(KeyError):
+            dgemm.run(fault("no_such_site"))
+
+    def test_all_declared_sites_runnable(self, dgemm):
+        for spec in dgemm.fault_sites():
+            out = dgemm.run(fault(spec.name, progress=0.25, seed=11)).output
+            assert out.shape == (64, 64)
+
+    def test_fault_replays_exactly(self, dgemm):
+        f = fault("input_a", progress=0.3, seed=123)
+        out1 = dgemm.run(f).output
+        out2 = dgemm.run(f).output
+        np.testing.assert_array_equal(out1, out2)
+
+    def test_different_seeds_give_different_victims(self, dgemm):
+        a = dgemm.run(fault("accumulator", seed=1)).output
+        b = dgemm.run(fault("accumulator", seed=2)).output
+        assert not np.array_equal(a, b)
+
+
+class TestLocalityShapes:
+    """The algorithm's structure dictates the corruption pattern."""
+
+    def test_input_a_fault_corrupts_one_row(self, dgemm):
+        obs = dgemm.observe(dgemm.run(fault("input_a", seed=5)).output)
+        rows = np.unique(obs.indices[:, 0])
+        assert len(rows) == 1
+        assert classify_locality(obs) in (Locality.LINE, Locality.SINGLE)
+
+    def test_input_b_fault_corrupts_one_column(self, dgemm):
+        obs = dgemm.observe(dgemm.run(fault("input_b", seed=5)).output)
+        cols = np.unique(obs.indices[:, 1])
+        assert len(cols) == 1
+        assert classify_locality(obs) in (Locality.LINE, Locality.SINGLE)
+
+    def test_late_input_fault_corrupts_partial_row(self, dgemm):
+        early = dgemm.observe(dgemm.run(fault("input_a", progress=0.0, seed=5)).output)
+        late = dgemm.observe(dgemm.run(fault("input_a", progress=0.9, seed=5)).output)
+        assert len(late) < len(early)
+
+    def test_accumulator_fault_is_single(self, dgemm):
+        obs = dgemm.observe(dgemm.run(fault("accumulator", seed=7)).output)
+        assert classify_locality(obs) is Locality.SINGLE
+
+    def test_shared_tile_fault_confined_to_block(self, dgemm):
+        obs = dgemm.observe(
+            dgemm.run(fault("shared_tile", seed=9, extent=4)).output
+        )
+        rows = obs.indices[:, 0]
+        cols = obs.indices[:, 1]
+        assert rows.max() - rows.min() < dgemm.tile
+        assert cols.max() - cols.min() < dgemm.tile
+
+    def test_scheduler_block_fault_is_square(self, dgemm):
+        obs = dgemm.observe(
+            dgemm.run(fault("scheduler_block", progress=0.5, seed=3)).output
+        )
+        assert classify_locality(obs) is Locality.SQUARE
+
+    def test_scheduler_threads_fault_is_scattered(self, dgemm):
+        obs = dgemm.observe(
+            dgemm.run(fault("scheduler_threads", progress=0.1, seed=13, extent=6)).output
+        )
+        assert len(obs) >= 3
+        assert classify_locality(obs) in (Locality.RANDOM, Locality.SQUARE)
+
+    def test_vector_lane_fault_is_row_burst(self, dgemm):
+        obs = dgemm.observe(fault_out := dgemm.run(
+            fault("vector_lane", seed=17, extent=8)).output)
+        assert len(np.unique(obs.indices[:, 0])) == 1
+        assert 1 <= len(obs) <= 8
+
+
+class TestErrorMagnitudes:
+    def test_mantissa_product_term_gives_tiny_relative_error(self, dgemm):
+        """An FMA-term mantissa flip is one term of a 64-term sum: sub-2%."""
+        from repro.core import relative_errors
+
+        obs = dgemm.observe(
+            dgemm.run(
+                fault("product_term", flip=MantissaBitFlip(max_bit=40), seed=21)
+            ).output
+        )
+        assert len(obs) <= 1
+        if len(obs) == 1:
+            assert relative_errors(obs)[0] < 5.0
+
+    def test_exponent_accumulator_flip_gives_large_error(self, dgemm):
+        from repro.core import relative_errors
+
+        errs = []
+        for seed in range(8):
+            obs = dgemm.observe(
+                dgemm.run(fault("accumulator", flip=ExponentBitFlip(), seed=seed)).output
+            )
+            if len(obs):
+                errs.append(relative_errors(obs)[0])
+        assert max(errs) > 100.0
+
+
+class TestDeltaExactness:
+    """The fault handlers use delta propagation (C is linear in A and B);
+    verify against brute-force recomputation with corrupted inputs."""
+
+    def _replay_victim(self, kernel, fault):
+        """Replicate the handler's RNG decisions to learn the victim."""
+        rng = fault.rng()
+        i = int(rng.integers(kernel.n))
+        k = int(rng.integers(kernel.n))
+        corrupted = fault.flip.apply_scalar(kernel.a[i, k], rng)
+        return i, k, corrupted
+
+    @given(st.integers(0, 5000), st.floats(0.0, 0.99))
+    @settings(max_examples=20, deadline=None)
+    def test_input_a_delta_matches_brute_force(self, seed, progress):
+        kernel = Dgemm(n=24, tile=8)
+        f = KernelFault(
+            site="input_a", progress=progress, flip=SingleBitFlip(), seed=seed
+        )
+        fast = kernel.run(f).output
+
+        i, k, corrupted = self._replay_victim(kernel, f)
+        j_start = int(progress * kernel.n)
+        a_corrupt = kernel.a.copy()
+        a_corrupt[i, k] = corrupted
+        brute = np.empty_like(fast)
+        # Columns before the strike used the clean A; later columns the
+        # corrupted one.
+        brute[:, :j_start] = kernel.a @ kernel.b[:, :j_start]
+        brute[:, j_start:] = a_corrupt @ kernel.b[:, j_start:]
+        np.testing.assert_allclose(fast, brute, rtol=1e-12, atol=1e-12)
+
+    def test_scheduler_block_matches_direct_recompute(self):
+        kernel = Dgemm(n=32, tile=8)
+        f = KernelFault(
+            site="scheduler_block", progress=0.5, flip=SingleBitFlip(), seed=4
+        )
+        out = kernel.run(f).output
+        rng = f.rng()
+        bi = int(rng.integers(kernel.n // kernel.tile)) * kernel.tile
+        bj = int(rng.integers(kernel.n // kernel.tile)) * kernel.tile
+        k_cut = int(0.5 * kernel.n)
+        expected_tile = (
+            kernel.a[bi : bi + kernel.tile, :k_cut]
+            @ kernel.b[:k_cut, bj : bj + kernel.tile]
+        )
+        np.testing.assert_allclose(
+            out[bi : bi + kernel.tile, bj : bj + kernel.tile], expected_tile
+        )
+
+
+class TestProperties:
+    @given(st.floats(0.0, 0.99), st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_any_input_a_fault_stays_in_one_row(self, progress, seed):
+        k = Dgemm(n=32, tile=8)
+        obs = k.observe(
+            k.run(fault("input_a", progress=progress, seed=seed, flip=SingleBitFlip())).output
+        )
+        if len(obs):
+            assert len(np.unique(obs.indices[:, 0])) == 1
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_faulty_run_never_mutates_golden(self, seed):
+        k = Dgemm(n=32, tile=8)
+        golden_before = k.golden().output.copy()
+        k.run(fault("scheduler_block", progress=0.5, seed=seed))
+        np.testing.assert_array_equal(k.golden().output, golden_before)

@@ -1,0 +1,58 @@
+"""Tests for the paper's input-generation rules (Section IV-D)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.inputs import balanced_matrix, bit_balance
+
+
+class TestBalancedMatrix:
+    def test_deterministic(self):
+        a = balanced_matrix(1, "x", (16, 16))
+        b = balanced_matrix(1, "x", (16, 16))
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_labels_differ(self):
+        a = balanced_matrix(1, "x", (16, 16))
+        b = balanced_matrix(1, "y", (16, 16))
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = balanced_matrix(1, "x", (16, 16))
+        b = balanced_matrix(2, "x", (16, 16))
+        assert not np.array_equal(a, b)
+
+    def test_small_input_is_prefix_of_big(self):
+        # The paper: "small input sizes are a subset of big input sizes".
+        small = balanced_matrix(1, "x", (8, 8))
+        big = balanced_matrix(1, "x", (16, 16))
+        np.testing.assert_array_equal(small.ravel(), big.ravel()[:64])
+
+    def test_bit_population_roughly_balanced(self):
+        # The paper: "input has been generated balancing the number of 0s and 1s".
+        values = balanced_matrix(1, "x", (64, 64))
+        assert 0.40 <= bit_balance(values) <= 0.60
+
+    def test_values_within_magnitude_window(self):
+        values = balanced_matrix(1, "x", (32, 32), magnitude=(0.5, 2.0))
+        mags = np.abs(values)
+        assert mags.min() >= 0.5
+        assert mags.max() <= 2.0
+
+    def test_no_overflow_in_large_accumulation(self):
+        # Values "small enough to avoid overflow" through an O(N) sum.
+        values = balanced_matrix(1, "x", (1024,))
+        assert np.isfinite(values.sum())
+
+    def test_float32_supported(self):
+        values = balanced_matrix(1, "x", (8, 8), dtype=np.float32)
+        assert values.dtype == np.float32
+        assert 0.35 <= bit_balance(values) <= 0.65
+
+    def test_invalid_magnitude_rejected(self):
+        with pytest.raises(ValueError):
+            balanced_matrix(1, "x", (4, 4), magnitude=(2.0, 0.5))
+
+    def test_bit_balance_rejects_int(self):
+        with pytest.raises(TypeError):
+            bit_balance(np.zeros(4, dtype=np.int64))

@@ -1,0 +1,225 @@
+"""Tests for the LavaMD kernel: physics, fault surface, locality."""
+
+import numpy as np
+import pytest
+
+from repro.bitflip import ExponentBitFlip, MantissaBitFlip, WordRandomize
+from repro.core import Locality, classify_locality, relative_errors
+from repro.kernels import KernelFault, LavaMD
+from repro.kernels.base import KernelCrashError
+
+
+@pytest.fixture(scope="module")
+def lavamd():
+    return LavaMD(nb=4, particles_per_box=12)
+
+
+def fault(site, progress=0.0, flip=None, seed=0, extent=1):
+    return KernelFault(
+        site=site, progress=progress, flip=flip or MantissaBitFlip(), seed=seed,
+        extent=extent,
+    )
+
+
+class TestGeometry:
+    def test_box_coords_roundtrip(self, lavamd):
+        for box in range(lavamd.nb**3):
+            x, y, z = lavamd.box_coords(box)
+            assert box == (x * lavamd.nb + y) * lavamd.nb + z
+
+    def test_interior_box_has_27_neighbors(self):
+        k = LavaMD(nb=4, particles_per_box=4)
+        center = k.nb**3 // 2 + k.nb**2 // 2  # an interior box
+        counts = k.box_interaction_counts()
+        assert counts.max() == 27
+
+    def test_corner_box_has_8_neighbors(self):
+        k = LavaMD(nb=4, particles_per_box=4)
+        assert k.box_interaction_counts()[0] == 8
+
+    def test_load_imbalance_from_borders(self, lavamd):
+        """Border boxes have fewer neighbours — the paper's imbalance source."""
+        counts = lavamd.box_interaction_counts()
+        assert counts.min() < counts.max()
+
+    def test_thread_count_table2(self):
+        k = LavaMD(nb=4, particles_per_box=12)
+        assert k.thread_count() == 4**3 * 12
+
+    def test_classification_table1(self, lavamd):
+        assert lavamd.classification.as_row() == ("Memory", "Imbalanced", "Regular")
+
+
+class TestPhysics:
+    def test_potentials_positive(self, lavamd):
+        """Positive charges and exp(-x) terms give positive potentials."""
+        assert np.all(lavamd.golden().output > 0)
+
+    def test_self_interaction_dominates(self, lavamd):
+        """Each particle's potential includes its own exp(0)=1 term."""
+        v = lavamd.golden().output.reshape(lavamd.nb**3, lavamd.np_box)
+        q = lavamd.charges
+        assert np.all(v >= q * 0.999)
+
+    def test_locality_map_shape(self, lavamd):
+        lmap = lavamd.locality_map()
+        assert lmap.shape == (lavamd.nb**3 * lavamd.np_box, 3)
+        assert lmap.max() == lavamd.nb - 1
+
+
+class TestFaultBehaviour:
+    def test_all_sites_runnable(self, lavamd):
+        for spec in lavamd.fault_sites():
+            out = lavamd.run(fault(spec.name, progress=0.2, seed=3)).output
+            assert out.shape == lavamd.golden().output.shape
+
+    def test_charge_fault_spreads_to_neighbor_boxes(self, lavamd):
+        obs = lavamd.observe(
+            lavamd.run(fault("charge", flip=WordRandomize(), seed=1)).output
+        )
+        boxes = {tuple(c) for c in obs.coordinates_for_locality()}
+        assert len(boxes) > 1
+        assert classify_locality(obs) in (Locality.CUBIC, Locality.SQUARE)
+
+    def test_charge_fault_late_progress_affects_fewer_boxes(self, lavamd):
+        early = lavamd.observe(
+            lavamd.run(fault("charge", progress=0.0, flip=WordRandomize(), seed=2)).output
+        )
+        late = lavamd.observe(
+            lavamd.run(fault("charge", progress=0.95, flip=WordRandomize(), seed=2)).output
+        )
+        assert len(late) <= len(early)
+
+    def test_potential_acc_fault_is_single(self, lavamd):
+        obs = lavamd.observe(
+            lavamd.run(fault("potential_acc", flip=ExponentBitFlip(), seed=4)).output
+        )
+        assert len(obs) == 1
+        assert classify_locality(obs) is Locality.SINGLE
+
+    def test_sfu_exp_fault_single_element(self, lavamd):
+        obs = lavamd.observe(
+            lavamd.run(fault("sfu_exp", flip=WordRandomize(), seed=6)).output
+        )
+        assert len(obs) <= 1
+
+    def test_scheduler_box_fault_hits_one_box(self, lavamd):
+        obs = lavamd.observe(
+            lavamd.run(fault("scheduler_box", progress=0.3, seed=8)).output
+        )
+        boxes = {tuple(c) for c in obs.coordinates_for_locality()}
+        assert len(boxes) == 1
+
+    def test_exponentiation_amplifies(self, lavamd):
+        """The paper's Section V-B mechanism: exp turns small changes large.
+
+        A whole-word corrupted charge produces relative errors orders of
+        magnitude beyond the flip's relative change at typical seeds.
+        """
+        errs = []
+        for seed in range(12):
+            try:
+                out = lavamd.run(fault("charge", flip=WordRandomize(), seed=seed)).output
+            except KernelCrashError:
+                continue
+            obs = lavamd.observe(out)
+            if len(obs):
+                errs.append(relative_errors(obs).max())
+        assert max(errs) > 1_000.0  # >1000% somewhere in the sample
+
+    def test_position_fault_lower_magnitude_than_charge(self, lavamd):
+        """Mantissa position nudges perturb many elements only slightly."""
+        obs = lavamd.observe(
+            lavamd.run(
+                fault("position", flip=MantissaBitFlip(max_bit=20), seed=10)
+            ).output
+        )
+        if len(obs):
+            assert np.median(relative_errors(obs)) < 2.0
+
+    def test_fault_replays_exactly(self, lavamd):
+        f = fault("position", progress=0.4, seed=99)
+        np.testing.assert_array_equal(lavamd.run(f).output, lavamd.run(f).output)
+
+    def test_faulty_run_never_mutates_inputs(self, lavamd):
+        charges = lavamd.charges.copy()
+        positions = lavamd.positions.copy()
+        lavamd.run(fault("charge", flip=WordRandomize(), seed=12))
+        lavamd.run(fault("position", flip=WordRandomize(), seed=12))
+        np.testing.assert_array_equal(lavamd.charges, charges)
+        np.testing.assert_array_equal(lavamd.positions, positions)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LavaMD(nb=1)
+        with pytest.raises(ValueError):
+            LavaMD(nb=4, particles_per_box=1)
+
+
+class TestForces:
+    """Rodinia's force accumulation (the optional 4-channel output)."""
+
+    @pytest.fixture(scope="class")
+    def forces_kernel(self):
+        return LavaMD(nb=3, particles_per_box=6, include_forces=True)
+
+    def test_output_has_four_channels(self, forces_kernel):
+        assert forces_kernel.channels == 4
+        assert forces_kernel.golden().output.size == 3**3 * 6 * 4
+
+    def test_potential_channel_matches_plain_kernel(self, forces_kernel):
+        plain = LavaMD(nb=3, particles_per_box=6)
+        v4 = forces_kernel.golden().output.reshape(-1, 4)
+        np.testing.assert_allclose(v4[:, 0], plain.golden().output)
+
+    def test_force_matches_brute_force(self, forces_kernel):
+        k = forces_kernel
+        box, p = 13, 2
+        near = k._neighbors[box]
+        pos_j = k.positions[near].reshape(-1, 3)
+        q_j = k.charges[near].reshape(-1)
+        d = k.positions[box, p][None, :] - pos_j
+        e = np.exp(-0.5 * (d**2).sum(axis=1))
+        expected = (2 * 0.5 * (q_j * e)[:, None] * d).sum(axis=0)
+        idx = (box * 6 + p) * 4
+        np.testing.assert_allclose(
+            k.golden().output[idx + 1 : idx + 4], expected
+        )
+
+    def test_locality_map_covers_channels(self, forces_kernel):
+        lmap = forces_kernel.locality_map()
+        assert lmap.shape == (3**3 * 6 * 4, 3)
+        # All four channels of one particle share its box coordinates.
+        assert np.array_equal(lmap[0], lmap[3])
+
+    def test_faults_corrupt_forces_too(self, forces_kernel):
+        obs = forces_kernel.observe(
+            forces_kernel.run(
+                fault("charge", flip=WordRandomize(), seed=2)
+            ).output
+        )
+        channels = obs.indices[:, 0] % 4
+        assert len(set(channels.tolist())) > 1  # v and force channels both hit
+
+    def test_sfu_fault_perturbs_matching_force(self, forces_kernel):
+        obs = forces_kernel.observe(
+            forces_kernel.run(
+                fault("sfu_exp", flip=WordRandomize(), seed=6)
+            ).output
+        )
+        if len(obs):
+            # All corrupted channels belong to one particle's 4-slot block.
+            blocks = {int(i) // 4 for (i,) in obs.indices}
+            assert len(blocks) == 1
+
+    def test_containment_still_holds(self, forces_kernel):
+        f = fault("charge", flip=WordRandomize(), seed=9)
+        victim_box = int(f.rng().integers(3**3))
+        vx, vy, vz = forces_kernel.box_coords(victim_box)
+        obs = forces_kernel.observe(forces_kernel.run(f).output)
+        for coords in obs.coordinates_for_locality():
+            assert max(
+                abs(int(coords[0]) - vx),
+                abs(int(coords[1]) - vy),
+                abs(int(coords[2]) - vz),
+            ) <= 1

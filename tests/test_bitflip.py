@@ -1,0 +1,148 @@
+"""Tests for IEEE-754 bit manipulation and flip models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitflip import (
+    BurstFlip,
+    ExponentBitFlip,
+    MantissaBitFlip,
+    MultiBitFlip,
+    SingleBitFlip,
+    WordRandomize,
+    bit_width,
+    flip_bits,
+)
+from repro.bitflip.bits import exponent_range, float_to_uint, mantissa_range, uint_to_float
+
+
+class TestBits:
+    def test_bit_width(self):
+        assert bit_width(np.float64) == 64
+        assert bit_width(np.float32) == 32
+
+    def test_bit_width_rejects_int(self):
+        with pytest.raises(TypeError):
+            bit_width(np.int32)
+
+    def test_sign_bit_flip(self):
+        assert flip_bits(np.array([1.0]), [63])[0] == -1.0
+
+    def test_flip_is_involution(self):
+        values = np.array([3.14159, -2.5, 1e-30])
+        once = flip_bits(values, [17])
+        twice = flip_bits(once, [17])
+        np.testing.assert_array_equal(twice, values)
+
+    def test_mantissa_lsb_flip_is_tiny(self):
+        out = flip_bits(np.array([1.0]), [0])[0]
+        assert 0 < abs(out - 1.0) < 1e-15
+
+    def test_exponent_msb_region_flip_is_huge_or_special(self):
+        out = flip_bits(np.array([1.0]), [62])[0]
+        assert not np.isfinite(out) or abs(out) > 1e100 or abs(out) < 1e-100
+
+    def test_out_of_range_position_rejected(self):
+        with pytest.raises(ValueError):
+            flip_bits(np.array([1.0]), [64])
+
+    def test_float32_roundtrip(self):
+        values = np.array([1.5, -0.25], dtype=np.float32)
+        words = float_to_uint(values)
+        assert words.dtype == np.uint32
+        np.testing.assert_array_equal(uint_to_float(words, np.float32), values)
+
+    def test_field_ranges(self):
+        assert list(mantissa_range(np.float64)) == list(range(52))
+        assert list(exponent_range(np.float64)) == list(range(52, 63))
+        assert list(mantissa_range(np.float32)) == list(range(23))
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestFlipModels:
+    def test_single_bit_changes_exactly_one_bit(self):
+        values = np.array([2.75])
+        out = SingleBitFlip().apply(values, rng(1))
+        xor = float_to_uint(values)[0] ^ float_to_uint(out)[0]
+        assert int(xor).bit_count() == 1
+
+    def test_multi_bit_changes_n_bits(self):
+        values = np.array([2.75])
+        out = MultiBitFlip(n_bits=3).apply(values, rng(2))
+        xor = float_to_uint(values)[0] ^ float_to_uint(out)[0]
+        assert int(xor).bit_count() == 3
+
+    def test_multi_bit_validation(self):
+        with pytest.raises(ValueError):
+            MultiBitFlip(n_bits=0)
+        with pytest.raises(ValueError):
+            MultiBitFlip(n_bits=65).apply(np.array([1.0]), rng())
+
+    def test_mantissa_flip_bounded_relative_error(self):
+        for seed in range(20):
+            out = MantissaBitFlip().apply(np.array([1.0]), rng(seed))[0]
+            assert abs(out - 1.0) / 1.0 <= 1.0  # mantissa flips stay within 2x
+
+    def test_mantissa_max_bit_restricts_magnitude(self):
+        for seed in range(20):
+            out = MantissaBitFlip(max_bit=10).apply(np.array([1.0]), rng(seed))[0]
+            assert abs(out - 1.0) < 2.0 ** (10 - 52) * 2
+
+    def test_exponent_flip_changes_scale(self):
+        changed_scale = False
+        for seed in range(20):
+            out = ExponentBitFlip().apply(np.array([1.5]), rng(seed))[0]
+            ratio = abs(out / 1.5) if np.isfinite(out) and out != 0 else np.inf
+            if ratio > 2 or ratio < 0.5:
+                changed_scale = True
+        assert changed_scale
+
+    def test_word_randomize_ignores_original(self):
+        out1 = WordRandomize().apply(np.array([1.0]), rng(3))
+        out2 = WordRandomize().apply(np.array([1e300]), rng(3))
+        np.testing.assert_array_equal(float_to_uint(out1), float_to_uint(out2))
+
+    def test_burst_applies_per_word_model(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        out = BurstFlip(per_word=SingleBitFlip()).apply(values, rng(4))
+        xor = float_to_uint(values) ^ float_to_uint(out)
+        assert all(int(x).bit_count() == 1 for x in xor)
+
+    def test_apply_scalar(self):
+        value = SingleBitFlip().apply_scalar(7.0, rng(5))
+        assert isinstance(value, float)
+        assert value != 7.0
+
+    def test_models_preserve_shape_and_dtype(self):
+        values = np.ones((3, 2), dtype=np.float32)
+        for model in (SingleBitFlip(), MultiBitFlip(2), WordRandomize(), MantissaBitFlip()):
+            out = model.apply(values, rng(6))
+            assert out.shape == values.shape
+            assert out.dtype == values.dtype
+
+
+class TestFlipProperties:
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=64), st.integers(0, 63))
+    @settings(max_examples=80)
+    def test_flip_involution_property(self, value, bit):
+        arr = np.array([value])
+        np.testing.assert_array_equal(flip_bits(flip_bits(arr, [bit]), [bit]), arr)
+
+    @given(st.floats(min_value=1e-10, max_value=1e10), st.integers(0, 10_000))
+    @settings(max_examples=60)
+    def test_single_flip_always_changes_value_or_nan(self, value, seed):
+        out = SingleBitFlip().apply(np.array([value]), rng(seed))[0]
+        assert np.isnan(out) or out != value
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40)
+    def test_same_rng_stream_reproduces(self, seed):
+        values = np.array([1.23, 4.56])
+        a = MultiBitFlip(2).apply(values, rng(seed))
+        b = MultiBitFlip(2).apply(values, rng(seed))
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_config, build_parser, main
+
+
+class TestParseConfig:
+    def test_ints_floats_strings(self):
+        assert _parse_config(["n=256", "x=0.5", "mode=fast"]) == {
+            "n": 256,
+            "x": 0.5,
+            "mode": "fast",
+        }
+
+    def test_bad_pair_rejected(self):
+        with pytest.raises(SystemExit):
+            _parse_config(["oops"])
+
+
+class TestCommands:
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "Table II" in out
+        assert "CLAMR" in out
+
+    def test_campaign(self, capsys):
+        code = main(
+            ["campaign", "dgemm", "k40", "--config", "n=64", "--faulty", "20",
+             "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SDC : crash+hang" in out
+
+    def test_campaign_with_log_then_analyze_and_fleet(self, capsys, tmp_path):
+        log = tmp_path / "c.jsonl"
+        main(
+            ["campaign", "hotspot", "xeonphi", "--config", "n=32",
+             "iterations=16", "--faulty", "25", "--log", str(log)]
+        )
+        capsys.readouterr()
+        assert main(["analyze", str(log), "--threshold", "4.0"]) == 0
+        out = capsys.readouterr().out
+        assert "re-filtered at 4%" in out
+        assert "FIT by locality" in out
+
+        assert main(["fleet", str(log), "--devices", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet of 1000 devices" in out
+
+    def test_natural_mode(self, capsys):
+        code = main(
+            ["campaign", "dgemm", "k40", "--config", "n=64", "--natural", "200"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "executions" in out
+
+    def test_figure(self, capsys, monkeypatch):
+        # test-scale figures to keep this fast.
+        assert main(["figure", "fig9", "--scale", "test"]) == 0
+        out = capsys.readouterr().out
+        assert "#" in out  # the error map
+
+    def test_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+    def test_plan(self, capsys):
+        assert main(["plan", "dgemm", "--hours", "100", "--config", "n=128"]) == 0
+        out = capsys.readouterr().out
+        assert "Beam plan at LANSCE" in out
+        assert "dgemm/xeonphi" in out
+
+    def test_device_datasheet(self, capsys):
+        assert main(["device", "xeonphi"]) == 0
+        assert "trigate" in capsys.readouterr().out
+
+    def test_parser_help_lists_commands(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in (
+            "tables", "campaign", "figure", "analyze", "fleet", "plan",
+            "device", "report",
+        ):
+            assert command in text

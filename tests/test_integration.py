@@ -1,0 +1,147 @@
+"""End-to-end integration tests: the whole study at test scale.
+
+These exercise the full pipeline — kernels, devices, injector, campaigns,
+metrics, figures — together, and assert the *cross-cutting* orderings the
+paper's discussion section draws (Section V-E).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    clamr_spec,
+    dgemm_sweep,
+    hotspot_spec,
+    lavamd_sweep,
+    run_spec,
+)
+from repro.analysis.scatter import scatter_figure
+from repro.core.locality import Locality
+from repro.faults.outcomes import OutcomeKind
+
+
+@pytest.fixture(scope="module")
+def study():
+    """The full test-scale study: all kernels, both devices."""
+    results = {}
+    for device in ("k40", "xeonphi"):
+        results[("dgemm", device)] = [run_spec(s) for s in dgemm_sweep(device, "test")]
+        results[("lavamd", device)] = [
+            run_spec(s) for s in lavamd_sweep(device, "test")
+        ]
+        results[("hotspot", device)] = [run_spec(hotspot_spec(device, "test"))]
+    results[("clamr", "xeonphi")] = [run_spec(clamr_spec("xeonphi", "test"))]
+    return results
+
+
+class TestStudyCompleteness:
+    def test_every_campaign_produced_sdcs(self, study):
+        for key, sweep in study.items():
+            total_sdc = sum(
+                r.counts()[OutcomeKind.SDC] for r in sweep
+            )
+            assert total_sdc > 0, key
+
+    def test_every_campaign_balances_outcomes(self, study):
+        for sweep in study.values():
+            for result in sweep:
+                assert sum(result.counts().values()) == result.n_executions
+
+    def test_every_sdc_report_is_well_formed(self, study):
+        for sweep in study.values():
+            for result in sweep:
+                for report in result.sdc_reports():
+                    assert report.n_incorrect > 0
+                    assert report.locality is not Locality.NONE
+                    assert report.mean_relative_error >= 0.0
+
+
+class TestCrossCuttingOrderings:
+    """Section V-E's comparative conclusions, at test scale."""
+
+    def test_k40_outfits_phi_everywhere(self, study):
+        for kernel in ("dgemm", "lavamd", "hotspot"):
+            k40_fit = np.mean([r.fit_total() for r in study[(kernel, "k40")]])
+            phi_fit = np.mean([r.fit_total() for r in study[(kernel, "xeonphi")]])
+            assert k40_fit > phi_fit, kernel
+
+    def test_lavamd_errors_largest(self, study):
+        """LavaMD shows the largest relative errors of the benchmarks."""
+
+        def median_error(key):
+            fig = scatter_figure("x", study[key], error_cap=None)
+            errors = [min(e, 1e12) for _, e in fig.all_points()]
+            return float(np.median(errors)) if errors else 0.0
+
+        assert median_error(("lavamd", "k40")) > median_error(("dgemm", "k40"))
+        assert median_error(("lavamd", "k40")) > median_error(("hotspot", "k40"))
+
+    def test_hotspot_errors_smallest(self, study):
+        def max_error(key):
+            fig = scatter_figure("x", study[key], error_cap=None)
+            return max((e for _, e in fig.all_points()), default=0.0)
+
+        assert max_error(("hotspot", "k40")) < 25.0
+        assert max_error(("hotspot", "xeonphi")) < 25.0
+
+    def test_clamr_spreads_widest(self, study):
+        """CLAMR's conservation makes its SDCs the most spread out."""
+
+        def median_corrupted_fraction(key):
+            fractions = [
+                report.corrupted_fraction()
+                for result in study[key]
+                for report in result.sdc_reports()
+            ]
+            return float(np.median(fractions)) if fractions else 0.0
+
+        clamr = median_corrupted_fraction(("clamr", "xeonphi"))
+        for other in (("dgemm", "xeonphi"), ("hotspot", "xeonphi")):
+            assert clamr > median_corrupted_fraction(other)
+
+    def test_stencils_most_filterable(self, study):
+        """HotSpot forgives more of its errors than CLAMR does."""
+        from repro.analysis.claims import fully_filtered_fraction
+
+        hotspot = fully_filtered_fraction(study[("hotspot", "k40")][0])
+        clamr = fully_filtered_fraction(study[("clamr", "xeonphi")][0])
+        assert hotspot > clamr
+
+
+class TestStatisticalStability:
+    def test_fit_stable_across_seeds(self):
+        """Two independent campaigns agree on FIT within Poisson noise."""
+        from repro.analysis.stats import campaign_fit_interval
+        from repro.arch import k40
+        from repro.beam import Campaign
+        from repro.kernels import Dgemm
+
+        kernel = Dgemm(n=48)
+        a = Campaign(kernel=kernel, device=k40(), n_faulty=150, seed=101).run()
+        b = Campaign(kernel=kernel, device=k40(), n_faulty=150, seed=202).run()
+        assert campaign_fit_interval(a).overlaps(campaign_fit_interval(b))
+
+    def test_ratio_stable_across_seeds(self):
+        from repro.arch import xeonphi
+        from repro.beam import Campaign
+        from repro.kernels import Dgemm
+
+        kernel = Dgemm(n=48)
+        ratios = [
+            Campaign(kernel=kernel, device=xeonphi(), n_faulty=200, seed=s)
+            .run()
+            .sdc_to_detectable_ratio()
+            for s in (7, 77)
+        ]
+        assert ratios[0] == pytest.approx(ratios[1], rel=0.6)
+
+
+class TestEndToEndLogRoundTrip:
+    def test_full_study_logs_roundtrip(self, study, tmp_path):
+        from repro.beam import read_log, write_log
+
+        for key, sweep in study.items():
+            path = tmp_path / f"{'_'.join(key)}.jsonl"
+            loaded = read_log(write_log(sweep[0], path))
+            assert loaded.counts() == sweep[0].counts()
+            assert loaded.fit_total() == pytest.approx(sweep[0].fit_total())

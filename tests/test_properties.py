@@ -1,0 +1,166 @@
+"""Cross-module property tests: physics invariants under arbitrary faults.
+
+These are the invariants the whole methodology rests on: conservation in
+CLAMR, containment in LavaMD, determinism of fault replay, and the
+consistency of the injector's bookkeeping.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import k40, xeonphi
+from repro.bitflip import MantissaBitFlip, SingleBitFlip
+from repro.faults import Injector, OutcomeKind
+from repro.kernels import Clamr, Dgemm, HotSpot, KernelFault, LavaMD
+from repro.kernels.base import KernelCrashError
+
+
+@pytest.fixture(scope="module")
+def clamr():
+    return Clamr(n=24, steps=40)
+
+
+@pytest.fixture(scope="module")
+def lavamd():
+    return LavaMD(nb=4, particles_per_box=8)
+
+
+class TestClamrConservation:
+    @given(
+        st.sampled_from(["cell_momentum", "flux_term", "amr_map"]),
+        st.integers(0, 500),
+        st.floats(0.0, 0.95),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_mass_preserving_sites_never_change_mass(self, site, seed, progress):
+        kernel = Clamr(n=24, steps=40)
+        fault = KernelFault(
+            site=site, progress=progress, flip=MantissaBitFlip(top_bits=6),
+            seed=seed,
+        )
+        try:
+            result = kernel.run(fault)
+        except KernelCrashError:
+            return  # a crash is fine; silent mass change is not
+        assert result.aux["mass"] == pytest.approx(
+            result.aux["initial_mass"], rel=1e-9
+        )
+
+    @given(st.integers(0, 500), st.floats(0.0, 0.95))
+    @settings(max_examples=25, deadline=None)
+    def test_height_strikes_change_mass_or_vanish(self, seed, progress):
+        """A visible h corruption must move the double-precision total."""
+        kernel = Clamr(n=24, steps=40)
+        fault = KernelFault(
+            site="cell_h", progress=progress, flip=MantissaBitFlip(top_bits=4),
+            seed=seed,
+        )
+        try:
+            result = kernel.run(fault)
+        except KernelCrashError:
+            return
+        obs = kernel.observe(result.output)
+        if len(obs) > 0:
+            assert result.aux["mass"] != pytest.approx(
+                result.aux["initial_mass"], rel=1e-12
+            )
+
+    @given(st.integers(0, 300))
+    @settings(max_examples=15, deadline=None)
+    def test_faulty_run_replays_bit_exactly(self, seed):
+        kernel = Clamr(n=24, steps=40)
+        fault = KernelFault(
+            site="cell_h", progress=0.4, flip=SingleBitFlip(), seed=seed
+        )
+        try:
+            a = kernel.run(fault).output
+            b = kernel.run(fault).output
+        except KernelCrashError:
+            return
+        np.testing.assert_array_equal(a, b)
+
+
+class TestLavamdContainment:
+    @given(st.integers(0, 500), st.floats(0.0, 0.95))
+    @settings(max_examples=20, deadline=None)
+    def test_charge_corruption_contained_in_neighbourhood(self, seed, progress):
+        """A corrupted particle can only affect boxes within the cutoff
+        radius of its home box (Chebyshev distance 1)."""
+        kernel = LavaMD(nb=4, particles_per_box=8)
+        fault = KernelFault(
+            site="charge", progress=progress, flip=SingleBitFlip(), seed=seed
+        )
+        # Replicate the handler's first RNG draw to learn the victim box.
+        victim_box = int(fault.rng().integers(kernel.nb**3))
+        vx, vy, vz = kernel.box_coords(victim_box)
+        try:
+            obs = kernel.observe(kernel.run(fault).output)
+        except KernelCrashError:
+            return
+        for coords in obs.coordinates_for_locality():
+            assert max(
+                abs(int(coords[0]) - vx),
+                abs(int(coords[1]) - vy),
+                abs(int(coords[2]) - vz),
+            ) <= 1
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_potential_acc_strikes_exactly_one_element(self, seed):
+        kernel = LavaMD(nb=4, particles_per_box=8)
+        fault = KernelFault(
+            site="potential_acc", progress=0.0, flip=SingleBitFlip(), seed=seed
+        )
+        try:
+            obs = kernel.observe(kernel.run(fault).output)
+        except KernelCrashError:
+            return
+        assert len(obs) <= 1
+
+
+class TestHotspotDeterminism:
+    @given(st.integers(0, 300), st.floats(0.0, 0.95))
+    @settings(max_examples=15, deadline=None)
+    def test_snapshot_restart_replays_bit_exactly(self, seed, progress):
+        kernel = HotSpot(n=32, iterations=40, snapshot_every=7)
+        fault = KernelFault(
+            site="cell_temp", progress=progress, flip=SingleBitFlip(), seed=seed
+        )
+        try:
+            a = kernel.run(fault).output
+            b = kernel.run(fault).output
+        except KernelCrashError:
+            return
+        np.testing.assert_array_equal(a, b)
+
+
+class TestInjectorInvariants:
+    @pytest.fixture(scope="class")
+    def records(self):
+        injector = Injector(kernel=Dgemm(n=48), device=xeonphi(), seed=13)
+        return injector.inject_many(120)
+
+    def test_sdc_iff_report(self, records):
+        for record in records:
+            assert (record.outcome is OutcomeKind.SDC) == (record.report is not None)
+
+    def test_data_reaching_strikes_carry_fault(self, records):
+        for record in records:
+            if record.outcome is OutcomeKind.SDC:
+                assert record.fault is not None
+                assert record.site is not None
+
+    def test_indices_unique_and_ordered(self, records):
+        assert [r.index for r in records] == list(range(120))
+
+    def test_reports_have_consistent_filtering(self, records):
+        for record in records:
+            if record.report is not None:
+                assert record.report.filtered_n_incorrect <= record.report.n_incorrect
+
+    def test_k40_and_phi_independent_streams(self):
+        k = Injector(kernel=Dgemm(n=48), device=k40(), seed=13).inject_many(40)
+        p = Injector(kernel=Dgemm(n=48), device=xeonphi(), seed=13).inject_many(40)
+        assert [r.outcome for r in k] != [r.outcome for r in p]

@@ -1,0 +1,90 @@
+"""Tests for the internal utilities: seeded RNG streams and text rendering."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._util.rng import child_rng, spawn_rngs, stable_seed
+from repro._util.text import format_table, histogram_line, si_number
+
+
+class TestStableSeed:
+    def test_deterministic_across_calls(self):
+        assert stable_seed("a", 1, 2.5) == stable_seed("a", 1, 2.5)
+
+    def test_sensitive_to_every_part(self):
+        base = stable_seed("a", "b")
+        assert stable_seed("a", "c") != base
+        assert stable_seed("c", "b") != base
+        assert stable_seed("a", "b", "") != base
+
+    def test_no_concatenation_collisions(self):
+        assert stable_seed("ab", "c") != stable_seed("a", "bc")
+
+    @given(st.lists(st.integers(), min_size=1, max_size=4))
+    def test_fits_in_64_bits(self, parts):
+        assert 0 <= stable_seed(*parts) < 2**64
+
+
+class TestChildRng:
+    def test_same_parts_same_stream(self):
+        a = child_rng(1, "x").uniform(size=4)
+        b = child_rng(1, "x").uniform(size=4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_parts_different_stream(self):
+        a = child_rng(1, "x").uniform(size=4)
+        b = child_rng(1, "y").uniform(size=4)
+        assert not np.array_equal(a, b)
+
+    def test_spawn_rngs_independent(self):
+        rngs = spawn_rngs(7, "workers", 3)
+        draws = [r.uniform(size=2) for r in rngs]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+
+class TestSiNumber:
+    def test_plain(self):
+        assert si_number(789) == "789"
+
+    def test_kilo_mega_giga(self):
+        assert si_number(12_345) == "12.3k"
+        assert si_number(4_560_000) == "4.56M"
+        assert si_number(7.8e9) == "7.8G"
+
+    def test_negative(self):
+        assert si_number(-12_345) == "-12.3k"
+
+
+class TestFormatTable:
+    def test_aligned_columns(self):
+        text = format_table(("a", "long"), [("x", 1), ("yyyy", 22)])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert lines[0].startswith("a")
+        assert "----" in lines[1]
+
+    def test_wide_cells_stretch_columns(self):
+        text = format_table(("h",), [("wider-than-header",)])
+        header, rule, row = text.splitlines()
+        assert len(rule) >= len("wider-than-header")
+
+    def test_empty_rows(self):
+        text = format_table(("only", "header"), [])
+        assert "only" in text
+
+
+class TestHistogramLine:
+    def test_full_bar(self):
+        assert histogram_line(10, 10, width=5) == "#####"
+
+    def test_proportional(self):
+        assert histogram_line(5, 10, width=10) == "#####"
+
+    def test_zero_max(self):
+        assert histogram_line(5, 0) == ""
+
+    def test_value_clipped_to_max(self):
+        assert histogram_line(100, 10, width=4) == "####"
