@@ -1,0 +1,120 @@
+"""Serial-vs-parallel campaign throughput (executions/sec).
+
+Records the speedup of the parallel campaign execution engine
+(:mod:`repro.beam.executor`) over the legacy serial loop for a DGEMM
+campaign, and verifies the two paths produce identical outcome statistics
+while doing so.  Output lands in ``benchmarks/results/bench_parallel.txt``
+so the perf trajectory across PRs is greppable.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py
+    PYTHONPATH=src python benchmarks/bench_parallel.py \
+        --n 256 --faulty 200 --workers 0 --expect-speedup 2.0
+
+``--workers 0`` (the default) sizes the pool to the CPU count.  On a
+multi-core runner a 200-strike DGEMM campaign should clear 2x serial
+throughput comfortably (per-strike work is a full kernel re-execution, so
+the fan-out is nearly embarrassing); ``--expect-speedup`` turns that into
+an exit code for CI.  On a single-core machine the script still records
+both numbers — the interesting quantity there is the pool overhead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+from pathlib import Path
+
+from repro.arch.registry import make_device
+from repro.beam.campaign import Campaign
+from repro.kernels.registry import make_kernel
+
+RESULTS_PATH = Path(__file__).parent / "results" / "bench_parallel.txt"
+
+
+def run_campaign(kernel_name: str, device_name: str, n: int, faulty: int,
+                 seed: int, workers: int, chunk_size: "int | None"):
+    """One timed campaign run; returns (seconds, result)."""
+    campaign = Campaign(
+        kernel=make_kernel(kernel_name, n=n),
+        device=make_device(device_name),
+        n_faulty=faulty,
+        seed=seed,
+        workers=workers,
+        chunk_size=chunk_size,
+        timeout=1800.0,
+    )
+    start = time.perf_counter()
+    result = campaign.run()
+    return time.perf_counter() - start, result
+
+
+def bench(args) -> str:
+    workers = args.workers if args.workers > 0 else (os.cpu_count() or 1)
+    rows = []
+    outcomes = {}
+    for label, w in (("serial", 1), (f"parallel x{workers}", workers)):
+        # Fresh kernel per run: the in-process golden cache would otherwise
+        # gift the second configuration the first one's clean reference.
+        seconds, result = run_campaign(
+            args.kernel, args.device, args.n, args.faulty, args.seed, w,
+            args.chunk_size,
+        )
+        outcomes[label] = [r.outcome for r in result.records]
+        rows.append((label, seconds, args.faulty / seconds))
+    (_, t_serial, thr_serial), (_, t_par, thr_par) = rows
+    speedup = thr_par / thr_serial
+
+    identical = outcomes[rows[0][0]] == outcomes[rows[1][0]]
+    lines = [
+        f"bench_parallel: {args.kernel}(n={args.n}) on {args.device}, "
+        f"{args.faulty} struck executions, seed={args.seed}, "
+        f"{os.cpu_count()} cores",
+        f"  serial        : {t_serial:8.2f} s  {thr_serial:8.1f} exec/s",
+        f"  parallel x{workers:<4d}: {t_par:8.2f} s  {thr_par:8.1f} exec/s",
+        f"  speedup       : {speedup:8.2f}x",
+        f"  records identical to serial: {identical}",
+    ]
+    text = "\n".join(lines)
+    if not identical:
+        raise SystemExit(text + "\nFATAL: parallel records differ from serial")
+    return text, speedup
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--kernel", default="dgemm")
+    parser.add_argument("--device", default="k40")
+    # Default input size picked so one struck execution costs a few
+    # milliseconds: large enough that fan-out dominates pool overhead on a
+    # multi-core runner, small enough that the benchmark stays seconds-long.
+    parser.add_argument("--n", type=int, default=768, help="kernel input size")
+    parser.add_argument("--faulty", type=int, default=200,
+                        help="struck executions per campaign")
+    parser.add_argument("--seed", type=int, default=2017)
+    parser.add_argument("--workers", type=int, default=0,
+                        help="pool size (0 = one per CPU core)")
+    parser.add_argument("--chunk-size", type=int, default=None)
+    parser.add_argument("--expect-speedup", type=float, default=None,
+                        help="exit 1 unless parallel/serial >= this factor")
+    args = parser.parse_args(argv)
+
+    text, speedup = bench(args)
+    print(text)
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(text + "\n")
+    print(f"\nrecorded to {RESULTS_PATH}")
+
+    if args.expect_speedup is not None and speedup < args.expect_speedup:
+        print(
+            f"FAIL: speedup {speedup:.2f}x below required "
+            f"{args.expect_speedup:.2f}x"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,14 +12,18 @@ HotSpot shows ~7x (K40) vs ~3x (Phi).
 from __future__ import annotations
 
 from repro._util.text import format_table
-from repro.beam.campaign import CampaignResult
+from repro.beam.campaign import CampaignResult, format_ratio
 from repro.faults.outcomes import OutcomeKind
 
 
 def sdc_ratio_rows(
     results: "list[CampaignResult]",
-) -> list[tuple[str, int, int, int, float]]:
-    """(label, n_sdc, n_crash, n_hang, ratio) per campaign."""
+) -> "list[tuple[str, int, int, int, float | None]]":
+    """(label, n_sdc, n_crash, n_hang, ratio) per campaign.
+
+    ``ratio`` is ``None`` when a campaign saw no detectable events (the
+    ratio is undefined); render paths print it as ``n/a``.
+    """
     rows = []
     for result in results:
         counts = result.counts()
@@ -37,7 +41,7 @@ def sdc_ratio_rows(
 
 def render_ratios(results: "list[CampaignResult]") -> str:
     rows = [
-        (label, sdc, crash, hang, f"{ratio:.2f}")
+        (label, sdc, crash, hang, format_ratio(ratio))
         for label, sdc, crash, hang, ratio in sdc_ratio_rows(results)
     ]
     return format_table(("campaign", "SDC", "crash", "hang", "SDC:(crash+hang)"), rows)
@@ -49,6 +53,15 @@ def ratio_trend(results: "list[CampaignResult]") -> float:
     if len(rows) < 2:
         raise ValueError("need a sweep of at least two campaigns")
     first, last = rows[0][-1], rows[-1][-1]
+    if first is None:
+        raise ValueError(
+            "first campaign has an undefined ratio (no detectable events)"
+        )
     if first == 0:
         raise ValueError("first campaign has a zero ratio")
+    if last is None:
+        # No detectable events at the sweep's end: the ratio grew without
+        # bound, which the trend statistic represents as +inf (only render
+        # paths use the "n/a" sentinel).
+        return float("inf")
     return last / first

@@ -13,11 +13,20 @@ result.  This package reproduces that harness over the simulated devices:
   gather SDC statistics) and *natural* mode (Poisson strike arrivals at the
   tuned rate, mostly clean executions — used to validate the ≤1e-3
   errors/execution regime);
+* :mod:`repro.beam.executor` — the parallel campaign execution engine:
+  struck executions fan out over a process pool (thread/serial fallback),
+  bit-identical to the serial loop thanks to per-execution seed streams;
 * :mod:`repro.beam.logs` — JSONL campaign logs in the spirit of the
   public UFRGS-CAROL log repository [1], and re-analysis from logs alone.
 """
 
-from repro.beam.campaign import Campaign, CampaignResult, tuned_exposure_seconds
+from repro.beam.campaign import (
+    Campaign,
+    CampaignResult,
+    format_ratio,
+    tuned_exposure_seconds,
+)
+from repro.beam.executor import CampaignExecutor, ExecutorTimeoutError
 from repro.beam.facility import ISIS, LANSCE, Facility
 from repro.beam.logs import read_log, write_log
 from repro.beam.parallel import BeamSession, BoardResult, BoardSlot
@@ -30,7 +39,10 @@ from repro.beam.planner import (
 
 __all__ = [
     "Campaign",
+    "CampaignExecutor",
     "CampaignResult",
+    "ExecutorTimeoutError",
+    "format_ratio",
     "tuned_exposure_seconds",
     "ISIS",
     "LANSCE",

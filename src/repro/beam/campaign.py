@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from repro._util.rng import child_rng
 from repro._util.text import format_table
 from repro.arch.device import DeviceModel
+from repro.beam.executor import CampaignExecutor
 from repro.beam.facility import LANSCE, Facility
 from repro.core.criticality import CriticalityReport
 from repro.core.filtering import PAPER_THRESHOLD_PCT
@@ -46,6 +47,20 @@ FIT_AU_SCALE = 1.0e10
 
 #: The paper's tuning target: failures per execution stays below this.
 MAX_ERRORS_PER_EXECUTION = 1.0e-3
+
+#: Rendered placeholder for ratios that are undefined (no detectable events).
+RATIO_NA = "n/a"
+
+
+def format_ratio(ratio: "float | None") -> str:
+    """Render an SDC : detectable ratio, or :data:`RATIO_NA` when undefined.
+
+    A campaign with zero crashes and hangs has no detectable-event
+    denominator; :meth:`CampaignResult.sdc_to_detectable_ratio` returns
+    ``None`` for it and every render path goes through this helper instead
+    of an f-string that would choke on (or misprint) the sentinel.
+    """
+    return RATIO_NA if ratio is None else f"{ratio:.2f}"
 
 
 def tuned_exposure_seconds(
@@ -99,12 +114,17 @@ class CampaignResult:
 
     # -- the paper's statistics ---------------------------------------------------
 
-    def sdc_to_detectable_ratio(self) -> float:
-        """SDCs per crash-or-hang — the Section V opening comparison."""
+    def sdc_to_detectable_ratio(self) -> "float | None":
+        """SDCs per crash-or-hang — the Section V opening comparison.
+
+        Returns ``None`` when the campaign saw no crashes or hangs: the
+        ratio is undefined, and render paths print :data:`RATIO_NA` via
+        :func:`format_ratio` instead of formatting an infinity.
+        """
         counts = self.counts()
         detectable = counts[OutcomeKind.CRASH] + counts[OutcomeKind.HANG]
         if detectable == 0:
-            return float("inf")
+            return None
         return counts[OutcomeKind.SDC] / detectable
 
     def error_rate_per_execution(self) -> float:
@@ -137,7 +157,7 @@ class CampaignResult:
             ("executions", self.n_executions),
             ("struck", len(self.records)),
             *((str(kind), counts[kind]) for kind in OutcomeKind),
-            ("SDC : crash+hang", f"{self.sdc_to_detectable_ratio():.2f}"),
+            ("SDC : crash+hang", format_ratio(self.sdc_to_detectable_ratio())),
             ("FIT (All) [a.u.]", f"{self.fit_total():.2f}"),
             (
                 f"FIT (> {self.threshold_pct:g}%) [a.u.]",
@@ -162,6 +182,12 @@ class Campaign:
             mode).
         threshold_pct: relative-error tolerance for filtered metrics.
         label: display label; defaults to kernel/device.
+        workers: worker-pool size for struck executions (``None``/``0`` =
+            auto-detect, ``1`` = serial).  Parallel runs are bit-identical
+            to serial ones — see :mod:`repro.beam.executor`.
+        chunk_size: executions per worker task (``None`` = auto).
+        timeout: wall-clock bound on the pool per run; a wedged pool raises
+            instead of hanging.
     """
 
     kernel: Kernel
@@ -171,6 +197,9 @@ class Campaign:
     facility: Facility = LANSCE
     threshold_pct: float = PAPER_THRESHOLD_PCT
     label: str = ""
+    workers: "int | None" = None
+    chunk_size: "int | None" = None
+    timeout: "float | None" = None
 
     def __post_init__(self):
         if self.n_faulty < 1:
@@ -188,10 +217,46 @@ class Campaign:
     def cross_section(self) -> float:
         return self._injector.total_cross_section
 
-    def run(self) -> CampaignResult:
-        """Accelerated mode: every execution struck once, fluence-weighted."""
-        records = self._injector.inject_many(self.n_faulty)
-        fluence = self.n_faulty / (self.cross_section * STRIKES_PER_FLUENCE_AU)
+    def _executor(
+        self, workers: "int | None", chunk_size: "int | None"
+    ) -> CampaignExecutor:
+        return CampaignExecutor(
+            workers=self.workers if workers is None else workers,
+            chunk_size=self.chunk_size if chunk_size is None else chunk_size,
+            timeout=self.timeout,
+        )
+
+    def run(
+        self,
+        *,
+        workers: "int | None" = None,
+        chunk_size: "int | None" = None,
+        received_fluence: "float | None" = None,
+    ) -> CampaignResult:
+        """Accelerated mode: every execution struck once, fluence-weighted.
+
+        Args:
+            workers: override the campaign's worker count for this run.
+            chunk_size: override the campaign's chunk size for this run.
+            received_fluence: the fluence this configuration actually
+                received, when an enclosing exposure knows it exactly (a
+                derated board in a :class:`~repro.beam.parallel.BeamSession`).
+                Defaults to the fluence the struck count statistically
+                represents, ``n_faulty / (sigma * STRIKES_PER_FLUENCE_AU)``.
+        """
+        records = self._executor(workers, chunk_size).run(
+            self.kernel,
+            self.device,
+            seed=self.seed,
+            threshold_pct=self.threshold_pct,
+            count=self.n_faulty,
+        )
+        if received_fluence is None:
+            fluence = self.n_faulty / (self.cross_section * STRIKES_PER_FLUENCE_AU)
+        else:
+            if received_fluence <= 0:
+                raise ValueError("received_fluence must be positive")
+            fluence = received_fluence
         return CampaignResult(
             kernel_name=self.kernel.name,
             device_name=self.device.name,
@@ -209,6 +274,8 @@ class Campaign:
         *,
         exposure_seconds: float | None = None,
         derating: float = 1.0,
+        workers: "int | None" = None,
+        chunk_size: "int | None" = None,
     ) -> CampaignResult:
         """Natural mode: Poisson strikes at the facility flux.
 
@@ -217,6 +284,8 @@ class Campaign:
             exposure_seconds: beam time per execution; defaults to the tuned
                 value keeping strikes at the paper's 1e-3 per execution.
             derating: distance derating of the flux.
+            workers: override the campaign's worker count for this run.
+            chunk_size: override the campaign's chunk size for this run.
         """
         if n_executions < 1:
             raise ValueError("n_executions must be >= 1")
@@ -228,11 +297,22 @@ class Campaign:
         strike_mean = (
             per_exec_fluence * self.cross_section * STRIKES_PER_FLUENCE_AU
         )
+        # The Poisson arrival sweep is cheap and strictly sequential in the
+        # "natural" RNG stream; only the (rare) struck executions are worth
+        # fanning out.
         rng = child_rng(self.seed, "natural", self.kernel.name, self.device.name)
-        records: list[ExecutionRecord] = []
-        for index in range(n_executions):
-            if rng.poisson(strike_mean) > 0:
-                records.append(self._injector.inject_one(index))
+        struck = [
+            index
+            for index in range(n_executions)
+            if rng.poisson(strike_mean) > 0
+        ]
+        records = self._executor(workers, chunk_size).run(
+            self.kernel,
+            self.device,
+            seed=self.seed,
+            threshold_pct=self.threshold_pct,
+            indices=struck,
+        )
         return CampaignResult(
             kernel_name=self.kernel.name,
             device_name=self.device.name,

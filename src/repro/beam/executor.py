@@ -1,0 +1,263 @@
+"""Parallel campaign execution engine.
+
+The paper's beam sessions scale by exposing several boards at once, and
+two-level SDC-rate estimators (Hari et al.) scale by fanning per-site
+injections out over many workers.  This module gives the simulator the same
+shape: :class:`CampaignExecutor` fans struck executions out over a process
+pool, with thread and serial fallbacks.
+
+**Why parallel execution is bit-identical to the serial loop.**  Every
+struck execution ``i`` draws from the derived stream
+``child_rng(seed, "strike", kernel, device, i)`` and from the per-fault
+seed ``stable_seed(seed, "fault", kernel, i)`` — and from nothing else.
+No state flows between executions, so the records for an index set are a
+pure function of ``(kernel, device, seed, threshold, indices)``.  The
+executor partitions the indices into contiguous chunks, each worker builds
+its :class:`~repro.faults.injector.Injector` once and replays its chunk,
+and the merged records (re-sorted by index) are exactly the serial
+sequence.
+
+**Cost model.**  One struck execution re-runs the whole kernel, so the work
+per index is large and the per-record payload is small — the regime where
+``ProcessPoolExecutor`` wins.  Chunks amortise worker start-up and let the
+per-process golden-output cache (:mod:`repro.kernels.base`) compute the
+clean reference once per worker rather than once per chunk.  For small
+campaigns the pool overhead dominates, so the executor falls back to a
+plain in-process loop; on platforms without ``fork`` it prefers threads,
+which still overlap the NumPy-heavy kernel re-executions.
+
+**Deadlock guard.**  A ``timeout`` (seconds) bounds the wall-clock wait for
+outstanding chunks; a wedged pool raises :class:`ExecutorTimeoutError`
+instead of hanging the caller (the CI suite runs the pool path under this
+guard).
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Sequence
+from concurrent.futures import (
+    FIRST_EXCEPTION,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass
+
+from repro.arch.device import DeviceModel
+from repro.core.filtering import PAPER_THRESHOLD_PCT
+from repro.faults.injector import Injector
+from repro.faults.outcomes import ExecutionRecord
+from repro.kernels.base import Kernel
+
+#: Below this many struck executions a pool costs more than it saves.
+MIN_PARALLEL_STRIKES = 16
+
+#: Default chunks per worker: enough slack to balance uneven chunk times
+#: without shipping one kernel pickle per execution.
+CHUNKS_PER_WORKER = 4
+
+#: Environment override for the default worker count (0 = auto).
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+#: Environment override for the default pool timeout, seconds (empty/0 =
+#: wait forever).  The test suite sets this so a deadlocked pool fails the
+#: run instead of hanging it.
+TIMEOUT_ENV_VAR = "REPRO_POOL_TIMEOUT"
+
+
+class ExecutorTimeoutError(RuntimeError):
+    """The pool did not drain within the executor's timeout."""
+
+
+def default_workers() -> int:
+    """Worker count used when none is requested: env override, else cores."""
+    env = os.environ.get(WORKERS_ENV_VAR, "").strip()
+    if env:
+        try:
+            value = int(env)
+        except ValueError:
+            raise ValueError(
+                f"{WORKERS_ENV_VAR} must be an integer, got {env!r}"
+            ) from None
+        if value > 0:
+            return value
+    return os.cpu_count() or 1
+
+
+def default_timeout() -> "float | None":
+    """Pool timeout used when none is requested: env override, else none."""
+    env = os.environ.get(TIMEOUT_ENV_VAR, "").strip()
+    if not env:
+        return None
+    try:
+        value = float(env)
+    except ValueError:
+        raise ValueError(
+            f"{TIMEOUT_ENV_VAR} must be a number of seconds, got {env!r}"
+        ) from None
+    return value if value > 0 else None
+
+
+def _fork_available() -> bool:
+    return hasattr(os, "fork")
+
+
+def _inject_chunk(
+    kernel: Kernel,
+    device: DeviceModel,
+    seed: int,
+    threshold_pct: float,
+    indices: Sequence[int],
+) -> list[ExecutionRecord]:
+    """Worker entry point: one Injector, one contiguous index chunk.
+
+    Runs in a pool worker (or inline for the serial path).  The kernel
+    instance arrives pickled and cold; its golden output is served by the
+    per-process cache after the first chunk touching that configuration.
+    """
+    injector = Injector(
+        kernel=kernel, device=device, seed=seed, threshold_pct=threshold_pct
+    )
+    return [injector.inject_one(index) for index in indices]
+
+
+@dataclass
+class CampaignExecutor:
+    """Fans struck executions out over a worker pool, deterministically.
+
+    Args:
+        workers: pool size.  ``None`` or ``0`` means "auto" (the
+            ``REPRO_WORKERS`` environment variable, else the CPU count);
+            ``1`` forces the serial in-process path.
+        chunk_size: executions per worker task.  ``None`` splits the work
+            into about :data:`CHUNKS_PER_WORKER` chunks per worker.
+        backend: ``"auto"`` (processes where ``fork`` exists, else
+            threads), ``"process"``, ``"thread"``, or ``"serial"``.
+        timeout: wall-clock seconds to wait for the pool to drain; ``None``
+            waits forever.  A deadlocked pool raises
+            :class:`ExecutorTimeoutError` instead of hanging.
+    """
+
+    workers: int | None = None
+    chunk_size: int | None = None
+    backend: str = "auto"
+    timeout: float | None = None
+
+    def __post_init__(self):
+        if self.backend not in ("auto", "process", "thread", "serial"):
+            raise ValueError(
+                f"unknown backend {self.backend!r}; "
+                "use auto, process, thread or serial"
+            )
+        if self.workers is not None and self.workers < 0:
+            raise ValueError("workers must be >= 0 (0 = auto)")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+
+    # -- planning ---------------------------------------------------------------
+
+    def resolved_workers(self) -> int:
+        if self.workers in (None, 0):
+            return default_workers()
+        return self.workers
+
+    def resolved_backend(self, n_indices: int, workers: int) -> str:
+        """The execution strategy actually used for ``n_indices`` strikes."""
+        if self.backend == "serial":
+            return "serial"
+        if workers <= 1 or n_indices < max(2, MIN_PARALLEL_STRIKES):
+            return "serial"
+        if self.backend == "auto":
+            return "process" if _fork_available() else "thread"
+        return self.backend
+
+    def plan_chunks(self, indices: Sequence[int], workers: int) -> list[list[int]]:
+        """Split indices into contiguous chunks (order preserved)."""
+        n = len(indices)
+        if self.chunk_size is not None:
+            size = self.chunk_size
+        else:
+            size = max(1, -(-n // (workers * CHUNKS_PER_WORKER)))
+        return [list(indices[i : i + size]) for i in range(0, n, size)]
+
+    # -- execution --------------------------------------------------------------
+
+    def run(
+        self,
+        kernel: Kernel,
+        device: DeviceModel,
+        *,
+        seed: int = 0,
+        threshold_pct: float = PAPER_THRESHOLD_PCT,
+        count: int | None = None,
+        start: int = 0,
+        indices: Sequence[int] | None = None,
+    ) -> list[ExecutionRecord]:
+        """Simulate struck executions for an index set, in parallel.
+
+        Exactly one of ``count`` (with optional ``start``) or ``indices``
+        selects the executions.  Returns records sorted by index —
+        bit-identical to running ``Injector.inject_one`` over the same
+        indices in a single process.
+        """
+        if (count is None) == (indices is None):
+            raise ValueError("pass exactly one of count= or indices=")
+        if indices is None:
+            if count < 0:
+                raise ValueError("count must be >= 0")
+            indices = range(start, start + count)
+        indices = list(indices)
+        if not indices:
+            return []
+
+        workers = self.resolved_workers()
+        backend = self.resolved_backend(len(indices), workers)
+        if backend == "serial":
+            return _inject_chunk(kernel, device, seed, threshold_pct, indices)
+
+        chunks = self.plan_chunks(indices, workers)
+        workers = min(workers, len(chunks))
+        if workers <= 1:
+            return _inject_chunk(kernel, device, seed, threshold_pct, indices)
+
+        timeout = self.timeout if self.timeout is not None else default_timeout()
+        with self._make_pool(backend, workers) as pool:
+            futures = [
+                pool.submit(_inject_chunk, kernel, device, seed, threshold_pct, chunk)
+                for chunk in chunks
+            ]
+            done, pending = wait(
+                futures, timeout=timeout, return_when=FIRST_EXCEPTION
+            )
+            failed = next((f for f in done if f.exception() is not None), None)
+            if pending:
+                pool.shutdown(wait=False, cancel_futures=True)
+                if failed is not None:  # a worker raised; surface its error
+                    failed.result()
+                raise ExecutorTimeoutError(
+                    f"campaign pool ({backend}, {workers} workers) did not "
+                    f"finish {len(pending)}/{len(futures)} chunks within "
+                    f"{timeout:g}s"
+                )
+            records: list[ExecutionRecord] = []
+            for future in futures:  # chunk order; re-raises worker errors
+                records.extend(future.result())
+        records.sort(key=lambda record: record.index)
+        return records
+
+    @staticmethod
+    def _make_pool(backend: str, workers: int) -> Executor:
+        if backend == "thread":
+            return ThreadPoolExecutor(max_workers=workers)
+        if _fork_available():
+            import multiprocessing
+
+            return ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=multiprocessing.get_context("fork"),
+            )
+        return ProcessPoolExecutor(max_workers=workers)

@@ -14,7 +14,9 @@ positions within statistical noise.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 
 from repro._util.rng import stable_seed
 from repro._util.text import format_table
@@ -23,9 +25,24 @@ from repro.beam.campaign import (
     STRIKES_PER_FLUENCE_AU,
     Campaign,
     CampaignResult,
+    format_ratio,
 )
 from repro.beam.facility import LANSCE, Facility
 from repro.kernels.base import Kernel
+
+
+def derated_strike_count(n_reference: int, derating: float) -> int:
+    """Struck executions a board at ``derating`` simulates.
+
+    Uses round-half-up (``floor(x + 0.5)``) rather than Python's built-in
+    banker's rounding: ``round()`` rounds ties to the even neighbour, so two
+    boards at deratings 0.5 and 0.50001 of a 100-strike reference would get
+    50 and 50 — but at 150 strikes, 0.5 would give 75 via half-up yet 74 via
+    banker's while 0.500001 gives 75, a silent one-strike asymmetry between
+    near-identical positions.  Half-up is monotone in the derating, which is
+    the property the shared-exposure bookkeeping needs.
+    """
+    return max(1, math.floor(n_reference * derating + 0.5))
 
 
 @dataclass
@@ -54,16 +71,41 @@ class BoardSlot:
 
 @dataclass
 class BoardResult:
-    """A board's campaign plus its position bookkeeping."""
+    """A board's campaign plus its position bookkeeping.
+
+    Attributes:
+        slot: the board's position in the beam line.
+        result: the board's campaign; its ``fluence`` is the *received*
+            (derating-exact) fluence, not the naive struck-count estimate.
+        beam_seconds: shared wall-clock exposure implied by the reference
+            strike count — identical for boards with the same cross-section
+            regardless of position, because derating cancels between the
+            received fluence and the derated flux.
+        received_fluence: exact fluence through the board's position,
+            ``n_reference * derating / (sigma * STRIKES_PER_FLUENCE_AU)``
+            — computed from the un-rounded derated strike expectation.
+    """
 
     slot: BoardSlot
     result: CampaignResult
     beam_seconds: float
+    received_fluence: float = 0.0
+
+    def __post_init__(self):
+        if not self.received_fluence:
+            # Stand-alone construction (tests, ad-hoc analysis): trust the
+            # campaign's own fluence accounting.
+            self.received_fluence = self.result.fluence
 
     def derated_fit(self) -> float:
         """FIT normalised by the fluence the board actually received —
         the paper's derating correction.  Position-independent if the
-        derating factors are right."""
+        derating factors are right.
+
+        The campaign's ``fluence`` *is* the received fluence (passed in by
+        :meth:`BeamSession.run`), so the campaign FIT is already the
+        derating-corrected rate.
+        """
         return self.result.fit_total()
 
 
@@ -82,6 +124,9 @@ class BeamSession:
     facility: Facility = LANSCE
     n_faulty_reference: int = 200
     seed: int = 0
+    workers: "int | None" = 1
+    chunk_size: "int | None" = None
+    timeout: "float | None" = None
 
     def __post_init__(self):
         if not self.slots:
@@ -89,30 +134,62 @@ class BeamSession:
         if self.n_faulty_reference < 1:
             raise ValueError("n_faulty_reference must be >= 1")
 
+    def _board_result(self, position: int, slot: BoardSlot) -> BoardResult:
+        """One board's campaign with derating-exact fluence accounting."""
+        n_faulty = derated_strike_count(self.n_faulty_reference, slot.derating)
+        campaign = Campaign(
+            kernel=slot.kernel,
+            device=slot.device,
+            n_faulty=n_faulty,
+            seed=stable_seed(self.seed, "beam-session", position),
+            facility=self.facility,
+            label=slot.label,
+            workers=self.workers,
+            chunk_size=self.chunk_size,
+            timeout=self.timeout,
+        )
+        # The fluence this position *received* under the shared exposure:
+        # computed from the exact derated strike expectation, not the
+        # integer strike count the simulation happened to round to.
+        received_fluence = (self.n_faulty_reference * slot.derating) / (
+            campaign.cross_section * STRIKES_PER_FLUENCE_AU
+        )
+        # Shared wall-clock exposure: received fluence / derated flux
+        # = (n_ref * d / (sigma * AU)) / (flux * d).  The derating cancels
+        # algebraically (cancelled here rather than numerically, so boards
+        # with equal cross-sections report bit-identical beam time) — the
+        # paper's "one beam, four boards" shares one clock.
+        beam_seconds = self.n_faulty_reference / (
+            self.facility.flux * campaign.cross_section * STRIKES_PER_FLUENCE_AU
+        )
+        result = campaign.run(received_fluence=received_fluence)
+        return BoardResult(
+            slot=slot,
+            result=result,
+            beam_seconds=beam_seconds,
+            received_fluence=received_fluence,
+        )
+
     def run(self) -> list[BoardResult]:
-        """Run every board's campaign under the shared exposure."""
-        results = []
-        for position, slot in enumerate(self.slots):
-            n_faulty = max(1, round(self.n_faulty_reference * slot.derating))
-            campaign = Campaign(
-                kernel=slot.kernel,
-                device=slot.device,
-                n_faulty=n_faulty,
-                seed=stable_seed(self.seed, "beam-session", position),
-                facility=self.facility,
-                label=slot.label,
-            )
-            result = campaign.run()
-            # Shared wall-clock exposure: strikes / (flux x derating x sigma).
-            beam_seconds = n_faulty / (
-                self.facility.derated_flux(slot.derating)
-                * campaign.cross_section
-                * STRIKES_PER_FLUENCE_AU
-            )
-            results.append(
-                BoardResult(slot=slot, result=result, beam_seconds=beam_seconds)
-            )
-        return results
+        """Run every board's campaign under the shared exposure.
+
+        Boards are irradiated simultaneously in the paper, and their
+        campaigns are seeded independently (``(seed, "beam-session",
+        position)``), so they execute concurrently here — one thread per
+        board, each optionally fanning its own strikes out via the
+        campaign's ``workers`` knob.  Results keep slot order and are
+        bit-identical to running the boards one after another.
+        """
+        if len(self.slots) == 1:
+            return [self._board_result(0, self.slots[0])]
+        with ThreadPoolExecutor(
+            max_workers=len(self.slots), thread_name_prefix="beam-board"
+        ) as pool:
+            futures = [
+                pool.submit(self._board_result, position, slot)
+                for position, slot in enumerate(self.slots)
+            ]
+            return [future.result() for future in futures]
 
     @staticmethod
     def position_check(
@@ -146,7 +223,7 @@ class BeamSession:
                 f"{board.slot.derating:g}",
                 board.result.n_executions,
                 f"{board.derated_fit():.2f}",
-                f"{board.result.sdc_to_detectable_ratio():.2f}",
+                format_ratio(board.result.sdc_to_detectable_ratio()),
             )
             for board in results
         ]

@@ -99,7 +99,12 @@ def cmd_campaign(args) -> int:
     kernel = make_kernel(args.kernel, **_parse_config(args.config))
     device = make_device(args.device)
     campaign = Campaign(
-        kernel=kernel, device=device, n_faulty=args.faulty, seed=args.seed
+        kernel=kernel,
+        device=device,
+        n_faulty=args.faulty,
+        seed=args.seed,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
     )
     if args.natural:
         result = campaign.run_natural(args.natural)
@@ -233,6 +238,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument("--faulty", type=int, default=100)
     campaign.add_argument("--seed", type=int, default=2017)
+    campaign.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="fan struck executions over N worker processes "
+        "(0 = one per CPU core; results are bit-identical to serial)",
+    )
+    campaign.add_argument(
+        "--chunk-size", type=int, default=None, metavar="K",
+        help="executions per worker task (default: auto)",
+    )
     campaign.add_argument(
         "--natural", type=int, default=0, metavar="N",
         help="natural mode with N executions (Poisson strikes)",

@@ -105,3 +105,61 @@ class TestCrossDevice:
             kernel=HotSpot(n=32, iterations=16), device=k40(), n_faulty=150, seed=6
         ).run()
         assert result.sdc_to_detectable_ratio() > 0
+
+
+class TestRatioSentinel:
+    """Zero-detectable campaigns must render, not blow up or print inf."""
+
+    @staticmethod
+    def quiet_result():
+        from repro.beam.campaign import CampaignResult
+
+        return CampaignResult(
+            kernel_name="dgemm",
+            device_name="k40",
+            label="quiet",
+            records=[],
+            fluence=1.0e18,
+            cross_section=1.0,
+            n_executions=25,
+        )
+
+    def test_ratio_is_none_without_detectable_events(self):
+        assert self.quiet_result().sdc_to_detectable_ratio() is None
+
+    def test_summary_renders_na(self):
+        text = self.quiet_result().summary()
+        assert "n/a" in text
+        assert "inf" not in text
+
+    def test_summary_renders_number_when_defined(self, result):
+        ratio = result.sdc_to_detectable_ratio()
+        assert ratio is not None
+        assert f"{ratio:.2f}" in result.summary()
+
+    def test_format_ratio(self):
+        from repro.beam.campaign import RATIO_NA, format_ratio
+
+        assert format_ratio(None) == RATIO_NA == "n/a"
+        assert format_ratio(2.5) == "2.50"
+
+    def test_render_ratios_table_handles_na(self):
+        from repro.analysis.sdc_ratio import render_ratios
+
+        text = render_ratios([self.quiet_result()])
+        assert "n/a" in text
+
+
+class TestParallelKnobs:
+    def test_campaign_level_workers_used_by_run(self):
+        serial = Campaign(
+            kernel=Dgemm(n=64), device=k40(), n_faulty=30, seed=9, workers=1
+        ).run()
+        pooled = Campaign(
+            kernel=Dgemm(n=64), device=k40(), n_faulty=30, seed=9,
+            workers=2, chunk_size=8, timeout=120.0,
+        ).run()
+        assert [r.outcome for r in pooled.records] == [
+            r.outcome for r in serial.records
+        ]
+        assert pooled.fluence == serial.fluence

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.arch import k40, xeonphi
-from repro.beam.parallel import BeamSession, BoardSlot
+from repro.beam.parallel import BeamSession, BoardResult, BoardSlot
 from repro.kernels import Dgemm
 
 
@@ -77,3 +77,147 @@ class TestBeamSession:
                 slots=[BoardSlot(kernel=Dgemm(n=32), device=k40())],
                 n_faulty_reference=0,
             )
+
+
+class TestFluenceAccounting:
+    """Regressions for the derated-fluence bookkeeping bugfixes."""
+
+    def test_received_fluence_is_exactly_derated(self):
+        """The board's campaign fluence is n_ref * d / (sigma * AU) — the
+        exact derated exposure, not the rounded struck count's estimate."""
+        from repro.beam.campaign import STRIKES_PER_FLUENCE_AU
+
+        session = BeamSession(
+            slots=[
+                BoardSlot(kernel=Dgemm(n=64), device=k40(), derating=1.0),
+                BoardSlot(kernel=Dgemm(n=64), device=k40(), derating=0.7),
+            ],
+            n_faulty_reference=149,
+            seed=5,
+        )
+        reference, derated = session.run()
+        sigma = reference.result.cross_section
+        assert derated.received_fluence == pytest.approx(
+            149 * 0.7 / (sigma * STRIKES_PER_FLUENCE_AU)
+        )
+        # ...and that exact value is what the campaign result carries.
+        assert derated.result.fluence == derated.received_fluence
+        assert derated.received_fluence == pytest.approx(
+            0.7 * reference.received_fluence
+        )
+        # The struck count is the *rounded* expectation (149 * 0.7 = 104.3).
+        assert derated.result.n_executions == 104
+
+    def test_position_independence_survives_nonuniform_deratings(self):
+        """Same (kernel, device) at awkward, non-uniform deratings must
+        still agree on derated FIT — the paper's position check."""
+        session = BeamSession(
+            slots=[
+                BoardSlot(kernel=Dgemm(n=64), device=k40(), derating=1.0),
+                BoardSlot(kernel=Dgemm(n=64), device=k40(), derating=0.77),
+                BoardSlot(kernel=Dgemm(n=64), device=k40(), derating=0.613),
+            ],
+            n_faulty_reference=300,
+            seed=9,
+        )
+        results = session.run()
+        assert BeamSession.position_check(results, tolerance=0.5)
+        # FIT is a *rate*: no monotone trend with derating may survive the
+        # correction (each estimate sits within noise of the others).
+        fits = [board.derated_fit() for board in results]
+        centre = sum(fits) / len(fits)
+        assert all(abs(fit - centre) / centre < 0.5 for fit in fits)
+
+    def test_rounding_rule_is_half_up_and_monotone(self):
+        from repro.beam.parallel import derated_strike_count
+
+        # Banker's rounding would give 149 * 0.5 -> 74 but 149 * 0.50001
+        # -> 75: two nearly identical positions, silently different strike
+        # counts.  Half-up gives 75 for both.
+        assert derated_strike_count(149, 0.5) == 75
+        assert derated_strike_count(149, 0.50001) == 75
+        assert derated_strike_count(100, 1.0) == 100
+        assert derated_strike_count(10, 0.01) == 1  # floor of one strike
+        # Monotone in the derating.
+        counts = [derated_strike_count(149, d / 1000) for d in range(1, 1001)]
+        assert counts == sorted(counts)
+
+    def test_beam_seconds_from_unrounded_exposure(self):
+        """Boards with equal cross-sections share *bit-identical* beam time:
+        the shared clock comes from the exact derated fluence, in which the
+        derating cancels, not from the rounded strike count."""
+        session = BeamSession(
+            slots=[
+                BoardSlot(kernel=Dgemm(n=64), device=k40(), derating=1.0),
+                BoardSlot(kernel=Dgemm(n=64), device=k40(), derating=0.5),
+                BoardSlot(kernel=Dgemm(n=64), device=k40(), derating=0.50001),
+            ],
+            n_faulty_reference=149,
+            seed=5,
+        )
+        results = session.run()
+        assert results[0].beam_seconds == results[1].beam_seconds
+        # Before the fix, rounding fed back into beam_seconds, so the two
+        # near-identical positions disagreed on the shared clock.
+        assert results[1].beam_seconds == results[2].beam_seconds
+
+    def test_board_result_defaults_received_to_campaign_fluence(self):
+        board = four_board_session().run()[0]
+        standalone = BoardResult(
+            slot=board.slot, result=board.result, beam_seconds=1.0
+        )
+        assert standalone.received_fluence == board.result.fluence
+
+
+class TestConcurrentBoards:
+    def test_concurrent_run_matches_board_order(self):
+        session = four_board_session()
+        results = session.run()
+        assert [r.slot.label for r in results] == [s.label for s in session.slots]
+
+    def test_concurrent_run_deterministic(self):
+        a = four_board_session().run()
+        b = four_board_session().run()
+        assert [r.result.fluence for r in a] == [r.result.fluence for r in b]
+        assert [
+            [rec.outcome for rec in r.result.records] for r in a
+        ] == [[rec.outcome for rec in r.result.records] for r in b]
+
+    def test_session_with_strike_workers(self):
+        serial = four_board_session().run()
+        parallel_session = four_board_session()
+        parallel_session.workers = 2
+        parallel_session.chunk_size = 16
+        parallel_session.timeout = 120.0
+        parallel = parallel_session.run()
+        assert [
+            [rec.outcome for rec in r.result.records] for r in parallel
+        ] == [[rec.outcome for rec in r.result.records] for r in serial]
+        assert [r.derated_fit() for r in parallel] == [
+            r.derated_fit() for r in serial
+        ]
+
+
+class TestRatioSentinelRender:
+    def test_render_prints_na_for_undefined_ratio(self):
+        """A board whose campaign saw no crashes or hangs renders n/a."""
+        from repro.beam.campaign import CampaignResult
+
+        board = four_board_session().run()[0]
+        import dataclasses
+
+        quiet = dataclasses.replace(
+            board,
+            result=CampaignResult(
+                kernel_name="dgemm",
+                device_name="k40",
+                label="quiet",
+                records=[],
+                fluence=1.0e18,
+                cross_section=1.0,
+                n_executions=10,
+            ),
+        )
+        text = BeamSession.render([board, quiet])
+        assert "n/a" in text
+        assert "derating" in text

@@ -1,0 +1,21 @@
+"""Tier-1 suite defaults: exercise the parallel campaign path, guarded.
+
+Campaigns built without an explicit ``workers=`` resolve their pool size
+from ``REPRO_WORKERS`` (see :mod:`repro.beam.executor`).  The suite pins a
+small pool so every default-configured campaign above the serial-fallback
+threshold actually runs through the process-pool path — the parallel engine
+is tested by *everything*, not just its dedicated tests.  The paired
+``REPRO_POOL_TIMEOUT`` makes a deadlocked pool raise
+:class:`repro.beam.executor.ExecutorTimeoutError` within minutes instead of
+hanging the run; ``faulthandler_timeout`` in ``pyproject.toml`` additionally
+dumps stacks should anything else wedge.
+
+Both are ``setdefault``: an explicit environment wins, so
+``REPRO_WORKERS=1`` restores a fully serial suite and ``REPRO_WORKERS=8``
+stress-tests a wider pool.
+"""
+
+import os
+
+os.environ.setdefault("REPRO_WORKERS", "2")
+os.environ.setdefault("REPRO_POOL_TIMEOUT", "300")

@@ -35,6 +35,16 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "SDC : crash+hang" in out
 
+    def test_campaign_workers_flag_is_bit_identical(self, capsys):
+        """--workers fans the strikes out but prints the same campaign."""
+        args = ["campaign", "dgemm", "k40", "--config", "n=64",
+                "--faulty", "24", "--seed", "3"]
+        assert main(args + ["--workers", "1"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(args + ["--workers", "2", "--chunk-size", "6"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out
+
     def test_campaign_with_log_then_analyze_and_fleet(self, capsys, tmp_path):
         log = tmp_path / "c.jsonl"
         main(
