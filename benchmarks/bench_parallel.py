@@ -11,6 +11,8 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_parallel.py
     PYTHONPATH=src python benchmarks/bench_parallel.py \
         --n 256 --faulty 200 --workers 0 --expect-speedup 2.0
+    PYTHONPATH=src python benchmarks/bench_parallel.py \
+        --quick --observability --max-overhead-pct 10
 
 ``--workers 0`` (the default) sizes the pool to the CPU count.  On a
 multi-core runner a 200-strike DGEMM campaign should clear 2x serial
@@ -18,6 +20,12 @@ throughput comfortably (per-strike work is a full kernel re-execution, so
 the fan-out is nearly embarrassing); ``--expect-speedup`` turns that into
 an exit code for CI.  On a single-core machine the script still records
 both numbers — the interesting quantity there is the pool overhead.
+
+``--observability`` adds a second section measuring the cost of running
+the same campaign with tracing *and* metrics enabled
+(:mod:`repro.observability`); ``--max-overhead-pct`` turns the measured
+overhead into an exit code (the CI smoke job asserts < 10%).  ``--quick``
+shrinks the workload for smoke runs.
 """
 
 from __future__ import annotations
@@ -83,6 +91,79 @@ def bench(args) -> str:
     return text, speedup
 
 
+def bench_observability(args) -> "tuple[str, float]":
+    """Cost of tracing + metrics on the same campaign, as an overhead %.
+
+    Runs the pooled campaign plain and instrumented (JSONL tracer + metrics
+    registry), ``--repeats`` times each, and compares the best times — the
+    standard way to get a stable timing ratio out of a noisy runner.  Also
+    re-checks that instrumentation does not perturb the physics and that
+    the trace/registry saw every execution.
+    """
+    import tempfile
+
+    from repro import observability as obs
+    from repro.observability.trace import read_trace
+
+    workers = args.workers if args.workers > 0 else (os.cpu_count() or 1)
+
+    def timed_run():
+        return run_campaign(
+            args.kernel, args.device, args.n, args.faulty, args.seed,
+            workers, args.chunk_size,
+        )
+
+    t_plain = t_instr = float("inf")
+    plain_outcomes = instr_outcomes = None
+    n_traced = n_counted = 0
+    for _ in range(args.repeats):
+        seconds, result = timed_run()
+        t_plain = min(t_plain, seconds)
+        plain_outcomes = [r.outcome for r in result.records]
+        with tempfile.TemporaryDirectory() as tmp:
+            trace_path = Path(tmp) / "trace.jsonl"
+            registry = obs.MetricsRegistry()
+            tracer = obs.Tracer(obs.JsonlSink(trace_path))
+            with obs.observe(tracer=tracer, metrics=registry):
+                seconds, result = timed_run()
+            t_instr = min(t_instr, seconds)
+            instr_outcomes = [r.outcome for r in result.records]
+            n_traced = sum(
+                1 for e in read_trace(trace_path) if e.kind == "execution"
+            )
+            n_counted = int(registry.get("repro_executions_total").total())
+    overhead_pct = (t_instr - t_plain) / t_plain * 100.0
+
+    lines = [
+        "observability overhead (tracing + metrics enabled):",
+        f"  plain         : {t_plain:8.2f} s  {args.faulty / t_plain:8.1f} exec/s",
+        f"  instrumented  : {t_instr:8.2f} s  {args.faulty / t_instr:8.1f} exec/s",
+        f"  overhead      : {overhead_pct:+8.1f} %",
+        f"  spans/metrics saw every execution: "
+        f"{n_traced == n_counted == args.faulty}",
+        f"  records identical to uninstrumented: "
+        f"{instr_outcomes == plain_outcomes}",
+    ]
+    text = "\n".join(lines)
+    if instr_outcomes != plain_outcomes:
+        raise SystemExit(
+            text + "\nFATAL: instrumentation changed the outcome sequence"
+        )
+    if not (n_traced == n_counted == args.faulty):
+        raise SystemExit(
+            text + f"\nFATAL: trace saw {n_traced}, metrics {n_counted}, "
+            f"expected {args.faulty}"
+        )
+    return text, overhead_pct
+
+
+def quick_caps(n: int, faulty: int) -> "tuple[int, int]":
+    """The ``--quick`` smoke workload: caps that keep the bench seconds-long
+    while leaving each struck execution heavy enough (a few ms) that the
+    overhead ratio is meaningful."""
+    return min(n, 192), min(faulty, 64)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--kernel", default="dgemm")
@@ -99,18 +180,48 @@ def main(argv=None) -> int:
     parser.add_argument("--chunk-size", type=int, default=None)
     parser.add_argument("--expect-speedup", type=float, default=None,
                         help="exit 1 unless parallel/serial >= this factor")
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke-test workload (caps --n and --faulty)")
+    parser.add_argument("--observability", action="store_true",
+                        help="also measure tracing+metrics overhead")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="timing repetitions for the overhead section "
+                             "(best-of)")
+    parser.add_argument("--max-overhead-pct", type=float, default=None,
+                        help="exit 1 unless observability overhead < this")
     args = parser.parse_args(argv)
+    if args.quick:
+        args.n, args.faulty = quick_caps(args.n, args.faulty)
 
     text, speedup = bench(args)
+    overhead_pct = None
+    if args.observability:
+        obs_text, overhead_pct = bench_observability(args)
+        text = text + "\n" + obs_text
     print(text)
-    RESULTS_PATH.parent.mkdir(exist_ok=True)
-    RESULTS_PATH.write_text(text + "\n")
-    print(f"\nrecorded to {RESULTS_PATH}")
+    results_path = (
+        RESULTS_PATH.with_name("bench_parallel_quick.txt")
+        if args.quick
+        else RESULTS_PATH
+    )
+    results_path.parent.mkdir(exist_ok=True)
+    results_path.write_text(text + "\n")
+    print(f"\nrecorded to {results_path}")
 
     if args.expect_speedup is not None and speedup < args.expect_speedup:
         print(
             f"FAIL: speedup {speedup:.2f}x below required "
             f"{args.expect_speedup:.2f}x"
+        )
+        return 1
+    if (
+        args.max_overhead_pct is not None
+        and overhead_pct is not None
+        and overhead_pct >= args.max_overhead_pct
+    ):
+        print(
+            f"FAIL: observability overhead {overhead_pct:.1f}% at or above "
+            f"budget {args.max_overhead_pct:.1f}%"
         )
         return 1
     return 0

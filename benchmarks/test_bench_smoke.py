@@ -1,0 +1,46 @@
+"""Bench-smoke job: the parallel benchmark's quick path, tracing enabled.
+
+Runs ``bench_parallel.py --quick --observability`` in-process and asserts
+the observability layer's overhead budget: with a JSONL tracer *and* a
+metrics registry attached, a pooled campaign must stay within 10% of its
+uninstrumented wall-clock (best-of-``--repeats``), and the instrumented
+run's records must be bit-identical to the plain run (the benchmark
+itself raises otherwise).
+
+Selected by the ``telemetry`` marker::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_smoke.py -m telemetry
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+import bench_parallel  # noqa: E402
+
+
+@pytest.mark.telemetry
+class TestBenchSmoke:
+    def test_quick_observability_overhead_under_budget(self, capsys):
+        code = bench_parallel.main(
+            ["--quick", "--observability", "--max-overhead-pct", "10",
+             "--workers", "2", "--repeats", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "observability overhead" in out
+        assert "spans/metrics saw every execution: True" in out
+        assert "records identical to uninstrumented: True" in out
+        quick_results = (
+            Path(bench_parallel.RESULTS_PATH).parent
+            / "bench_parallel_quick.txt"
+        )
+        assert quick_results.exists()
+        assert "overhead" in quick_results.read_text()
+
+    def test_quick_flag_caps_workload(self):
+        assert bench_parallel.quick_caps(4096, 5000) == (192, 64)
+        # already-small workloads pass through untouched
+        assert bench_parallel.quick_caps(96, 20) == (96, 20)

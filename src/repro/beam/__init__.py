@@ -26,7 +26,12 @@ from repro.beam.campaign import (
     format_ratio,
     tuned_exposure_seconds,
 )
-from repro.beam.executor import CampaignExecutor, ExecutorTimeoutError
+from repro.beam.executor import (
+    CampaignExecutionError,
+    CampaignExecutor,
+    ChunkWorkerError,
+    ExecutorTimeoutError,
+)
 from repro.beam.facility import ISIS, LANSCE, Facility
 from repro.beam.logs import read_log, write_log
 from repro.beam.parallel import BeamSession, BoardResult, BoardSlot
@@ -39,8 +44,10 @@ from repro.beam.planner import (
 
 __all__ = [
     "Campaign",
+    "CampaignExecutionError",
     "CampaignExecutor",
     "CampaignResult",
+    "ChunkWorkerError",
     "ExecutorTimeoutError",
     "format_ratio",
     "tuned_exposure_seconds",

@@ -23,6 +23,7 @@ a readable range — both shared by every campaign so relative comparisons
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 
 from repro._util.rng import child_rng
@@ -36,6 +37,7 @@ from repro.core.fit import FitBreakdown, locality_breakdown
 from repro.faults.injector import Injector
 from repro.faults.outcomes import ExecutionRecord, OutcomeKind
 from repro.kernels.base import Kernel
+from repro.observability import runtime as obs_runtime
 
 #: Strikes per (n/cm^2 of fluence x a.u. of cross-section): the arbitrary
 #: bridging constant standing in for the absolute per-bit cross-sections the
@@ -226,6 +228,45 @@ class Campaign:
             timeout=self.timeout,
         )
 
+    def _campaign_span(self, mode: str, n_executions: int):
+        """A ``campaign`` trace span, or a no-op when tracing is off.
+
+        The span parents automatically under a ``board`` span when the
+        campaign runs inside a :class:`~repro.beam.parallel.BeamSession`
+        (the board span is opened on the same thread of control).
+        """
+        tracer = obs_runtime.get_tracer()
+        if tracer is None:
+            return contextlib.nullcontext()
+        return tracer.span(
+            "campaign",
+            self.label,
+            kernel=self.kernel.name,
+            device=self.device.name,
+            mode=mode,
+            n_executions=n_executions,
+            seed=self.seed,
+            threshold_pct=self.threshold_pct,
+        )
+
+    def _note_campaign(self, mode: str, result: "CampaignResult", span) -> None:
+        """Post-run bookkeeping: span outcome attrs + campaign counter."""
+        if span is not None:
+            span.set(
+                outcomes={
+                    kind.value: count for kind, count in result.counts().items()
+                },
+                struck=len(result.records),
+                fluence=result.fluence,
+            )
+        metrics = obs_runtime.get_metrics()
+        if metrics is not None:
+            metrics.counter(
+                "repro_campaigns_total",
+                "Campaigns completed, by mode",
+                ("kernel", "device", "mode"),
+            ).inc(kernel=self.kernel.name, device=self.device.name, mode=mode)
+
     def run(
         self,
         *,
@@ -244,29 +285,33 @@ class Campaign:
                 Defaults to the fluence the struck count statistically
                 represents, ``n_faulty / (sigma * STRIKES_PER_FLUENCE_AU)``.
         """
-        records = self._executor(workers, chunk_size).run(
-            self.kernel,
-            self.device,
-            seed=self.seed,
-            threshold_pct=self.threshold_pct,
-            count=self.n_faulty,
-        )
         if received_fluence is None:
             fluence = self.n_faulty / (self.cross_section * STRIKES_PER_FLUENCE_AU)
         else:
             if received_fluence <= 0:
                 raise ValueError("received_fluence must be positive")
             fluence = received_fluence
-        return CampaignResult(
-            kernel_name=self.kernel.name,
-            device_name=self.device.name,
-            label=self.label,
-            records=records,
-            fluence=fluence,
-            cross_section=self.cross_section,
-            n_executions=self.n_faulty,
-            threshold_pct=self.threshold_pct,
-        )
+        with self._campaign_span("accelerated", self.n_faulty) as span:
+            records = self._executor(workers, chunk_size).run(
+                self.kernel,
+                self.device,
+                seed=self.seed,
+                threshold_pct=self.threshold_pct,
+                count=self.n_faulty,
+                label=self.label,
+            )
+            result = CampaignResult(
+                kernel_name=self.kernel.name,
+                device_name=self.device.name,
+                label=self.label,
+                records=records,
+                fluence=fluence,
+                cross_section=self.cross_section,
+                n_executions=self.n_faulty,
+                threshold_pct=self.threshold_pct,
+            )
+            self._note_campaign("accelerated", result, span)
+        return result
 
     def run_natural(
         self,
@@ -306,21 +351,28 @@ class Campaign:
             for index in range(n_executions)
             if rng.poisson(strike_mean) > 0
         ]
-        records = self._executor(workers, chunk_size).run(
-            self.kernel,
-            self.device,
-            seed=self.seed,
-            threshold_pct=self.threshold_pct,
-            indices=struck,
-        )
-        return CampaignResult(
-            kernel_name=self.kernel.name,
-            device_name=self.device.name,
-            label=self.label,
-            records=records,
-            fluence=per_exec_fluence * n_executions,
-            cross_section=self.cross_section,
-            n_executions=n_executions,
-            threshold_pct=self.threshold_pct,
-            aux={"exposure_seconds": exposure_seconds, "strike_mean": strike_mean},
-        )
+        with self._campaign_span("natural", n_executions) as span:
+            records = self._executor(workers, chunk_size).run(
+                self.kernel,
+                self.device,
+                seed=self.seed,
+                threshold_pct=self.threshold_pct,
+                indices=struck,
+                label=self.label,
+            )
+            result = CampaignResult(
+                kernel_name=self.kernel.name,
+                device_name=self.device.name,
+                label=self.label,
+                records=records,
+                fluence=per_exec_fluence * n_executions,
+                cross_section=self.cross_section,
+                n_executions=n_executions,
+                threshold_pct=self.threshold_pct,
+                aux={
+                    "exposure_seconds": exposure_seconds,
+                    "strike_mean": strike_mean,
+                },
+            )
+            self._note_campaign("natural", result, span)
+        return result

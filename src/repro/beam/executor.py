@@ -35,6 +35,7 @@ guard).
 from __future__ import annotations
 
 import os
+import time
 from collections.abc import Sequence
 from concurrent.futures import (
     FIRST_EXCEPTION,
@@ -43,13 +44,15 @@ from concurrent.futures import (
     ThreadPoolExecutor,
     wait,
 )
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.arch.device import DeviceModel
 from repro.core.filtering import PAPER_THRESHOLD_PCT
 from repro.faults.injector import Injector
 from repro.faults.outcomes import ExecutionRecord
-from repro.kernels.base import Kernel
+from repro.kernels.base import Kernel, golden_cache_info
+from repro.observability import runtime as obs_runtime
+from repro.observability.trace import worker_id
 
 #: Below this many struck executions a pool costs more than it saves.
 MIN_PARALLEL_STRIKES = 16
@@ -69,6 +72,56 @@ TIMEOUT_ENV_VAR = "REPRO_POOL_TIMEOUT"
 
 class ExecutorTimeoutError(RuntimeError):
     """The pool did not drain within the executor's timeout."""
+
+
+class ChunkWorkerError(RuntimeError):
+    """A struck execution failed inside a chunk runner.
+
+    Raised worker-side with the exact failing execution index and the
+    original error rendered into the message (the original exception's
+    traceback does not survive the pool's pickle boundary; its text does).
+    Picklable by construction: ``args == (index, message)`` matches the
+    constructor signature, which is all :mod:`pickle` needs.
+    """
+
+    def __init__(self, index: int, message: str):
+        super().__init__(index, message)
+        self.index = index
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"execution {self.index} failed: {self.message}"
+
+
+class CampaignExecutionError(RuntimeError):
+    """A campaign run failed; carries the full context across the pool.
+
+    Attributes:
+        index: the struck-execution index that raised.
+        label: the campaign/board label the executor was running for
+            (``""`` when the caller did not provide one).
+        backend: the execution strategy in use (serial/thread/process).
+        chunk: the chunk number the failing index belonged to.
+    """
+
+    def __init__(self, message: str, *, index: int, label: str = "",
+                 backend: str = "serial", chunk: int = 0):
+        super().__init__(message)
+        self.index = index
+        self.label = label
+        self.backend = backend
+        self.chunk = chunk
+
+    @classmethod
+    def wrap(cls, err: "ChunkWorkerError", *, label: str, backend: str,
+             chunk: int, indices: Sequence[int]) -> "CampaignExecutionError":
+        where = f"campaign {label!r}" if label else "campaign"
+        span = f"{indices[0]}..{indices[-1]}" if len(indices) else "-"
+        return cls(
+            f"{where} ({backend} backend) failed at execution {err.index} "
+            f"(chunk {chunk}, indices {span}): {err.message}",
+            index=err.index, label=label, backend=backend, chunk=chunk,
+        )
 
 
 def default_workers() -> int:
@@ -104,6 +157,85 @@ def _fork_available() -> bool:
     return hasattr(os, "fork")
 
 
+@dataclass
+class _ChunkResult:
+    """What a chunk runner ships back to the parent.
+
+    Records plus — when instrumented — per-execution wall-clock timings and
+    the worker's golden-cache delta, so the parent can re-emit span events
+    and fold metrics without the worker ever touching a sink (one trace
+    writer per campaign, regardless of backend).
+    """
+
+    records: list = field(default_factory=list)
+    start: float = 0.0          # wall-clock chunk start (time.time())
+    duration: float = 0.0       # chunk elapsed seconds
+    worker: str = ""            # pid:<pid>/<thread> that ran the chunk
+    exec_starts: "list | None" = None     # per-execution wall starts
+    exec_durations: "list | None" = None  # per-execution elapsed seconds
+    cache_hits: int = 0         # golden-cache hits during this chunk
+    cache_misses: int = 0       # golden-cache misses during this chunk
+
+
+def _run_chunk(
+    kernel: Kernel,
+    device: DeviceModel,
+    seed: int,
+    threshold_pct: float,
+    indices: Sequence[int],
+    instrument: bool = False,
+) -> _ChunkResult:
+    """Worker entry point: one Injector, one contiguous index chunk.
+
+    Runs in a pool worker (or inline for the serial path).  The kernel
+    instance arrives pickled and cold; its golden output is served by the
+    per-process cache after the first chunk touching that configuration.
+
+    With ``instrument`` the runner also clocks each execution and the
+    chunk's golden-cache traffic; without it, the loop is the bare PR 1
+    hot path plus one try/except per execution (the pool strips tracebacks
+    and context, so failures are wrapped in :class:`ChunkWorkerError` with
+    the exact failing index either way).
+    """
+    injector = Injector(
+        kernel=kernel, device=device, seed=seed, threshold_pct=threshold_pct
+    )
+    cache_before = golden_cache_info() if instrument else None
+    start_wall = time.time()
+    t0 = time.perf_counter()
+    records = []
+    exec_starts = [] if instrument else None
+    exec_durations = [] if instrument else None
+    for index in indices:
+        try:
+            if instrument:
+                exec_wall = time.time()
+                e0 = time.perf_counter()
+                record = injector.inject_one(index)
+                exec_durations.append(time.perf_counter() - e0)
+                exec_starts.append(exec_wall)
+            else:
+                record = injector.inject_one(index)
+        except Exception as exc:
+            raise ChunkWorkerError(
+                index, f"{type(exc).__name__}: {exc}"
+            ) from exc
+        records.append(record)
+    result = _ChunkResult(
+        records=records,
+        start=start_wall,
+        duration=time.perf_counter() - t0,
+        worker=worker_id(),
+        exec_starts=exec_starts,
+        exec_durations=exec_durations,
+    )
+    if instrument:
+        cache_after = golden_cache_info()
+        result.cache_hits = cache_after["hits"] - cache_before["hits"]
+        result.cache_misses = cache_after["misses"] - cache_before["misses"]
+    return result
+
+
 def _inject_chunk(
     kernel: Kernel,
     device: DeviceModel,
@@ -111,16 +243,8 @@ def _inject_chunk(
     threshold_pct: float,
     indices: Sequence[int],
 ) -> list[ExecutionRecord]:
-    """Worker entry point: one Injector, one contiguous index chunk.
-
-    Runs in a pool worker (or inline for the serial path).  The kernel
-    instance arrives pickled and cold; its golden output is served by the
-    per-process cache after the first chunk touching that configuration.
-    """
-    injector = Injector(
-        kernel=kernel, device=device, seed=seed, threshold_pct=threshold_pct
-    )
-    return [injector.inject_one(index) for index in indices]
+    """Back-compat chunk runner: records only (see :func:`_run_chunk`)."""
+    return _run_chunk(kernel, device, seed, threshold_pct, indices).records
 
 
 @dataclass
@@ -196,6 +320,7 @@ class CampaignExecutor:
         count: int | None = None,
         start: int = 0,
         indices: Sequence[int] | None = None,
+        label: str = "",
     ) -> list[ExecutionRecord]:
         """Simulate struck executions for an index set, in parallel.
 
@@ -203,6 +328,15 @@ class CampaignExecutor:
         selects the executions.  Returns records sorted by index —
         bit-identical to running ``Injector.inject_one`` over the same
         indices in a single process.
+
+        ``label`` names the campaign/board in trace spans and error
+        context; it never affects the records.  When observability is
+        configured (:mod:`repro.observability.runtime`), the executor
+        emits one ``chunk`` span per worker task and one ``execution``
+        span per struck execution — timings are measured where the work
+        runs and re-emitted here, so a trace always has a single writer.
+        A worker failure raises :class:`CampaignExecutionError` carrying
+        the failing execution index, chunk and label.
         """
         if (count is None) == (indices is None):
             raise ValueError("pass exactly one of count= or indices=")
@@ -214,40 +348,254 @@ class CampaignExecutor:
         if not indices:
             return []
 
+        tracer = obs_runtime.get_tracer()
+        metrics = obs_runtime.get_metrics()
+        progress = obs_runtime.get_progress()
+        instrument = tracer is not None or metrics is not None
+
         workers = self.resolved_workers()
         backend = self.resolved_backend(len(indices), workers)
-        if backend == "serial":
-            return _inject_chunk(kernel, device, seed, threshold_pct, indices)
-
         chunks = self.plan_chunks(indices, workers)
-        workers = min(workers, len(chunks))
-        if workers <= 1:
-            return _inject_chunk(kernel, device, seed, threshold_pct, indices)
+        if backend != "serial":
+            workers = min(workers, len(chunks))
+            if workers <= 1:
+                backend = "serial"
 
-        timeout = self.timeout if self.timeout is not None else default_timeout()
-        with self._make_pool(backend, workers) as pool:
-            futures = [
-                pool.submit(_inject_chunk, kernel, device, seed, threshold_pct, chunk)
-                for chunk in chunks
-            ]
-            done, pending = wait(
-                futures, timeout=timeout, return_when=FIRST_EXCEPTION
+        if backend == "serial":
+            return self._run_serial(
+                kernel, device, seed, threshold_pct, chunks,
+                label=label, tracer=tracer, metrics=metrics,
+                progress=progress, instrument=instrument,
             )
-            failed = next((f for f in done if f.exception() is not None), None)
-            if pending:
-                pool.shutdown(wait=False, cancel_futures=True)
-                if failed is not None:  # a worker raised; surface its error
-                    failed.result()
-                raise ExecutorTimeoutError(
-                    f"campaign pool ({backend}, {workers} workers) did not "
-                    f"finish {len(pending)}/{len(futures)} chunks within "
-                    f"{timeout:g}s"
+        return self._run_pooled(
+            kernel, device, seed, threshold_pct, chunks, backend, workers,
+            label=label, tracer=tracer, metrics=metrics,
+            progress=progress, instrument=instrument,
+        )
+
+    # -- serial ------------------------------------------------------------------
+
+    def _run_serial(
+        self, kernel, device, seed, threshold_pct, chunks, *,
+        label, tracer, metrics, progress, instrument,
+    ) -> list[ExecutionRecord]:
+        """In-process path: same chunk runner, no pool."""
+        n_total = sum(len(chunk) for chunk in chunks)
+        if not instrument and progress is None:
+            # The bare PR 1 hot path: one runner call, records out.
+            flat = [index for chunk in chunks for index in chunk]
+            try:
+                return _inject_chunk(kernel, device, seed, threshold_pct, flat)
+            except ChunkWorkerError as err:
+                raise CampaignExecutionError.wrap(
+                    err, label=label, backend="serial", chunk=0, indices=flat,
+                ) from err
+        records: list[ExecutionRecord] = []
+        completed = 0
+        for chunk_no, chunk in enumerate(chunks):
+            try:
+                result = _run_chunk(
+                    kernel, device, seed, threshold_pct, chunk,
+                    instrument=instrument,
                 )
-            records: list[ExecutionRecord] = []
-            for future in futures:  # chunk order; re-raises worker errors
-                records.extend(future.result())
+            except ChunkWorkerError as err:
+                raise CampaignExecutionError.wrap(
+                    err, label=label, backend="serial", chunk=chunk_no,
+                    indices=chunk,
+                ) from err
+            records.extend(result.records)
+            completed += len(result.records)
+            self._emit_chunk(
+                tracer, metrics, kernel, device, "serial", chunk_no, result
+            )
+            if progress is not None:
+                progress.update(completed, total=n_total)
         records.sort(key=lambda record: record.index)
         return records
+
+    # -- pooled ------------------------------------------------------------------
+
+    def _run_pooled(
+        self, kernel, device, seed, threshold_pct, chunks, backend, workers, *,
+        label, tracer, metrics, progress, instrument,
+    ) -> list[ExecutionRecord]:
+        """Fan chunks over a pool; drain incrementally for progress/metrics."""
+        timeout = self.timeout if self.timeout is not None else default_timeout()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        n_total = sum(len(chunk) for chunk in chunks)
+        queue_gauge = (
+            metrics.gauge(
+                "repro_pool_queue_depth",
+                "Campaign chunks submitted but not yet finished",
+            )
+            if metrics is not None
+            else None
+        )
+        with self._make_pool(backend, workers) as pool:
+            chunk_of = {}
+            for chunk_no, chunk in enumerate(chunks):
+                future = pool.submit(
+                    _run_chunk, kernel, device, seed, threshold_pct, chunk,
+                    instrument,
+                )
+                chunk_of[future] = chunk_no
+            pending = set(chunk_of)
+            if queue_gauge is not None:
+                queue_gauge.set(len(pending))
+            by_chunk: dict[int, _ChunkResult] = {}
+            completed = 0
+            while pending:
+                done, pending = wait(
+                    pending,
+                    timeout=self._wait_tick(deadline, progress),
+                    return_when=FIRST_EXCEPTION,
+                )
+                for future in done:
+                    exc = future.exception()
+                    if exc is not None:
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        chunk_no = chunk_of[future]
+                        if isinstance(exc, ChunkWorkerError):
+                            raise CampaignExecutionError.wrap(
+                                exc, label=label, backend=backend,
+                                chunk=chunk_no, indices=chunks[chunk_no],
+                            ) from exc
+                        raise exc
+                    chunk_no = chunk_of[future]
+                    result = future.result()
+                    by_chunk[chunk_no] = result
+                    completed += len(result.records)
+                    self._emit_chunk(
+                        tracer, metrics, kernel, device, backend, chunk_no,
+                        result, count_cache=(backend == "process"),
+                    )
+                if queue_gauge is not None:
+                    queue_gauge.set(len(pending))
+                if progress is not None:
+                    progress.update(completed, total=n_total)
+                if (
+                    pending
+                    and deadline is not None
+                    and time.monotonic() >= deadline
+                ):
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise ExecutorTimeoutError(
+                        f"campaign pool ({backend}, {workers} workers) did "
+                        f"not finish {len(pending)}/{len(chunks)} chunks "
+                        f"within {timeout:g}s"
+                    )
+        records: list[ExecutionRecord] = []
+        for chunk_no in sorted(by_chunk):
+            records.extend(by_chunk[chunk_no].records)
+        records.sort(key=lambda record: record.index)
+        return records
+
+    @staticmethod
+    def _wait_tick(deadline: "float | None", progress) -> "float | None":
+        """How long one ``wait`` round may block.
+
+        Bounded by the remaining overall timeout and — when a progress
+        reporter is attached — its print interval, so throughput lines
+        keep flowing while slow chunks run.
+        """
+        tick = None
+        if deadline is not None:
+            tick = max(0.001, deadline - time.monotonic())
+        if progress is not None:
+            beat = progress.interval if progress.interval > 0 else 1.0
+            tick = beat if tick is None else min(tick, beat)
+        return tick
+
+    # -- observability -----------------------------------------------------------
+
+    @staticmethod
+    def _emit_chunk(
+        tracer, metrics, kernel, device, backend, chunk_no,
+        result: _ChunkResult, *, count_cache: bool = False,
+    ) -> None:
+        """Re-emit one finished chunk's spans and fold its metrics.
+
+        Runs in the parent process (single trace writer).  ``count_cache``
+        folds the worker's golden-cache delta into the registry — only for
+        the process backend, where the in-process hook in
+        :mod:`repro.kernels.base` cannot have seen the worker's traffic.
+        """
+        if tracer is None and metrics is None:
+            return
+        records = result.records
+        if tracer is not None:
+            first = records[0].index if records else -1
+            last = records[-1].index if records else -1
+            chunk_event = tracer.emit(
+                "chunk",
+                f"chunk{chunk_no}",
+                start=result.start,
+                duration=result.duration,
+                worker=result.worker,
+                attrs={
+                    "chunk": chunk_no,
+                    "n": len(records),
+                    "first_index": first,
+                    "last_index": last,
+                    "backend": backend,
+                },
+            )
+            if result.exec_durations is not None:
+                for record, exec_start, exec_duration in zip(
+                    records, result.exec_starts, result.exec_durations
+                ):
+                    tracer.emit(
+                        "execution",
+                        f"exec{record.index}",
+                        start=exec_start,
+                        duration=exec_duration,
+                        worker=result.worker,
+                        parent=chunk_event.span_id,
+                        attrs={
+                            "index": record.index,
+                            "outcome": record.outcome.value,
+                            "resource": record.resource.value,
+                            "site": record.site,
+                            "kernel": kernel.name,
+                            "device": device.name,
+                        },
+                    )
+        if metrics is not None:
+            executions = metrics.counter(
+                "repro_executions_total",
+                "Struck executions simulated, by outcome",
+                ("kernel", "device", "outcome"),
+            )
+            for record in records:
+                executions.inc(
+                    kernel=kernel.name,
+                    device=device.name,
+                    outcome=record.outcome.value,
+                )
+            metrics.counter(
+                "repro_chunks_total",
+                "Worker chunks completed, by backend",
+                ("backend",),
+            ).inc(backend=backend)
+            if result.exec_durations is not None:
+                latency = metrics.histogram(
+                    "repro_injection_seconds",
+                    "Wall-clock seconds per struck execution",
+                    ("kernel",),
+                )
+                for exec_duration in result.exec_durations:
+                    latency.observe(exec_duration, kernel=kernel.name)
+            if count_cache and (result.cache_hits or result.cache_misses):
+                if result.cache_hits:
+                    metrics.counter(
+                        "repro_golden_cache_hits_total",
+                        "Golden-output cache hits",
+                    ).inc(result.cache_hits)
+                if result.cache_misses:
+                    metrics.counter(
+                        "repro_golden_cache_misses_total",
+                        "Golden-output cache misses",
+                    ).inc(result.cache_misses)
 
     @staticmethod
     def _make_pool(backend: str, workers: int) -> Executor:

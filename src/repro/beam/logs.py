@@ -35,8 +35,10 @@ _FORMAT_VERSION = 1
 def _report_payload(report: CriticalityReport, max_elements: int) -> dict:
     obs = report.observation
     n = len(obs)
-    truncated = n > max_elements
-    if truncated:
+    # A report rebuilt from a capped log already holds a subsample; the
+    # flag must survive a rewrite even when the subsample fits the cap.
+    truncated = report.truncated or n > max_elements
+    if n > max_elements:
         keep = np.linspace(0, n - 1, max_elements).astype(int)
     else:
         keep = np.arange(n)
@@ -134,6 +136,7 @@ def _rebuild_report(payload: dict) -> CriticalityReport:
         filtered_n_incorrect=payload["filtered_n_incorrect"],
         filtered_locality=Locality(payload["filtered_locality"]),
         observation=obs,
+        truncated=True,
     )
 
 

@@ -14,6 +14,7 @@ positions within statistical noise.
 
 from __future__ import annotations
 
+import contextlib
 import math
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -29,6 +30,7 @@ from repro.beam.campaign import (
 )
 from repro.beam.facility import LANSCE, Facility
 from repro.kernels.base import Kernel
+from repro.observability import runtime as obs_runtime
 
 
 def derated_strike_count(n_reference: int, derating: float) -> int:
@@ -134,8 +136,32 @@ class BeamSession:
         if self.n_faulty_reference < 1:
             raise ValueError("n_faulty_reference must be >= 1")
 
-    def _board_result(self, position: int, slot: BoardSlot) -> BoardResult:
-        """One board's campaign with derating-exact fluence accounting."""
+    def _board_result(
+        self, position: int, slot: BoardSlot, parent_span=None
+    ) -> BoardResult:
+        """One board's campaign with derating-exact fluence accounting.
+
+        ``parent_span`` is the session's trace span; boards run on pool
+        threads whose context starts empty, so automatic (context-variable)
+        parenting cannot cross the thread boundary and the session passes
+        itself down explicitly.  The board span *is* opened on the board's
+        own thread, so the campaign span inside parents automatically.
+        """
+        tracer = obs_runtime.get_tracer()
+        if tracer is None:
+            return self._board_result_inner(position, slot)
+        with tracer.span(
+            "board",
+            slot.label,
+            parent=parent_span,
+            position=position,
+            derating=slot.derating,
+            kernel=slot.kernel.name,
+            device=slot.device.name,
+        ):
+            return self._board_result_inner(position, slot)
+
+    def _board_result_inner(self, position: int, slot: BoardSlot) -> BoardResult:
         n_faulty = derated_strike_count(self.n_faulty_reference, slot.derating)
         campaign = Campaign(
             kernel=slot.kernel,
@@ -179,17 +205,41 @@ class BeamSession:
         board, each optionally fanning its own strikes out via the
         campaign's ``workers`` knob.  Results keep slot order and are
         bit-identical to running the boards one after another.
+
+        With tracing enabled the whole exposure is one ``session`` span
+        enclosing one ``board`` span per slot; the session-level board
+        counter lands in the metrics registry either way.
         """
-        if len(self.slots) == 1:
-            return [self._board_result(0, self.slots[0])]
-        with ThreadPoolExecutor(
-            max_workers=len(self.slots), thread_name_prefix="beam-board"
-        ) as pool:
-            futures = [
-                pool.submit(self._board_result, position, slot)
-                for position, slot in enumerate(self.slots)
-            ]
-            return [future.result() for future in futures]
+        tracer = obs_runtime.get_tracer()
+        metrics = obs_runtime.get_metrics()
+        if metrics is not None:
+            metrics.counter(
+                "repro_session_boards_total",
+                "Board campaigns run under shared beam exposures",
+            ).inc(len(self.slots))
+        span_cm = (
+            tracer.span(
+                "session",
+                f"beam-session[{len(self.slots)}]",
+                n_boards=len(self.slots),
+                n_faulty_reference=self.n_faulty_reference,
+                facility=self.facility.name,
+                seed=self.seed,
+            )
+            if tracer is not None
+            else contextlib.nullcontext()
+        )
+        with span_cm as session_span:
+            if len(self.slots) == 1:
+                return [self._board_result(0, self.slots[0], session_span)]
+            with ThreadPoolExecutor(
+                max_workers=len(self.slots), thread_name_prefix="beam-board"
+            ) as pool:
+                futures = [
+                    pool.submit(self._board_result, position, slot, session_span)
+                    for position, slot in enumerate(self.slots)
+                ]
+                return [future.result() for future in futures]
 
     @staticmethod
     def position_check(

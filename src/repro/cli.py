@@ -4,8 +4,10 @@ Usage (also available as ``python -m repro``)::
 
     repro tables                             # Tables I and II
     repro campaign dgemm k40 --config n=256 --faulty 100 --log out.jsonl
+    repro campaign dgemm k40 --trace t.jsonl --metrics-out m.prom --progress 5
     repro figure fig3a                       # any paper figure, by name
     repro analyze out.jsonl --threshold 4.0  # re-analyse a campaign log
+    repro telemetry t.jsonl                  # timing report from a trace
     repro fleet out.jsonl --devices 18688    # Titan-style projection
 
 Figures accept ``--scale test|default|paper`` (matching the benchmark
@@ -95,7 +97,33 @@ def cmd_tables(args) -> int:
     return 0
 
 
+def _campaign_instrumentation(args, total: int):
+    """Build (tracer, metrics, progress) from the observability flags."""
+    from repro import observability as obs
+
+    tracer = obs.Tracer(obs.JsonlSink(args.trace)) if args.trace else None
+    metrics = obs.MetricsRegistry() if args.metrics_out else None
+    progress = None
+    if args.progress:
+        progress = obs.ProgressReporter(
+            total=total,
+            interval=args.progress,
+            label=f"{args.kernel}/{args.device}",
+        )
+    return tracer, metrics, progress
+
+
+def _write_metrics(metrics, path: str) -> None:
+    """Dump a registry: ``.json`` ending means JSON, anything else
+    Prometheus text exposition format."""
+    fmt = "json" if path.endswith(".json") else "prometheus"
+    with open(path, "w") as fh:
+        fh.write(metrics.dumps(fmt))
+
+
 def cmd_campaign(args) -> int:
+    from repro import observability as obs
+
     kernel = make_kernel(args.kernel, **_parse_config(args.config))
     device = make_device(args.device)
     campaign = Campaign(
@@ -106,14 +134,37 @@ def cmd_campaign(args) -> int:
         workers=args.workers,
         chunk_size=args.chunk_size,
     )
-    if args.natural:
-        result = campaign.run_natural(args.natural)
-    else:
-        result = campaign.run()
+    total = args.natural if args.natural else args.faulty
+    tracer, metrics, progress = _campaign_instrumentation(args, total)
+    with obs.observe(tracer=tracer, metrics=metrics, progress=progress):
+        if args.natural:
+            result = campaign.run_natural(args.natural)
+        else:
+            result = campaign.run()
+        if progress is not None:
+            progress.finish()
     print(result.summary())
     if args.log:
         path = write_log(result, args.log)
         print(f"\nlog written to {path}")
+    if args.trace:
+        print(f"trace written to {args.trace}")
+    if args.metrics_out:
+        _write_metrics(metrics, args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+    return 0
+
+
+def cmd_telemetry(args) -> int:
+    import json as _json
+
+    from repro.analysis.telemetry import load_telemetry, render_telemetry
+
+    report = load_telemetry(args.trace)
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_telemetry(report))
     return 0
 
 
@@ -252,6 +303,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="natural mode with N executions (Poisson strikes)",
     )
     campaign.add_argument("--log", help="write a JSONL campaign log here")
+    campaign.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write structured span events (campaign/chunk/execution, with "
+        "timings, worker ids and outcomes) to this JSONL file; analyse it "
+        "later with `repro telemetry`",
+    )
+    campaign.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="export campaign metrics (executions by outcome, injection "
+        "latency, golden-cache hit rate) here; a .json suffix selects JSON, "
+        "anything else Prometheus text format",
+    )
+    campaign.add_argument(
+        "--progress", type=float, default=0.0, metavar="SECONDS",
+        help="print a live throughput line to stderr at most every "
+        "SECONDS seconds (0 = off)",
+    )
     campaign.set_defaults(func=cmd_campaign)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
@@ -268,6 +336,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-filter at this relative-error tolerance (percent)",
     )
     analyze.set_defaults(func=cmd_analyze)
+
+    telemetry = sub.add_parser(
+        "telemetry", help="timing/throughput report from a campaign trace"
+    )
+    telemetry.add_argument("trace", help="trace JSONL written by --trace")
+    telemetry.add_argument(
+        "--json", action="store_true",
+        help="emit the raw report as JSON instead of tables",
+    )
+    telemetry.set_defaults(func=cmd_telemetry)
 
     fleet = sub.add_parser("fleet", help="project a campaign onto a fleet")
     fleet.add_argument("log")

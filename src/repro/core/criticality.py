@@ -42,6 +42,10 @@ class CriticalityReport:
             paper notes a square can demote to a line or single.
         observation: the underlying corrupted elements (kept so analyses can
             re-filter at other thresholds).
+        truncated: True when :attr:`observation` holds only a subsample of
+            the corrupted elements (a report rebuilt from a capped campaign
+            log — see :mod:`repro.beam.logs`).  The summary metrics above
+            remain exact; element-level reconstructions are estimates.
     """
 
     n_incorrect: int
@@ -52,6 +56,7 @@ class CriticalityReport:
     filtered_n_incorrect: int
     filtered_locality: Locality
     observation: ErrorObservation
+    truncated: bool = False
 
     @property
     def is_sdc(self) -> bool:
@@ -64,8 +69,27 @@ class CriticalityReport:
         return self.filtered_n_incorrect > 0
 
     def refiltered(self, threshold_pct: float) -> "CriticalityReport":
-        """Return a report with the filtered view recomputed at a new tolerance."""
-        return evaluate_execution(self.observation, threshold_pct=threshold_pct)
+        """Return a report with the filtered view recomputed at a new tolerance.
+
+        Untruncated reports are re-evaluated from scratch (bit-identical to
+        computing at the new threshold directly).  Truncated reports keep
+        their exact stored summary metrics and re-estimate only the filtered
+        view from the stored subsample.
+        """
+        fresh = evaluate_execution(self.observation, threshold_pct=threshold_pct)
+        if not self.truncated:
+            return fresh
+        return CriticalityReport(
+            n_incorrect=self.n_incorrect,
+            max_relative_error=self.max_relative_error,
+            mean_relative_error=self.mean_relative_error,
+            locality=self.locality,
+            threshold_pct=threshold_pct,
+            filtered_n_incorrect=fresh.filtered_n_incorrect,
+            filtered_locality=fresh.filtered_locality,
+            observation=self.observation,
+            truncated=True,
+        )
 
     def corrupted_fraction(self) -> float:
         """Fraction of output elements corrupted (paper: at most ~0.4% for DGEMM)."""

@@ -30,6 +30,7 @@ import numpy as np
 from repro.bitflip.models import FlipModel
 from repro.core.metrics import ErrorObservation, compare_outputs
 from repro.kernels.classification import KernelClassification
+from repro.observability import runtime as _obs_runtime
 
 # -- per-process golden-output cache -------------------------------------------
 #
@@ -75,16 +76,39 @@ def clear_golden_cache() -> None:
         _golden_cache_misses = 0
 
 
+def _note_cache_event(hit: bool) -> None:
+    """Mirror one cache event into the observability registry, if any.
+
+    A ``None`` check when observability is off — the zero-cost contract.
+    Only in-process cache traffic lands here; pool *worker* processes have
+    no registry configured (or an invisible fork-copy), so the executor
+    ships their per-chunk deltas back and folds them in parent-side (see
+    :meth:`repro.beam.executor.CampaignExecutor._emit_chunk`).
+    """
+    metrics = _obs_runtime.get_metrics()
+    if metrics is None:
+        return
+    if hit:
+        metrics.counter(
+            "repro_golden_cache_hits_total", "Golden-output cache hits"
+        ).inc()
+    else:
+        metrics.counter(
+            "repro_golden_cache_misses_total", "Golden-output cache misses"
+        ).inc()
+
+
 def _golden_cache_get(key: tuple) -> "ExecutionOutput | None":
     global _golden_cache_hits, _golden_cache_misses
     with _golden_cache_lock:
         cached = _golden_cache.get(key)
         if cached is None:
             _golden_cache_misses += 1
-            return None
-        _golden_cache.move_to_end(key)
-        _golden_cache_hits += 1
-        return cached
+        else:
+            _golden_cache.move_to_end(key)
+            _golden_cache_hits += 1
+    _note_cache_event(hit=cached is not None)
+    return cached
 
 
 def _golden_cache_put(key: tuple, output: "ExecutionOutput") -> None:

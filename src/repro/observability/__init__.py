@@ -1,0 +1,84 @@
+"""Campaign observability: structured tracing, metrics, live progress.
+
+The campaign engine is the instrument this reproduction's numbers come out
+of, and (after the parallel engine of PR 1) it is also the part that must
+scale to million-execution runs.  This package is its instrumentation
+layer, in three pieces:
+
+* :mod:`repro.observability.trace` — span events
+  (session → board → campaign → chunk → execution) with wall time, worker
+  id and strike metadata, sinkable to JSONL or an in-memory ring buffer;
+* :mod:`repro.observability.metrics` — counters / gauges / histograms
+  (executions by outcome, per-kernel injection latency, pool queue depth,
+  golden-cache hit rate) with Prometheus-text and JSON exporters;
+* :mod:`repro.observability.progress` — the CLI's periodic throughput
+  line;
+* :mod:`repro.observability.runtime` — the process-wide switchboard the
+  hot-path hooks consult; everything is a ``None``-check no-op until
+  :func:`observe` (or the CLI's ``--trace`` / ``--metrics-out`` /
+  ``--progress`` flags) turns it on.
+
+Typical use::
+
+    from repro import observability as obs
+
+    tracer = obs.Tracer(obs.JsonlSink("campaign-trace.jsonl"))
+    registry = obs.MetricsRegistry()
+    with obs.observe(tracer=tracer, metrics=registry):
+        result = campaign.run()
+    print(registry.export_prometheus())
+
+``analysis/telemetry.py`` turns a trace JSONL back into a timing and
+throughput report; ``docs/observability.md`` documents the span schema and
+the metric catalogue.
+"""
+
+from repro.observability.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.observability.progress import ProgressReporter
+from repro.observability.runtime import (
+    configure,
+    get_metrics,
+    get_progress,
+    get_tracer,
+    is_active,
+    observe,
+    reset,
+)
+from repro.observability.trace import (
+    SPAN_KINDS,
+    JsonlSink,
+    RingBufferSink,
+    Span,
+    SpanEvent,
+    Tracer,
+    read_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "ProgressReporter",
+    "configure",
+    "reset",
+    "observe",
+    "get_tracer",
+    "get_metrics",
+    "get_progress",
+    "is_active",
+    "Tracer",
+    "Span",
+    "SpanEvent",
+    "JsonlSink",
+    "RingBufferSink",
+    "read_trace",
+    "SPAN_KINDS",
+]

@@ -1,0 +1,409 @@
+"""Campaign metrics: counters, gauges and histograms with two exporters.
+
+Fleet-scale SDC studies live or die on instrumentation of the harness
+itself (Dixit et al., "Silent Data Corruptions at Scale"), and the paper's
+FIT arithmetic is only as trustworthy as the campaign bookkeeping behind
+it.  :class:`MetricsRegistry` is that bookkeeping made first-class: the
+campaign hot path increments counters (executions by outcome, golden-cache
+hits), observes histograms (per-kernel injection latency) and sets gauges
+(pool queue depth), and the registry renders the lot as Prometheus text
+exposition format or JSON.
+
+Design constraints, in order:
+
+* **Cheap.**  One dict lookup plus one float add per event; label lookups
+  are a tuple-keyed dict.  The hot path holds metric handles, not names.
+* **Mergeable.**  Worker pools aggregate by merging registries/snapshots;
+  merge is associative and commutative (counters and histograms add,
+  gauges take the max — a high-water semantics that *is* associative,
+  unlike last-write-wins), so any reduction tree gives the same totals.
+* **Deterministic exports.**  Series are sorted by label values, floats
+  render via ``repr``, so two identical campaigns produce byte-identical
+  exports — which is what lets the golden-trace suite pin them.
+
+Metric names follow Prometheus conventions (``repro_`` namespace,
+``_total`` suffix on counters, base-unit ``_seconds`` histograms); see
+``docs/observability.md`` for the full catalogue.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: Default histogram buckets for injection latencies: 1 ms .. ~2 min, in
+#: roughly x4 steps — one struck execution re-runs a whole kernel, so the
+#: interesting dynamic range is wide.
+DEFAULT_LATENCY_BUCKETS = (
+    0.001, 0.004, 0.016, 0.064, 0.25, 1.0, 4.0, 16.0, 64.0, float("inf")
+)
+
+
+def _check_labels(label_names: tuple, labels: dict) -> tuple:
+    if set(labels) != set(label_names):
+        raise ValueError(
+            f"expected labels {label_names}, got {tuple(sorted(labels))}"
+        )
+    return tuple(str(labels[name]) for name in label_names)
+
+
+def _fmt(value: float) -> str:
+    """Prometheus float rendering (repr round-trips; +Inf spelled out)."""
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+@dataclass
+class _Metric:
+    """Shared shape of all metric kinds: name, help text, label names."""
+
+    name: str
+    help: str = ""
+    label_names: tuple = ()
+
+    def __post_init__(self):
+        if not self.name.replace("_", "").replace(":", "").isalnum():
+            raise ValueError(f"bad metric name {self.name!r}")
+        self.label_names = tuple(self.label_names)
+
+
+@dataclass
+class Counter(_Metric):
+    """Monotonically increasing count (events, executions, cache hits)."""
+
+    kind = "counter"
+    _values: dict = field(default_factory=dict, repr=False)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; inc() needs amount >= 0")
+        key = _check_labels(self.label_names, labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        key = _check_labels(self.label_names, labels)
+        return self._values.get(key, 0.0)
+
+    def total(self) -> float:
+        """Sum over every label combination."""
+        return sum(self._values.values())
+
+    def _merge(self, other: "Counter") -> None:
+        for key, value in other._values.items():
+            self._values[key] = self._values.get(key, 0.0) + value
+
+
+@dataclass
+class Gauge(_Metric):
+    """Point-in-time level (queue depth, active workers).
+
+    Merging two gauges takes the per-series **max** — a high-water-mark
+    semantics chosen because it is associative and commutative, which the
+    cross-worker reduction needs (last-write-wins is neither).
+    """
+
+    kind = "gauge"
+    _values: dict = field(default_factory=dict, repr=False)
+
+    def set(self, value: float, **labels) -> None:
+        key = _check_labels(self.label_names, labels)
+        self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        key = _check_labels(self.label_names, labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        key = _check_labels(self.label_names, labels)
+        return self._values.get(key, 0.0)
+
+    def _merge(self, other: "Gauge") -> None:
+        for key, value in other._values.items():
+            mine = self._values.get(key)
+            self._values[key] = value if mine is None else max(mine, value)
+
+
+@dataclass
+class Histogram(_Metric):
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    Per label set it keeps ``count``, ``sum`` and one cumulative counter
+    per upper bound; ``observe`` adds a sample to every bucket whose bound
+    admits it, so bucket counts are non-decreasing in the bound — the
+    invariant the property suite pins.
+    """
+
+    kind = "histogram"
+    buckets: tuple = DEFAULT_LATENCY_BUCKETS
+    _series: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self):
+        super().__post_init__()
+        bounds = tuple(float(b) for b in self.buckets)
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("histogram buckets must be strictly increasing")
+        if bounds[-1] != float("inf"):
+            bounds = bounds + (float("inf"),)
+        if any(math.isnan(b) for b in bounds):
+            raise ValueError("histogram buckets cannot be NaN")
+        self.buckets = bounds
+
+    def _slot(self, key: tuple) -> dict:
+        slot = self._series.get(key)
+        if slot is None:
+            slot = {"count": 0, "sum": 0.0, "bucket_counts": [0] * len(self.buckets)}
+            self._series[key] = slot
+        return slot
+
+    def observe(self, value: float, **labels) -> None:
+        key = _check_labels(self.label_names, labels)
+        slot = self._slot(key)
+        slot["count"] += 1
+        slot["sum"] += value
+        counts = slot["bucket_counts"]
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                counts[i] += 1
+
+    def count(self, **labels) -> int:
+        key = _check_labels(self.label_names, labels)
+        return self._series.get(key, {"count": 0})["count"]
+
+    def sum(self, **labels) -> float:
+        key = _check_labels(self.label_names, labels)
+        return self._series.get(key, {"sum": 0.0})["sum"]
+
+    def bucket_counts(self, **labels) -> list:
+        key = _check_labels(self.label_names, labels)
+        slot = self._series.get(key)
+        if slot is None:
+            return [0] * len(self.buckets)
+        return list(slot["bucket_counts"])
+
+    def _merge(self, other: "Histogram") -> None:
+        if other.buckets != self.buckets:
+            raise ValueError(
+                f"cannot merge histograms with different buckets: "
+                f"{self.name}"
+            )
+        for key, theirs in other._series.items():
+            slot = self._slot(key)
+            slot["count"] += theirs["count"]
+            slot["sum"] += theirs["sum"]
+            slot["bucket_counts"] = [
+                a + b for a, b in zip(slot["bucket_counts"], theirs["bucket_counts"])
+            ]
+
+
+class MetricsRegistry:
+    """A namespace of metrics with get-or-create accessors and exporters.
+
+    Thread-safe for creation and merging; individual metric updates are a
+    single dict write under the GIL (plus float add), which is atomic
+    enough for the hot path — every increment lands, and exports observe a
+    consistent snapshot because they copy under the registry lock.
+    """
+
+    def __init__(self):
+        self._metrics: dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    # -- get-or-create -----------------------------------------------------------
+
+    def _get_or_create(self, cls, name, help, label_names, **extra):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name=name, help=help, label_names=tuple(label_names), **extra)
+                self._metrics[name] = metric
+                return metric
+        if not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        if metric.label_names != tuple(label_names):
+            raise ValueError(
+                f"metric {name!r} already registered with labels "
+                f"{metric.label_names}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "", labels: tuple = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: tuple = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: tuple = (),
+        buckets: tuple = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labels, buckets=buckets)
+
+    def get(self, name: str) -> "_Metric | None":
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> list:
+        with self._lock:
+            return sorted(self._metrics)
+
+    # -- merge -------------------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry's series into this one (returns self).
+
+        Counters and histograms add; gauges take the per-series max.  The
+        operation is associative and commutative, so pools can reduce
+        worker registries in any tree shape.
+        """
+        with other._lock:
+            theirs = dict(other._metrics)
+        for name, metric in sorted(theirs.items()):
+            if isinstance(metric, Counter):
+                mine = self.counter(name, metric.help, metric.label_names)
+            elif isinstance(metric, Gauge):
+                mine = self.gauge(name, metric.help, metric.label_names)
+            elif isinstance(metric, Histogram):
+                mine = self.histogram(
+                    name, metric.help, metric.label_names, metric.buckets
+                )
+            else:  # pragma: no cover - no other kinds exist
+                raise TypeError(f"unknown metric kind for {name!r}")
+            mine._merge(metric)
+        return self
+
+    # -- exporters ---------------------------------------------------------------
+
+    def export_json(self) -> dict:
+        """A stable JSON-able snapshot (see ``from_json`` for the inverse)."""
+        out = {}
+        with self._lock:
+            metrics = dict(self._metrics)
+        for name in sorted(metrics):
+            metric = metrics[name]
+            entry = {
+                "kind": metric.kind,
+                "help": metric.help,
+                "labels": list(metric.label_names),
+            }
+            if isinstance(metric, Histogram):
+                entry["buckets"] = [
+                    "+Inf" if b == float("inf") else b for b in metric.buckets
+                ]
+                entry["series"] = [
+                    {
+                        "labels": list(key),
+                        "count": slot["count"],
+                        "sum": slot["sum"],
+                        "bucket_counts": list(slot["bucket_counts"]),
+                    }
+                    for key, slot in sorted(metric._series.items())
+                ]
+            else:
+                entry["series"] = [
+                    {"labels": list(key), "value": value}
+                    for key, value in sorted(metric._values.items())
+                ]
+            out[name] = entry
+        return out
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`export_json` output."""
+        registry = cls()
+        for name, entry in payload.items():
+            label_names = tuple(entry["labels"])
+            if entry["kind"] == "counter":
+                metric = registry.counter(name, entry["help"], label_names)
+                for series in entry["series"]:
+                    metric._values[tuple(series["labels"])] = series["value"]
+            elif entry["kind"] == "gauge":
+                metric = registry.gauge(name, entry["help"], label_names)
+                for series in entry["series"]:
+                    metric._values[tuple(series["labels"])] = series["value"]
+            elif entry["kind"] == "histogram":
+                buckets = tuple(
+                    float("inf") if b == "+Inf" else float(b)
+                    for b in entry["buckets"]
+                )
+                metric = registry.histogram(name, entry["help"], label_names, buckets)
+                for series in entry["series"]:
+                    metric._series[tuple(series["labels"])] = {
+                        "count": series["count"],
+                        "sum": series["sum"],
+                        "bucket_counts": list(series["bucket_counts"]),
+                    }
+            else:
+                raise ValueError(f"unknown metric kind {entry['kind']!r}")
+        return registry
+
+    def export_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines = []
+        with self._lock:
+            metrics = dict(self._metrics)
+        for name in sorted(metrics):
+            metric = metrics[name]
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            if isinstance(metric, Histogram):
+                for key, slot in sorted(metric._series.items()):
+                    base = _label_str(metric.label_names, key)
+                    for bound, count in zip(metric.buckets, slot["bucket_counts"]):
+                        le = _label_str(
+                            metric.label_names + ("le",), key + (_fmt(bound),)
+                        )
+                        lines.append(f"{name}_bucket{le} {count}")
+                    lines.append(f"{name}_sum{base} {_fmt(slot['sum'])}")
+                    lines.append(f"{name}_count{base} {slot['count']}")
+            else:
+                for key, value in sorted(metric._values.items()):
+                    label_str = _label_str(metric.label_names, key)
+                    lines.append(f"{name}{label_str} {_fmt(value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def export_text(self) -> str:
+        """Alias for :meth:`export_prometheus`."""
+        return self.export_prometheus()
+
+    def dumps(self, fmt: str = "prometheus") -> str:
+        if fmt == "prometheus":
+            return self.export_prometheus()
+        if fmt == "json":
+            return json.dumps(self.export_json(), indent=2, sort_keys=True) + "\n"
+        raise ValueError(f"unknown metrics format {fmt!r}")
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_str(names: tuple, values: tuple) -> str:
+    if not names:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape(value)}"' for name, value in zip(names, values)
+    )
+    return "{" + pairs + "}"

@@ -1,0 +1,98 @@
+"""Live campaign progress: a periodic throughput line for the CLI.
+
+Million-execution campaigns (the ROADMAP north star) run for hours; the
+operator needs the same heartbeat a beam-time shift log provides — how many
+executions have landed, how fast they are landing, when the run will end.
+:class:`ProgressReporter` prints one line at most every ``interval``
+seconds::
+
+    [dgemm/k40]  120/200 executions  14.3 exec/s  eta 5.6s
+
+The executor calls :meth:`update` as chunks complete (so granularity is one
+chunk, matching how work actually finishes) and :meth:`finish` at the end.
+On a TTY the line redraws in place; otherwise each update is a plain line,
+so piped logs stay readable.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+__all__ = ["ProgressReporter"]
+
+
+class ProgressReporter:
+    """Rate-limited progress printer (see module docstring).
+
+    Args:
+        total: expected number of executions (``None`` = unknown).
+        stream: output stream; defaults to stderr so campaign results on
+            stdout stay machine-readable.
+        interval: minimum seconds between printed lines.
+        label: prefix identifying the campaign.
+    """
+
+    def __init__(self, total=None, stream=None, interval: float = 5.0,
+                 label: str = ""):
+        if interval < 0:
+            raise ValueError("interval must be >= 0")
+        self.total = total
+        self.stream = stream if stream is not None else sys.stderr
+        self.interval = interval
+        self.label = label
+        self._t0 = time.perf_counter()
+        self._last_print = 0.0  # relative to _t0; 0 => never printed
+        self._completed = 0
+        self._lines = 0
+
+    # -- executor-facing API -----------------------------------------------------
+
+    def update(self, completed: int, total=None) -> None:
+        """Report cumulative progress; prints at most once per interval."""
+        self._completed = completed
+        if total is not None:
+            self.total = total
+        now = time.perf_counter() - self._t0
+        if self._lines and now - self._last_print < self.interval:
+            return
+        self._print_line(now, final=False)
+
+    def finish(self) -> None:
+        """Print the final line unconditionally (and a newline on TTYs)."""
+        now = time.perf_counter() - self._t0
+        self._print_line(now, final=True)
+        if self._is_tty():
+            self.stream.write("\n")
+            self.stream.flush()
+
+    # -- rendering ---------------------------------------------------------------
+
+    def _is_tty(self) -> bool:
+        isatty = getattr(self.stream, "isatty", None)
+        return bool(isatty and isatty())
+
+    def render(self, elapsed: float) -> str:
+        rate = self._completed / elapsed if elapsed > 0 else 0.0
+        prefix = f"[{self.label}]  " if self.label else ""
+        if self.total:
+            line = f"{prefix}{self._completed}/{self.total} executions"
+        else:
+            line = f"{prefix}{self._completed} executions"
+        line += f"  {rate:.1f} exec/s"
+        if self.total and rate > 0 and self._completed < self.total:
+            eta = (self.total - self._completed) / rate
+            line += f"  eta {eta:.1f}s"
+        elif self._completed:
+            line += f"  elapsed {elapsed:.1f}s"
+        return line
+
+    def _print_line(self, elapsed: float, *, final: bool) -> None:
+        line = self.render(elapsed)
+        if self._is_tty():
+            self.stream.write("\r\x1b[2K" + line)
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()
+        self._last_print = elapsed
+        self._lines += 1

@@ -1,0 +1,118 @@
+"""Process-wide observability switchboard: the zero-cost-when-off contract.
+
+The campaign hot path — :class:`~repro.beam.executor.CampaignExecutor`,
+:meth:`~repro.beam.campaign.Campaign.run`,
+:class:`~repro.beam.parallel.BeamSession`, the golden cache in
+:mod:`repro.kernels.base` — asks this module three questions at each hook
+site::
+
+    tracer  = runtime.get_tracer()    # None unless tracing is on
+    metrics = runtime.get_metrics()   # None unless metrics are on
+    progress = runtime.get_progress() # None unless a reporter is attached
+
+Each is one module-global read; with observability disabled every hook is
+a ``None`` check and nothing else — no span objects, no dict churn, no
+clock reads.  The bench-smoke job (``benchmarks/bench_parallel.py
+--observability``) holds the *enabled* overhead under its budget; the
+disabled path shares the exact instructions of the pre-observability code
+modulo those checks.
+
+Configuration is deliberately process-global rather than threaded through
+every constructor: the executor, the campaign, the session and the kernels
+all see the same switchboard, exactly like logging.  Pool **worker
+processes** do not inherit it (under ``spawn``) or inherit a copy whose
+updates are invisible to the parent (under ``fork``); the executor
+therefore measures worker-side timings explicitly and re-emits them
+parent-side — see :mod:`repro.beam.executor`.
+
+Use :func:`observe` (a context manager) to scope instrumentation to a
+campaign, or :func:`configure`/:func:`reset` for manual control.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.trace import Tracer
+
+__all__ = [
+    "configure",
+    "reset",
+    "observe",
+    "get_tracer",
+    "get_metrics",
+    "get_progress",
+    "is_active",
+]
+
+_lock = threading.Lock()
+_tracer: "Tracer | None" = None
+_metrics: "MetricsRegistry | None" = None
+_progress = None  # ProgressReporter | None (duck-typed: .update/.finish)
+
+
+def get_tracer() -> "Tracer | None":
+    """The configured tracer, or ``None`` (the common, zero-cost case)."""
+    return _tracer
+
+
+def get_metrics() -> "MetricsRegistry | None":
+    """The configured metrics registry, or ``None``."""
+    return _metrics
+
+
+def get_progress():
+    """The configured progress reporter, or ``None``."""
+    return _progress
+
+
+def is_active() -> bool:
+    """True when any instrumentation (trace/metrics/progress) is attached."""
+    return _tracer is not None or _metrics is not None or _progress is not None
+
+
+def configure(tracer=None, metrics=None, progress=None) -> None:
+    """Install process-wide instrumentation (pass ``None`` to leave unset).
+
+    Replaces the previous configuration wholesale — pair with
+    :func:`reset`, or prefer the :func:`observe` context manager.
+    """
+    global _tracer, _metrics, _progress
+    with _lock:
+        _tracer = tracer
+        _metrics = metrics
+        _progress = progress
+
+
+def reset() -> None:
+    """Tear all instrumentation down (hooks become no-ops again)."""
+    configure(None, None, None)
+
+
+@contextlib.contextmanager
+def observe(tracer=None, metrics=None, progress=None):
+    """Scope instrumentation to a block::
+
+        registry = MetricsRegistry()
+        with runtime.observe(metrics=registry):
+            campaign.run()
+        print(registry.export_prometheus())
+
+    Restores the previous configuration on exit (so scopes nest) and
+    closes the tracer's sinks if one was attached.
+    """
+    global _tracer, _metrics, _progress
+    with _lock:
+        previous = (_tracer, _metrics, _progress)
+        _tracer = tracer
+        _metrics = metrics
+        _progress = progress
+    try:
+        yield
+    finally:
+        with _lock:
+            _tracer, _metrics, _progress = previous
+        if tracer is not None:
+            tracer.close()

@@ -1,0 +1,169 @@
+"""Unit tests for the metrics registry and its two exporters."""
+
+import json
+
+import pytest
+
+from repro.observability import MetricsRegistry
+from repro.observability.metrics import DEFAULT_LATENCY_BUCKETS
+
+
+@pytest.mark.telemetry
+class TestCounters:
+    def test_inc_and_value(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_widgets_total", "widgets")
+        counter.inc()
+        counter.inc(3)
+        assert counter.value() == 4
+
+    def test_labelled_series_are_independent(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_x_total", labels=("kind",))
+        counter.inc(kind="a")
+        counter.inc(2, kind="b")
+        assert counter.value(kind="a") == 1
+        assert counter.value(kind="b") == 2
+        assert counter.total() == 3
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("repro_n_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_wrong_labels_rejected(self):
+        counter = MetricsRegistry().counter("repro_n_total", labels=("a",))
+        with pytest.raises(ValueError):
+            counter.inc(b="x")
+
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("repro_a_total") is registry.counter("repro_a_total")
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total")
+        with pytest.raises(TypeError):
+            registry.gauge("repro_a_total")
+
+
+@pytest.mark.telemetry
+class TestGauges:
+    def test_set_and_inc(self):
+        gauge = MetricsRegistry().gauge("repro_depth")
+        gauge.set(5)
+        gauge.inc(2)
+        assert gauge.value() == 7
+
+
+@pytest.mark.telemetry
+class TestHistograms:
+    def test_observe_counts_and_sum(self):
+        histogram = MetricsRegistry().histogram(
+            "repro_lat_seconds", buckets=(0.1, 1.0, 10.0)
+        )
+        for value in (0.05, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.count() == 4
+        assert histogram.sum() == pytest.approx(55.55)
+        # buckets are cumulative: le=0.1 -> 1, le=1 -> 2, le=10 -> 3, +Inf -> 4
+        assert histogram.bucket_counts() == [1, 2, 3, 4]
+
+    def test_inf_bucket_appended(self):
+        histogram = MetricsRegistry().histogram("repro_h_seconds", buckets=(1.0,))
+        assert histogram.buckets[-1] == float("inf")
+
+    def test_non_increasing_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("repro_h_seconds", buckets=(1.0, 1.0))
+
+
+@pytest.mark.telemetry
+class TestExporters:
+    def make_registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        counter = registry.counter(
+            "repro_executions_total", "executions", ("outcome",)
+        )
+        counter.inc(7, outcome="sdc")
+        counter.inc(3, outcome="masked")
+        registry.gauge("repro_pool_queue_depth", "queue").set(4)
+        histogram = registry.histogram(
+            "repro_injection_seconds", "latency", ("kernel",), buckets=(0.1, 1.0)
+        )
+        histogram.observe(0.05, kernel="dgemm")
+        histogram.observe(2.0, kernel="dgemm")
+        return registry
+
+    def test_prometheus_text_shape(self):
+        text = self.make_registry().export_prometheus()
+        assert '# TYPE repro_executions_total counter' in text
+        assert 'repro_executions_total{outcome="sdc"} 7' in text
+        assert '# TYPE repro_pool_queue_depth gauge' in text
+        assert 'repro_injection_seconds_bucket{kernel="dgemm",le="+Inf"} 2' in text
+        assert 'repro_injection_seconds_count{kernel="dgemm"} 2' in text
+        assert text.endswith("\n")
+
+    def test_json_round_trip(self):
+        """export_json -> from_json -> export identical both ways."""
+        registry = self.make_registry()
+        payload = json.loads(json.dumps(registry.export_json()))
+        rebuilt = MetricsRegistry.from_json(payload)
+        assert rebuilt.export_json() == registry.export_json()
+        assert rebuilt.export_prometheus() == registry.export_prometheus()
+
+    def test_dumps_selects_format(self):
+        registry = self.make_registry()
+        assert registry.dumps("prometheus") == registry.export_prometheus()
+        assert json.loads(registry.dumps("json")) == json.loads(
+            json.dumps(registry.export_json())
+        )
+        with pytest.raises(ValueError):
+            registry.dumps("xml")
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_esc_total", labels=("k",)).inc(k='a"b\\c\nd')
+        text = registry.export_prometheus()
+        assert 'k="a\\"b\\\\c\\nd"' in text
+
+
+@pytest.mark.telemetry
+class TestMerge:
+    def test_counters_add_and_gauges_high_water(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("repro_n_total").inc(2)
+        b.counter("repro_n_total").inc(5)
+        a.gauge("repro_depth").set(3)
+        b.gauge("repro_depth").set(9)
+        a.merge(b)
+        assert a.counter("repro_n_total").value() == 7
+        assert a.gauge("repro_depth").value() == 9
+
+    def test_histograms_add_bucketwise(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for registry, value in ((a, 0.05), (b, 5.0)):
+            registry.histogram(
+                "repro_h_seconds", buckets=(0.1, 1.0)
+            ).observe(value)
+        a.merge(b)
+        merged = a.histogram("repro_h_seconds", buckets=(0.1, 1.0))
+        assert merged.count() == 2
+        assert merged.bucket_counts() == [1, 1, 2]
+
+    def test_mismatched_histogram_buckets_rejected(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("repro_h_seconds", buckets=(0.1,))
+        b.histogram("repro_h_seconds", buckets=(0.2,))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_into_empty_copies(self):
+        source = MetricsRegistry()
+        source.counter("repro_n_total").inc(4)
+        target = MetricsRegistry().merge(source)
+        assert target.export_json() == source.export_json()
+
+    def test_default_buckets_cover_kernel_latency_range(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] <= 0.001
+        assert DEFAULT_LATENCY_BUCKETS[-1] == float("inf")

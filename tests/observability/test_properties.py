@@ -1,0 +1,200 @@
+"""Property-based tests: metric invariants and trace span nesting.
+
+The registry's merge is how worker metrics will eventually be reduced at
+scale, so its algebra must be right: counters monotone, histogram buckets
+cumulative, merge associative.  Values are drawn from integers (exact in
+floating point) so associativity is bit-exact rather than approximate —
+the reduction-tree freedom the executor wants is only real if the totals
+do not depend on the tree shape.
+
+The span-nesting property mirrors the fluence bookkeeping: every
+``execution`` span must sit under exactly one ``chunk`` span, every chunk
+under exactly one ``campaign``, with no orphans — otherwise a telemetry
+report could double- or under-count executions.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.observability import MetricsRegistry, RingBufferSink, Tracer
+
+#: Exact-in-float amounts so float addition is associative in the tests.
+amounts = st.integers(min_value=0, max_value=2**20)
+observations = st.lists(
+    st.integers(min_value=0, max_value=1000).map(float),
+    min_size=0, max_size=50,
+)
+labels = st.sampled_from(["a", "b", "c"])
+
+
+@pytest.mark.telemetry
+class TestCounterProperties:
+    @given(st.lists(amounts, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_counter_is_the_running_sum_and_monotone(self, increments):
+        counter = MetricsRegistry().counter("repro_n_total")
+        seen = []
+        for amount in increments:
+            counter.inc(amount)
+            seen.append(counter.value())
+        assert counter.value() == sum(increments)
+        assert all(b >= a for a, b in zip(seen, seen[1:]))
+
+    @given(st.lists(st.tuples(labels, amounts), max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_labelled_total_is_sum_of_series(self, increments):
+        counter = MetricsRegistry().counter("repro_n_total", labels=("k",))
+        for label, amount in increments:
+            counter.inc(amount, k=label)
+        assert counter.total() == sum(amount for _, amount in increments)
+
+
+@pytest.mark.telemetry
+class TestHistogramProperties:
+    @given(observations)
+    @settings(max_examples=50, deadline=None)
+    def test_bucket_counts_cumulative_and_bounded(self, values):
+        histogram = MetricsRegistry().histogram(
+            "repro_h_seconds", buckets=(1.0, 10.0, 100.0)
+        )
+        for value in values:
+            histogram.observe(value)
+        counts = histogram.bucket_counts()
+        # non-decreasing in the bound; +Inf bucket holds everything
+        assert counts == sorted(counts)
+        assert counts[-1] == len(values)
+        assert histogram.count() == len(values)
+        assert histogram.sum() == sum(values)
+        # each bucket's count equals a direct tally against its bound
+        for bound, count in zip(histogram.buckets, counts):
+            assert count == sum(1 for v in values if v <= bound)
+
+
+def _registry_from(spec) -> MetricsRegistry:
+    """Build a registry from a generated (counter, gauge, histogram) spec."""
+    counter_incs, gauge_sets, histogram_obs = spec
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_n_total", labels=("k",))
+    for label, amount in counter_incs:
+        counter.inc(amount, k=label)
+    gauge = registry.gauge("repro_depth")
+    for value in gauge_sets:
+        gauge.set(value)
+    histogram = registry.histogram("repro_h_seconds", buckets=(1.0, 10.0))
+    for value in histogram_obs:
+        histogram.observe(value)
+    return registry
+
+
+registry_specs = st.tuples(
+    st.lists(st.tuples(labels, amounts), max_size=20),
+    st.lists(st.integers(0, 100).map(float), max_size=10),
+    observations,
+)
+
+
+@pytest.mark.telemetry
+class TestMergeProperties:
+    @given(registry_specs, registry_specs, registry_specs)
+    @settings(max_examples=30, deadline=None)
+    def test_merge_is_associative(self, spec_a, spec_b, spec_c):
+        """(a + b) + c == a + (b + c), exported byte-for-byte."""
+        left = _registry_from(spec_a).merge(_registry_from(spec_b))
+        left = left.merge(_registry_from(spec_c))
+        right_tail = _registry_from(spec_b).merge(_registry_from(spec_c))
+        right = _registry_from(spec_a).merge(right_tail)
+        assert left.export_json() == right.export_json()
+        assert left.export_prometheus() == right.export_prometheus()
+
+    @given(registry_specs, registry_specs)
+    @settings(max_examples=30, deadline=None)
+    def test_merge_is_commutative(self, spec_a, spec_b):
+        ab = _registry_from(spec_a).merge(_registry_from(spec_b))
+        ba = _registry_from(spec_b).merge(_registry_from(spec_a))
+        assert ab.export_json() == ba.export_json()
+
+
+# -- span nesting ----------------------------------------------------------------
+
+#: A random span tree: each node is (n_children at the next level).
+tree_shapes = st.recursive(
+    st.just([]),
+    lambda children: st.lists(children, min_size=0, max_size=3),
+    max_leaves=12,
+)
+
+_LEVELS = ("campaign", "chunk", "execution")
+
+
+def _emit_tree(tracer, shape, level=0):
+    if level >= len(_LEVELS):
+        return
+    for index, child in enumerate(shape):
+        with tracer.span(_LEVELS[level], f"{_LEVELS[level]}{index}"):
+            _emit_tree(tracer, child, level + 1)
+
+
+@pytest.mark.telemetry
+class TestSpanNesting:
+    @given(tree_shapes)
+    @settings(max_examples=40, deadline=None)
+    def test_every_span_parents_to_the_enclosing_level(self, shape):
+        """In any generated tree, an execution span has exactly one chunk
+        ancestor, a chunk exactly one campaign ancestor."""
+        sink = RingBufferSink()
+        tracer = Tracer(sink)
+        _emit_tree(tracer, shape)
+        events = sink.events()
+        by_id = {event.span_id: event for event in events}
+        for event in events:
+            if event.kind == "campaign":
+                assert event.parent_id is None
+                continue
+            parent = by_id[event.parent_id]
+            expected = _LEVELS[_LEVELS.index(event.kind) - 1]
+            assert parent.kind == expected
+            # exactly one enclosing chunk/campaign: walking up visits each
+            # level once and terminates at a root
+            seen = []
+            node = event
+            while node.parent_id is not None:
+                node = by_id[node.parent_id]
+                seen.append(node.kind)
+            assert seen == list(reversed(_LEVELS[: _LEVELS.index(event.kind)]))
+
+    def test_campaign_trace_nesting_from_real_run(self):
+        """A real pooled campaign produces the exact span tree the schema
+        promises: every execution under exactly one chunk, every chunk
+        under exactly one campaign span."""
+        from repro import observability as obs
+        from repro.arch import k40
+        from repro.beam import Campaign
+        from repro.kernels import Dgemm
+
+        sink = RingBufferSink()
+        with obs.observe(tracer=Tracer(sink)):
+            Campaign(
+                kernel=Dgemm(n=48), device=k40(), n_faulty=20, seed=11,
+                workers=2, chunk_size=5, timeout=120.0,
+            ).run()
+        events = sink.events()
+        by_id = {event.span_id: event for event in events}
+        campaigns = [e for e in events if e.kind == "campaign"]
+        chunks = [e for e in events if e.kind == "chunk"]
+        executions = [e for e in events if e.kind == "execution"]
+        assert len(campaigns) == 1
+        assert len(executions) == 20
+        assert {by_id[e.parent_id].kind for e in executions} == {"chunk"}
+        assert {by_id[e.parent_id].span_id for e in chunks} == {
+            campaigns[0].span_id
+        }
+        # each execution is enclosed by exactly one chunk: its parent —
+        # and chunk index ranges partition the executions
+        owners = {}
+        for execution in executions:
+            owners.setdefault(execution.parent_id, []).append(
+                execution.attrs["index"]
+            )
+        all_indices = sorted(i for owned in owners.values() for i in owned)
+        assert all_indices == list(range(20))

@@ -1,0 +1,138 @@
+"""Tests for the runtime switchboard and the progress reporter."""
+
+import io
+
+import pytest
+
+from repro.observability import (
+    MetricsRegistry,
+    ProgressReporter,
+    RingBufferSink,
+    Tracer,
+    observe,
+    runtime,
+)
+
+
+@pytest.mark.telemetry
+class TestRuntimeSwitchboard:
+    def test_disabled_by_default(self):
+        assert runtime.get_tracer() is None
+        assert runtime.get_metrics() is None
+        assert runtime.get_progress() is None
+        assert not runtime.is_active()
+
+    def test_observe_scopes_and_restores(self):
+        registry = MetricsRegistry()
+        with observe(metrics=registry):
+            assert runtime.get_metrics() is registry
+            assert runtime.is_active()
+        assert runtime.get_metrics() is None
+        assert not runtime.is_active()
+
+    def test_observe_nests(self):
+        outer, inner = MetricsRegistry(), MetricsRegistry()
+        with observe(metrics=outer):
+            with observe(metrics=inner):
+                assert runtime.get_metrics() is inner
+            assert runtime.get_metrics() is outer
+        assert runtime.get_metrics() is None
+
+    def test_observe_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with observe(metrics=MetricsRegistry()):
+                raise RuntimeError("boom")
+        assert not runtime.is_active()
+
+    def test_observe_closes_tracer_on_exit(self):
+        class ClosableSink(RingBufferSink):
+            closed = False
+
+            def close(self):
+                self.closed = True
+
+        sink = ClosableSink()
+        with observe(tracer=Tracer(sink)):
+            pass
+        assert sink.closed
+
+    def test_configure_and_reset(self):
+        registry = MetricsRegistry()
+        runtime.configure(metrics=registry)
+        try:
+            assert runtime.get_metrics() is registry
+        finally:
+            runtime.reset()
+        assert not runtime.is_active()
+
+    def test_hooks_are_noops_when_disabled(self):
+        """With nothing configured a campaign emits nothing, anywhere."""
+        from repro.arch import k40
+        from repro.beam import Campaign
+        from repro.kernels import Dgemm
+
+        result = Campaign(
+            kernel=Dgemm(n=32), device=k40(), n_faulty=3, seed=3, workers=0
+        ).run()
+        assert result.n_executions == 3  # and no tracer/metrics to consult
+        assert not runtime.is_active()
+
+
+@pytest.mark.telemetry
+class TestProgressReporter:
+    def test_rate_limited_updates(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(
+            total=10, stream=stream, interval=3600.0, label="dgemm"
+        )
+        for completed in range(1, 6):
+            reporter.update(completed)
+        # first update prints; the rest land inside the interval
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 1
+        assert lines[0].startswith("[dgemm]  1/10 executions")
+
+    def test_zero_interval_prints_every_update(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(total=4, stream=stream, interval=0.0)
+        reporter.update(1)
+        reporter.update(2)
+        assert len(stream.getvalue().splitlines()) == 2
+
+    def test_finish_prints_unconditionally(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(
+            total=4, stream=stream, interval=3600.0
+        )
+        reporter.update(2)
+        reporter.update(4)
+        reporter.finish()
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert "4/4 executions" in lines[-1]
+        assert "elapsed" in lines[-1]
+
+    def test_render_eta_when_incomplete(self):
+        reporter = ProgressReporter(total=100)
+        reporter._completed = 25
+        line = reporter.render(elapsed=5.0)
+        assert "25/100 executions" in line
+        assert "5.0 exec/s" in line
+        assert "eta 15.0s" in line
+
+    def test_unknown_total_renders_bare_count(self):
+        reporter = ProgressReporter()
+        reporter._completed = 7
+        line = reporter.render(elapsed=2.0)
+        assert line.startswith("7 executions")
+        assert "eta" not in line
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError):
+            ProgressReporter(interval=-1.0)
+
+    def test_update_can_supply_total_late(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream=stream, interval=0.0)
+        reporter.update(3, total=12)
+        assert "3/12 executions" in stream.getvalue()

@@ -1,0 +1,148 @@
+"""Unit tests for the tracer, its sinks, and trace-file round-trips."""
+
+import json
+
+import pytest
+
+from repro.observability import (
+    JsonlSink,
+    RingBufferSink,
+    SpanEvent,
+    Tracer,
+    read_trace,
+)
+
+
+@pytest.mark.telemetry
+class TestTracer:
+    def test_span_emits_on_exit_with_duration(self):
+        sink = RingBufferSink()
+        tracer = Tracer(sink)
+        with tracer.span("campaign", "c1", seed=7) as span:
+            span.set(outcome="done")
+        (event,) = sink.events()
+        assert event.kind == "campaign"
+        assert event.name == "c1"
+        assert event.attrs == {"seed": 7, "outcome": "done"}
+        assert event.duration >= 0
+        assert event.parent_id is None
+        assert event.worker.startswith("pid:")
+
+    def test_nested_spans_parent_automatically(self):
+        sink = RingBufferSink()
+        tracer = Tracer(sink)
+        with tracer.span("campaign", "c") as outer:
+            with tracer.span("chunk", "k"):
+                pass
+        chunk, campaign = sink.events()  # inner closes first
+        assert chunk.parent_id == campaign.span_id == outer.span_id
+
+    def test_exception_annotates_and_propagates(self):
+        sink = RingBufferSink()
+        tracer = Tracer(sink)
+        with pytest.raises(RuntimeError):
+            with tracer.span("campaign", "c"):
+                raise RuntimeError("beam off")
+        (event,) = sink.events()
+        assert event.attrs["error"] == "RuntimeError: beam off"
+
+    def test_explicit_parent_crosses_threads(self):
+        import threading
+
+        sink = RingBufferSink()
+        tracer = Tracer(sink)
+        with tracer.span("session", "s") as session:
+            def board():
+                with tracer.span("board", "b", parent=session):
+                    pass
+            thread = threading.Thread(target=board)
+            thread.start()
+            thread.join()
+        board_event, session_event = sink.events()
+        assert board_event.parent_id == session_event.span_id
+
+    def test_emit_premeasured_event(self):
+        sink = RingBufferSink()
+        tracer = Tracer(sink)
+        event = tracer.emit(
+            "chunk", "chunk0", start=123.0, duration=4.5,
+            worker="pid:1/x", attrs={"n": 3},
+        )
+        assert sink.events() == [event]
+        assert event.start == 123.0
+        assert event.duration == 4.5
+
+    def test_span_ids_unique(self):
+        tracer = Tracer(RingBufferSink())
+        ids = {tracer.next_id() for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_multiple_sinks_fan_out(self):
+        a, b = RingBufferSink(), RingBufferSink()
+        tracer = Tracer(a, b)
+        with tracer.span("campaign", "c"):
+            pass
+        assert len(a.events()) == len(b.events()) == 1
+
+
+@pytest.mark.telemetry
+class TestRingBufferSink:
+    def test_capacity_bounds_memory(self):
+        sink = RingBufferSink(capacity=3)
+        tracer = Tracer(sink)
+        for index in range(10):
+            tracer.emit("execution", f"e{index}", start=0.0, duration=0.0)
+        events = sink.events()
+        assert len(events) == 3
+        assert [event.name for event in events] == ["e7", "e8", "e9"]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+
+@pytest.mark.telemetry
+class TestJsonlRoundTrip:
+    def test_write_read_preserves_events(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(JsonlSink(path))
+        with tracer.span("campaign", "c", seed=1):
+            with tracer.span("chunk", "k", n=2):
+                tracer.emit(
+                    "execution", "e0", start=1.0, duration=0.5,
+                    attrs={"index": 0, "outcome": "sdc"},
+                )
+        tracer.close()
+        events = read_trace(path)
+        assert [event.kind for event in events] == [
+            "execution", "chunk", "campaign"
+        ]
+        by_id = {event.span_id: event for event in events}
+        execution = events[0]
+        assert by_id[execution.parent_id].kind == "chunk"
+        assert execution.attrs == {"index": 0, "outcome": "sdc"}
+        # round-trip again via dicts: stable fixpoint
+        assert [SpanEvent.from_dict(e.to_dict()) for e in events] == events
+
+    def test_header_line_versioned(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        Tracer(JsonlSink(path)).close()
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["trace_format_version"] == 1
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"trace_format_version": 99}\n')
+        with pytest.raises(ValueError):
+            read_trace(path)
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        """A live trace can be analysed mid-write."""
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(JsonlSink(path))
+        tracer.emit("execution", "e0", start=0.0, duration=0.1)
+        tracer.close()
+        with path.open("a") as fh:
+            fh.write('{"kind": "execution", "name": "e1", "spa')  # torn
+        events = read_trace(path)
+        assert [event.name for event in events] == ["e0"]

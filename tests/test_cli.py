@@ -94,6 +94,89 @@ class TestCommands:
         text = parser.format_help()
         for command in (
             "tables", "campaign", "figure", "analyze", "fleet", "plan",
-            "device", "report",
+            "device", "report", "telemetry",
         ):
             assert command in text
+
+
+@pytest.mark.telemetry
+class TestObservabilityFlags:
+    CAMPAIGN = ["campaign", "dgemm", "k40", "--config", "n=48",
+                "--faulty", "20", "--seed", "3"]
+
+    def test_campaign_help_documents_observability_flags(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--help"])
+        text = capsys.readouterr().out
+        assert "--trace" in text
+        assert "--metrics-out" in text
+        assert "--progress" in text
+
+    def test_trace_flag_writes_trace_jsonl(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        assert main(self.CAMPAIGN + ["--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert f"trace written to {trace}" in out
+        from repro.observability import read_trace
+
+        events = read_trace(trace)
+        assert sum(1 for e in events if e.kind == "execution") == 20
+        assert sum(1 for e in events if e.kind == "campaign") == 1
+
+    def test_metrics_out_prometheus_and_json(self, capsys, tmp_path):
+        prom = tmp_path / "m.prom"
+        assert main(self.CAMPAIGN + ["--metrics-out", str(prom)]) == 0
+        capsys.readouterr()
+        text = prom.read_text()
+        assert "# TYPE repro_executions_total counter" in text
+        assert 'kernel="dgemm"' in text
+
+        import json
+
+        as_json = tmp_path / "m.json"
+        assert main(self.CAMPAIGN + ["--metrics-out", str(as_json)]) == 0
+        capsys.readouterr()
+        payload = json.loads(as_json.read_text())
+        from repro.observability import MetricsRegistry
+
+        rebuilt = MetricsRegistry.from_json(payload)
+        assert rebuilt.get("repro_executions_total").total() == 20
+
+    def test_observability_does_not_change_the_physics(self, capsys, tmp_path):
+        """The campaign summary is byte-identical with and without
+        --trace/--metrics-out: observation must not perturb the run."""
+        assert main(self.CAMPAIGN) == 0
+        plain = capsys.readouterr().out
+        assert main(
+            self.CAMPAIGN
+            + ["--trace", str(tmp_path / "t.jsonl"),
+               "--metrics-out", str(tmp_path / "m.prom")]
+        ) == 0
+        instrumented = capsys.readouterr().out
+        assert instrumented.startswith(plain.rstrip("\n"))
+
+    def test_telemetry_command_renders_report(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        main(self.CAMPAIGN + ["--trace", str(trace)])
+        capsys.readouterr()
+        assert main(["telemetry", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign telemetry" in out
+        assert "throughput" in out
+
+    def test_telemetry_command_json_mode(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "t.jsonl"
+        main(self.CAMPAIGN + ["--trace", str(trace)])
+        capsys.readouterr()
+        assert main(["telemetry", str(trace), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_executions"] == 20
+        assert payload["spans_by_kind"]["campaign"] == 1
+
+    def test_progress_flag_prints_throughput_line(self, capsys, tmp_path):
+        assert main(self.CAMPAIGN + ["--progress", "0.0001"]) == 0
+        err = capsys.readouterr().err
+        assert "executions" in err
+        assert "exec/s" in err
