@@ -1,0 +1,94 @@
+"""Canonical hashing of plain-data configuration trees.
+
+The campaign store (:mod:`repro.store`) identifies a run by a
+content-addressed hash of its configuration — (kernel, device, config,
+seed, fluence plan) — and the per-process golden-output cache in
+:mod:`repro.kernels.base` keys clean references by the same canonical
+encoding.  Both need the identical property: *equal configurations hash
+equally across processes and Python versions, and unequal ones do not
+collide in practice*.
+
+The encoding is deterministic JSON (sorted keys, no whitespace).  Only
+plain JSON-able scalars and containers are accepted — anything else
+(arrays, callables, open files) raises :class:`UncanonicalError` so a
+caller can decide to opt out of hashing rather than risk two different
+objects encoding alike.  Floats round-trip exactly via ``repr`` (Python's
+``json`` uses ``float.__repr__``, the shortest exact form), so e.g. a
+``threshold_pct`` of ``0.1`` hashes stably.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+
+__all__ = [
+    "UncanonicalError",
+    "canonical_json",
+    "content_hash",
+    "short_hash",
+]
+
+#: Hex digits kept by :func:`short_hash` — 64 bits of prefix, plenty for a
+#: store of campaign runs (birthday bound ~ 2**32 runs).
+SHORT_HASH_LEN = 16
+
+
+class UncanonicalError(TypeError):
+    """The value contains something with no canonical encoding."""
+
+
+def _check_plain(value: object, path: str = "$") -> None:
+    """Reject anything that is not plain JSON data (exact types only)."""
+    if value is None or type(value) in (bool, int, str):
+        return
+    if type(value) is float:
+        if math.isnan(value) or math.isinf(value):
+            raise UncanonicalError(
+                f"non-finite float at {path} has no canonical JSON encoding"
+            )
+        return
+    if type(value) in (list, tuple):
+        for i, item in enumerate(value):
+            _check_plain(item, f"{path}[{i}]")
+        return
+    if type(value) is dict:
+        for key, item in value.items():
+            if type(key) is not str:
+                raise UncanonicalError(
+                    f"non-string key {key!r} at {path} cannot be canonicalised"
+                )
+            _check_plain(item, f"{path}.{key}")
+        return
+    raise UncanonicalError(
+        f"value of type {type(value).__name__} at {path} cannot be "
+        "canonicalised (only None/bool/int/float/str/list/tuple/dict)"
+    )
+
+
+def canonical_json(value: object) -> str:
+    """Deterministic JSON encoding: sorted keys, compact, exact floats.
+
+    >>> canonical_json({"b": 1, "a": [1.5, "x"]})
+    '{"a":[1.5,"x"],"b":1}'
+    """
+    _check_plain(value)
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), ensure_ascii=True,
+        allow_nan=False,
+    )
+
+
+def content_hash(value: object) -> str:
+    """Full SHA-256 hex digest of the canonical encoding."""
+    return hashlib.sha256(canonical_json(value).encode("ascii")).hexdigest()
+
+
+def short_hash(value: object) -> str:
+    """The first :data:`SHORT_HASH_LEN` hex digits of :func:`content_hash`.
+
+    >>> short_hash({"kernel": "dgemm"}) == short_hash({"kernel": "dgemm"})
+    True
+    """
+    return content_hash(value)[:SHORT_HASH_LEN]

@@ -18,6 +18,12 @@ with the standard first-order model:
 
 All times are in the same arbitrary units as FIT (relative comparisons
 only, like the paper's own rates).
+
+This repository applies the same argument to itself: the campaign store
+(:mod:`repro.store`, ``docs/store.md``) journals every struck execution
+as an fsync'd checkpoint, so a crashed campaign restarts from its last
+durable record instead of losing the session — while SDCs inside a
+recorded execution stay exactly as silent as the paper warns.
 """
 
 from __future__ import annotations

@@ -190,6 +190,8 @@ class Campaign:
         chunk_size: executions per worker task (``None`` = auto).
         timeout: wall-clock bound on the pool per run; a wedged pool raises
             instead of hanging.
+        backend: execution strategy (``"auto"``/``"process"``/``"thread"``/
+            ``"serial"``) forwarded to the executor.
     """
 
     kernel: Kernel
@@ -202,6 +204,7 @@ class Campaign:
     workers: "int | None" = None
     chunk_size: "int | None" = None
     timeout: "float | None" = None
+    backend: str = "auto"
 
     def __post_init__(self):
         if self.n_faulty < 1:
@@ -225,6 +228,7 @@ class Campaign:
         return CampaignExecutor(
             workers=self.workers if workers is None else workers,
             chunk_size=self.chunk_size if chunk_size is None else chunk_size,
+            backend=self.backend,
             timeout=self.timeout,
         )
 
@@ -267,12 +271,43 @@ class Campaign:
                 ("kernel", "device", "mode"),
             ).inc(kernel=self.kernel.name, device=self.device.name, mode=mode)
 
+    def result_from_records(
+        self, records: "list[ExecutionRecord]", *,
+        received_fluence: "float | None" = None,
+    ) -> CampaignResult:
+        """Assemble the accelerated-mode :class:`CampaignResult`.
+
+        The single source of the campaign's fluence arithmetic — shared by
+        :meth:`run`, the resume path (:mod:`repro.store.runner`) and the
+        multi-campaign scheduler, so a run stitched back together from a
+        journal reports bit-identical fluence, FIT and summaries.
+        """
+        if received_fluence is None:
+            fluence = self.n_faulty / (self.cross_section * STRIKES_PER_FLUENCE_AU)
+        else:
+            if received_fluence <= 0:
+                raise ValueError("received_fluence must be positive")
+            fluence = received_fluence
+        return CampaignResult(
+            kernel_name=self.kernel.name,
+            device_name=self.device.name,
+            label=self.label,
+            records=records,
+            fluence=fluence,
+            cross_section=self.cross_section,
+            n_executions=self.n_faulty,
+            threshold_pct=self.threshold_pct,
+        )
+
     def run(
         self,
         *,
         workers: "int | None" = None,
         chunk_size: "int | None" = None,
         received_fluence: "float | None" = None,
+        skip_indices: "set | None" = None,
+        prior_records: "list[ExecutionRecord] | None" = None,
+        on_chunk=None,
     ) -> CampaignResult:
         """Accelerated mode: every execution struck once, fluence-weighted.
 
@@ -284,14 +319,18 @@ class Campaign:
                 derated board in a :class:`~repro.beam.parallel.BeamSession`).
                 Defaults to the fluence the struck count statistically
                 represents, ``n_faulty / (sigma * STRIKES_PER_FLUENCE_AU)``.
+            skip_indices: execution indices to *not* re-simulate (already
+                durable in a journal); the resume path's restart point.
+            prior_records: the records behind ``skip_indices``, merged into
+                the result so a resumed run returns the full campaign.
+            on_chunk: parent-side durability hook, called as each chunk of
+                records completes (see
+                :meth:`repro.beam.executor.CampaignExecutor.run`).
         """
-        if received_fluence is None:
-            fluence = self.n_faulty / (self.cross_section * STRIKES_PER_FLUENCE_AU)
-        else:
-            if received_fluence <= 0:
-                raise ValueError("received_fluence must be positive")
-            fluence = received_fluence
+        prior = list(prior_records or [])
         with self._campaign_span("accelerated", self.n_faulty) as span:
+            if span is not None and skip_indices:
+                span.set(resumed_records=len(prior), skipped=len(skip_indices))
             records = self._executor(workers, chunk_size).run(
                 self.kernel,
                 self.device,
@@ -299,16 +338,15 @@ class Campaign:
                 threshold_pct=self.threshold_pct,
                 count=self.n_faulty,
                 label=self.label,
+                skip_indices=skip_indices,
+                on_chunk=on_chunk,
             )
-            result = CampaignResult(
-                kernel_name=self.kernel.name,
-                device_name=self.device.name,
-                label=self.label,
-                records=records,
-                fluence=fluence,
-                cross_section=self.cross_section,
-                n_executions=self.n_faulty,
-                threshold_pct=self.threshold_pct,
+            if prior:
+                records = sorted(
+                    prior + records, key=lambda record: record.index
+                )
+            result = self.result_from_records(
+                records, received_fluence=received_fluence
             )
             self._note_campaign("accelerated", result, span)
         return result

@@ -321,6 +321,8 @@ class CampaignExecutor:
         start: int = 0,
         indices: Sequence[int] | None = None,
         label: str = "",
+        skip_indices: "Sequence[int] | set | None" = None,
+        on_chunk=None,
     ) -> list[ExecutionRecord]:
         """Simulate struck executions for an index set, in parallel.
 
@@ -337,6 +339,18 @@ class CampaignExecutor:
         runs and re-emitted here, so a trace always has a single writer.
         A worker failure raises :class:`CampaignExecutionError` carrying
         the failing execution index, chunk and label.
+
+        ``skip_indices`` drops already-simulated indices before chunk
+        planning — the resume path: a journaled run restarts from its
+        last durable record by passing the journal's done-set here, and
+        because every execution draws only from its own derived RNG
+        streams the remaining records are bit-identical to the ones an
+        uninterrupted run would have produced for those indices.
+
+        ``on_chunk(chunk_no, records)`` is called in the *parent* process
+        as each chunk completes (completion order, not chunk order) — the
+        durability hook: journals append and fsync record batches here.
+        A callback failure aborts the run like a worker failure would.
         """
         if (count is None) == (indices is None):
             raise ValueError("pass exactly one of count= or indices=")
@@ -344,6 +358,9 @@ class CampaignExecutor:
             if count < 0:
                 raise ValueError("count must be >= 0")
             indices = range(start, start + count)
+        if skip_indices:
+            skip = frozenset(skip_indices)
+            indices = [index for index in indices if index not in skip]
         indices = list(indices)
         if not indices:
             return []
@@ -365,23 +382,23 @@ class CampaignExecutor:
             return self._run_serial(
                 kernel, device, seed, threshold_pct, chunks,
                 label=label, tracer=tracer, metrics=metrics,
-                progress=progress, instrument=instrument,
+                progress=progress, instrument=instrument, on_chunk=on_chunk,
             )
         return self._run_pooled(
             kernel, device, seed, threshold_pct, chunks, backend, workers,
             label=label, tracer=tracer, metrics=metrics,
-            progress=progress, instrument=instrument,
+            progress=progress, instrument=instrument, on_chunk=on_chunk,
         )
 
     # -- serial ------------------------------------------------------------------
 
     def _run_serial(
         self, kernel, device, seed, threshold_pct, chunks, *,
-        label, tracer, metrics, progress, instrument,
+        label, tracer, metrics, progress, instrument, on_chunk=None,
     ) -> list[ExecutionRecord]:
         """In-process path: same chunk runner, no pool."""
         n_total = sum(len(chunk) for chunk in chunks)
-        if not instrument and progress is None:
+        if not instrument and progress is None and on_chunk is None:
             # The bare PR 1 hot path: one runner call, records out.
             flat = [index for chunk in chunks for index in chunk]
             try:
@@ -408,6 +425,8 @@ class CampaignExecutor:
             self._emit_chunk(
                 tracer, metrics, kernel, device, "serial", chunk_no, result
             )
+            if on_chunk is not None:
+                on_chunk(chunk_no, result.records)
             if progress is not None:
                 progress.update(completed, total=n_total)
         records.sort(key=lambda record: record.index)
@@ -417,7 +436,7 @@ class CampaignExecutor:
 
     def _run_pooled(
         self, kernel, device, seed, threshold_pct, chunks, backend, workers, *,
-        label, tracer, metrics, progress, instrument,
+        label, tracer, metrics, progress, instrument, on_chunk=None,
     ) -> list[ExecutionRecord]:
         """Fan chunks over a pool; drain incrementally for progress/metrics."""
         timeout = self.timeout if self.timeout is not None else default_timeout()
@@ -469,6 +488,8 @@ class CampaignExecutor:
                         tracer, metrics, kernel, device, backend, chunk_no,
                         result, count_cache=(backend == "process"),
                     )
+                    if on_chunk is not None:
+                        on_chunk(chunk_no, result.records)
                 if queue_gauge is not None:
                     queue_gauge.set(len(pending))
                 if progress is not None:
@@ -513,89 +534,10 @@ class CampaignExecutor:
         tracer, metrics, kernel, device, backend, chunk_no,
         result: _ChunkResult, *, count_cache: bool = False,
     ) -> None:
-        """Re-emit one finished chunk's spans and fold its metrics.
-
-        Runs in the parent process (single trace writer).  ``count_cache``
-        folds the worker's golden-cache delta into the registry — only for
-        the process backend, where the in-process hook in
-        :mod:`repro.kernels.base` cannot have seen the worker's traffic.
-        """
-        if tracer is None and metrics is None:
-            return
-        records = result.records
-        if tracer is not None:
-            first = records[0].index if records else -1
-            last = records[-1].index if records else -1
-            chunk_event = tracer.emit(
-                "chunk",
-                f"chunk{chunk_no}",
-                start=result.start,
-                duration=result.duration,
-                worker=result.worker,
-                attrs={
-                    "chunk": chunk_no,
-                    "n": len(records),
-                    "first_index": first,
-                    "last_index": last,
-                    "backend": backend,
-                },
-            )
-            if result.exec_durations is not None:
-                for record, exec_start, exec_duration in zip(
-                    records, result.exec_starts, result.exec_durations
-                ):
-                    tracer.emit(
-                        "execution",
-                        f"exec{record.index}",
-                        start=exec_start,
-                        duration=exec_duration,
-                        worker=result.worker,
-                        parent=chunk_event.span_id,
-                        attrs={
-                            "index": record.index,
-                            "outcome": record.outcome.value,
-                            "resource": record.resource.value,
-                            "site": record.site,
-                            "kernel": kernel.name,
-                            "device": device.name,
-                        },
-                    )
-        if metrics is not None:
-            executions = metrics.counter(
-                "repro_executions_total",
-                "Struck executions simulated, by outcome",
-                ("kernel", "device", "outcome"),
-            )
-            for record in records:
-                executions.inc(
-                    kernel=kernel.name,
-                    device=device.name,
-                    outcome=record.outcome.value,
-                )
-            metrics.counter(
-                "repro_chunks_total",
-                "Worker chunks completed, by backend",
-                ("backend",),
-            ).inc(backend=backend)
-            if result.exec_durations is not None:
-                latency = metrics.histogram(
-                    "repro_injection_seconds",
-                    "Wall-clock seconds per struck execution",
-                    ("kernel",),
-                )
-                for exec_duration in result.exec_durations:
-                    latency.observe(exec_duration, kernel=kernel.name)
-            if count_cache and (result.cache_hits or result.cache_misses):
-                if result.cache_hits:
-                    metrics.counter(
-                        "repro_golden_cache_hits_total",
-                        "Golden-output cache hits",
-                    ).inc(result.cache_hits)
-                if result.cache_misses:
-                    metrics.counter(
-                        "repro_golden_cache_misses_total",
-                        "Golden-output cache misses",
-                    ).inc(result.cache_misses)
+        emit_chunk_observability(
+            tracer, metrics, kernel, device, backend, chunk_no, result,
+            count_cache=count_cache,
+        )
 
     @staticmethod
     def _make_pool(backend: str, workers: int) -> Executor:
@@ -609,3 +551,100 @@ class CampaignExecutor:
                 mp_context=multiprocessing.get_context("fork"),
             )
         return ProcessPoolExecutor(max_workers=workers)
+
+
+def emit_chunk_observability(
+    tracer, metrics, kernel, device, backend, chunk_no,
+    result: _ChunkResult, *, count_cache: bool = False,
+    extra_attrs: "dict | None" = None, parent=None,
+) -> None:
+    """Re-emit one finished chunk's spans and fold its metrics.
+
+    Runs in the parent process (single trace writer).  ``count_cache``
+    folds the worker's golden-cache delta into the registry — only for
+    the process backend, where the in-process hook in
+    :mod:`repro.kernels.base` cannot have seen the worker's traffic.
+    Shared by :class:`CampaignExecutor` and the multi-campaign scheduler
+    (:mod:`repro.scheduler`), which passes ``extra_attrs`` (job label,
+    run id) so interleaving is visible span by span.
+    """
+    if tracer is None and metrics is None:
+        return
+    records = result.records
+    if tracer is not None:
+        first = records[0].index if records else -1
+        last = records[-1].index if records else -1
+        attrs = {
+            "chunk": chunk_no,
+            "n": len(records),
+            "first_index": first,
+            "last_index": last,
+            "backend": backend,
+        }
+        if extra_attrs:
+            attrs.update(extra_attrs)
+        chunk_event = tracer.emit(
+            "chunk",
+            f"chunk{chunk_no}",
+            start=result.start,
+            duration=result.duration,
+            worker=result.worker,
+            parent=parent,
+            attrs=attrs,
+        )
+        if result.exec_durations is not None:
+            for record, exec_start, exec_duration in zip(
+                records, result.exec_starts, result.exec_durations
+            ):
+                tracer.emit(
+                    "execution",
+                    f"exec{record.index}",
+                    start=exec_start,
+                    duration=exec_duration,
+                    worker=result.worker,
+                    parent=chunk_event.span_id,
+                    attrs={
+                        "index": record.index,
+                        "outcome": record.outcome.value,
+                        "resource": record.resource.value,
+                        "site": record.site,
+                        "kernel": kernel.name,
+                        "device": device.name,
+                    },
+                )
+    if metrics is not None:
+        executions = metrics.counter(
+            "repro_executions_total",
+            "Struck executions simulated, by outcome",
+            ("kernel", "device", "outcome"),
+        )
+        for record in records:
+            executions.inc(
+                kernel=kernel.name,
+                device=device.name,
+                outcome=record.outcome.value,
+            )
+        metrics.counter(
+            "repro_chunks_total",
+            "Worker chunks completed, by backend",
+            ("backend",),
+        ).inc(backend=backend)
+        if result.exec_durations is not None:
+            latency = metrics.histogram(
+                "repro_injection_seconds",
+                "Wall-clock seconds per struck execution",
+                ("kernel",),
+            )
+            for exec_duration in result.exec_durations:
+                latency.observe(exec_duration, kernel=kernel.name)
+        if count_cache and (result.cache_hits or result.cache_misses):
+            if result.cache_hits:
+                metrics.counter(
+                    "repro_golden_cache_hits_total",
+                    "Golden-output cache hits",
+                ).inc(result.cache_hits)
+            if result.cache_misses:
+                metrics.counter(
+                    "repro_golden_cache_misses_total",
+                    "Golden-output cache misses",
+                ).inc(result.cache_misses)

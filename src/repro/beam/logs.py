@@ -62,6 +62,39 @@ def _report_payload(report: CriticalityReport, max_elements: int) -> dict:
     return payload
 
 
+def record_to_row(record: ExecutionRecord, *, max_elements: int = 4096) -> dict:
+    """Serialise one struck execution to its JSON-able log row.
+
+    The row layout is shared by the campaign log files written here and by
+    the durable journals in :mod:`repro.store.journal`, so a journaled run
+    replayed through :func:`row_to_record` re-serialises byte-identically —
+    the property the crash-safe resume path relies on.
+    """
+    row = {
+        "index": record.index,
+        "outcome": record.outcome.value,
+        "resource": record.resource.value,
+        "site": record.site,
+        "detail": record.detail,
+    }
+    if record.fault is not None:
+        row["fault"] = {
+            "site": record.fault.site,
+            "progress": record.fault.progress,
+            "seed": record.fault.seed,
+            "extent": record.fault.extent,
+            "sharing": (
+                None
+                if record.fault.sharing == float("inf")
+                else record.fault.sharing
+            ),
+            "flip": flip_to_dict(record.fault.flip),
+        }
+    if record.report is not None:
+        row["report"] = _report_payload(record.report, max_elements)
+    return row
+
+
 def write_log(result: CampaignResult, path: str | Path, *, max_elements: int = 4096) -> Path:
     """Write a campaign to a JSONL log file; returns the path.
 
@@ -82,29 +115,10 @@ def write_log(result: CampaignResult, path: str | Path, *, max_elements: int = 4
     with path.open("w") as fh:
         fh.write(json.dumps(header) + "\n")
         for record in result.records:
-            row = {
-                "index": record.index,
-                "outcome": record.outcome.value,
-                "resource": record.resource.value,
-                "site": record.site,
-                "detail": record.detail,
-            }
-            if record.fault is not None:
-                row["fault"] = {
-                    "site": record.fault.site,
-                    "progress": record.fault.progress,
-                    "seed": record.fault.seed,
-                    "extent": record.fault.extent,
-                    "sharing": (
-                        None
-                        if record.fault.sharing == float("inf")
-                        else record.fault.sharing
-                    ),
-                    "flip": flip_to_dict(record.fault.flip),
-                }
-            if record.report is not None:
-                row["report"] = _report_payload(record.report, max_elements)
-            fh.write(json.dumps(row) + "\n")
+            fh.write(
+                json.dumps(record_to_row(record, max_elements=max_elements))
+                + "\n"
+            )
     return path
 
 
@@ -140,6 +154,37 @@ def _rebuild_report(payload: dict) -> CriticalityReport:
     )
 
 
+def row_to_record(row: dict) -> ExecutionRecord:
+    """Rebuild one :class:`ExecutionRecord` from its log/journal row."""
+    from repro.arch.resources import ResourceKind
+
+    report = _rebuild_report(row["report"]) if "report" in row else None
+    fault = None
+    if "fault" in row:
+        payload = row["fault"]
+        fault = KernelFault(
+            site=payload["site"],
+            progress=payload["progress"],
+            flip=flip_from_dict(payload["flip"]),
+            seed=payload["seed"],
+            extent=payload["extent"],
+            sharing=(
+                float("inf")
+                if payload["sharing"] is None
+                else payload["sharing"]
+            ),
+        )
+    return ExecutionRecord(
+        index=row["index"],
+        outcome=OutcomeKind(row["outcome"]),
+        resource=ResourceKind(row["resource"]),
+        site=row["site"],
+        report=report,
+        fault=fault,
+        detail=row.get("detail", ""),
+    )
+
+
 def read_log(path: str | Path) -> CampaignResult:
     """Reconstruct a :class:`CampaignResult` from a JSONL log.
 
@@ -147,8 +192,6 @@ def read_log(path: str | Path) -> CampaignResult:
     (counts, ratios, FIT breakdowns, re-filtering) without access to the
     simulator state that produced it.
     """
-    from repro.arch.resources import ResourceKind
-
     path = Path(path)
     with path.open() as fh:
         lines = [line for line in fh if line.strip()]
@@ -159,36 +202,7 @@ def read_log(path: str | Path) -> CampaignResult:
         raise ValueError(
             f"unsupported log format {header.get('format_version')!r}"
         )
-    records = []
-    for line in lines[1:]:
-        row = json.loads(line)
-        report = _rebuild_report(row["report"]) if "report" in row else None
-        fault = None
-        if "fault" in row:
-            payload = row["fault"]
-            fault = KernelFault(
-                site=payload["site"],
-                progress=payload["progress"],
-                flip=flip_from_dict(payload["flip"]),
-                seed=payload["seed"],
-                extent=payload["extent"],
-                sharing=(
-                    float("inf")
-                    if payload["sharing"] is None
-                    else payload["sharing"]
-                ),
-            )
-        records.append(
-            ExecutionRecord(
-                index=row["index"],
-                outcome=OutcomeKind(row["outcome"]),
-                resource=ResourceKind(row["resource"]),
-                site=row["site"],
-                report=report,
-                fault=fault,
-                detail=row.get("detail", ""),
-            )
-        )
+    records = [row_to_record(json.loads(line)) for line in lines[1:]]
     return CampaignResult(
         kernel_name=header["kernel"],
         device_name=header["device"],

@@ -9,6 +9,9 @@ Usage (also available as ``python -m repro``)::
     repro analyze out.jsonl --threshold 4.0  # re-analyse a campaign log
     repro telemetry t.jsonl                  # timing report from a trace
     repro fleet out.jsonl --devices 18688    # Titan-style projection
+    repro queue --jobs jobs.json             # schedule campaigns, journaled
+    repro runs --store .repro-store          # list stored runs
+    repro resume 12cf6ae0b61a1d47            # finish an interrupted run
 
 Figures accept ``--scale test|default|paper`` (matching the benchmark
 harness).  Every command prints plain text; campaign logs are JSONL.
@@ -53,6 +56,24 @@ _FIGURES = {
     "fig8": ("scatter", "clamr", "xeonphi"),
     "fig9": ("map", "clamr", "xeonphi"),
 }
+
+
+#: Exit code for unusable input files (empty/truncated logs and traces).
+EXIT_BAD_INPUT = 2
+
+#: Default store root for the queue/resume/runs verbs.
+DEFAULT_STORE = ".repro-store"
+
+
+def _input_error(message: str) -> int:
+    """One-line diagnosis on stderr; exit code :data:`EXIT_BAD_INPUT`.
+
+    Operator-facing commands must not traceback on a truncated or empty
+    file — a beam-host crash mid-write produces exactly such files, and
+    the operator needs the diagnosis, not the stack.
+    """
+    print(f"error: {message}", file=sys.stderr)
+    return EXIT_BAD_INPUT
 
 
 def _parse_config(pairs: "list[str]") -> dict:
@@ -142,7 +163,7 @@ def cmd_campaign(args) -> int:
         else:
             result = campaign.run()
         if progress is not None:
-            progress.finish()
+            progress.close()
     print(result.summary())
     if args.log:
         path = write_log(result, args.log)
@@ -160,7 +181,17 @@ def cmd_telemetry(args) -> int:
 
     from repro.analysis.telemetry import load_telemetry, render_telemetry
 
-    report = load_telemetry(args.trace)
+    try:
+        report = load_telemetry(args.trace)
+    except OSError as err:
+        return _input_error(f"cannot read trace {args.trace!r}: {err}")
+    except (ValueError, KeyError) as err:
+        return _input_error(f"not a usable trace file {args.trace!r}: {err}")
+    if report.n_events == 0:
+        return _input_error(
+            f"trace {args.trace!r} holds no span events "
+            "(empty or header-only file)"
+        )
     if args.json:
         print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
@@ -187,7 +218,12 @@ def cmd_figure(args) -> int:
 
 
 def cmd_analyze(args) -> int:
-    result = read_log(args.log)
+    try:
+        result = read_log(args.log)
+    except OSError as err:
+        return _input_error(f"cannot read log {args.log!r}: {err}")
+    except (ValueError, KeyError) as err:
+        return _input_error(f"not a usable campaign log {args.log!r}: {err}")
     print(result.summary())
     if args.threshold is not None:
         reports = [r.refiltered(args.threshold) for r in result.sdc_reports()]
@@ -252,6 +288,132 @@ def cmd_report(args) -> int:
         print(f"report written to {args.output}")
     else:
         print(text)
+    return 0
+
+
+def _queue_specs(args):
+    """Campaign specs for ``repro queue``: a jobs file, flags, or both."""
+    import json as _json
+
+    from repro.store import CampaignSpec
+
+    specs = []
+    if args.jobs:
+        try:
+            with open(args.jobs) as fh:
+                payload = _json.load(fh)
+        except OSError as err:
+            raise SystemExit(f"error: cannot read jobs file: {err}")
+        except ValueError as err:
+            raise SystemExit(f"error: jobs file is not valid JSON: {err}")
+        if not isinstance(payload, list):
+            raise SystemExit("error: jobs file must hold a JSON list of specs")
+        for entry in payload:
+            entry.setdefault("spec_version", 1)
+            specs.append(CampaignSpec.from_dict(entry))
+    if args.kernel:
+        if not args.device:
+            raise SystemExit("error: queue needs both KERNEL and DEVICE")
+        specs.append(
+            CampaignSpec(
+                kernel=args.kernel,
+                device=args.device,
+                config=_parse_config(args.config),
+                seed=args.seed,
+                n_faulty=args.faulty,
+                priority=args.priority,
+            )
+        )
+    if not specs:
+        raise SystemExit("error: nothing to queue (pass KERNEL DEVICE or --jobs)")
+    return specs
+
+
+def cmd_queue(args) -> int:
+    from repro._util.text import format_table
+    from repro.scheduler import CampaignScheduler, RetryPolicy
+    from repro.store import CampaignStore
+
+    store = CampaignStore(args.store)
+    scheduler = CampaignScheduler(
+        store,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        backend=args.backend,
+        retry=RetryPolicy(max_retries=args.retries),
+    )
+    for spec in _queue_specs(args):
+        scheduler.submit(spec)
+    outcomes = scheduler.run(install_signal_handler=True)
+    rows = []
+    for outcome in outcomes:
+        n_records = len(outcome.result.records) if outcome.result else 0
+        rows.append(
+            (
+                outcome.run_id,
+                outcome.label,
+                outcome.status,
+                n_records,
+                outcome.retries,
+            )
+        )
+    print(format_table(("run id", "campaign", "status", "records", "retries"), rows))
+    failed = [o for o in outcomes if o.status == "failed"]
+    interrupted = [o for o in outcomes if o.status == "interrupted"]
+    for outcome in failed:
+        print(f"failed: {outcome.error}", file=sys.stderr)
+    if interrupted:
+        print(
+            f"{len(interrupted)} run(s) interrupted; journals are resumable "
+            f"with `repro resume <run-id> --store {args.store}`",
+            file=sys.stderr,
+        )
+    return 1 if failed or interrupted else 0
+
+
+def cmd_resume(args) -> int:
+    from repro.store import CampaignStore, JournalError, resume_run
+
+    store = CampaignStore(args.store)
+    try:
+        outcome = resume_run(
+            store,
+            args.run_id,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+            backend=args.backend,
+        )
+    except JournalError as err:
+        return _input_error(str(err))
+    origin = "cache" if outcome.cached else f"{outcome.resumed} durable records"
+    print(f"run {outcome.run_id} complete (resumed from {origin})")
+    print()
+    print(outcome.result.summary())
+    return 0
+
+
+def cmd_runs(args) -> int:
+    from repro.store import CampaignStore, JournalError
+
+    store = CampaignStore(args.store)
+    if not args.run_id:
+        print(store.render())
+        return 0
+    try:
+        run = store.load(args.run_id)
+    except JournalError as err:
+        return _input_error(str(err))
+    print(f"run {run.run_id}: {run.spec.resolved_label()} ({run.status})")
+    print(f"  journal : {run.path}")
+    print(f"  records : {len(run.rows)}/{run.spec.n_faulty} durable")
+    print(f"  seed    : {run.spec.seed}")
+    if run.close is not None:
+        print()
+        print(run.result().summary())
+    else:
+        print(
+            f"  resume  : repro resume {run.run_id} --store {args.store}"
+        )
     return 0
 
 
@@ -346,6 +508,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the raw report as JSON instead of tables",
     )
     telemetry.set_defaults(func=cmd_telemetry)
+
+    queue = sub.add_parser(
+        "queue",
+        help="run several campaigns over one shared pool, journaled",
+    )
+    queue.add_argument(
+        "kernel", nargs="?", choices=sorted(KERNEL_FACTORIES), default=None
+    )
+    queue.add_argument(
+        "device", nargs="?", choices=sorted(DEVICE_FACTORIES), default=None
+    )
+    queue.add_argument(
+        "--jobs", metavar="FILE", default=None,
+        help="JSON list of campaign specs "
+        '(e.g. [{"kernel": "dgemm", "device": "k40", "config": {"n": 256}, '
+        '"n_faulty": 100, "priority": 2}])',
+    )
+    queue.add_argument("--config", nargs="*", default=[], metavar="KEY=VALUE")
+    queue.add_argument("--faulty", type=int, default=100)
+    queue.add_argument("--seed", type=int, default=2017)
+    queue.add_argument(
+        "--priority", type=int, default=1,
+        help="fair-share weight (higher = more chunks per round)",
+    )
+    queue.add_argument("--store", default=DEFAULT_STORE, metavar="DIR")
+    queue.add_argument("--workers", type=int, default=None, metavar="N")
+    queue.add_argument("--chunk-size", type=int, default=None, metavar="K")
+    queue.add_argument(
+        "--backend", default="auto",
+        choices=("auto", "process", "thread", "serial"),
+    )
+    queue.add_argument(
+        "--retries", type=int, default=3,
+        help="chunk retries (exponential backoff) before a job fails",
+    )
+    queue.set_defaults(func=cmd_queue)
+
+    resume = sub.add_parser(
+        "resume", help="finish an interrupted run from its journal"
+    )
+    resume.add_argument("run_id", help="content-addressed id (see `repro runs`)")
+    resume.add_argument("--store", default=DEFAULT_STORE, metavar="DIR")
+    resume.add_argument("--workers", type=int, default=None, metavar="N")
+    resume.add_argument("--chunk-size", type=int, default=None, metavar="K")
+    resume.add_argument(
+        "--backend", default="auto",
+        choices=("auto", "process", "thread", "serial"),
+    )
+    resume.set_defaults(func=cmd_resume)
+
+    runs = sub.add_parser("runs", help="list stored campaign runs")
+    runs.add_argument(
+        "run_id", nargs="?", default=None,
+        help="show one run in detail instead of the listing",
+    )
+    runs.add_argument("--store", default=DEFAULT_STORE, metavar="DIR")
+    runs.set_defaults(func=cmd_runs)
 
     fleet = sub.add_parser("fleet", help="project a campaign onto a fleet")
     fleet.add_argument("log")

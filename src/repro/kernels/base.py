@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro._util.hashing import UncanonicalError, short_hash
 from repro.bitflip.models import FlipModel
 from repro.core.metrics import ErrorObservation, compare_outputs
 from repro.kernels.classification import KernelClassification
@@ -46,7 +47,7 @@ from repro.observability import runtime as _obs_runtime
 #: Retained golden outputs per process (LRU beyond this many entries).
 GOLDEN_CACHE_CAPACITY = 32
 
-_golden_cache: "OrderedDict[tuple, ExecutionOutput]" = OrderedDict()
+_golden_cache: "OrderedDict[str, ExecutionOutput]" = OrderedDict()
 _golden_cache_lock = threading.Lock()
 _golden_cache_hits = 0
 _golden_cache_misses = 0
@@ -98,7 +99,7 @@ def _note_cache_event(hit: bool) -> None:
         ).inc()
 
 
-def _golden_cache_get(key: tuple) -> "ExecutionOutput | None":
+def _golden_cache_get(key: str) -> "ExecutionOutput | None":
     global _golden_cache_hits, _golden_cache_misses
     with _golden_cache_lock:
         cached = _golden_cache.get(key)
@@ -111,7 +112,7 @@ def _golden_cache_get(key: tuple) -> "ExecutionOutput | None":
     return cached
 
 
-def _golden_cache_put(key: tuple, output: "ExecutionOutput") -> None:
+def _golden_cache_put(key: str, output: "ExecutionOutput") -> None:
     with _golden_cache_lock:
         _golden_cache[key] = output
         _golden_cache.move_to_end(key)
@@ -215,7 +216,7 @@ class Kernel(abc.ABC):
 
     # -- fault-free reference -------------------------------------------------
 
-    def golden_cache_key(self) -> tuple | None:
+    def golden_cache_key(self) -> "str | None":
         """Key identifying this kernel's configured input, or ``None``.
 
         Two kernel instances with equal keys must produce bit-identical
@@ -225,15 +226,33 @@ class Kernel(abc.ABC):
         instance out of the shared cache; the default does so whenever a
         public attribute is not a plain scalar, since we cannot cheaply
         prove two such instances identical.
+
+        The key is the *store's* canonical content hash
+        (:func:`repro._util.hashing.short_hash`) over the class path plus
+        configuration — the same encoding the campaign store uses for run
+        ids, so a golden reference and the journaled run that needed it
+        are addressed by one hashing scheme.
         """
-        config = []
-        for name, value in sorted(vars(self).items()):
+        config = {}
+        for name, value in vars(self).items():
             if name.startswith("_"):
                 continue
             if not isinstance(value, _KEYABLE_TYPES):
                 return None
-            config.append((name, value))
-        return (type(self).__module__, type(self).__qualname__, tuple(config))
+            config[name] = value
+        try:
+            return short_hash(
+                {
+                    "kernel_class": (
+                        f"{type(self).__module__}.{type(self).__qualname__}"
+                    ),
+                    "config": config,
+                }
+            )
+        except UncanonicalError:
+            # Non-finite scalar configuration (no canonical encoding):
+            # safer uncached than wrongly shared.
+            return None
 
     def golden(self) -> ExecutionOutput:
         """The fault-free execution, computed once and cached.

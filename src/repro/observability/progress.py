@@ -45,6 +45,7 @@ class ProgressReporter:
         self._last_print = 0.0  # relative to _t0; 0 => never printed
         self._completed = 0
         self._lines = 0
+        self._finished = False
 
     # -- executor-facing API -----------------------------------------------------
 
@@ -60,11 +61,23 @@ class ProgressReporter:
 
     def finish(self) -> None:
         """Print the final line unconditionally (and a newline on TTYs)."""
+        self._finished = True
         now = time.perf_counter() - self._t0
         self._print_line(now, final=True)
         if self._is_tty():
             self.stream.write("\n")
             self.stream.flush()
+
+    def close(self) -> None:
+        """Ensure a final line was printed; safe to call repeatedly.
+
+        A campaign that never triggered an update (zero executions, or a
+        cache hit satisfying the run from the store) would otherwise end
+        with no output at all — ``close`` prints the final line exactly
+        once, so every run terminates its progress stream.
+        """
+        if not self._finished:
+            self.finish()
 
     # -- rendering ---------------------------------------------------------------
 
@@ -75,12 +88,21 @@ class ProgressReporter:
     def render(self, elapsed: float) -> str:
         rate = self._completed / elapsed if elapsed > 0 else 0.0
         prefix = f"[{self.label}]  " if self.label else ""
-        if self.total:
+        # ``total is not None`` (not truthiness): a zero-total campaign
+        # must render "0/0 executions", not pretend the total is unknown.
+        if self.total is not None:
             line = f"{prefix}{self._completed}/{self.total} executions"
         else:
             line = f"{prefix}{self._completed} executions"
         line += f"  {rate:.1f} exec/s"
-        if self.total and rate > 0 and self._completed < self.total:
+        # The ETA needs a positive total: with total == 0 there is nothing
+        # left to estimate, and a phantom "eta inf" would mislead.
+        if (
+            self.total is not None
+            and self.total > 0
+            and rate > 0
+            and self._completed < self.total
+        ):
             eta = (self.total - self._completed) / rate
             line += f"  eta {eta:.1f}s"
         elif self._completed:

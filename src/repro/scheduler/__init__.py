@@ -1,0 +1,29 @@
+"""Multi-campaign scheduling: fair-share pooling, retries, graceful drain.
+
+The operational layer above the store: where :mod:`repro.store` makes one
+campaign durable, :mod:`repro.scheduler` runs *many* campaigns over one
+shared worker pool the way the paper's beam host multiplexes boards under
+one beam.
+
+* :mod:`repro.scheduler.retry` — :class:`RetryPolicy`: bounded
+  exponential backoff with seeded jitter;
+* :mod:`repro.scheduler.scheduler` — :class:`CampaignScheduler`:
+  priority/fair-share chunk interleaving, per-chunk journaling, bounded
+  retry of transient worker failures, and SIGINT-safe draining.
+
+The CLI verb ``repro queue`` is a thin wrapper over this package.
+"""
+
+from repro.scheduler.retry import RetryPolicy
+from repro.scheduler.scheduler import (
+    CampaignScheduler,
+    JobOutcome,
+    SchedulerTimeoutError,
+)
+
+__all__ = [
+    "RetryPolicy",
+    "CampaignScheduler",
+    "JobOutcome",
+    "SchedulerTimeoutError",
+]

@@ -1,0 +1,193 @@
+"""Journaled campaign execution: run, crash, resume — bit-identically.
+
+The write half of the store.  :func:`execute_spec` runs one campaign with
+every completed chunk journaled and fsync'd; :func:`resume_run` restarts
+an interrupted run from its journal's last durable record.  Three facts
+make the resumed output *bit-identical* to an uninterrupted run:
+
+1. every struck execution draws only from RNG streams derived from
+   ``(seed, index)`` — records are a pure function of the spec and the
+   index, independent of chunking and arrival order;
+2. journal rows reuse the campaign-log serialisation
+   (:func:`repro.beam.logs.record_to_row`), which round-trips exactly
+   (hex floats), so a journaled record re-serialises byte-for-byte;
+3. the final result is assembled by the same
+   :meth:`~repro.beam.campaign.Campaign.result_from_records` arithmetic
+   either way.
+
+The golden kill-and-resume suite (``tests/store/test_resume.py``) pins
+this across serial/thread/process backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.beam.logs import record_to_row
+from repro.observability import runtime as obs_runtime
+from repro.store.journal import Journal, JournalError
+from repro.store.spec import CampaignSpec
+from repro.store.store import CampaignStore
+
+__all__ = [
+    "RunOutcome",
+    "execute_spec",
+    "resume_run",
+    "journal_chunk_records",
+    "finalise_journal",
+]
+
+#: Corrupted-element cap for journaled rows — matches ``write_log``'s
+#: default so journal rows and log rows are the same bytes.
+JOURNAL_MAX_ELEMENTS = 4096
+
+
+@dataclass
+class RunOutcome:
+    """What a journaled execution produced.
+
+    Attributes:
+        run_id: the store's content-addressed id for the spec.
+        result: the (complete) campaign result.
+        resumed: number of durable records reused from a prior journal.
+        cached: the run was already complete in the store — nothing was
+            simulated, the stored result was returned as-is.
+    """
+
+    run_id: str
+    result: object
+    resumed: int = 0
+    cached: bool = False
+
+
+def journal_chunk_records(
+    journal: Journal, records, *, max_elements: int = JOURNAL_MAX_ELEMENTS
+) -> int:
+    """Append one chunk's records and fsync them as a single batch.
+
+    The one durability unit shared by the journaled runner and the
+    multi-campaign scheduler: when this returns, the chunk survives a
+    crash.  Returns the number of records made durable.
+    """
+    for record in records:
+        journal.append(
+            "record",
+            index=record.index,
+            row=record_to_row(record, max_elements=max_elements),
+        )
+    return journal.commit()
+
+
+def finalise_journal(journal: Journal, result) -> None:
+    """Append + fsync the close record sealing a complete run."""
+    counts = {kind.value: n for kind, n in result.counts().items()}
+    journal.append(
+        "close",
+        status="complete",
+        fluence=result.fluence,
+        cross_section=result.cross_section,
+        n_executions=result.n_executions,
+        n_records=len(result.records),
+        outcomes=counts,
+    )
+    journal.commit()
+
+
+def _journal_writer(journal: Journal):
+    """The executor ``on_chunk`` hook: one fsync'd batch per chunk."""
+
+    def on_chunk(chunk_no: int, records) -> None:
+        journal_chunk_records(journal, records)
+
+    return on_chunk
+
+
+def execute_spec(
+    store: CampaignStore,
+    spec: CampaignSpec,
+    *,
+    workers: "int | None" = None,
+    chunk_size: "int | None" = None,
+    timeout: "float | None" = None,
+    backend: str = "auto",
+    reuse: bool = True,
+) -> RunOutcome:
+    """Run a spec with durable journaling (resuming/deduping via the store).
+
+    * no stored run → fresh journal, every chunk fsync'd as it lands;
+    * stored but incomplete → resume from the last durable record;
+    * stored and complete → content-addressed cache hit (with ``reuse``),
+      returning the stored result without simulating anything.
+    """
+    run_id = spec.run_id()
+    stored = store.load(run_id) if store.has(run_id) else None
+    if stored is not None and stored.status == "complete" and reuse:
+        _note_run(spec, "cached")
+        return RunOutcome(
+            run_id=run_id, result=stored.result(),
+            resumed=len(stored.rows), cached=True,
+        )
+    campaign = spec.build_campaign(
+        workers=workers, chunk_size=chunk_size, timeout=timeout,
+        backend=backend,
+    )
+    if stored is None:
+        journal = store.create_run(spec)
+        done: set = set()
+        prior: list = []
+    else:
+        journal = store.open_run(run_id)  # truncates any torn tail
+        rows = [record["row"] for record in journal.records("record")]
+        done = {row["index"] for row in rows}
+        prior = stored.records()
+    try:
+        result = campaign.run(
+            skip_indices=done or None,
+            prior_records=prior or None,
+            on_chunk=_journal_writer(journal),
+        )
+        finalise_journal(journal, result)
+    finally:
+        journal.close()
+    _note_run(spec, "resumed" if done else "fresh")
+    return RunOutcome(run_id=run_id, result=result, resumed=len(done))
+
+
+def resume_run(
+    store: CampaignStore,
+    run_id: str,
+    *,
+    workers: "int | None" = None,
+    chunk_size: "int | None" = None,
+    timeout: "float | None" = None,
+    backend: str = "auto",
+) -> RunOutcome:
+    """Resume a stored run by id (``repro resume <run-id>``).
+
+    The journal header's spec rebuilds the campaign from the registries;
+    already-durable records are skipped, the journal's torn tail (if the
+    crash tore one) is dropped, and the finished journal is sealed with a
+    close record.  Completing an already-complete run is a no-op cache
+    hit.
+    """
+    if not store.has(run_id):
+        raise JournalError(
+            f"no stored run {run_id!r} under {store.root} "
+            f"(known: {', '.join(store.run_ids()) or 'none'})"
+        )
+    spec = store.load(run_id).spec
+    return execute_spec(
+        store, spec, workers=workers, chunk_size=chunk_size,
+        timeout=timeout, backend=backend, reuse=True,
+    )
+
+
+def _note_run(spec: CampaignSpec, outcome: str) -> None:
+    """Fold one store-run event into the observability switchboard."""
+    metrics = obs_runtime.get_metrics()
+    if metrics is not None:
+        metrics.counter(
+            "repro_store_runs_total",
+            "Journaled campaign runs, by how the store satisfied them",
+            ("outcome",),
+        ).inc(outcome=outcome)

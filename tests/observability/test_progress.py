@@ -1,0 +1,105 @@
+"""ProgressReporter: zero-total rendering, close() semantics, ETA guard."""
+
+import io
+
+from repro.observability.progress import ProgressReporter
+
+
+def reporter(**kwargs):
+    stream = io.StringIO()
+    kwargs.setdefault("stream", stream)
+    kwargs.setdefault("interval", 0.0)
+    return ProgressReporter(**kwargs), stream
+
+
+class TestZeroTotal:
+    def test_renders_zero_over_zero_executions(self):
+        progress, _ = reporter(total=0)
+        assert progress.render(1.0) == "0/0 executions  0.0 exec/s"
+
+    def test_no_phantom_eta(self):
+        progress, _ = reporter(total=0)
+        progress._completed = 0
+        for elapsed in (0.0, 0.5, 100.0):
+            assert "eta" not in progress.render(elapsed)
+
+    def test_close_emits_exactly_one_final_line(self):
+        progress, stream = reporter(total=0, label="dgemm/k40")
+        progress.close()
+        lines = stream.getvalue().splitlines()
+        assert lines == ["[dgemm/k40]  0/0 executions  0.0 exec/s"]
+
+    def test_close_is_idempotent(self):
+        progress, stream = reporter(total=0)
+        progress.close()
+        progress.close()
+        progress.close()
+        assert len(stream.getvalue().splitlines()) == 1
+
+
+class TestClose:
+    def test_close_after_finish_is_a_noop(self):
+        progress, stream = reporter(total=4)
+        progress.update(4)
+        progress.finish()
+        before = stream.getvalue()
+        progress.close()
+        assert stream.getvalue() == before
+
+    def test_close_without_updates_still_terminates_stream(self):
+        """A cache hit never calls update(); close() must still print."""
+        progress, stream = reporter(total=12)
+        progress.close()
+        assert "0/12 executions" in stream.getvalue()
+
+
+class TestRender:
+    def test_known_total_shows_fraction_and_eta(self):
+        progress, _ = reporter(total=200, label="dgemm/k40")
+        progress._completed = 120
+        line = progress.render(10.0)
+        assert line.startswith("[dgemm/k40]  120/200 executions")
+        assert "12.0 exec/s" in line
+        assert "eta" in line
+
+    def test_unknown_total_renders_plain_count(self):
+        progress, _ = reporter()
+        progress._completed = 7
+        line = progress.render(2.0)
+        assert "7 executions" in line
+        assert "/" not in line.split("exec/s")[0].replace("exec/s", "")
+        assert "eta" not in line
+
+    def test_completed_run_shows_elapsed_not_eta(self):
+        progress, _ = reporter(total=10)
+        progress._completed = 10
+        line = progress.render(5.0)
+        assert "eta" not in line
+        assert "elapsed 5.0s" in line
+
+    def test_zero_elapsed_does_not_divide_by_zero(self):
+        progress, _ = reporter(total=10)
+        progress._completed = 3
+        assert "0.0 exec/s" in progress.render(0.0)
+
+
+class TestRateLimiting:
+    def test_interval_suppresses_intermediate_lines(self):
+        progress, stream = reporter(total=10, interval=3600.0)
+        for done in range(1, 6):
+            progress.update(done)
+        # First update prints; the rest land inside the interval.
+        assert len(stream.getvalue().splitlines()) == 1
+        progress.finish()
+        assert len(stream.getvalue().splitlines()) == 2
+
+    def test_update_can_learn_the_total_late(self):
+        progress, stream = reporter()
+        progress.update(3, total=9)
+        assert "3/9 executions" in stream.getvalue()
+
+    def test_negative_interval_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ProgressReporter(interval=-1.0)

@@ -1,0 +1,66 @@
+"""RetryPolicy: exponential backoff, cap, deterministic jitter."""
+
+import random
+
+import pytest
+
+from repro.scheduler import RetryPolicy
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"max_retries": -1},
+            {"base_delay": 0.0},
+            {"base_delay": -1.0},
+            {"max_delay": 0.1, "base_delay": 0.5},
+            {"jitter": -0.1},
+            {"jitter": 1.0},
+        ],
+    )
+    def test_bad_parameters_rejected(self, bad):
+        with pytest.raises(ValueError):
+            RetryPolicy(**bad)
+
+    def test_attempt_counts_from_one(self):
+        with pytest.raises(ValueError, match="counts from 1"):
+            RetryPolicy().delay(0)
+
+
+class TestSchedule:
+    def test_exponential_without_jitter(self):
+        policy = RetryPolicy(
+            max_retries=4, base_delay=0.5, max_delay=100.0, jitter=0.0
+        )
+        assert policy.schedule() == [0.5, 1.0, 2.0, 4.0]
+
+    def test_capped_at_max_delay(self):
+        policy = RetryPolicy(
+            max_retries=6, base_delay=1.0, max_delay=4.0, jitter=0.0
+        )
+        assert policy.schedule() == [1.0, 2.0, 4.0, 4.0, 4.0, 4.0]
+
+    def test_zero_retries_means_empty_schedule(self):
+        assert RetryPolicy(max_retries=0).schedule() == []
+
+    def test_jitter_stays_within_fraction(self):
+        policy = RetryPolicy(
+            max_retries=1, base_delay=1.0, max_delay=1.0, jitter=0.25
+        )
+        rng = random.Random(123)
+        for _ in range(200):
+            delay = policy.delay(1, rng)
+            assert 0.75 <= delay <= 1.25
+
+    def test_jitter_is_seed_reproducible(self):
+        policy = RetryPolicy(max_retries=3, jitter=0.2)
+        one = policy.schedule(random.Random(7))
+        two = policy.schedule(random.Random(7))
+        other = policy.schedule(random.Random(8))
+        assert one == two
+        assert one != other
+
+    def test_no_rng_means_no_jitter(self):
+        policy = RetryPolicy(max_retries=2, base_delay=0.5, jitter=0.5)
+        assert policy.schedule(None) == [0.5, 1.0]

@@ -1,0 +1,120 @@
+"""The golden kill-and-resume suite: resumed runs are bit-identical.
+
+The store's headline guarantee (ISSUE 3): a campaign killed mid-journal
+restarts from its last durable record and produces a final log
+*byte-for-byte identical* to an uninterrupted run — across the serial,
+thread and process executor backends.  Three facts carry the proof (see
+:mod:`repro.store.runner`): per-execution RNG derivation, hex-exact row
+serialisation, and shared fluence arithmetic.
+"""
+
+import pytest
+
+from repro.beam.logs import record_to_row, write_log
+from repro.store import (
+    CampaignSpec,
+    CampaignStore,
+    execute_spec,
+    resume_run,
+    scan_journal,
+)
+
+#: Big enough that the thread/process backends actually pool the resumed
+#: remainder (>= MIN_PARALLEL_STRIKES after the durable prefix is skipped).
+SPEC = CampaignSpec(
+    kernel="dgemm", device="k40", config={"n": 16}, seed=11, n_faulty=40
+)
+
+#: Records durable before the simulated crash.
+CRASH_AFTER = 10
+
+BACKENDS = ("serial", "thread", "process")
+
+
+def reference_result(tmp_path):
+    """The uninterrupted run every resumed run must match."""
+    store = CampaignStore(tmp_path / "reference")
+    return execute_spec(store, SPEC, backend="serial").result
+
+
+def killed_store(tmp_path):
+    """A store holding SPEC's journal as a crash would leave it:
+
+    a durable prefix of records, then a torn (unterminated) tail.
+    """
+    store = CampaignStore(tmp_path / "killed")
+    clean = execute_spec(
+        CampaignStore(tmp_path / "scratch"), SPEC, backend="serial"
+    ).result
+    journal = store.create_run(SPEC)
+    for record in clean.records[:CRASH_AFTER]:
+        journal.append(
+            "record", index=record.index, row=record_to_row(record)
+        )
+    journal.commit()
+    journal.close()
+    with store.path_for(SPEC.run_id()).open("ab") as fh:
+        fh.write(b'{"kind": "record", "index": 10, "row"')  # torn mid-write
+    return store
+
+
+class TestKillAndResume:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_resumed_log_is_bit_identical(self, tmp_path, backend):
+        reference = reference_result(tmp_path)
+        store = killed_store(tmp_path)
+        outcome = resume_run(
+            store, SPEC.run_id(), backend=backend, workers=2, chunk_size=6
+        )
+        assert outcome.resumed == CRASH_AFTER
+        assert not outcome.cached
+        resumed_log = tmp_path / "resumed.jsonl"
+        reference_log = tmp_path / "reference.jsonl"
+        write_log(outcome.result, resumed_log)
+        write_log(reference, reference_log)
+        assert resumed_log.read_bytes() == reference_log.read_bytes()
+
+    def test_resume_seals_the_journal(self, tmp_path):
+        store = killed_store(tmp_path)
+        resume_run(store, SPEC.run_id(), backend="serial")
+        run = store.load(SPEC.run_id())
+        assert run.status == "complete"
+        assert run.done_indices() == set(range(SPEC.n_faulty))
+        scan = scan_journal(run.path)
+        assert scan.torn_bytes == 0  # the torn tail was dropped, not kept
+
+    def test_resume_via_execute_spec_dedups(self, tmp_path):
+        """Submitting the same spec routes to the journal, not a re-run."""
+        store = killed_store(tmp_path)
+        outcome = execute_spec(store, SPEC, backend="serial")
+        assert outcome.resumed == CRASH_AFTER
+        cached = execute_spec(store, SPEC, backend="serial")
+        assert cached.cached
+        assert cached.result.counts() == outcome.result.counts()
+
+    def test_resume_with_all_records_durable_just_seals(self, tmp_path):
+        """Crash between the last chunk and the close record: no work left."""
+        store = CampaignStore(tmp_path / "sealed")
+        clean = reference_result(tmp_path)
+        journal = store.create_run(SPEC)
+        for record in clean.records:
+            journal.append(
+                "record", index=record.index, row=record_to_row(record)
+            )
+        journal.commit()
+        journal.close()
+        outcome = resume_run(store, SPEC.run_id(), backend="serial")
+        assert outcome.resumed == SPEC.n_faulty
+        assert store.load(SPEC.run_id()).status == "complete"
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        write_log(outcome.result, a)
+        write_log(clean, b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_resumed_summary_matches_reference(self, tmp_path):
+        reference = reference_result(tmp_path)
+        store = killed_store(tmp_path)
+        outcome = resume_run(store, SPEC.run_id(), backend="serial")
+        assert outcome.result.summary() == reference.summary()
+        assert outcome.result.fluence == reference.fluence
+        assert outcome.result.fit_total() == reference.fit_total()

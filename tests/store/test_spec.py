@@ -1,0 +1,115 @@
+"""Campaign specs: content-addressed identity and reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro._util.hashing import UncanonicalError, canonical_json, short_hash
+from repro.store import CampaignSpec
+
+
+def spec(**overrides):
+    base = dict(
+        kernel="dgemm", device="k40", config={"n": 32}, seed=7, n_faulty=20
+    )
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+class TestHashing:
+    def test_canonical_json_is_order_insensitive(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_canonical_json_rejects_non_finite(self):
+        with pytest.raises(UncanonicalError):
+            canonical_json({"x": float("nan")})
+
+    def test_canonical_json_rejects_arrays(self):
+        with pytest.raises(UncanonicalError):
+            canonical_json({"x": np.zeros(3)})
+
+    def test_short_hash_shape(self):
+        digest = short_hash({"a": 1})
+        assert len(digest) == 16
+        assert int(digest, 16) >= 0  # valid hex
+
+
+class TestRunId:
+    def test_deterministic(self):
+        assert spec().run_id() == spec().run_id()
+        assert len(spec().run_id()) == 16
+
+    def test_label_and_priority_are_not_identity(self):
+        base = spec().run_id()
+        assert spec(label="renamed").run_id() == base
+        assert spec(priority=5).run_id() == base
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"seed": 8},
+            {"config": {"n": 64}},
+            {"n_faulty": 21},
+            {"device": "xeonphi"},
+            {"kernel": "hotspot", "config": {"n": 64, "iterations": 4}},
+            {"threshold_pct": 10.0},
+        ],
+    )
+    def test_identity_fields_change_the_id(self, change):
+        assert spec(**change).run_id() != spec().run_id()
+
+    def test_uncanonical_config_raises_with_context(self):
+        bad = spec(config={"n": np.int64(3)})
+        with pytest.raises(UncanonicalError, match="content-addressed"):
+            bad.run_id()
+
+
+class TestSerialisation:
+    def test_roundtrip_preserves_identity(self):
+        original = spec(label="my run", priority=3)
+        rebuilt = CampaignSpec.from_dict(original.to_dict())
+        assert rebuilt.run_id() == original.run_id()
+        assert rebuilt.resolved_label() == "my run"
+        assert rebuilt.priority == 3
+
+    def test_unknown_spec_version_rejected(self):
+        payload = spec().to_dict()
+        payload["spec_version"] = 99
+        with pytest.raises(ValueError, match="spec version"):
+            CampaignSpec.from_dict(payload)
+
+    def test_default_threshold_resolves_to_paper_value(self):
+        from repro.core.filtering import PAPER_THRESHOLD_PCT
+
+        assert spec().resolved_threshold() == PAPER_THRESHOLD_PCT
+
+
+class TestValidation:
+    def test_n_faulty_must_be_positive(self):
+        with pytest.raises(ValueError):
+            spec(n_faulty=0)
+
+    def test_priority_must_be_positive(self):
+        with pytest.raises(ValueError):
+            spec(priority=0)
+
+    def test_with_priority_preserves_identity(self):
+        boosted = spec().with_priority(4)
+        assert boosted.priority == 4
+        assert boosted.run_id() == spec().run_id()
+
+
+class TestReconstruction:
+    def test_build_campaign_matches_spec(self):
+        campaign = spec().build_campaign(backend="serial")
+        assert campaign.kernel.name == "dgemm"
+        assert campaign.device.name == "k40"
+        assert campaign.n_faulty == 20
+        assert campaign.seed == 7
+        assert campaign.label == "dgemm/k40"
+
+    def test_rebuilt_campaign_reproduces_records(self):
+        """A spec alone reproduces the exact records — the resume premise."""
+        one = spec(n_faulty=6).build_campaign(backend="serial").run()
+        two = spec(n_faulty=6).build_campaign(backend="serial").run()
+        assert [r.index for r in one.records] == [r.index for r in two.records]
+        assert [r.outcome for r in one.records] == [r.outcome for r in two.records]

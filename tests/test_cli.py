@@ -94,9 +94,133 @@ class TestCommands:
         text = parser.format_help()
         for command in (
             "tables", "campaign", "figure", "analyze", "fleet", "plan",
-            "device", "report", "telemetry",
+            "device", "report", "telemetry", "queue", "resume", "runs",
         ):
             assert command in text
+
+
+class TestBadInputExitCode:
+    """Unusable input files exit 2 with a one-line stderr diagnosis."""
+
+    def test_analyze_missing_file(self, capsys, tmp_path):
+        assert main(["analyze", str(tmp_path / "nope.jsonl")]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: cannot read log")
+        assert len(captured.err.strip().splitlines()) == 1
+
+    def test_analyze_empty_file(self, capsys, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["analyze", str(empty)]) == 2
+        assert "not a usable campaign log" in capsys.readouterr().err
+
+    def test_analyze_truncated_file(self, capsys, tmp_path):
+        log = tmp_path / "good.jsonl"
+        main(
+            ["campaign", "dgemm", "k40", "--config", "n=32", "--faulty", "6",
+             "--log", str(log)]
+        )
+        capsys.readouterr()
+        truncated = tmp_path / "torn.jsonl"
+        truncated.write_bytes(log.read_bytes()[: log.stat().st_size // 2])
+        assert main(["analyze", str(truncated)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_telemetry_missing_file(self, capsys, tmp_path):
+        assert main(["telemetry", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_telemetry_empty_file(self, capsys, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["telemetry", str(empty)]) == 2
+        assert "no span events" in capsys.readouterr().err
+
+    def test_telemetry_garbage_file(self, capsys, tmp_path):
+        garbage = tmp_path / "garbage.jsonl"
+        garbage.write_text("this is not json\n")
+        assert main(["telemetry", str(garbage)]) == 2
+        assert "not a usable trace file" in capsys.readouterr().err
+
+    def test_resume_unknown_run_id(self, capsys, tmp_path):
+        code = main(
+            ["resume", "deadbeefdeadbeef", "--store", str(tmp_path / "s")]
+        )
+        assert code == 2
+        assert "no stored run" in capsys.readouterr().err
+
+
+class TestStoreVerbs:
+    """queue -> runs -> resume over a shared on-disk store."""
+
+    def test_queue_runs_and_resume_roundtrip(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        code = main(
+            ["queue", "dgemm", "k40", "--config", "n=16", "--faulty", "8",
+             "--seed", "5", "--store", store, "--backend", "serial"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "complete" in out
+        assert "dgemm/k40" in out
+
+        # The listing shows the stored run; pull its id from the store.
+        from repro.store import CampaignStore
+
+        (run_id,) = CampaignStore(store).run_ids()
+        assert main(["runs", "--store", store]) == 0
+        assert run_id in capsys.readouterr().out
+
+        assert main(["runs", run_id, "--store", store]) == 0
+        detail = capsys.readouterr().out
+        assert "complete" in detail
+        assert "8/8 durable" in detail
+
+        # Resuming a complete run is a cache hit, not a re-run.
+        assert main(["resume", run_id, "--store", store]) == 0
+        assert "resumed from cache" in capsys.readouterr().out
+
+    def test_queue_jobs_file_schedules_both_specs(self, capsys, tmp_path):
+        import json
+
+        jobs = tmp_path / "jobs.json"
+        jobs.write_text(json.dumps([
+            {"kernel": "dgemm", "device": "k40", "config": {"n": 16},
+             "seed": 1, "n_faulty": 6},
+            {"kernel": "dgemm", "device": "k40", "config": {"n": 16},
+             "seed": 2, "n_faulty": 6, "priority": 2},
+        ]))
+        store = str(tmp_path / "store")
+        code = main(
+            ["queue", "--jobs", str(jobs), "--store", store,
+             "--backend", "serial"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("complete") == 2
+
+        from repro.store import CampaignStore, RunStatus
+
+        assert len(CampaignStore(store).find(status=RunStatus.COMPLETE)) == 2
+
+    def test_queue_without_work_exits_with_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["queue", "--store", str(tmp_path / "store")])
+
+    def test_runs_detail_shows_resume_hint_for_incomplete(
+        self, capsys, tmp_path
+    ):
+        from repro.store import CampaignSpec, CampaignStore
+
+        store_dir = str(tmp_path / "store")
+        spec = CampaignSpec(
+            kernel="dgemm", device="k40", config={"n": 16}, seed=3, n_faulty=6
+        )
+        CampaignStore(store_dir).create_run(spec).close()
+        assert main(["runs", spec.run_id(), "--store", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "incomplete" in out
+        assert f"repro resume {spec.run_id()}" in out
 
 
 @pytest.mark.telemetry
