@@ -95,13 +95,15 @@ def record_to_row(record: ExecutionRecord, *, max_elements: int = 4096) -> dict:
     return row
 
 
-def write_log(result: CampaignResult, path: str | Path, *, max_elements: int = 4096) -> Path:
-    """Write a campaign to a JSONL log file; returns the path.
+def log_lines(result: CampaignResult, *, max_elements: int = 4096) -> list:
+    """The campaign-log serialisation, line by line (without newlines).
 
     The first line is a header (campaign metadata); each following line is
-    one struck execution.
+    one struck execution.  :func:`write_log` joins these to a file, and the
+    campaign service serves exactly the same lines over HTTP — which is
+    what makes a resumed run's served result byte-for-byte comparable to an
+    uninterrupted one.
     """
-    path = Path(path)
     header = {
         "format_version": _FORMAT_VERSION,
         "kernel": result.kernel_name,
@@ -112,13 +114,20 @@ def write_log(result: CampaignResult, path: str | Path, *, max_elements: int = 4
         "n_executions": result.n_executions,
         "threshold_pct": result.threshold_pct,
     }
+    lines = [json.dumps(header)]
+    lines.extend(
+        json.dumps(record_to_row(record, max_elements=max_elements))
+        for record in result.records
+    )
+    return lines
+
+
+def write_log(result: CampaignResult, path: str | Path, *, max_elements: int = 4096) -> Path:
+    """Write a campaign to a JSONL log file; returns the path."""
+    path = Path(path)
     with path.open("w") as fh:
-        fh.write(json.dumps(header) + "\n")
-        for record in result.records:
-            fh.write(
-                json.dumps(record_to_row(record, max_elements=max_elements))
-                + "\n"
-            )
+        for line in log_lines(result, max_elements=max_elements):
+            fh.write(line + "\n")
     return path
 
 

@@ -12,15 +12,22 @@ Usage (also available as ``python -m repro``)::
     repro queue --jobs jobs.json             # schedule campaigns, journaled
     repro runs --store .repro-store          # list stored runs
     repro resume 12cf6ae0b61a1d47            # finish an interrupted run
+    repro serve --port 8765 --store DIR      # the campaign service daemon
+    repro submit dgemm k40 --url URL --wait  # submit a campaign over HTTP
+    repro status 12cf6ae0b61a1d47 --url URL  # poll a submitted run
+    repro fetch 12cf6ae0b61a1d47 --url URL   # download its final log
 
 Figures accept ``--scale test|default|paper`` (matching the benchmark
-harness).  Every command prints plain text; campaign logs are JSONL.
+harness).  Every command prints plain text (or JSON with ``--json`` where
+offered); campaign logs are JSONL.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+from repro import __version__
 
 from repro.analysis.experiments import (
     clamr_spec,
@@ -330,6 +337,8 @@ def _queue_specs(args):
 
 
 def cmd_queue(args) -> int:
+    import json as _json
+
     from repro._util.text import format_table
     from repro.scheduler import CampaignScheduler, RetryPolicy
     from repro.store import CampaignStore
@@ -357,7 +366,26 @@ def cmd_queue(args) -> int:
                 outcome.retries,
             )
         )
-    print(format_table(("run id", "campaign", "status", "records", "retries"), rows))
+    if args.json:
+        # Stable machine-readable schema; run ids land on stdout either
+        # way, so `repro queue ... | awk '{print $1}'`-style scripting and
+        # JSON consumers both work.
+        payload = {
+            "outcomes": [
+                {
+                    "run_id": outcome.run_id,
+                    "label": outcome.label,
+                    "status": outcome.status,
+                    "records": len(outcome.result.records) if outcome.result else 0,
+                    "retries": outcome.retries,
+                    "resumed": outcome.resumed,
+                }
+                for outcome in outcomes
+            ]
+        }
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(format_table(("run id", "campaign", "status", "records", "retries"), rows))
     failed = [o for o in outcomes if o.status == "failed"]
     interrupted = [o for o in outcomes if o.status == "interrupted"]
     for outcome in failed:
@@ -393,11 +421,17 @@ def cmd_resume(args) -> int:
 
 
 def cmd_runs(args) -> int:
+    import json as _json
+
     from repro.store import CampaignStore, JournalError
 
     store = CampaignStore(args.store)
     if not args.run_id:
-        print(store.render())
+        if args.json:
+            payload = {"runs": [s.to_dict() for s in store.summaries()]}
+            print(_json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(store.render())
         return 0
     try:
         run = store.load(args.run_id)
@@ -414,6 +448,116 @@ def cmd_runs(args) -> int:
         print(
             f"  resume  : repro resume {run.run_id} --store {args.store}"
         )
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.service import ServiceConfig, run_service
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        store=args.store,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        backend=args.backend,
+        retries=args.retries,
+        queue_limit=args.queue_limit,
+        log_requests=args.log_requests,
+    )
+    return run_service(config)
+
+
+def _service_client(args):
+    from repro.service import ServiceClient
+
+    return ServiceClient(args.url)
+
+
+def cmd_submit(args) -> int:
+    import json as _json
+
+    from repro.service import ServiceError
+
+    client = _service_client(args)
+    specs = _queue_specs(args)
+    submissions = []
+    try:
+        for spec in specs:
+            submissions.append(client.submit(spec))
+        if args.wait:
+            for submission in submissions:
+                final = client.wait(submission["run_id"])
+                submission["status"] = final["status"]
+                submission["progress"] = final["progress"]
+                if final.get("error"):
+                    submission["error"] = final["error"]
+    except ServiceError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(_json.dumps({"submissions": submissions}, indent=2, sort_keys=True))
+    else:
+        # One run id per line on stdout: the scripting contract.
+        for submission in submissions:
+            origin = (
+                "cached" if submission.get("cached")
+                else "deduped" if submission.get("deduped")
+                else submission["status"]
+            )
+            print(f"{submission['run_id']}  {submission['label']}  {origin}")
+    failed = [s for s in submissions if s.get("status") == "failed"]
+    return 1 if failed else 0
+
+
+def cmd_status(args) -> int:
+    import json as _json
+
+    from repro.service import ServiceError
+
+    client = _service_client(args)
+    try:
+        payload = (
+            client.wait(args.run_id) if args.wait else client.status(args.run_id)
+        )
+    except ServiceError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    progress = payload["progress"]
+    print(f"run {payload['run_id']}: {payload['label']} ({payload['status']})")
+    print(f"  progress: {progress['done']}/{progress['total']} executions")
+    if payload.get("eta_seconds") is not None:
+        print(f"  eta     : {payload['eta_seconds']:.1f}s")
+    if payload.get("error"):
+        print(f"  error   : {payload['error']}")
+    return 0 if payload["status"] != "failed" else 1
+
+
+def cmd_fetch(args) -> int:
+    import json as _json
+
+    from repro.service import ServiceError
+
+    client = _service_client(args)
+    try:
+        if args.report:
+            text = _json.dumps(
+                client.report(args.run_id), indent=2, sort_keys=True
+            ) + "\n"
+        else:
+            text = client.result_text(args.run_id)
+    except ServiceError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"written to {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
     return 0
 
 
@@ -435,6 +579,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Radiation-induced error criticality: campaigns, "
         "figures, log analysis (HPCA 2017 reproduction).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -543,6 +690,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--retries", type=int, default=3,
         help="chunk retries (exponential backoff) before a job fails",
     )
+    queue.add_argument(
+        "--json", action="store_true",
+        help="machine-readable outcomes (run_id/status/records/retries)",
+    )
     queue.set_defaults(func=cmd_queue)
 
     resume = sub.add_parser(
@@ -564,7 +715,89 @@ def build_parser() -> argparse.ArgumentParser:
         help="show one run in detail instead of the listing",
     )
     runs.add_argument("--store", default=DEFAULT_STORE, metavar="DIR")
+    runs.add_argument(
+        "--json", action="store_true",
+        help="machine-readable index (same schema as the service's /v1/runs)",
+    )
     runs.set_defaults(func=cmd_runs)
+
+    serve = sub.add_parser(
+        "serve", help="run the campaign service (HTTP daemon over a store)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8765,
+        help="bind port (0 = pick an ephemeral port, announced on stdout)",
+    )
+    serve.add_argument("--store", default=DEFAULT_STORE, metavar="DIR")
+    serve.add_argument("--workers", type=int, default=None, metavar="N")
+    serve.add_argument("--chunk-size", type=int, default=None, metavar="K")
+    serve.add_argument(
+        "--backend", default="auto",
+        choices=("auto", "process", "thread", "serial"),
+    )
+    serve.add_argument(
+        "--retries", type=int, default=3,
+        help="chunk retries (exponential backoff) before a job fails",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=64, metavar="N",
+        help="admission-queue bound; a full queue answers 429 + Retry-After",
+    )
+    serve.add_argument(
+        "--log-requests", action="store_true",
+        help="emit an access-log line per request to stderr",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit campaign(s) to a running campaign service"
+    )
+    submit.add_argument(
+        "kernel", nargs="?", choices=sorted(KERNEL_FACTORIES), default=None
+    )
+    submit.add_argument(
+        "device", nargs="?", choices=sorted(DEVICE_FACTORIES), default=None
+    )
+    submit.add_argument("--config", nargs="*", default=[], metavar="KEY=VALUE")
+    submit.add_argument("--faulty", type=int, default=100)
+    submit.add_argument("--seed", type=int, default=2017)
+    submit.add_argument("--priority", type=int, default=1)
+    submit.add_argument(
+        "--jobs", metavar="FILE", default=None,
+        help="JSON list of campaign specs (same format as `repro queue`)",
+    )
+    submit.add_argument("--url", default="http://127.0.0.1:8765")
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="poll each submission to a terminal state before exiting",
+    )
+    submit.add_argument("--json", action="store_true")
+    submit.set_defaults(func=cmd_submit)
+
+    status = sub.add_parser(
+        "status", help="query one submitted run on a campaign service"
+    )
+    status.add_argument("run_id")
+    status.add_argument("--url", default="http://127.0.0.1:8765")
+    status.add_argument(
+        "--wait", action="store_true",
+        help="poll until the run reaches a terminal state",
+    )
+    status.add_argument("--json", action="store_true")
+    status.set_defaults(func=cmd_status)
+
+    fetch = sub.add_parser(
+        "fetch", help="download a completed run's log (or report) over HTTP"
+    )
+    fetch.add_argument("run_id")
+    fetch.add_argument("--url", default="http://127.0.0.1:8765")
+    fetch.add_argument(
+        "--report", action="store_true",
+        help="fetch the criticality/telemetry report (JSON) instead of the log",
+    )
+    fetch.add_argument("--output", metavar="PATH", default=None)
+    fetch.set_defaults(func=cmd_fetch)
 
     fleet = sub.add_parser("fleet", help="project a campaign onto a fleet")
     fleet.add_argument("log")

@@ -366,7 +366,7 @@ class MetricsRegistry:
         for name in sorted(metrics):
             metric = metrics[name]
             if metric.help:
-                lines.append(f"# HELP {name} {metric.help}")
+                lines.append(f"# HELP {name} {_escape_help(metric.help)}")
             lines.append(f"# TYPE {name} {metric.kind}")
             if isinstance(metric, Histogram):
                 for key, slot in sorted(metric._series.items()):
@@ -396,14 +396,38 @@ class MetricsRegistry:
         raise ValueError(f"unknown metrics format {fmt!r}")
 
 
-def _escape(value: str) -> str:
+def _escape_label_value(value: str) -> str:
+    """Escape one label value per the Prometheus text-format spec.
+
+    Exposition format 0.0.4 requires exactly three escapes inside quoted
+    label values — backslash (``\\\\``), double quote (``\\"``) and line
+    feed (``\\n``) — applied in that order so an escaped backslash is never
+    re-escaped.  Everything else (including ``\\r`` and arbitrary UTF-8)
+    passes through verbatim.  The hostile-label property suite round-trips
+    values through this escaping and a spec parser.
+    """
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+#: Backwards-compatible alias (pre-hardening name).
+_escape = _escape_label_value
+
+
+def _escape_help(text: str) -> str:
+    """Escape ``# HELP`` text per spec: backslash and line feed only.
+
+    Help strings are not quoted, so ``"`` stays literal — but an embedded
+    newline would otherwise break the line-oriented exposition format and
+    let a hostile help string forge metric samples.
+    """
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _label_str(names: tuple, values: tuple) -> str:
     if not names:
         return ""
     pairs = ",".join(
-        f'{name}="{_escape(value)}"' for name, value in zip(names, values)
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(names, values)
     )
     return "{" + pairs + "}"

@@ -1,0 +1,39 @@
+"""Campaign service: a long-running HTTP daemon + client over the store.
+
+The serving layer of the reproduction (ISSUE 4): where :mod:`repro.store`
+makes one campaign durable and :mod:`repro.scheduler` runs many over one
+pool, :mod:`repro.service` keeps that machinery *resident* — a daemon
+clients submit beam campaigns to and query criticality results from,
+exactly how fleet-scale SDC screening operates (Dixit et al.).
+
+* :mod:`repro.service.server` — :class:`CampaignService` +
+  :class:`ServiceServer`: the HTTP API, content-addressed dedupe,
+  bounded-queue backpressure (429 + ``Retry-After``), graceful
+  SIGTERM/SIGINT drain, crash-safe restart with auto-resume;
+* :mod:`repro.service.client` — :class:`ServiceClient`: urllib client
+  with transparent retry-with-backoff on 429/503.
+
+CLI: ``repro serve`` runs the daemon; ``repro submit`` / ``status`` /
+``fetch`` drive it.  See ``docs/service.md`` for the API reference,
+backpressure semantics and restart/resume guarantees.
+"""
+
+from repro.service.client import DEFAULT_URL, ServiceClient, ServiceError
+from repro.service.server import (
+    CampaignService,
+    JobState,
+    ServiceConfig,
+    ServiceServer,
+    run_service,
+)
+
+__all__ = [
+    "DEFAULT_URL",
+    "ServiceClient",
+    "ServiceError",
+    "CampaignService",
+    "JobState",
+    "ServiceConfig",
+    "ServiceServer",
+    "run_service",
+]

@@ -1,0 +1,848 @@
+"""The campaign service: a long-running HTTP daemon over the store.
+
+"Silent Data Corruptions at Scale" (Dixit et al.) treats SDC screening as
+a *fleet service* — a daemon that continuously accepts workloads, dedupes
+repeats, and aggregates results — rather than a one-shot job.  This module
+gives the reproduction that shape: :class:`CampaignService` fronts the
+PR 3 store + scheduler with a small HTTP API (stdlib only):
+
+========================================  =======================================
+``POST /v1/campaigns``                    submit a :class:`CampaignSpec` (JSON);
+                                          content-addressed dedupe + enqueue
+``GET  /v1/campaigns/{run_id}``           status + live progress from the journal
+``GET  /v1/campaigns/{run_id}/result``    the final campaign log (JSONL),
+                                          ``ETag`` = run id
+``GET  /v1/campaigns/{run_id}/report``    criticality/telemetry analysis (JSON),
+                                          ``ETag`` = run id
+``GET  /v1/runs``                         the store index (``repro runs --json``
+                                          schema)
+``GET  /healthz`` / ``/readyz``           liveness / readiness
+``GET  /metrics``                         Prometheus text exposition
+========================================  =======================================
+
+Robustness contract (the reason this is a subsystem, not a script):
+
+* **Content-addressed dedupe.**  The run id *is* the spec's canonical
+  hash.  A spec already complete in the store answers ``cached: true``
+  with zero recompute; a spec whose journal is incomplete is enqueued as
+  an auto-resume; a spec already queued/running answers ``deduped: true``.
+  The check-and-enqueue is atomic under one lock, so two simultaneous
+  identical POSTs yield one journal and one scheduler job.
+* **Backpressure.**  Admission is a bounded queue; when it is full,
+  ``POST`` answers ``429`` with a ``Retry-After`` header (and the exact
+  float in the JSON body) instead of buffering unboundedly.
+* **No tracebacks.**  Malformed JSON, invalid specs, oversized bodies and
+  internal errors all answer structured JSON ``{"error": {...}}`` —
+  request handling never leaks a Python traceback to a client.
+* **Crash-safe restart.**  Work runs through the PR 3 scheduler, so every
+  completed chunk is an fsync'd journal commit.  SIGTERM/SIGINT drain the
+  scheduler gracefully (in-flight chunks finish and are journaled); a
+  restarted server re-enqueues incomplete journals on boot and serves
+  completed ones from the store — the kill-and-restart suite pins that a
+  resumed run's served result is byte-for-byte identical.
+
+The daemon is the CLI verb ``repro serve``; :mod:`repro.service.client`
+is the matching client (``repro submit`` / ``status`` / ``fetch``).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from repro import __version__
+from repro._util.hashing import UncanonicalError
+from repro.arch.registry import DEVICE_FACTORIES
+from repro.kernels.registry import KERNEL_FACTORIES
+from repro.observability import runtime as obs_runtime
+from repro.observability.metrics import MetricsRegistry
+from repro.scheduler import CampaignScheduler, RetryPolicy
+from repro.store import CampaignSpec, CampaignStore, JournalError, RunStatus
+
+__all__ = [
+    "ServiceConfig",
+    "JobState",
+    "CampaignService",
+    "ServiceServer",
+    "run_service",
+]
+
+#: Run ids are canonical-hash prefixes (hex); anything else 404s early.
+_RUN_ID_RE = re.compile(r"^[0-9a-f]{8,64}$")
+
+#: Request-latency buckets: HTTP handling is ms-scale, campaigns are not
+#: served inline, so the interesting range is far below the kernel one.
+_REQUEST_BUCKETS = (
+    0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10.0, float("inf")
+)
+
+_TERMINAL = ("complete", "failed", "interrupted")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything `repro serve` needs to run the daemon.
+
+    Attributes:
+        host/port: bind address (``port=0`` picks an ephemeral port —
+            the bound port is on ``ServiceServer.server_address``).
+        store: root directory of the campaign store.
+        workers: shared scheduler pool size (``None`` = auto).
+        chunk_size: executions per dispatched chunk (``None`` = auto).
+        backend: ``auto``/``process``/``thread``/``serial``.
+        retries: chunk retries before a job fails.
+        queue_limit: admission-queue bound; a full queue answers 429.
+        max_body_bytes: per-request body cap (413 above it).
+        retry_after: seconds clients should wait after a 429 (served as
+            an integer ``Retry-After`` header, exact float in the body).
+        resume_incomplete: re-enqueue incomplete journals on boot.
+        poll_interval: worker-thread wakeup period (shutdown latency).
+        log_requests: emit the default http.server access log lines.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8765
+    store: "str | Path" = ".repro-store"
+    workers: "int | None" = None
+    chunk_size: "int | None" = None
+    backend: str = "auto"
+    retries: int = 3
+    queue_limit: int = 64
+    max_body_bytes: int = 1 << 20
+    retry_after: float = 1.0
+    resume_incomplete: bool = True
+    poll_interval: float = 0.1
+    log_requests: bool = False
+
+
+@dataclass
+class JobState:
+    """Service-side lifecycle of one submitted run id."""
+
+    run_id: str
+    spec: CampaignSpec
+    status: str = "queued"  # queued|running|complete|failed|interrupted
+    cached: bool = False
+    resumed: bool = False
+    dedup_hits: int = 0
+    submitted_at: float = 0.0
+    started_at: "float | None" = None
+    finished_at: "float | None" = None
+    initial_done: int = 0
+    error: "str | None" = None
+
+    @property
+    def label(self) -> str:
+        return self.spec.resolved_label()
+
+
+class _ApiError(Exception):
+    """An error the API answers with a structured JSON body."""
+
+    def __init__(self, status: int, code: str, message: str, **extra):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+        self.extra = dict(extra)
+
+    def payload(self) -> dict:
+        body = {"error": {"code": self.code, "message": self.message}}
+        body.update(self.extra)
+        return body
+
+
+class CampaignService:
+    """The daemon's state machine: store + admission queue + worker thread.
+
+    The HTTP layer (:class:`ServiceServer`) is a thin shell over this
+    object, which makes the whole lifecycle drivable in-process by tests:
+    ``start()`` loads the store index and spins the scheduler worker up,
+    ``submit_spec()`` is the admission decision, ``shutdown()`` is the
+    graceful drain SIGTERM/SIGINT trigger.
+    """
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        self.store = CampaignStore(config.store)
+        self.metrics = MetricsRegistry()
+        self._jobs: "dict[str, JobState]" = {}
+        self._admission: list = []      # run ids awaiting a scheduler batch
+        self._cond = threading.Condition()
+        self._ready = threading.Event()
+        self._shutdown = threading.Event()
+        self._worker: "threading.Thread | None" = None
+        self._active_scheduler: "CampaignScheduler | None" = None
+        self._started_at = time.time()
+        self._queue_gauge = self.metrics.gauge(
+            "repro_service_queue_depth",
+            "Campaign submissions awaiting a scheduler batch",
+        )
+        self._requests = self.metrics.counter(
+            "repro_service_requests_total",
+            "HTTP requests served, by route template and status code",
+            ("route", "code"),
+        )
+        self._latency = self.metrics.histogram(
+            "repro_service_request_seconds",
+            "HTTP request handling latency",
+            ("route",),
+            buckets=_REQUEST_BUCKETS,
+        )
+        self._submissions = self.metrics.counter(
+            "repro_service_submissions_total",
+            "Campaign submissions, by admission disposition",
+            ("disposition",),
+        )
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self, *, start_worker: bool = True) -> None:
+        """Load the store index, enqueue resumes, spin the worker up.
+
+        Readiness (``/readyz``) is only reached once the index has been
+        walked *and* the scheduler worker thread is live — a client that
+        waits for ready never races the resume scan.  ``start_worker=False``
+        leaves admission open but nothing draining (tests use it to pin
+        backpressure deterministically; call :meth:`start_worker` later).
+        """
+        for summary in self.store.summaries():
+            if (
+                self.config.resume_incomplete
+                and summary.status == RunStatus.INCOMPLETE
+            ):
+                run = self.store.load(summary.run_id)
+                with self._cond:
+                    state = JobState(
+                        run_id=summary.run_id,
+                        spec=run.spec,
+                        submitted_at=time.time(),
+                        resumed=True,
+                    )
+                    self._jobs[summary.run_id] = state
+                    self._admission.append(summary.run_id)
+            else:
+                # Completed runs are served from the store; remember them
+                # so status answers do not re-read the journal header.
+                self._jobs[summary.run_id] = JobState(
+                    run_id=summary.run_id,
+                    spec=self.store.load(summary.run_id).spec,
+                    status="complete",
+                    cached=True,
+                    submitted_at=time.time(),
+                )
+        self._set_queue_gauge()
+        if start_worker:
+            self.start_worker()
+
+    def start_worker(self) -> None:
+        """Start (or no-op if already started) the scheduler worker thread."""
+        if self._worker is not None and self._worker.is_alive():
+            return
+        self._worker = threading.Thread(
+            target=self._worker_loop, name="repro-service-scheduler",
+            daemon=True,
+        )
+        self._worker.start()
+        self._ready.wait(timeout=10.0)
+
+    @property
+    def ready(self) -> bool:
+        """Index loaded and scheduler worker live (the ``/readyz`` answer)."""
+        return self._ready.is_set() and not self._shutdown.is_set()
+
+    def shutdown(self, *, timeout: float = 60.0) -> None:
+        """Graceful drain: stop admissions, finish in-flight chunks, stop.
+
+        This is what SIGTERM/SIGINT trigger.  An active scheduler batch is
+        asked to drain (:meth:`CampaignScheduler.request_drain`): in-flight
+        chunks finish and are journaled, unfinished jobs end
+        ``interrupted`` with valid, resumable journals — the crash-clean
+        guarantee the restart path relies on.
+        """
+        self._shutdown.set()
+        scheduler = self._active_scheduler
+        if scheduler is not None:
+            scheduler.request_drain()
+        with self._cond:
+            self._cond.notify_all()
+        if self._worker is not None:
+            self._worker.join(timeout=timeout)
+
+    # -- admission ----------------------------------------------------------------
+
+    def parse_spec(self, payload) -> CampaignSpec:
+        """A submitted JSON body → validated spec, or a structured 400."""
+        if not isinstance(payload, dict):
+            raise _ApiError(
+                400, "invalid_spec", "campaign spec must be a JSON object"
+            )
+        payload = dict(payload)
+        payload.setdefault("spec_version", 1)
+        try:
+            spec = CampaignSpec.from_dict(payload)
+        except (KeyError, TypeError, ValueError) as err:
+            missing = (
+                f"missing field {err}" if isinstance(err, KeyError) else str(err)
+            )
+            raise _ApiError(400, "invalid_spec", missing)
+        if spec.kernel not in KERNEL_FACTORIES:
+            raise _ApiError(
+                400, "invalid_spec",
+                f"unknown kernel {spec.kernel!r} "
+                f"(known: {', '.join(sorted(KERNEL_FACTORIES))})",
+            )
+        if spec.device not in DEVICE_FACTORIES:
+            raise _ApiError(
+                400, "invalid_spec",
+                f"unknown device {spec.device!r} "
+                f"(known: {', '.join(sorted(DEVICE_FACTORIES))})",
+            )
+        try:
+            spec.run_id()
+        except UncanonicalError as err:
+            raise _ApiError(400, "invalid_spec", str(err))
+        return spec
+
+    def submit_spec(self, spec: CampaignSpec) -> "tuple[int, dict]":
+        """The admission decision: (HTTP status, response payload).
+
+        Atomic under the service lock, so concurrent identical submissions
+        cannot double-enqueue: exactly one caller enqueues, later callers
+        see ``deduped: true`` (queued/running) or ``cached: true``
+        (complete in the store).
+        """
+        run_id = spec.run_id()
+        base = {"run_id": run_id, "label": spec.resolved_label()}
+        with self._cond:
+            job = self._jobs.get(run_id)
+            if job is not None and job.status in ("queued", "running"):
+                job.dedup_hits += 1
+                self._submissions.inc(disposition="deduped")
+                return 202, dict(
+                    base, status=job.status, cached=False, deduped=True
+                )
+            if job is not None and job.status == "complete":
+                self._submissions.inc(disposition="cached")
+                return 200, dict(
+                    base, status="complete", cached=True, deduped=False
+                )
+            stored = (
+                self.store.load(run_id) if self.store.has(run_id) else None
+            )
+            if stored is not None and stored.status == RunStatus.COMPLETE:
+                self._jobs[run_id] = JobState(
+                    run_id=run_id, spec=spec, status="complete",
+                    cached=True, submitted_at=time.time(),
+                )
+                self._submissions.inc(disposition="cached")
+                return 200, dict(
+                    base, status="complete", cached=True, deduped=False
+                )
+            if len(self._admission) >= self.config.queue_limit:
+                self._submissions.inc(disposition="rejected")
+                raise _ApiError(
+                    429, "queue_full",
+                    f"admission queue is full "
+                    f"({self.config.queue_limit} campaigns waiting); "
+                    f"retry after {self.config.retry_after:g}s",
+                    retry_after=self.config.retry_after,
+                )
+            state = JobState(
+                run_id=run_id, spec=spec, submitted_at=time.time(),
+                resumed=stored is not None,
+                initial_done=len(stored.rows) if stored is not None else 0,
+            )
+            self._jobs[run_id] = state
+            self._admission.append(run_id)
+            self._set_queue_gauge_locked()
+            self._cond.notify_all()
+        self._submissions.inc(disposition="queued")
+        return 202, dict(base, status="queued", cached=False, deduped=False)
+
+    def _set_queue_gauge(self) -> None:
+        with self._cond:
+            self._set_queue_gauge_locked()
+
+    def _set_queue_gauge_locked(self) -> None:
+        self._queue_gauge.set(len(self._admission))
+
+    # -- queries ------------------------------------------------------------------
+
+    def health(self) -> dict:
+        with self._cond:
+            by_status: dict = {}
+            for job in self._jobs.values():
+                by_status[job.status] = by_status.get(job.status, 0) + 1
+            queued = len(self._admission)
+        return {
+            "status": "ok",
+            "service": "repro-campaign-service",
+            "version": __version__,
+            "ready": self.ready,
+            "uptime_seconds": time.time() - self._started_at,
+            "store": str(self.store.root),
+            "queue_depth": queued,
+            "jobs": by_status,
+        }
+
+    def _durable_progress(self, run_id: str) -> "tuple[int, int | None, bool]":
+        """(records durable, expected total, closed?) from the journal."""
+        if not self.store.has(run_id):
+            return 0, None, False
+        try:
+            run = self.store.load(run_id)
+        except JournalError:
+            return 0, None, False
+        return len(run.rows), run.spec.n_faulty, run.close is not None
+
+    def job_status(self, run_id: str) -> dict:
+        """The ``GET /v1/campaigns/{run_id}`` payload (or a 404)."""
+        with self._cond:
+            job = self._jobs.get(run_id)
+            snapshot = None
+            if job is not None:
+                snapshot = JobState(**vars(job))
+        done, total, closed = self._durable_progress(run_id)
+        if snapshot is None:
+            if total is None:
+                raise _ApiError(
+                    404, "unknown_run",
+                    f"no campaign with run id {run_id!r} "
+                    "(submitted, stored, or otherwise)",
+                )
+            # In the store but never submitted to this server instance
+            # (e.g. written by `repro queue` against the same directory).
+            status = "complete" if closed else "incomplete"
+            spec = self.store.load(run_id).spec
+            snapshot = JobState(run_id=run_id, spec=spec, status=status)
+        payload = {
+            "run_id": run_id,
+            "label": snapshot.label,
+            "status": snapshot.status,
+            "cached": snapshot.cached,
+            "resumed": snapshot.resumed,
+            "deduped_hits": snapshot.dedup_hits,
+            "progress": {
+                "done": done,
+                "total": total if total is not None else snapshot.spec.n_faulty,
+            },
+            "eta_seconds": None,
+            "submitted_at": snapshot.submitted_at or None,
+            "started_at": snapshot.started_at,
+            "finished_at": snapshot.finished_at,
+            "error": snapshot.error,
+        }
+        if (
+            snapshot.status == "running"
+            and snapshot.started_at is not None
+            and total
+            and done > snapshot.initial_done
+        ):
+            elapsed = time.time() - snapshot.started_at
+            rate = (done - snapshot.initial_done) / max(elapsed, 1e-9)
+            if rate > 0 and done < total:
+                payload["eta_seconds"] = (total - done) / rate
+        return payload
+
+    def _complete_run(self, run_id: str):
+        """Load a run that must be complete (409 while it is not)."""
+        if not _RUN_ID_RE.match(run_id) or not self.store.has(run_id):
+            raise _ApiError(
+                404, "unknown_run", f"no stored run with id {run_id!r}"
+            )
+        run = self.store.load(run_id)
+        if run.close is None:
+            raise _ApiError(
+                409, "run_incomplete",
+                f"run {run_id} is still incomplete "
+                f"({len(run.rows)}/{run.spec.n_faulty} records durable); "
+                "poll GET /v1/campaigns/" + run_id,
+            )
+        return run
+
+    def result_lines(self, run_id: str) -> list:
+        """The final campaign log for a complete run, line by line."""
+        from repro.beam.logs import log_lines
+
+        return log_lines(self._complete_run(run_id).result())
+
+    def report(self, run_id: str) -> dict:
+        """Criticality + telemetry analysis of a complete run (JSON)."""
+        run = self._complete_run(run_id)
+        result = run.result()
+        counts = {kind.value: n for kind, n in result.counts().items()}
+        breakdown = result.breakdown()
+        return {
+            "run_id": run_id,
+            "label": result.label,
+            "kernel": result.kernel_name,
+            "device": result.device_name,
+            "seed": run.spec.seed,
+            "n_executions": result.n_executions,
+            "fluence": result.fluence,
+            "cross_section": result.cross_section,
+            "threshold_pct": result.threshold_pct,
+            "outcomes": counts,
+            "fit_by_locality": {
+                locality.value: fit
+                for locality, fit in breakdown.per_locality.items()
+            },
+            "summary": result.summary(),
+        }
+
+    def runs_index(self) -> dict:
+        """The ``GET /v1/runs`` payload (``repro runs --json`` schema)."""
+        return {
+            "runs": [summary.to_dict() for summary in self.store.summaries()]
+        }
+
+    def metrics_text(self) -> str:
+        self._set_queue_gauge()
+        return self.metrics.export_prometheus()
+
+    def observe_request(self, route: str, code: int, seconds: float) -> None:
+        self._requests.inc(route=route, code=str(code))
+        self._latency.observe(seconds, route=route)
+
+    # -- the scheduler worker ------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        self._ready.set()
+        while True:
+            with self._cond:
+                while not self._admission and not self._shutdown.is_set():
+                    self._cond.wait(timeout=self.config.poll_interval)
+                if self._shutdown.is_set():
+                    for run_id in self._admission:
+                        job = self._jobs.get(run_id)
+                        if job is not None and job.status == "queued":
+                            job.status = "interrupted"
+                    self._admission.clear()
+                    self._set_queue_gauge_locked()
+                    return
+                batch = list(self._admission)
+                self._admission.clear()
+                self._set_queue_gauge_locked()
+            self._run_batch(batch)
+
+    def _run_batch(self, batch: list) -> None:
+        """One scheduler run over everything admitted so far."""
+        config = self.config
+        scheduler = CampaignScheduler(
+            self.store,
+            workers=config.workers,
+            chunk_size=config.chunk_size,
+            backend=config.backend,
+            retry=RetryPolicy(max_retries=config.retries),
+        )
+        with self._cond:
+            for run_id in batch:
+                job = self._jobs[run_id]
+                job.status = "running"
+                job.started_at = time.time()
+                scheduler.submit(job.spec)
+        self._active_scheduler = scheduler
+        if self._shutdown.is_set():
+            scheduler.request_drain()
+        try:
+            with obs_runtime.observe(metrics=self.metrics):
+                outcomes = scheduler.run()
+        except Exception as exc:  # never kill the worker thread
+            with self._cond:
+                for run_id in batch:
+                    job = self._jobs[run_id]
+                    job.status = "failed"
+                    job.error = f"{type(exc).__name__}: {exc}"
+                    job.finished_at = time.time()
+                self._cond.notify_all()
+            return
+        finally:
+            self._active_scheduler = None
+        with self._cond:
+            for outcome in outcomes:
+                job = self._jobs.get(outcome.run_id)
+                if job is None:  # pragma: no cover - defensive
+                    continue
+                job.status = (
+                    "complete" if outcome.status == "cached" else outcome.status
+                )
+                job.cached = job.cached or outcome.status == "cached"
+                job.error = (
+                    str(outcome.error) if outcome.error is not None else None
+                )
+                job.finished_at = time.time()
+            self._cond.notify_all()
+
+
+# -- the HTTP shell ----------------------------------------------------------------
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests into the service; never emits a traceback body."""
+
+    server_version = f"repro/{__version__}"
+    sys_version = ""
+    protocol_version = "HTTP/1.1"
+
+    def version_string(self) -> str:
+        # The stdlib joins server_version and sys_version with a space,
+        # leaving a trailing blank when the latter is suppressed.
+        return self.server_version
+
+    # -- plumbing -----------------------------------------------------------------
+
+    @property
+    def service(self) -> CampaignService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.service.config.log_requests:
+            super().log_message(format, *args)
+
+    def _send(self, code: int, body: bytes, content_type: str,
+              extra_headers: "dict | None" = None) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        if body:
+            self.wfile.write(body)
+
+    def _send_json(self, code: int, payload: dict,
+                   extra_headers: "dict | None" = None) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        self._send(code, body, "application/json", extra_headers)
+
+    def _read_body(self) -> bytes:
+        length = self.headers.get("Content-Length")
+        if length is None:
+            raise _ApiError(
+                411, "length_required",
+                "POST requests must carry a Content-Length header",
+            )
+        try:
+            length = int(length)
+        except ValueError:
+            raise _ApiError(400, "bad_request", "invalid Content-Length")
+        limit = self.service.config.max_body_bytes
+        if length > limit:
+            raise _ApiError(
+                413, "body_too_large",
+                f"request body of {length} bytes exceeds the "
+                f"{limit}-byte cap",
+            )
+        return self.rfile.read(length)
+
+    def _etag_headers(self, run_id: str) -> dict:
+        return {"ETag": f'"{run_id}"', "Cache-Control": "max-age=31536000"}
+
+    def _etag_matches(self, run_id: str) -> bool:
+        wanted = self.headers.get("If-None-Match", "")
+        return f'"{run_id}"' in wanted or wanted.strip() == "*"
+
+    # -- dispatch -----------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_PUT(self) -> None:  # noqa: N802
+        self._dispatch("PUT")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+    def _dispatch(self, method: str) -> None:
+        start = time.perf_counter()
+        route, code = "unknown", 500
+        try:
+            route, code = self._route(method)
+        except _ApiError as err:
+            headers = {}
+            if err.status == 429:
+                headers["Retry-After"] = str(
+                    max(1, int(-(-self.service.config.retry_after // 1)))
+                )
+            try:
+                self._send_json(err.status, err.payload(), headers)
+            except OSError:  # pragma: no cover - client went away
+                pass
+            code = err.status
+        except Exception as exc:
+            # The no-traceback guarantee: whatever breaks inside a route,
+            # the client sees one structured JSON error line.
+            try:
+                self._send_json(500, {
+                    "error": {
+                        "code": "internal_error",
+                        "message": f"{type(exc).__name__}: {exc}",
+                    }
+                })
+            except OSError:  # pragma: no cover - client went away
+                pass
+            code = 500
+        finally:
+            self.service.observe_request(
+                route, code, time.perf_counter() - start
+            )
+
+    def _route(self, method: str) -> "tuple[str, int]":
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            self._require(method, "GET", path)
+            self._send_json(200, self.service.health())
+            return "/healthz", 200
+        if path == "/readyz":
+            self._require(method, "GET", path)
+            ready = self.service.ready
+            code = 200 if ready else 503
+            self._send_json(code, {"ready": ready})
+            return "/readyz", code
+        if path == "/metrics":
+            self._require(method, "GET", path)
+            body = self.service.metrics_text().encode("utf-8")
+            self._send(200, body, "text/plain; version=0.0.4; charset=utf-8")
+            return "/metrics", 200
+        if path == "/v1/runs":
+            self._require(method, "GET", path)
+            self._send_json(200, self.service.runs_index())
+            return "/v1/runs", 200
+        if path == "/v1/campaigns":
+            self._require(method, "POST", path)
+            return "/v1/campaigns", self._handle_submit()
+        match = re.match(r"^/v1/campaigns/([^/]+)(/result|/report)?$", path)
+        if match:
+            run_id, tail = match.group(1), match.group(2) or ""
+            route = "/v1/campaigns/{run_id}" + tail
+            self._require(method, "GET", route)
+            if not _RUN_ID_RE.match(run_id):
+                raise _ApiError(
+                    404, "unknown_run", f"malformed run id {run_id!r}"
+                )
+            if tail == "/result":
+                return route, self._handle_result(run_id)
+            if tail == "/report":
+                return route, self._handle_report(run_id)
+            self._send_json(200, self.service.job_status(run_id))
+            return route, 200
+        raise _ApiError(404, "not_found", f"no route for {path!r}")
+
+    def _require(self, method: str, wanted: str, route: str) -> None:
+        if method != wanted:
+            raise _ApiError(
+                405, "method_not_allowed",
+                f"{route} only accepts {wanted}",
+            )
+
+    def _handle_submit(self) -> int:
+        raw = self._read_body()
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as err:
+            raise _ApiError(
+                400, "invalid_json", f"request body is not valid JSON: {err}"
+            )
+        spec = self.service.parse_spec(payload)
+        code, body = self.service.submit_spec(spec)
+        self._send_json(code, body)
+        return code
+
+    def _handle_result(self, run_id: str) -> int:
+        if self._etag_matches(run_id):
+            self._send(304, b"", "application/json",
+                       self._etag_headers(run_id))
+            return 304
+        lines = self.service.result_lines(run_id)
+        body = ("\n".join(lines) + "\n").encode("utf-8")
+        self._send(
+            200, body, "application/x-ndjson", self._etag_headers(run_id)
+        )
+        return 200
+
+    def _handle_report(self, run_id: str) -> int:
+        if self._etag_matches(run_id):
+            self._send(304, b"", "application/json",
+                       self._etag_headers(run_id))
+            return 304
+        self._send_json(
+            200, self.service.report(run_id), self._etag_headers(run_id)
+        )
+        return 200
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer bound to one :class:`CampaignService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, service: CampaignService):
+        self.service = service
+        super().__init__(
+            (service.config.host, service.config.port), _Handler
+        )
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+def run_service(config: ServiceConfig, *, stream=None) -> int:
+    """``repro serve``: boot, announce, serve until SIGTERM/SIGINT, drain.
+
+    The first interrupt stops accepting requests and drains the scheduler
+    (in-flight chunks finish and are journaled); every journal is left
+    crash-clean, so restarting against the same store resumes incomplete
+    runs and serves completed ones from cache.
+    """
+    import sys
+
+    out = stream if stream is not None else sys.stdout
+    service = CampaignService(config)
+    service.start()
+    server = ServiceServer(service)
+    print(
+        f"repro service {__version__} listening on "
+        f"http://{config.host}:{server.port} (store: {service.store.root})",
+        file=out, flush=True,
+    )
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):  # pragma: no cover - signal path
+        stop.set()
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, _on_signal)
+        except ValueError:  # pragma: no cover - non-main thread
+            pass
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        while not stop.is_set():
+            stop.wait(0.2)
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10.0)
+        service.shutdown()
+    print(
+        "repro service drained; journals are crash-clean "
+        f"(resume with `repro serve --store {service.store.root}`)",
+        file=out, flush=True,
+    )
+    return 0

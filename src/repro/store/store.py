@@ -58,6 +58,26 @@ class RunSummary:
     def progress(self) -> str:
         return f"{self.n_records}/{self.n_expected}"
 
+    def to_dict(self) -> dict:
+        """The stable machine-readable schema for one stored run.
+
+        Shared verbatim by ``repro runs --json`` and the campaign
+        service's ``GET /v1/runs`` — scripts can consume either without
+        caring which surface produced it.
+        """
+        return {
+            "run_id": self.run_id,
+            "kernel": self.kernel,
+            "device": self.device,
+            "label": self.label,
+            "seed": self.seed,
+            "status": self.status,
+            "n_records": self.n_records,
+            "n_expected": self.n_expected,
+            "created": self.created,
+            "path": str(self.path),
+        }
+
 
 @dataclass
 class StoredRun:

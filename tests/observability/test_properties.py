@@ -198,3 +198,106 @@ class TestSpanNesting:
             )
         all_indices = sorted(i for owned in owners.values() for i in owned)
         assert all_indices == list(range(20))
+
+
+# -- Prometheus text-format escaping ---------------------------------------------
+
+#: Hostile label values: every character class the exposition format cares
+#: about — backslashes, double quotes, line feeds (and adjacent nasties
+#: like \r and \t that must pass through verbatim) — mixed with UTF-8.
+hostile_values = st.text(
+    alphabet=st.one_of(
+        st.sampled_from(['\\', '"', '\n', '\r', '\t', '{', '}', '=', ',']),
+        st.characters(blacklist_categories=("Cs",)),
+    ),
+    max_size=40,
+)
+
+
+def _unescape_label_value(escaped: str) -> str:
+    """A spec parser for quoted label values: the inverse of `_escape`.
+
+    Walks the string consuming ``\\\\`` -> ``\\``, ``\\"`` -> ``"`` and
+    ``\\n`` -> newline, exactly as a Prometheus scraper would.
+    """
+    out = []
+    i = 0
+    while i < len(escaped):
+        ch = escaped[i]
+        if ch == "\\":
+            nxt = escaped[i + 1]  # trailing bare backslash would be a bug
+            out.append({"\\": "\\", '"': '"', "n": "\n"}[nxt])
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+@pytest.mark.telemetry
+class TestExpositionEscaping:
+    @given(hostile_values)
+    @settings(max_examples=200, deadline=None)
+    def test_label_values_round_trip_through_the_escaper(self, value):
+        from repro.observability.metrics import _escape_label_value
+
+        escaped = _escape_label_value(value)
+        # Escaped form is line- and quote-clean: safe inside "..." on one
+        # exposition line.
+        assert "\n" not in escaped
+        assert not _has_bare_quote(escaped)
+        assert _unescape_label_value(escaped) == value
+
+    @given(hostile_values)
+    @settings(max_examples=100, deadline=None)
+    def test_export_stays_parseable_with_hostile_labels(self, value):
+        """A hostile label value cannot forge extra samples: the export
+        still has exactly one sample line for the series and the parsed
+        label value equals the original."""
+        registry = MetricsRegistry()
+        registry.counter("repro_n_total", labels=("k",)).inc(1, k=value)
+        text = registry.export_prometheus()
+        # LF is the one line separator in the exposition format; \r and
+        # friends pass through verbatim inside quoted values, so a
+        # scraper (and this test) splits on \n only — not splitlines().
+        samples = [
+            line for line in text.split("\n")
+            if line and not line.startswith("#")
+        ]
+        assert len(samples) == 1
+        (line,) = samples
+        assert line.startswith('repro_n_total{k="')
+        assert line.endswith('"} 1')
+        escaped = line[len('repro_n_total{k="'):-len('"} 1')]
+        assert _unescape_label_value(escaped) == value
+
+    @given(hostile_values)
+    @settings(max_examples=100, deadline=None)
+    def test_help_text_cannot_forge_samples(self, text):
+        """An embedded newline in help text must not break the line
+        orientation of the format — the HELP comment stays one line and
+        the sample count is unchanged."""
+        registry = MetricsRegistry()
+        registry.counter("repro_n_total", help=text).inc(3)
+        exported = registry.export_prometheus()
+        lines = [l for l in exported.split("\n") if l]
+        comments = [l for l in lines if l.startswith("#")]
+        samples = [l for l in lines if l and not l.startswith("#")]
+        assert samples == ["repro_n_total 3"]
+        # HELP present iff the help string is non-empty, and always one line.
+        assert len(comments) == (2 if text else 1)
+        assert comments[-1] == "# TYPE repro_n_total counter"
+
+
+def _has_bare_quote(escaped: str) -> bool:
+    """True if a double quote in *escaped* is not preceded by an odd run
+    of backslashes (i.e. would terminate the quoted label value early)."""
+    i = 0
+    while i < len(escaped):
+        if escaped[i] == "\\":
+            i += 2
+            continue
+        if escaped[i] == '"':
+            return True
+        i += 1
+    return False

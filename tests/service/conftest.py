@@ -1,0 +1,56 @@
+"""Service-suite fixtures: in-process daemons on ephemeral ports.
+
+Each test gets a factory that boots a full :class:`CampaignService` +
+:class:`ServiceServer` pair inside the test process (thread backend, two
+workers, port 0) and guarantees orderly teardown — server stopped, worker
+drained — even when the test fails.  Booting in-process keeps the suite
+fast and lets tests reach into the service object (pause the worker,
+inspect job states) while still exercising the real HTTP stack.
+"""
+
+import threading
+
+import pytest
+
+from repro.service import CampaignService, ServiceConfig, ServiceServer
+
+#: A spec small enough to finish in seconds but large enough to chunk.
+TINY_SPEC = {
+    "kernel": "dgemm",
+    "device": "k40",
+    "config": {"n": 16},
+    "seed": 3,
+    "n_faulty": 6,
+}
+
+
+@pytest.fixture
+def make_service(tmp_path):
+    """Factory: ``make_service(**config) -> (service, server, base_url)``."""
+    running = []
+
+    def _make(store=None, *, start_worker=True, **overrides):
+        overrides.setdefault("backend", "thread")
+        overrides.setdefault("workers", 2)
+        overrides.setdefault("poll_interval", 0.02)
+        config = ServiceConfig(
+            host="127.0.0.1",
+            port=0,
+            store=store if store is not None else tmp_path / "store",
+            **overrides,
+        )
+        service = CampaignService(config)
+        service.start(start_worker=start_worker)
+        server = ServiceServer(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        running.append((service, server, thread))
+        return service, server, f"http://127.0.0.1:{server.port}"
+
+    yield _make
+
+    for service, server, thread in running:
+        server.shutdown()
+        server.server_close()
+        service.shutdown(timeout=120.0)
+        thread.join(timeout=10.0)

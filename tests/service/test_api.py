@@ -1,0 +1,261 @@
+"""The service API surface: routes, caching, errors, metrics, identity.
+
+Every error-path assertion doubles as the no-traceback guarantee: request
+handling must answer structured JSON, never a Python stack.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import __version__
+from repro.service import ServiceClient
+from repro.store import CampaignSpec
+
+from tests.service.conftest import TINY_SPEC
+
+pytestmark = pytest.mark.service
+
+
+def probe(url, method="GET", path="/", data=None, headers=None):
+    """Raw HTTP without client-side retries: (code, headers, body text)."""
+    request = urllib.request.Request(
+        url + path, data=data, headers=headers or {}, method=method
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, dict(response.headers.items()), (
+                response.read().decode("utf-8")
+            )
+    except urllib.error.HTTPError as err:
+        return err.code, dict(err.headers.items()), (
+            err.read().decode("utf-8")
+        )
+
+
+class TestSubmitAndQuery:
+    def test_submit_runs_to_completion_and_serves_results(self, make_service):
+        _, _, url = make_service()
+        client = ServiceClient(url)
+        submission = client.submit(TINY_SPEC)
+        assert submission["status"] in ("queued", "running")
+        assert submission["cached"] is False
+        assert submission["run_id"] == CampaignSpec.from_dict(
+            dict(TINY_SPEC)
+        ).run_id()
+
+        final = client.wait(submission["run_id"], timeout=300)
+        assert final["status"] == "complete"
+        assert final["progress"] == {"done": 6, "total": 6}
+        assert final["error"] is None
+
+        log = client.result_text(submission["run_id"])
+        lines = log.splitlines()
+        assert len(lines) == 1 + 6  # header + one row per struck execution
+        assert json.loads(lines[0])["kernel"] == "dgemm"
+
+        report = client.report(submission["run_id"])
+        assert report["n_executions"] == 6
+        assert sum(report["outcomes"].values()) == 6
+        assert "SDC" in report["summary"]
+
+    def test_resubmitting_a_complete_spec_is_a_cache_hit(self, make_service):
+        service, _, url = make_service()
+        client = ServiceClient(url)
+        run_id = client.submit(TINY_SPEC)["run_id"]
+        client.wait(run_id, timeout=300)
+
+        journal = service.store.path_for(run_id)
+        before = journal.read_bytes()
+        again = client.submit(TINY_SPEC)
+        assert again == {
+            "run_id": run_id,
+            "label": "dgemm/k40",
+            "status": "complete",
+            "cached": True,
+            "deduped": False,
+        }
+        # Zero recompute: the journal was not touched.
+        assert journal.read_bytes() == before
+
+    def test_runs_index_matches_cli_schema(self, make_service):
+        service, _, url = make_service()
+        client = ServiceClient(url)
+        run_id = client.submit(TINY_SPEC)["run_id"]
+        client.wait(run_id, timeout=300)
+
+        runs = client.runs()["runs"]
+        assert [run["run_id"] for run in runs] == [run_id]
+        assert runs == [
+            summary.to_dict() for summary in service.store.summaries()
+        ]
+        assert set(runs[0]) == {
+            "run_id", "kernel", "device", "label", "seed", "status",
+            "n_records", "n_expected", "created", "path",
+        }
+
+    def test_status_of_unknown_run_is_structured_404(self, make_service):
+        _, _, url = make_service()
+        code, _, body = probe(url, path="/v1/campaigns/" + "f" * 16)
+        assert code == 404
+        assert json.loads(body)["error"]["code"] == "unknown_run"
+
+
+class TestCachingHeaders:
+    def test_result_and_report_set_etag_and_answer_304(self, make_service):
+        _, _, url = make_service()
+        client = ServiceClient(url)
+        run_id = client.submit(TINY_SPEC)["run_id"]
+        client.wait(run_id, timeout=300)
+
+        for tail in ("/result", "/report"):
+            code, headers, body = probe(
+                url, path=f"/v1/campaigns/{run_id}{tail}"
+            )
+            assert code == 200
+            assert headers["ETag"] == f'"{run_id}"'
+            assert body
+            code, headers, body = probe(
+                url,
+                path=f"/v1/campaigns/{run_id}{tail}",
+                headers={"If-None-Match": f'"{run_id}"'},
+            )
+            assert code == 304
+            assert body == ""
+            assert headers["ETag"] == f'"{run_id}"'
+
+    def test_result_of_incomplete_run_is_409(self, make_service):
+        service, _, url = make_service(start_worker=False)
+        client = ServiceClient(url)
+        run_id = client.submit(TINY_SPEC)["run_id"]
+        # Not started: no journal at all yet -> 404; queued status visible.
+        assert client.status(run_id)["status"] == "queued"
+        code, _, body = probe(url, path=f"/v1/campaigns/{run_id}/result")
+        assert code in (404, 409)
+        assert json.loads(body)["error"]["code"] in (
+            "unknown_run", "run_incomplete",
+        )
+
+
+class TestIdentityAndHealth:
+    def test_health_carries_version_and_server_header(self, make_service):
+        _, _, url = make_service()
+        code, headers, body = probe(url, path="/healthz")
+        assert code == 200
+        payload = json.loads(body)
+        assert payload["version"] == __version__
+        assert payload["status"] == "ok"
+        assert headers["Server"] == f"repro/{__version__}"
+
+    def test_readyz_tracks_worker_lifecycle(self, make_service):
+        service, _, url = make_service(start_worker=False)
+        code, _, body = probe(url, path="/readyz")
+        assert code == 503
+        assert json.loads(body) == {"ready": False}
+        service.start_worker()
+        code, _, body = probe(url, path="/readyz")
+        assert code == 200
+        assert json.loads(body) == {"ready": True}
+
+    def test_metrics_scrape_parses_and_counts_requests(self, make_service):
+        _, _, url = make_service()
+        client = ServiceClient(url)
+        run_id = client.submit(TINY_SPEC)["run_id"]
+        client.wait(run_id, timeout=300)
+        probe(url, path="/healthz")
+
+        code, headers, text = probe(url, path="/metrics")
+        assert code == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        # Every non-comment line must match the exposition grammar.
+        sample = None
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name_part, _, value = line.rpartition(" ")
+            float(value)  # parses
+            assert name_part
+            if line.startswith('repro_service_requests_total{'):
+                sample = line
+        assert sample is not None, text
+        assert 'route="/healthz"' in text
+        assert 'route="/v1/campaigns"' in text
+        assert "repro_service_queue_depth" in text
+        assert "repro_service_request_seconds_bucket" in text
+        # Scheduler/journal metrics ride the same registry.
+        assert "repro_scheduler_jobs_total" in text
+        assert "repro_journal_records_total" in text
+
+
+class TestErrorPaths:
+    """Malformed input answers structured JSON; never a traceback."""
+
+    @pytest.fixture
+    def url(self, make_service):
+        _, _, url = make_service(start_worker=False)
+        return url
+
+    def check_error(self, code, body, expected_code, expected_error):
+        assert code == expected_code
+        payload = json.loads(body)  # structured, parseable
+        assert payload["error"]["code"] == expected_error
+        assert "Traceback" not in body
+        assert 'File "' not in body
+
+    def test_invalid_json_body(self, url):
+        code, _, body = probe(
+            url, "POST", "/v1/campaigns", data=b"{not json"
+        )
+        self.check_error(code, body, 400, "invalid_json")
+
+    def test_spec_not_an_object(self, url):
+        code, _, body = probe(
+            url, "POST", "/v1/campaigns", data=b"[1, 2, 3]"
+        )
+        self.check_error(code, body, 400, "invalid_spec")
+
+    def test_missing_required_fields(self, url):
+        code, _, body = probe(
+            url, "POST", "/v1/campaigns", data=b'{"kernel": "dgemm"}'
+        )
+        self.check_error(code, body, 400, "invalid_spec")
+
+    def test_unknown_kernel_and_device(self, url):
+        for spec in (
+            {"kernel": "nope", "device": "k40"},
+            {"kernel": "dgemm", "device": "nope"},
+        ):
+            code, _, body = probe(
+                url, "POST", "/v1/campaigns", data=json.dumps(spec).encode()
+            )
+            self.check_error(code, body, 400, "invalid_spec")
+
+    def test_invalid_field_values(self, url):
+        spec = {"kernel": "dgemm", "device": "k40", "n_faulty": 0}
+        code, _, body = probe(
+            url, "POST", "/v1/campaigns", data=json.dumps(spec).encode()
+        )
+        self.check_error(code, body, 400, "invalid_spec")
+
+    def test_oversized_body_is_413(self, make_service):
+        _, _, url = make_service(start_worker=False, max_body_bytes=128)
+        code, _, body = probe(
+            url, "POST", "/v1/campaigns", data=b"x" * 1024
+        )
+        self.check_error(code, body, 413, "body_too_large")
+
+    def test_method_not_allowed(self, url):
+        code, _, body = probe(url, "PUT", "/v1/runs")
+        self.check_error(code, body, 405, "method_not_allowed")
+        code, _, body = probe(url, "GET", "/v1/campaigns")
+        self.check_error(code, body, 405, "method_not_allowed")
+
+    def test_unknown_route(self, url):
+        code, _, body = probe(url, path="/v2/everything")
+        self.check_error(code, body, 404, "not_found")
+
+    def test_malformed_run_id(self, url):
+        code, _, body = probe(url, path="/v1/campaigns/NOT-A-RUN-ID")
+        self.check_error(code, body, 404, "unknown_run")

@@ -1,0 +1,91 @@
+"""Backpressure: the bounded admission queue and the client's backoff.
+
+The acceptance contract: with a full admission queue, ``POST
+/v1/campaigns`` answers 429 with a ``Retry-After`` header (and the exact
+float in the JSON body), and :class:`ServiceClient` transparently retries
+to success once the queue drains.  The worker is held off during the
+fill so the queue state is deterministic, not a race.
+"""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.scheduler import RetryPolicy
+from repro.service import ServiceClient, ServiceError
+
+from tests.service.conftest import TINY_SPEC
+from tests.service.test_api import probe
+
+pytestmark = pytest.mark.service
+
+
+def spec_with_seed(seed):
+    return dict(TINY_SPEC, seed=seed)
+
+
+class TestAdmissionQueue:
+    def test_full_queue_answers_429_with_retry_after(self, make_service):
+        _, _, url = make_service(start_worker=False, queue_limit=2,
+                                 retry_after=0.25)
+        client = ServiceClient(url)
+        for seed in (1, 2):
+            assert client.submit(spec_with_seed(seed))["status"] == "queued"
+
+        code, headers, body = probe(
+            url, "POST", "/v1/campaigns",
+            data=json.dumps(spec_with_seed(3)).encode(),
+        )
+        assert code == 429
+        assert int(headers["Retry-After"]) >= 1  # spec: integer seconds
+        payload = json.loads(body)
+        assert payload["error"]["code"] == "queue_full"
+        assert payload["retry_after"] == 0.25  # exact float for our client
+        assert "Traceback" not in body
+
+    def test_resubmitting_a_queued_spec_dedupes_not_rejects(
+        self, make_service
+    ):
+        """Dedup takes precedence over backpressure for known specs."""
+        _, _, url = make_service(start_worker=False, queue_limit=1)
+        client = ServiceClient(url)
+        first = client.submit(spec_with_seed(1))
+        again = client.submit(spec_with_seed(1))
+        assert again["run_id"] == first["run_id"]
+        assert again["deduped"] is True
+
+    def test_client_retries_transparently_to_success(self, make_service):
+        service, _, url = make_service(start_worker=False, queue_limit=1,
+                                       retry_after=0.05)
+        client = ServiceClient(
+            url, retry=RetryPolicy(max_retries=8, base_delay=0.05,
+                                   max_delay=0.5),
+        )
+        blocker = client.submit(spec_with_seed(1))
+        assert blocker["status"] == "queued"
+
+        # The queue is full; free it from a timer so the client's retry
+        # loop (not a lucky first attempt) is what succeeds.
+        import threading
+
+        threading.Timer(0.2, service.start_worker).start()
+        submitted = client.submit(spec_with_seed(2))
+        assert submitted["run_id"] != blocker["run_id"]
+        assert submitted["status"] in ("queued", "running", "complete")
+        # And both drain to completion.
+        assert client.wait(blocker["run_id"], timeout=300)["status"] == "complete"
+        assert client.wait(submitted["run_id"], timeout=300)["status"] == "complete"
+
+    def test_retry_exhaustion_surfaces_structured_429(self, make_service):
+        _, _, url = make_service(start_worker=False, queue_limit=1,
+                                 retry_after=0.02)
+        client = ServiceClient(
+            url, retry=RetryPolicy(max_retries=2, base_delay=0.01,
+                                   max_delay=0.05),
+        )
+        client.submit(spec_with_seed(1))
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit(spec_with_seed(2))
+        assert excinfo.value.status == 429
+        assert excinfo.value.code == "queue_full"

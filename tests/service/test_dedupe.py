@@ -1,0 +1,85 @@
+"""Concurrent duplicate submission: one journal, one job, one run id.
+
+The admission decision is atomic under the service lock, so two
+simultaneous ``POST``\\ s of the same spec must not double-enqueue: the
+store ends up with exactly one journal, the scheduler sees exactly one
+job, both callers get the same content-addressed run id, and exactly one
+response is flagged ``deduped``.
+"""
+
+import threading
+
+import pytest
+
+from repro.service import ServiceClient
+from repro.store import CampaignSpec
+
+from tests.service.conftest import TINY_SPEC
+
+pytestmark = pytest.mark.service
+
+
+class TestConcurrentDuplicateSubmission:
+    def test_simultaneous_posts_share_one_journal_and_job(
+        self, make_service
+    ):
+        # Worker held off during the racing POSTs: the admission queue's
+        # state after both land is then exact, not timing-dependent.
+        service, _, url = make_service(start_worker=False)
+        n_clients = 4
+        barrier = threading.Barrier(n_clients)
+        responses = [None] * n_clients
+        errors = []
+
+        def post(slot):
+            client = ServiceClient(url)
+            barrier.wait()
+            try:
+                responses[slot] = client.submit(TINY_SPEC)
+            except Exception as exc:  # pragma: no cover - fail loudly
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=post, args=(slot,))
+            for slot in range(n_clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+
+        expected = CampaignSpec.from_dict(dict(TINY_SPEC)).run_id()
+        assert all(r["run_id"] == expected for r in responses)
+        # Exactly one admission; everyone else was deduped against it.
+        deduped = sorted(r["deduped"] for r in responses)
+        assert deduped == [False] + [True] * (n_clients - 1)
+        with service._cond:
+            assert list(service._admission) == [expected]
+
+        # Drain: one scheduler job, one journal, everyone sees complete.
+        service.start_worker()
+        client = ServiceClient(url)
+        final = client.wait(expected, timeout=300)
+        assert final["status"] == "complete"
+        assert final["deduped_hits"] == n_clients - 1
+        journals = sorted(service.store.runs_dir.glob("*.jsonl"))
+        assert journals == [service.store.path_for(expected)]
+        jobs_total = service.metrics.get("repro_scheduler_jobs_total")
+        assert jobs_total is not None
+        assert jobs_total.total() == 1  # one scheduler job, not four
+
+    def test_sequential_duplicate_while_running_is_deduped(
+        self, make_service
+    ):
+        service, _, url = make_service()
+        client = ServiceClient(url)
+        first = client.submit(TINY_SPEC)
+        # Immediately resubmit: whether still queued or already running,
+        # the answer is a dedupe (or, if it finished, a cache hit) — and
+        # never a second journal.
+        again = client.submit(TINY_SPEC)
+        assert again["run_id"] == first["run_id"]
+        assert again["deduped"] or again["cached"]
+        client.wait(first["run_id"], timeout=300)
+        assert len(list(service.store.runs_dir.glob("*.jsonl"))) == 1

@@ -1,0 +1,172 @@
+"""Crash-safe restart: kill the server mid-campaign, restart, compare.
+
+Two layers pin the acceptance contract:
+
+* a *deterministic* resume — a store holding exactly the journal a crash
+  would leave (durable prefix + torn tail) is handed to a fresh service,
+  which auto-resumes it on boot; the served result must be byte-for-byte
+  identical to an uninterrupted run, and re-submitting the completed spec
+  answers ``cached: true`` without touching the journal;
+* a *real* SIGINT — ``repro serve`` runs as a subprocess, is interrupted
+  mid-campaign, exits cleanly (graceful drain), and a second server over
+  the same store finishes the run to the identical bytes.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.beam.logs import record_to_row, write_log
+from repro.service import ServiceClient
+from repro.store import CampaignSpec, CampaignStore, execute_spec
+
+pytestmark = pytest.mark.service
+
+#: Same shape as the store's golden kill-and-resume suite: big enough to
+#: chunk, deterministic per (seed, index).
+SPEC = CampaignSpec(
+    kernel="dgemm", device="k40", config={"n": 16}, seed=11, n_faulty=40
+)
+
+CRASH_AFTER = 10
+
+
+def reference_log_text(tmp_path) -> str:
+    """The uninterrupted run's log, exactly as /result serves it."""
+    store = CampaignStore(tmp_path / "reference")
+    result = execute_spec(store, SPEC, backend="serial").result
+    path = write_log(result, tmp_path / "reference.jsonl")
+    return path.read_text()
+
+
+def killed_store(tmp_path) -> CampaignStore:
+    """A store as a crash leaves it: durable prefix, torn tail."""
+    store = CampaignStore(tmp_path / "killed")
+    clean = execute_spec(
+        CampaignStore(tmp_path / "scratch"), SPEC, backend="serial"
+    ).result
+    journal = store.create_run(SPEC)
+    for record in clean.records[:CRASH_AFTER]:
+        journal.append("record", index=record.index, row=record_to_row(record))
+    journal.commit()
+    journal.close()
+    with store.path_for(SPEC.run_id()).open("ab") as fh:
+        fh.write(b'{"kind": "record", "index": 10, "row"')  # torn mid-write
+    return store
+
+
+class TestDeterministicResume:
+    def test_restarted_service_resumes_to_identical_bytes(
+        self, tmp_path, make_service
+    ):
+        store = killed_store(tmp_path)
+        run_id = SPEC.run_id()
+
+        service, _, url = make_service(store.root)
+        client = ServiceClient(url)
+        status = client.wait(run_id, timeout=300)
+        assert status["status"] == "complete"
+        assert status["resumed"] is True
+
+        served = client.result_text(run_id)
+        assert served == reference_log_text(tmp_path)
+
+        # Re-submitting the now-complete spec: cached, zero recompute.
+        journal_bytes = service.store.path_for(run_id).read_bytes()
+        again = client.submit(SPEC)
+        assert again["cached"] is True
+        assert again["run_id"] == run_id
+        assert service.store.path_for(run_id).read_bytes() == journal_bytes
+
+    def test_completed_runs_survive_restart_as_cache_hits(
+        self, tmp_path, make_service
+    ):
+        store_dir = tmp_path / "store"
+        service1, server1, url1 = make_service(store_dir)
+        client1 = ServiceClient(url1)
+        run_id = client1.submit(SPEC)["run_id"]
+        client1.wait(run_id, timeout=300)
+        served1 = client1.result_text(run_id)
+        server1.shutdown()
+        server1.server_close()
+        service1.shutdown()
+
+        # A brand-new server over the same directory serves the stored
+        # run without re-running anything.
+        _, _, url2 = make_service(store_dir)
+        client2 = ServiceClient(url2)
+        assert client2.submit(SPEC)["cached"] is True
+        assert client2.status(run_id)["status"] == "complete"
+        assert client2.result_text(run_id) == served1
+
+
+class TestSigintSubprocess:
+    """The real thing: SIGINT a `repro serve` process mid-campaign."""
+
+    def _spawn(self, store_dir):
+        env = dict(os.environ)
+        repo_src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = repo_src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--store", str(store_dir), "--port", "0",
+                "--backend", "thread", "--workers", "2", "--chunk-size", "1",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        line = process.stdout.readline()
+        assert "listening on http://" in line, line
+        url = "http://" + line.split("http://", 1)[1].split()[0]
+        return process, url
+
+    def test_sigint_mid_campaign_then_restart_is_byte_identical(
+        self, tmp_path
+    ):
+        store_dir = tmp_path / "store"
+        process, url = self._spawn(store_dir)
+        try:
+            client = ServiceClient(url)
+            run_id = client.submit(SPEC)["run_id"]
+            # Wait until the campaign is demonstrably mid-flight (some
+            # records durable) before interrupting.
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                if client.status(run_id)["progress"]["done"] >= 2:
+                    break
+                time.sleep(0.05)
+            process.send_signal(signal.SIGINT)
+            output, _ = process.communicate(timeout=120)
+            assert process.returncode == 0, output
+            assert "drained" in output
+        finally:
+            if process.poll() is None:  # pragma: no cover - cleanup
+                process.kill()
+                process.communicate()
+
+        # The journal is crash-clean: either complete, or resumable.
+        store = CampaignStore(store_dir)
+        assert store.has(run_id)
+
+        process2, url2 = self._spawn(store_dir)
+        try:
+            client2 = ServiceClient(url2)
+            final = client2.wait(run_id, timeout=300)
+            assert final["status"] == "complete"
+            served = client2.result_text(run_id)
+        finally:
+            process2.send_signal(signal.SIGINT)
+            process2.communicate(timeout=120)
+
+        assert served == reference_log_text(tmp_path)

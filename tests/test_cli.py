@@ -304,3 +304,85 @@ class TestObservabilityFlags:
         err = capsys.readouterr().err
         assert "executions" in err
         assert "exec/s" in err
+
+
+class TestVersionFlag:
+    def test_version_prints_package_version(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+
+class TestJsonOutput:
+    """`--json` emits the same stable schema the service API serves."""
+
+    def _populate(self, store, capsys):
+        code = main(
+            ["queue", "dgemm", "k40", "--config", "n=16", "--faulty", "6",
+             "--seed", "7", "--store", store, "--backend", "serial",
+             "--json"]
+        )
+        assert code == 0
+        return capsys.readouterr().out
+
+    def test_queue_json_outcomes_and_run_id_on_stdout(self, capsys, tmp_path):
+        import json
+
+        store = str(tmp_path / "store")
+        out = self._populate(store, capsys)
+        payload = json.loads(out)
+        (outcome,) = payload["outcomes"]
+        assert set(outcome) == {
+            "run_id", "label", "status", "records", "retries", "resumed",
+        }
+        assert outcome["status"] == "complete"
+        assert outcome["records"] == 6
+        # Run id is on stdout (scriptable) and is the store's id.
+        from repro.store import CampaignStore
+
+        (run_id,) = CampaignStore(store).run_ids()
+        assert outcome["run_id"] == run_id
+        assert run_id in out
+
+    def test_runs_json_matches_store_summaries(self, capsys, tmp_path):
+        import json
+
+        store = str(tmp_path / "store")
+        self._populate(store, capsys)
+        assert main(["runs", "--store", store, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        from repro.store import CampaignStore
+
+        expected = [s.to_dict() for s in CampaignStore(store).summaries()]
+        assert payload == {"runs": expected}
+        (entry,) = payload["runs"]
+        assert set(entry) == {
+            "run_id", "kernel", "device", "label", "seed", "status",
+            "n_records", "n_expected", "created", "path",
+        }
+        assert entry["status"] == "complete"
+
+    def test_queue_text_mode_prints_run_id(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        code = main(
+            ["queue", "dgemm", "k40", "--config", "n=16", "--faulty", "6",
+             "--seed", "7", "--store", store, "--backend", "serial"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        from repro.store import CampaignStore
+
+        (run_id,) = CampaignStore(store).run_ids()
+        assert run_id in out
+
+    def test_resume_prints_run_id_on_stdout(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        self._populate(store, capsys)
+        from repro.store import CampaignStore
+
+        (run_id,) = CampaignStore(store).run_ids()
+        assert main(["resume", run_id, "--store", store]) == 0
+        assert run_id in capsys.readouterr().out
