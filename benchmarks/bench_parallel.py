@@ -6,6 +6,14 @@ campaign, and verifies the two paths produce identical outcome statistics
 while doing so.  Output lands in ``benchmarks/results/bench_parallel.txt``
 so the perf trajectory across PRs is greppable.
 
+The benchmark also times the delta-replay fast path
+(``fast_path=True``, docs/performance.md) against full re-execution on
+the same campaign and records a machine-readable baseline in
+``BENCH_fastpath.json`` (``benchmarks/results/BENCH_fastpath_quick.json``
+for ``--quick`` runs): serial/pool/fast-path timings, the speedups
+between them, and the hit/fallback counters.  The fast-path rows are
+checked bit-identical to the reference before anything is written.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_parallel.py
@@ -13,6 +21,8 @@ Usage::
         --n 256 --faulty 200 --workers 0 --expect-speedup 2.0
     PYTHONPATH=src python benchmarks/bench_parallel.py \
         --quick --observability --max-overhead-pct 10
+    PYTHONPATH=src python benchmarks/bench_parallel.py \
+        --expect-fastpath-speedup 3.0
 
 ``--workers 0`` (the default) sizes the pool to the CPU count.  On a
 multi-core runner a 200-strike DGEMM campaign should clear 2x serial
@@ -40,10 +50,15 @@ from repro.beam.campaign import Campaign
 from repro.kernels.registry import make_kernel
 
 RESULTS_PATH = Path(__file__).parent / "results" / "bench_parallel.txt"
+FASTPATH_JSON_PATH = Path(__file__).parent.parent / "BENCH_fastpath.json"
+FASTPATH_JSON_QUICK_PATH = (
+    Path(__file__).parent / "results" / "BENCH_fastpath_quick.json"
+)
 
 
 def run_campaign(kernel_name: str, device_name: str, n: int, faulty: int,
-                 seed: int, workers: int, chunk_size: "int | None"):
+                 seed: int, workers: int, chunk_size: "int | None",
+                 fast_path: bool = False):
     """One timed campaign run; returns (seconds, result)."""
     campaign = Campaign(
         kernel=make_kernel(kernel_name, n=n),
@@ -53,6 +68,7 @@ def run_campaign(kernel_name: str, device_name: str, n: int, faulty: int,
         workers=workers,
         chunk_size=chunk_size,
         timeout=1800.0,
+        fast_path=fast_path,
     )
     start = time.perf_counter()
     result = campaign.run()
@@ -89,6 +105,114 @@ def bench(args) -> str:
     if not identical:
         raise SystemExit(text + "\nFATAL: parallel records differ from serial")
     return text, speedup
+
+
+def bench_fastpath(args) -> "tuple[str, float, dict]":
+    """Delta replay vs full re-execution on the same campaign.
+
+    Times four configurations — {serial, pooled} × {full, fast path} —
+    verifies the fast-path record stream is bit-identical to the serial
+    reference (hex-float rows, the journal serialisation), and returns
+    the human-readable section plus the machine-readable payload for
+    ``BENCH_fastpath.json``.  The headline number is the pooled fast-path
+    throughput over pooled full re-execution: same pool, same chunks,
+    only the per-strike arithmetic differs.
+    """
+    from repro import observability as obs
+    from repro.beam.logs import record_to_row
+
+    workers = args.workers if args.workers > 0 else (os.cpu_count() or 1)
+
+    def timed(w: int, fast_path: bool):
+        registry = obs.MetricsRegistry() if fast_path else None
+        if registry is not None:
+            with obs.observe(metrics=registry):
+                seconds, result = run_campaign(
+                    args.kernel, args.device, args.n, args.faulty,
+                    args.seed, w, args.chunk_size, fast_path=True,
+                )
+        else:
+            seconds, result = run_campaign(
+                args.kernel, args.device, args.n, args.faulty, args.seed,
+                w, args.chunk_size,
+            )
+        hits = fallbacks = 0
+        if registry is not None:
+            metric = registry.get("repro_fastpath_hits_total")
+            hits = int(metric.total()) if metric is not None else 0
+            metric = registry.get("repro_fastpath_fallbacks_total")
+            fallbacks = int(metric.total()) if metric is not None else 0
+        return seconds, result, hits, fallbacks
+
+    configs = {
+        "serial_full": (1, False),
+        "parallel_full": (workers, False),
+        "serial_fast": (1, True),
+        "parallel_fast": (workers, True),
+    }
+    timings: dict = {}
+    rows: dict = {}
+    hits = fallbacks = 0
+    for name, (w, fast) in configs.items():
+        seconds, result, h, f = timed(w, fast)
+        timings[name] = {
+            "seconds": seconds,
+            "exec_per_s": args.faulty / seconds,
+            "workers": w,
+            "fast_path": fast,
+        }
+        rows[name] = [record_to_row(r) for r in result.records]
+        if name == "parallel_fast":
+            hits, fallbacks = h, f
+
+    identical = all(rows[name] == rows["serial_full"] for name in configs)
+    thr = {name: slot["exec_per_s"] for name, slot in timings.items()}
+    speedup = {
+        "parallel_over_serial": thr["parallel_full"] / thr["serial_full"],
+        "fastpath_serial": thr["serial_fast"] / thr["serial_full"],
+        "fastpath_parallel": thr["parallel_fast"] / thr["parallel_full"],
+        "combined": thr["parallel_fast"] / thr["serial_full"],
+    }
+    attempts = hits + fallbacks
+    payload = {
+        "bench": "fastpath",
+        "kernel": args.kernel,
+        "device": args.device,
+        "n": args.n,
+        "faulty": args.faulty,
+        "seed": args.seed,
+        "workers": workers,
+        "cores": os.cpu_count(),
+        "quick": bool(args.quick),
+        "timings": timings,
+        "speedup": speedup,
+        "fastpath": {
+            "hits": hits,
+            "fallbacks": fallbacks,
+            "hit_rate": (hits / attempts) if attempts else 0.0,
+        },
+        "records_identical": identical,
+    }
+    lines = [
+        "delta-replay fast path vs full re-execution:",
+        *(
+            f"  {name:<14}: {slot['seconds']:8.2f} s  "
+            f"{slot['exec_per_s']:8.1f} exec/s"
+            for name, slot in timings.items()
+        ),
+        f"  fast-path speedup (pooled) : "
+        f"{speedup['fastpath_parallel']:8.2f}x",
+        f"  fast-path speedup (serial) : {speedup['fastpath_serial']:8.2f}x",
+        f"  combined speedup vs serial : {speedup['combined']:8.2f}x",
+        f"  hits/fallbacks             : {hits}/{fallbacks}",
+        f"  records identical to serial full re-execution: {identical}",
+    ]
+    text = "\n".join(lines)
+    if not identical:
+        raise SystemExit(
+            text + "\nFATAL: fast-path records differ from full re-execution"
+        )
+    return text, speedup["fastpath_parallel"], payload
 
 
 def bench_observability(args) -> "tuple[str, float]":
@@ -180,6 +304,12 @@ def main(argv=None) -> int:
     parser.add_argument("--chunk-size", type=int, default=None)
     parser.add_argument("--expect-speedup", type=float, default=None,
                         help="exit 1 unless parallel/serial >= this factor")
+    parser.add_argument("--expect-fastpath-speedup", type=float, default=None,
+                        help="exit 1 unless pooled fast-path/pooled full "
+                             ">= this factor")
+    parser.add_argument("--skip-fastpath", action="store_true",
+                        help="skip the delta-replay section (and do not "
+                             "touch BENCH_fastpath.json)")
     parser.add_argument("--quick", action="store_true",
                         help="smoke-test workload (caps --n and --faulty)")
     parser.add_argument("--observability", action="store_true",
@@ -194,6 +324,20 @@ def main(argv=None) -> int:
         args.n, args.faulty = quick_caps(args.n, args.faulty)
 
     text, speedup = bench(args)
+    fastpath_speedup = None
+    if not args.skip_fastpath:
+        import json
+
+        fp_text, fastpath_speedup, payload = bench_fastpath(args)
+        text = text + "\n" + fp_text
+        json_path = (
+            FASTPATH_JSON_QUICK_PATH if args.quick else FASTPATH_JSON_PATH
+        )
+        json_path.parent.mkdir(exist_ok=True)
+        json_path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        text += f"\n  baseline recorded to {json_path}"
     overhead_pct = None
     if args.observability:
         obs_text, overhead_pct = bench_observability(args)
@@ -212,6 +356,16 @@ def main(argv=None) -> int:
         print(
             f"FAIL: speedup {speedup:.2f}x below required "
             f"{args.expect_speedup:.2f}x"
+        )
+        return 1
+    if (
+        args.expect_fastpath_speedup is not None
+        and fastpath_speedup is not None
+        and fastpath_speedup < args.expect_fastpath_speedup
+    ):
+        print(
+            f"FAIL: fast-path speedup {fastpath_speedup:.2f}x below "
+            f"required {args.expect_fastpath_speedup:.2f}x"
         )
         return 1
     if (

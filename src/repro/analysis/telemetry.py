@@ -81,6 +81,11 @@ class TelemetryReport:
     spans_by_kind: dict = field(default_factory=dict)
     n_executions: int = 0
     outcomes: dict = field(default_factory=dict)
+    #: Executions resolved by the delta-replay fast path / fallen back to
+    #: full re-execution (from the per-execution ``fastpath`` span
+    #: attribute; both 0 when the campaign ran with the fast path off).
+    fastpath_hits: int = 0
+    fastpath_fallbacks: int = 0
     latency_by_kernel: list = field(default_factory=list)
     workers: list = field(default_factory=list)
     n_chunks: int = 0
@@ -101,6 +106,19 @@ class TelemetryReport:
             return 0.0
         return self.chunk_max_seconds / self.chunk_mean_seconds
 
+    @property
+    def fastpath_attempts(self) -> int:
+        """Executions that ran with the fast path enabled."""
+        return self.fastpath_hits + self.fastpath_fallbacks
+
+    @property
+    def fastpath_hit_rate(self) -> float:
+        """Delta-replay hits over fast-path attempts (0.0 when off)."""
+        attempts = self.fastpath_attempts
+        if attempts <= 0:
+            return 0.0
+        return self.fastpath_hits / attempts
+
     def to_dict(self) -> dict:
         return {
             "n_events": self.n_events,
@@ -109,6 +127,11 @@ class TelemetryReport:
             "n_executions": self.n_executions,
             "throughput": self.throughput,
             "outcomes": dict(self.outcomes),
+            "fastpath": {
+                "hits": self.fastpath_hits,
+                "fallbacks": self.fastpath_fallbacks,
+                "hit_rate": self.fastpath_hit_rate,
+            },
             "latency_by_kernel": [
                 vars(latency) for latency in self.latency_by_kernel
             ],
@@ -155,6 +178,11 @@ def analyze_trace(events: "list[SpanEvent]") -> TelemetryReport:
             report.outcomes[outcome] = report.outcomes.get(outcome, 0) + 1
             kernel = event.attrs.get("kernel", "unknown")
             durations_by_kernel.setdefault(kernel, []).append(event.duration)
+            fastpath = event.attrs.get("fastpath")
+            if fastpath == "hit":
+                report.fastpath_hits += 1
+            elif fastpath == "fallback":
+                report.fastpath_fallbacks += 1
             slot = busy.setdefault(event.worker, [0, 0.0])
             slot[0] += 1
         elif event.kind == "chunk":
@@ -197,6 +225,12 @@ def render_telemetry(report: TelemetryReport) -> str:
     ]
     for outcome in sorted(report.outcomes):
         overview.append((f"outcome: {outcome}", report.outcomes[outcome]))
+    if report.fastpath_attempts:
+        overview.append(("fast-path hits", report.fastpath_hits))
+        overview.append(("fast-path fallbacks", report.fastpath_fallbacks))
+        overview.append(
+            ("fast-path hit rate", f"{report.fastpath_hit_rate:.0%}")
+        )
     lines.append(format_table(("quantity", "value"), overview))
     if report.latency_by_kernel:
         lines.append("")

@@ -69,6 +69,10 @@ WORKERS_ENV_VAR = "REPRO_WORKERS"
 #: run instead of hanging it.
 TIMEOUT_ENV_VAR = "REPRO_POOL_TIMEOUT"
 
+#: Environment override for the default delta-replay fast-path switch
+#: (1/true/yes/on enables).  Explicit ``fast_path=`` arguments win.
+FASTPATH_ENV_VAR = "REPRO_FASTPATH"
+
 
 class ExecutorTimeoutError(RuntimeError):
     """The pool did not drain within the executor's timeout."""
@@ -153,6 +157,20 @@ def default_timeout() -> "float | None":
     return value if value > 0 else None
 
 
+def default_fast_path() -> bool:
+    """Fast-path default used when none is requested: the env override."""
+    env = os.environ.get(FASTPATH_ENV_VAR, "").strip().lower()
+    if not env:
+        return False
+    if env in ("1", "true", "yes", "on"):
+        return True
+    if env in ("0", "false", "no", "off"):
+        return False
+    raise ValueError(
+        f"{FASTPATH_ENV_VAR} must be a boolean (1/0/true/false), got {env!r}"
+    )
+
+
 def _fork_available() -> bool:
     return hasattr(os, "fork")
 
@@ -175,6 +193,9 @@ class _ChunkResult:
     exec_durations: "list | None" = None  # per-execution elapsed seconds
     cache_hits: int = 0         # golden-cache hits during this chunk
     cache_misses: int = 0       # golden-cache misses during this chunk
+    fastpath_hits: int = 0      # delta-replay hits during this chunk
+    fastpath_fallbacks: int = 0  # delta-replay fallbacks during this chunk
+    exec_fastpath: "list | None" = None  # per-execution "hit"/"fallback"/None
 
 
 def _run_chunk(
@@ -184,6 +205,7 @@ def _run_chunk(
     threshold_pct: float,
     indices: Sequence[int],
     instrument: bool = False,
+    fast_path: bool = False,
 ) -> _ChunkResult:
     """Worker entry point: one Injector, one contiguous index chunk.
 
@@ -196,9 +218,14 @@ def _run_chunk(
     hot path plus one try/except per execution (the pool strips tracebacks
     and context, so failures are wrapped in :class:`ChunkWorkerError` with
     the exact failing index either way).
+
+    With ``fast_path`` the injector attempts delta replay per execution
+    (records stay bit-identical); instrumented chunks also report which
+    executions hit the fast path and which fell back.
     """
     injector = Injector(
-        kernel=kernel, device=device, seed=seed, threshold_pct=threshold_pct
+        kernel=kernel, device=device, seed=seed, threshold_pct=threshold_pct,
+        fast_path=fast_path,
     )
     cache_before = golden_cache_info() if instrument else None
     start_wall = time.time()
@@ -206,14 +233,24 @@ def _run_chunk(
     records = []
     exec_starts = [] if instrument else None
     exec_durations = [] if instrument else None
+    exec_fastpath = [] if (instrument and fast_path) else None
     for index in indices:
         try:
             if instrument:
+                hits_before = injector.fastpath_hits
+                falls_before = injector.fastpath_fallbacks
                 exec_wall = time.time()
                 e0 = time.perf_counter()
                 record = injector.inject_one(index)
                 exec_durations.append(time.perf_counter() - e0)
                 exec_starts.append(exec_wall)
+                if exec_fastpath is not None:
+                    if injector.fastpath_hits > hits_before:
+                        exec_fastpath.append("hit")
+                    elif injector.fastpath_fallbacks > falls_before:
+                        exec_fastpath.append("fallback")
+                    else:
+                        exec_fastpath.append(None)
             else:
                 record = injector.inject_one(index)
         except Exception as exc:
@@ -228,6 +265,9 @@ def _run_chunk(
         worker=worker_id(),
         exec_starts=exec_starts,
         exec_durations=exec_durations,
+        fastpath_hits=injector.fastpath_hits,
+        fastpath_fallbacks=injector.fastpath_fallbacks,
+        exec_fastpath=exec_fastpath,
     )
     if instrument:
         cache_after = golden_cache_info()
@@ -242,9 +282,12 @@ def _inject_chunk(
     seed: int,
     threshold_pct: float,
     indices: Sequence[int],
+    fast_path: bool = False,
 ) -> list[ExecutionRecord]:
     """Back-compat chunk runner: records only (see :func:`_run_chunk`)."""
-    return _run_chunk(kernel, device, seed, threshold_pct, indices).records
+    return _run_chunk(
+        kernel, device, seed, threshold_pct, indices, fast_path=fast_path
+    ).records
 
 
 @dataclass
@@ -262,12 +305,16 @@ class CampaignExecutor:
         timeout: wall-clock seconds to wait for the pool to drain; ``None``
             waits forever.  A deadlocked pool raises
             :class:`ExecutorTimeoutError` instead of hanging.
+        fast_path: attempt delta replay per struck execution (bit-identical
+            records, sparse diffing).  ``None`` means "auto" (the
+            ``REPRO_FASTPATH`` environment variable, default off).
     """
 
     workers: int | None = None
     chunk_size: int | None = None
     backend: str = "auto"
     timeout: float | None = None
+    fast_path: bool | None = None
 
     def __post_init__(self):
         if self.backend not in ("auto", "process", "thread", "serial"):
@@ -288,6 +335,11 @@ class CampaignExecutor:
         if self.workers in (None, 0):
             return default_workers()
         return self.workers
+
+    def resolved_fast_path(self) -> bool:
+        if self.fast_path is None:
+            return default_fast_path()
+        return bool(self.fast_path)
 
     def resolved_backend(self, n_indices: int, workers: int) -> str:
         """The execution strategy actually used for ``n_indices`` strikes."""
@@ -369,6 +421,7 @@ class CampaignExecutor:
         metrics = obs_runtime.get_metrics()
         progress = obs_runtime.get_progress()
         instrument = tracer is not None or metrics is not None
+        fast_path = self.resolved_fast_path()
 
         workers = self.resolved_workers()
         backend = self.resolved_backend(len(indices), workers)
@@ -383,11 +436,13 @@ class CampaignExecutor:
                 kernel, device, seed, threshold_pct, chunks,
                 label=label, tracer=tracer, metrics=metrics,
                 progress=progress, instrument=instrument, on_chunk=on_chunk,
+                fast_path=fast_path,
             )
         return self._run_pooled(
             kernel, device, seed, threshold_pct, chunks, backend, workers,
             label=label, tracer=tracer, metrics=metrics,
             progress=progress, instrument=instrument, on_chunk=on_chunk,
+            fast_path=fast_path,
         )
 
     # -- serial ------------------------------------------------------------------
@@ -395,6 +450,7 @@ class CampaignExecutor:
     def _run_serial(
         self, kernel, device, seed, threshold_pct, chunks, *,
         label, tracer, metrics, progress, instrument, on_chunk=None,
+        fast_path=False,
     ) -> list[ExecutionRecord]:
         """In-process path: same chunk runner, no pool."""
         n_total = sum(len(chunk) for chunk in chunks)
@@ -402,7 +458,10 @@ class CampaignExecutor:
             # The bare PR 1 hot path: one runner call, records out.
             flat = [index for chunk in chunks for index in chunk]
             try:
-                return _inject_chunk(kernel, device, seed, threshold_pct, flat)
+                return _inject_chunk(
+                    kernel, device, seed, threshold_pct, flat,
+                    fast_path=fast_path,
+                )
             except ChunkWorkerError as err:
                 raise CampaignExecutionError.wrap(
                     err, label=label, backend="serial", chunk=0, indices=flat,
@@ -413,7 +472,7 @@ class CampaignExecutor:
             try:
                 result = _run_chunk(
                     kernel, device, seed, threshold_pct, chunk,
-                    instrument=instrument,
+                    instrument=instrument, fast_path=fast_path,
                 )
             except ChunkWorkerError as err:
                 raise CampaignExecutionError.wrap(
@@ -437,6 +496,7 @@ class CampaignExecutor:
     def _run_pooled(
         self, kernel, device, seed, threshold_pct, chunks, backend, workers, *,
         label, tracer, metrics, progress, instrument, on_chunk=None,
+        fast_path=False,
     ) -> list[ExecutionRecord]:
         """Fan chunks over a pool; drain incrementally for progress/metrics."""
         timeout = self.timeout if self.timeout is not None else default_timeout()
@@ -455,7 +515,7 @@ class CampaignExecutor:
             for chunk_no, chunk in enumerate(chunks):
                 future = pool.submit(
                     _run_chunk, kernel, device, seed, threshold_pct, chunk,
-                    instrument,
+                    instrument, fast_path,
                 )
                 chunk_of[future] = chunk_no
             pending = set(chunk_of)
@@ -593,9 +653,23 @@ def emit_chunk_observability(
             attrs=attrs,
         )
         if result.exec_durations is not None:
-            for record, exec_start, exec_duration in zip(
-                records, result.exec_starts, result.exec_durations
+            exec_fastpath = result.exec_fastpath or [None] * len(records)
+            for record, exec_start, exec_duration, fp_mode in zip(
+                records, result.exec_starts, result.exec_durations,
+                exec_fastpath,
             ):
+                attrs = {
+                    "index": record.index,
+                    "outcome": record.outcome.value,
+                    "resource": record.resource.value,
+                    "site": record.site,
+                    "kernel": kernel.name,
+                    "device": device.name,
+                }
+                if fp_mode is not None:
+                    # Only fast-path campaigns carry the attribute, so
+                    # golden traces of the reference path stay byte-stable.
+                    attrs["fastpath"] = fp_mode
                 tracer.emit(
                     "execution",
                     f"exec{record.index}",
@@ -603,14 +677,7 @@ def emit_chunk_observability(
                     duration=exec_duration,
                     worker=result.worker,
                     parent=chunk_event.span_id,
-                    attrs={
-                        "index": record.index,
-                        "outcome": record.outcome.value,
-                        "resource": record.resource.value,
-                        "site": record.site,
-                        "kernel": kernel.name,
-                        "device": device.name,
-                    },
+                    attrs=attrs,
                 )
     if metrics is not None:
         executions = metrics.counter(
@@ -648,3 +715,18 @@ def emit_chunk_observability(
                     "repro_golden_cache_misses_total",
                     "Golden-output cache misses",
                 ).inc(result.cache_misses)
+        # Fast-path counters follow the golden-cache pattern: worker
+        # processes could not reach this registry, so their per-chunk
+        # deltas are folded in here; thread/serial chunks already
+        # incremented in-process via Injector._note_fastpath.
+        if count_cache and (result.fastpath_hits or result.fastpath_fallbacks):
+            if result.fastpath_hits:
+                metrics.counter(
+                    "repro_fastpath_hits_total",
+                    "Executions resolved by the delta-replay fast path",
+                ).inc(result.fastpath_hits)
+            if result.fastpath_fallbacks:
+                metrics.counter(
+                    "repro_fastpath_fallbacks_total",
+                    "Fast-path executions that fell back to full re-execution",
+                ).inc(result.fastpath_fallbacks)

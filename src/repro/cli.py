@@ -161,6 +161,7 @@ def cmd_campaign(args) -> int:
         seed=args.seed,
         workers=args.workers,
         chunk_size=args.chunk_size,
+        fast_path=args.fast_path,
     )
     total = args.natural if args.natural else args.faulty
     tracer, metrics, progress = _campaign_instrumentation(args, total)
@@ -349,6 +350,7 @@ def cmd_queue(args) -> int:
         workers=args.workers,
         chunk_size=args.chunk_size,
         backend=args.backend,
+        fast_path=args.fast_path,
         retry=RetryPolicy(max_retries=args.retries),
     )
     for spec in _queue_specs(args):
@@ -410,6 +412,7 @@ def cmd_resume(args) -> int:
             workers=args.workers,
             chunk_size=args.chunk_size,
             backend=args.backend,
+            fast_path=args.fast_path,
         )
     except JournalError as err:
         return _input_error(str(err))
@@ -461,6 +464,7 @@ def cmd_serve(args) -> int:
         workers=args.workers,
         chunk_size=args.chunk_size,
         backend=args.backend,
+        fast_path=args.fast_path,
         retries=args.retries,
         queue_limit=args.queue_limit,
         log_requests=args.log_requests,
@@ -585,6 +589,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_fast_path_flag(verb) -> None:
+        verb.add_argument(
+            "--fast-path", action=argparse.BooleanOptionalAction,
+            default=None, dest="fast_path",
+            help="attempt delta replay instead of full re-execution "
+            "(records are bit-identical either way; default: the "
+            "REPRO_FASTPATH environment variable, else off)",
+        )
+
     sub.add_parser("tables", help="print Tables I and II").set_defaults(
         func=cmd_tables
     )
@@ -629,6 +642,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a live throughput line to stderr at most every "
         "SECONDS seconds (0 = off)",
     )
+    add_fast_path_flag(campaign)
     campaign.set_defaults(func=cmd_campaign)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
@@ -694,6 +708,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="machine-readable outcomes (run_id/status/records/retries)",
     )
+    add_fast_path_flag(queue)
     queue.set_defaults(func=cmd_queue)
 
     resume = sub.add_parser(
@@ -707,6 +722,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", default="auto",
         choices=("auto", "process", "thread", "serial"),
     )
+    add_fast_path_flag(resume)
     resume.set_defaults(func=cmd_resume)
 
     runs = sub.add_parser("runs", help="list stored campaign runs")
@@ -748,6 +764,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--log-requests", action="store_true",
         help="emit an access-log line per request to stderr",
     )
+    add_fast_path_flag(serve)
     serve.set_defaults(func=cmd_serve)
 
     submit = sub.add_parser(

@@ -39,6 +39,7 @@ from repro.core.locality import Locality, classify_locality
 from repro.core.metrics import (
     ErrorObservation,
     compare_outputs,
+    compare_outputs_sparse,
     count_incorrect,
     mean_relative_error,
     relative_errors,
@@ -69,6 +70,7 @@ __all__ = [
     "classify_locality",
     "ErrorObservation",
     "compare_outputs",
+    "compare_outputs_sparse",
     "count_incorrect",
     "mean_relative_error",
     "relative_errors",

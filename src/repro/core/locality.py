@@ -73,8 +73,15 @@ def classify_coordinates(coords: np.ndarray) -> Locality:
     if len(unique) == 1:
         return Locality.SINGLE
 
-    varying = [len(np.unique(unique[:, axis])) > 1 for axis in range(ndim)]
-    n_varying = sum(varying)
+    # One pass for every axis: sort each column independently, then count
+    # distinct values per axis as 1 + the number of strictly increasing
+    # steps.  Replaces the per-axis ``np.unique`` loops with two
+    # vectorised primitives over the whole (n, ndim) block.
+    per_axis_sorted = np.sort(unique, axis=0)
+    axis_counts = 1 + np.count_nonzero(
+        np.diff(per_axis_sorted, axis=0) != 0, axis=0
+    )
+    n_varying = int(np.count_nonzero(axis_counts > 1))
 
     if n_varying == 1:
         return Locality.LINE
@@ -85,10 +92,9 @@ def classify_coordinates(coords: np.ndarray) -> Locality:
         return Locality.SQUARE
 
     # Full-dimensional spread: structured (square/cubic) iff some coordinate
-    # value repeats on some axis; otherwise every element is isolated.
-    shares_axis = any(
-        len(np.unique(unique[:, axis])) < len(unique) for axis in range(ndim)
-    )
+    # value repeats on some axis — i.e. some axis has fewer distinct values
+    # than elements; otherwise every element is isolated.
+    shares_axis = bool(np.any(axis_counts < len(unique)))
     if not shares_axis:
         return Locality.RANDOM
     return Locality.SQUARE if ndim == 2 else Locality.CUBIC

@@ -128,6 +128,69 @@ def compare_outputs(
     )
 
 
+def compare_outputs_sparse(
+    values: np.ndarray,
+    flat_indices: np.ndarray,
+    golden: np.ndarray,
+    *,
+    atol: float = 0.0,
+    locality_map: "np.ndarray | None" = None,
+) -> ErrorObservation:
+    """Diff a sparse footprint against the golden output.
+
+    The delta-replay fast path knows, in closed form, the complete set of
+    elements a fault *can* have touched; every element outside that
+    footprint is bit-identical to the golden output by construction and
+    need not be compared.  This overload therefore diffs only the touched
+    elements and produces an :class:`ErrorObservation` **bit-identical**
+    to :func:`compare_outputs` over the materialised dense array:
+
+    * the float comparisons use the same ``float64`` promotion and the
+      same ``~(diff <= atol)`` predicate (NaN counts as mismatch);
+    * coordinates come out in the same C-order ascending sequence as
+      ``np.argwhere`` because ``flat_indices`` is required to be strictly
+      increasing;
+    * ``read`` values are the native-dtype touched values promoted via
+      ``.astype(np.float64)``, the same conversion the dense path applies
+      to ``observed.ravel()[flat]``.
+
+    Args:
+        values: ``(m,)`` touched values in the output's native dtype.
+        flat_indices: ``(m,)`` strictly-increasing flat (C-order) indices
+            into ``golden`` locating each value.
+        golden: the fault-free output.
+        atol: as in :func:`compare_outputs`.
+        locality_map: as in :func:`compare_outputs`.
+
+    Returns:
+        An :class:`ErrorObservation` over ``golden.shape``.
+    """
+    flat_indices = np.asarray(flat_indices)
+    values = np.asarray(values)
+    if flat_indices.ndim != 1 or values.shape != flat_indices.shape:
+        raise ValueError("values and flat_indices must be matching 1-D arrays")
+    if len(flat_indices) and np.any(np.diff(flat_indices) <= 0):
+        raise ValueError("flat_indices must be strictly increasing")
+    golden_flat = golden.ravel()
+    with np.errstate(invalid="ignore"):
+        diff = np.abs(
+            values.astype(np.float64) - golden_flat[flat_indices].astype(np.float64)
+        )
+        mismatch = ~(diff <= atol)
+    bad = flat_indices[mismatch]
+    idx = np.column_stack(np.unravel_index(bad, golden.shape))
+    locality = None
+    if locality_map is not None:
+        locality = locality_map.reshape(-1, locality_map.shape[-1])[bad]
+    return ErrorObservation(
+        shape=golden.shape,
+        indices=idx,
+        read=values[mismatch].astype(np.float64),
+        expected=golden_flat[bad].astype(np.float64),
+        locality_indices=locality,
+    )
+
+
 def relative_errors(obs: ErrorObservation) -> np.ndarray:
     """Per-element relative errors in percent (paper Section III).
 

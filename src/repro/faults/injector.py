@@ -33,6 +33,7 @@ from repro.core.filtering import PAPER_THRESHOLD_PCT
 from repro.faults.outcomes import ExecutionRecord, OutcomeKind
 from repro.faults.sites import choose_site
 from repro.kernels.base import Kernel, KernelCrashError, KernelFault
+from repro.observability import runtime as _obs_runtime
 
 
 @dataclass
@@ -45,12 +46,47 @@ class Injector:
         seed: campaign seed; execution ``i`` uses the derived stream
             ``(seed, kernel, device, i)`` and nothing else.
         threshold_pct: relative-error tolerance for the filtered metrics.
+        fast_path: attempt delta replay (``Kernel.run_delta`` + sparse
+            diffing) before falling back to full re-execution.  Records are
+            bit-identical either way (pinned by tests/fastpath/); the switch
+            exists so the reference path stays reachable for verification.
     """
 
     kernel: Kernel
     device: DeviceModel
     seed: int = 0
     threshold_pct: float = PAPER_THRESHOLD_PCT
+    fast_path: bool = False
+
+    #: Executions resolved by delta replay (this instance).
+    fastpath_hits: int = 0
+    #: Executions that fell back to full re-execution (this instance).
+    fastpath_fallbacks: int = 0
+
+    def _note_fastpath(self, hit: bool) -> None:
+        """Count one fast-path decision; mirror it into the registry, if any.
+
+        Pool *worker* processes have no registry configured, so the executor
+        ships the instance counters back with each chunk and folds them in
+        parent-side (the golden-cache pattern).
+        """
+        if hit:
+            self.fastpath_hits += 1
+        else:
+            self.fastpath_fallbacks += 1
+        metrics = _obs_runtime.get_metrics()
+        if metrics is None:
+            return
+        if hit:
+            metrics.counter(
+                "repro_fastpath_hits_total",
+                "Executions resolved by the delta-replay fast path",
+            ).inc()
+        else:
+            metrics.counter(
+                "repro_fastpath_fallbacks_total",
+                "Fast-path executions that fell back to full re-execution",
+            ).inc()
 
     def __post_init__(self):
         weights = self.device.strike_weights(self.kernel)
@@ -114,15 +150,30 @@ class Injector:
             ),
             sharing=self.device.sharing_breadth(kind, self.kernel),
         )
+        sparse = None
         try:
-            output = self.kernel.run(fault).output
+            if self.fast_path:
+                try:
+                    sparse = self.kernel.run_delta(fault)
+                except KernelCrashError:
+                    # The sparse replay decided the crash without dense
+                    # work — a fast-path hit.
+                    self._note_fastpath(hit=True)
+                    raise
+                self._note_fastpath(hit=sparse is not None)
+            if sparse is None:
+                output = self.kernel.run(fault).output
         except KernelCrashError as crash:
             return ExecutionRecord(
                 index=index, outcome=OutcomeKind.CRASH, resource=kind,
                 site=site.name, fault=fault, detail=str(crash),
             )
 
-        observation = self.kernel.observe(output)
+        observation = (
+            self.kernel.observe_sparse(sparse)
+            if sparse is not None
+            else self.kernel.observe(output)
+        )
         if not observation.is_sdc:
             return ExecutionRecord(
                 index=index, outcome=OutcomeKind.MASKED, resource=kind,

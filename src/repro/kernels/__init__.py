@@ -25,6 +25,7 @@ from repro.kernels.base import (
     Kernel,
     KernelCrashError,
     KernelFault,
+    SparseOutput,
 )
 from repro.kernels.classification import (
     Bound,
@@ -45,6 +46,7 @@ __all__ = [
     "Kernel",
     "KernelCrashError",
     "KernelFault",
+    "SparseOutput",
     "Bound",
     "KernelClassification",
     "LoadBalance",

@@ -29,7 +29,11 @@ import numpy as np
 
 from repro._util.hashing import UncanonicalError, short_hash
 from repro.bitflip.models import FlipModel
-from repro.core.metrics import ErrorObservation, compare_outputs
+from repro.core.metrics import (
+    ErrorObservation,
+    compare_outputs,
+    compare_outputs_sparse,
+)
 from repro.kernels.classification import KernelClassification
 from repro.observability import runtime as _obs_runtime
 
@@ -205,6 +209,44 @@ class ExecutionOutput:
     aux: dict = field(default_factory=dict)
 
 
+@dataclass
+class SparseOutput:
+    """A faulty execution expressed as ``golden + sparse delta``.
+
+    The delta-replay fast path (docs/performance.md) represents the
+    corrupted output as the set of elements a fault *can* have touched:
+    every element outside :attr:`flat_indices` is, by the kernel's own
+    closed-form argument, bit-identical to the golden output.  ``values``
+    holds the touched elements' post-fault values in the output's native
+    dtype — possibly equal to the golden values (a masked touch is still a
+    touch; whether it *mismatches* is decided later by the same comparison
+    the dense path uses).
+
+    Attributes:
+        flat_indices: ``(m,)`` strictly-increasing flat C-order indices
+            into the output array.
+        values: ``(m,)`` touched values, native output dtype.
+    """
+
+    flat_indices: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.flat_indices = np.asarray(self.flat_indices, dtype=np.intp)
+        self.values = np.asarray(self.values)
+        if self.flat_indices.ndim != 1 or self.values.shape != self.flat_indices.shape:
+            raise ValueError("flat_indices and values must be matching 1-D arrays")
+        if len(self.flat_indices) and np.any(np.diff(self.flat_indices) <= 0):
+            raise ValueError("flat_indices must be strictly increasing")
+
+    def materialize(self, golden: np.ndarray) -> np.ndarray:
+        """The equivalent dense output: golden copy with the delta applied."""
+        dense = golden.copy()
+        if len(self.flat_indices):
+            np.put(dense, self.flat_indices, self.values.astype(dense.dtype))
+        return dense
+
+
 class Kernel(abc.ABC):
     """A benchmark kernel with golden-output caching and fault hooks."""
 
@@ -213,6 +255,7 @@ class Kernel(abc.ABC):
 
     def __init__(self) -> None:
         self._golden: ExecutionOutput | None = None
+        self._golden_finite: bool | None = None
 
     # -- fault-free reference -------------------------------------------------
 
@@ -292,6 +335,51 @@ class Kernel(abc.ABC):
     def _execute(self, fault: KernelFault | None) -> ExecutionOutput:
         """Run the kernel; honour ``fault`` if given."""
 
+    # -- delta-replay fast path -------------------------------------------------
+
+    def golden_is_finite(self) -> bool:
+        """Whether every golden-output element is finite (memoised).
+
+        The dense comparison self-flags non-finite golden elements
+        (``|x - x|`` is NaN for NaN/Inf ``x``, and NaN fails ``<= atol``),
+        so a sparse diff that skips untouched elements is only equivalent
+        when the golden output is entirely finite.  All shipped kernels
+        produce finite golden outputs; this guard keeps the fast path
+        honest for exotic configurations.
+        """
+        if self._golden_finite is None:
+            self._golden_finite = bool(np.all(np.isfinite(self.golden().output)))
+        return self._golden_finite
+
+    def run_delta(self, fault: KernelFault) -> SparseOutput | None:
+        """Execute one fault as a sparse delta over the golden output, if possible.
+
+        Returns ``None`` whenever this kernel (or this particular fault
+        site/progress) admits no closed-form sparse replay — the caller
+        must then fall back to :meth:`run`.  A ``None`` return is always
+        safe: the fault's random stream is derived fresh from
+        ``fault.seed`` on each path, so a fallback re-derives identical
+        random choices.
+
+        When a :class:`SparseOutput` *is* returned, materialising it over
+        the golden output is bit-identical to ``self.run(fault).output``,
+        and crashes are raised as the same :class:`KernelCrashError` the
+        full path would raise.
+
+        Raises:
+            KernelCrashError: when the corrupted computation blows up.
+            KeyError: when the fault names a site the kernel does not expose.
+        """
+        if fault.site not in {s.name for s in self.fault_sites()}:
+            raise KeyError(f"{self.name} has no fault site {fault.site!r}")
+        if not self.golden_is_finite():
+            return None  # sparse diff not equivalent over non-finite golden
+        return self._execute_delta(fault)
+
+    def _execute_delta(self, fault: KernelFault) -> SparseOutput | None:
+        """Kernel-specific sparse replay; default: no fast path."""
+        return None
+
     # -- fault surface ----------------------------------------------------------
 
     @abc.abstractmethod
@@ -340,4 +428,18 @@ class Kernel(abc.ABC):
         """Diff an output against the golden output."""
         return compare_outputs(
             output, self.golden().output, locality_map=self.locality_map()
+        )
+
+    def observe_sparse(self, sparse: SparseOutput) -> ErrorObservation:
+        """Diff a sparse delta against the golden output.
+
+        Bit-identical to ``observe(sparse.materialize(golden))`` — see
+        :func:`repro.core.metrics.compare_outputs_sparse` — but touches
+        only the delta's footprint instead of the full array.
+        """
+        return compare_outputs_sparse(
+            sparse.values,
+            sparse.flat_indices,
+            self.golden().output,
+            locality_map=self.locality_map(),
         )

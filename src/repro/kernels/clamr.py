@@ -401,6 +401,18 @@ class Clamr(Kernel):
         )
         return result
 
+    def _execute_delta(self, fault: KernelFault) -> None:
+        """CLAMR admits no sparse delta replay — always fall back.
+
+        Every timestep derives ``dt`` from the *global* maximum wave speed
+        (the CFL condition), so any local corruption of ``h``/``u``/``v``
+        changes the shared timestep and, through it, every cell of every
+        subsequent step; the adaptive remeshing couples cells globally too.
+        A fault's footprint is therefore the whole grid from the strike
+        onward and no closed-form window exists (see docs/performance.md).
+        """
+        return None
+
     # -- fault injection ------------------------------------------------------------------
 
     def _inject(self, fault: KernelFault, rng, h, hu, hv):

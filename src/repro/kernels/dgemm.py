@@ -25,7 +25,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro._util.rng import stable_seed
-from repro.kernels.base import ExecutionOutput, FaultSiteSpec, Kernel, KernelFault
+from repro.kernels.base import (
+    ExecutionOutput,
+    FaultSiteSpec,
+    Kernel,
+    KernelFault,
+    SparseOutput,
+)
 from repro.kernels.classification import TABLE_I, KernelClassification
 from repro.kernels.inputs import balanced_matrix
 
@@ -149,97 +155,142 @@ class Dgemm(Kernel):
     def _execute(self, fault: KernelFault | None) -> ExecutionOutput:
         if fault is None:
             return ExecutionOutput(output=self.a @ self.b)
-        golden = self.golden().output
-        handler = getattr(self, f"_fault_{fault.site}")
+        # Every DGEMM site admits a closed-form sparse delta, so the full
+        # path *is* the fast path materialised over a golden copy — the two
+        # are bit-identical by construction.
+        sparse = self._execute_delta(fault)
+        return ExecutionOutput(output=sparse.materialize(self.golden().output))
+
+    def _execute_delta(self, fault: KernelFault) -> SparseOutput:
+        handler = getattr(self, f"_delta_{fault.site}")
         # Corrupted operands may legitimately overflow; the resulting
         # Inf/NaN elements are themselves the observed corruption.
         with np.errstate(all="ignore"):
-            return ExecutionOutput(output=handler(golden.copy(), fault))
+            flat, values = handler(self.golden().output, fault)
+        return SparseOutput(flat_indices=flat, values=values)
 
     # -- fault handlers -----------------------------------------------------------
     #
     # Each handler picks the victim location from the fault's private RNG,
-    # corrupts it with the fault's flip model, and computes the corrupted
-    # output the real algorithm would produce.
+    # corrupts it with the fault's flip model, and returns the corruption the
+    # real algorithm would produce as a sparse delta: the strictly-increasing
+    # flat C-order indices of every output element the fault can touch, plus
+    # those elements' post-fault values.
 
-    def _fault_input_a(self, c: np.ndarray, fault: KernelFault) -> np.ndarray:
+    @staticmethod
+    def _block_flat(rows: range, cols: range, n: int) -> np.ndarray:
+        """Flat C-order indices of a rectangular footprint, ascending."""
+        return (
+            np.arange(rows.start, rows.stop, dtype=np.intp)[:, None] * n
+            + np.arange(cols.start, cols.stop, dtype=np.intp)
+        ).ravel()
+
+    def _delta_input_a(self, golden, fault):
         rng = fault.rng()
         i = int(rng.integers(self.n))
         k0 = int(rng.integers(self.n))
         j_start = int(fault.progress * self.n)
+        values = golden[i, j_start:].copy()
         for k in range(k0, min(k0 + fault.extent, self.n)):
             original = self.a[i, k]
             corrupted = fault.flip.apply_scalar(original, rng)
-            c[i, j_start:] += (corrupted - original) * self.b[k, j_start:]
-        return c
+            values += (corrupted - original) * self.b[k, j_start:]
+        flat = i * self.n + np.arange(j_start, self.n, dtype=np.intp)
+        return flat, values
 
-    def _fault_input_b(self, c: np.ndarray, fault: KernelFault) -> np.ndarray:
+    def _delta_input_b(self, golden, fault):
         rng = fault.rng()
         k = int(rng.integers(self.n))
         j0 = int(rng.integers(self.n))
         i_start = int(fault.progress * self.n)
-        for j in range(j0, min(j0 + fault.extent, self.n)):
+        j1 = min(j0 + fault.extent, self.n)
+        block = golden[i_start:, j0:j1].copy()
+        for jj, j in enumerate(range(j0, j1)):
             original = self.b[k, j]
             corrupted = fault.flip.apply_scalar(original, rng)
-            c[i_start:, j] += (corrupted - original) * self.a[i_start:, k]
-        return c
+            block[:, jj] += (corrupted - original) * self.a[i_start:, k]
+        flat = self._block_flat(range(i_start, self.n), range(j0, j1), self.n)
+        return flat, block.ravel()
 
-    def _fault_shared_tile(self, c: np.ndarray, fault: KernelFault) -> np.ndarray:
+    def _delta_shared_tile(self, golden, fault):
         rng = fault.rng()
         bi = int(rng.integers(self.n // self.tile)) * self.tile
         bj = int(rng.integers(self.n // self.tile)) * self.tile
         k = int(rng.integers(self.n))
         j_off = int(rng.integers(self.tile))
-        rows = slice(bi, bi + self.tile)
-        for j in range(bj + j_off, min(bj + j_off + fault.extent, bj + self.tile)):
+        c0 = bj + j_off
+        c1 = min(bj + j_off + fault.extent, bj + self.tile)
+        block = golden[bi : bi + self.tile, c0:c1].copy()
+        for jj, j in enumerate(range(c0, c1)):
             original = self.b[k, j]
             corrupted = fault.flip.apply_scalar(original, rng)
-            c[rows, j] += (corrupted - original) * self.a[rows, k]
-        return c
+            block[:, jj] += (corrupted - original) * self.a[bi : bi + self.tile, k]
+        flat = self._block_flat(range(bi, bi + self.tile), range(c0, c1), self.n)
+        return flat, block.ravel()
 
-    def _fault_accumulator(self, c: np.ndarray, fault: KernelFault) -> np.ndarray:
+    def _delta_accumulator(self, golden, fault):
         rng = fault.rng()
         i = int(rng.integers(self.n))
         j = int(rng.integers(self.n))
-        c[i, j] = fault.flip.apply_scalar(c[i, j], rng)
-        return c
+        value = fault.flip.apply_scalar(golden[i, j], rng)
+        return np.array([i * self.n + j], dtype=np.intp), np.array(
+            [value], dtype=golden.dtype
+        )
 
-    def _fault_product_term(self, c: np.ndarray, fault: KernelFault) -> np.ndarray:
+    def _delta_product_term(self, golden, fault):
         rng = fault.rng()
         i = int(rng.integers(self.n))
         j = int(rng.integers(self.n))
         k = int(rng.integers(self.n))
         product = self.a[i, k] * self.b[k, j]
-        c[i, j] += fault.flip.apply_scalar(product, rng) - product
-        return c
+        value = golden[i, j] + (fault.flip.apply_scalar(product, rng) - product)
+        return np.array([i * self.n + j], dtype=np.intp), np.array(
+            [value], dtype=golden.dtype
+        )
 
-    def _fault_vector_lane(self, c: np.ndarray, fault: KernelFault) -> np.ndarray:
+    def _delta_vector_lane(self, golden, fault):
         rng = fault.rng()
         i = int(rng.integers(self.n))
         j0 = int(rng.integers(self.n))
         j1 = min(j0 + fault.extent, self.n)
-        c[i, j0:j1] = fault.flip.apply(c[i, j0:j1], rng)
-        return c
+        values = fault.flip.apply(golden[i, j0:j1], rng)
+        flat = i * self.n + np.arange(j0, j1, dtype=np.intp)
+        return flat, values
 
-    def _fault_scheduler_block(self, c: np.ndarray, fault: KernelFault) -> np.ndarray:
+    def _delta_scheduler_block(self, golden, fault):
         rng = fault.rng()
         bi = int(rng.integers(self.n // self.tile)) * self.tile
         bj = int(rng.integers(self.n // self.tile)) * self.tile
         k_cut = int(fault.progress * self.n)
-        rows = slice(bi, bi + self.tile)
-        cols = slice(bj, bj + self.tile)
-        c[rows, cols] = self.a[rows, :k_cut] @ self.b[:k_cut, cols]
-        return c
+        tile_vals = (
+            self.a[bi : bi + self.tile, :k_cut]
+            @ self.b[:k_cut, bj : bj + self.tile]
+        )
+        flat = self._block_flat(
+            range(bi, bi + self.tile), range(bj, bj + self.tile), self.n
+        )
+        return flat, tile_vals.ravel()
 
-    def _fault_scheduler_threads(self, c: np.ndarray, fault: KernelFault) -> np.ndarray:
+    def _delta_scheduler_threads(self, golden, fault):
         rng = fault.rng()
         count = min(fault.extent, self.n * self.n)
         flat = rng.choice(self.n * self.n, size=count, replace=False)
-        for idx in flat:
-            i, j = divmod(int(idx), self.n)
-            k_cut = int(rng.uniform(fault.progress, 1.0) * self.n)
-            c[i, j] = float(self.a[i, :k_cut] @ self.b[:k_cut, j])
-        return c
+        # One batched draw is bit-identical to `count` sequential scalar
+        # uniform draws, so the victim selection matches the historical
+        # per-thread loop exactly.
+        k_cuts = (
+            rng.uniform(fault.progress, 1.0, size=count) * self.n
+        ).astype(np.intp)
+        ii = flat.astype(np.intp) // self.n
+        jj = flat.astype(np.intp) % self.n
+        # Batched truncated dot products: each mis-scheduled thread sums
+        # only its first k_cut terms of the K dimension.
+        mask = np.arange(self.n, dtype=np.intp)[None, :] < k_cuts[:, None]
+        values = np.einsum(
+            "ck,ck->c", self.a[ii], np.where(mask, self.b[:, jj].T, 0.0)
+        )
+        order = np.argsort(flat, kind="stable")
+        return flat[order].astype(np.intp), values[order]
 
     # -- helpers for ABFT studies ---------------------------------------------------
 

@@ -28,7 +28,13 @@ from repro.kernels.base import (
     Kernel,
     KernelCrashError,
     KernelFault,
+    SparseOutput,
 )
+
+#: Upper bound on the memory the delta-replay fast path may spend keeping
+#: the dense per-iteration golden states; configurations whose state chain
+#: would exceed it simply fall back to full re-execution.
+DELTA_STATES_MAX_BYTES = 256 * 2**20
 from repro.kernels.classification import TABLE_I, KernelClassification
 from repro.kernels.inputs import balanced_matrix
 
@@ -274,3 +280,153 @@ class HotSpot(Kernel):
             output=temp,
             aux={"snapshots": prefix + snapshots, "checkpoints": golden_aux["checkpoints"]},
         )
+
+    # -- delta-replay fast path ---------------------------------------------------
+    #
+    # The 5-point stencil is a light cone: a disturbance introduced at
+    # iteration ``t`` can reach, after ``s`` further steps, only cells within
+    # (L1, hence L-inf) distance ``s`` of the disturbed region.  The fast
+    # path therefore replays only the bounding window of the fault's final
+    # light cone, feeding each iteration's window border from the dense
+    # golden state of that iteration — border cells are provably outside the
+    # cone, so their values equal the full faulty run's values bit for bit,
+    # and the elementwise update inside the window reproduces the dense
+    # update exactly.  Faults whose cone covers the whole grid "propagate
+    # globally" and fall back to full re-execution.
+
+    def _iteration_states(self) -> np.ndarray | None:
+        """Dense golden state after every iteration, or ``None`` if too big.
+
+        ``states[t]`` is the temperature field after ``t`` clean steps —
+        the same values the golden run (and the faulty run's clean restart
+        prefix) computes, produced by the same ``_step`` chain.
+        """
+        bytes_needed = (self.iterations + 1) * self.n * self.n * 4
+        if bytes_needed > DELTA_STATES_MAX_BYTES:
+            return None
+        if getattr(self, "_delta_states", None) is None:
+            states = np.empty(
+                (self.iterations + 1, self.n, self.n), dtype=np.float32
+            )
+            temp = self.initial_temp.copy()
+            states[0] = temp
+            for it in range(self.iterations):
+                temp = self._step(temp, self.power)
+                states[it + 1] = temp
+            self._delta_states = states
+        return self._delta_states
+
+    def _window_step(
+        self,
+        w: np.ndarray,
+        power_w: np.ndarray,
+        ring_source: np.ndarray,
+        rows: tuple[int, int],
+        cols: tuple[int, int],
+    ) -> np.ndarray:
+        """One stencil update restricted to a window.
+
+        ``ring_source`` is the dense (golden) field the window border reads
+        from; where the window touches the grid edge the border replicates
+        the window's own edge, matching ``np.pad(..., mode="edge")``.
+        """
+        r0, r1 = rows
+        q0, q1 = cols
+        h, wd = w.shape
+        padded = np.empty((h + 2, wd + 2), dtype=w.dtype)
+        padded[1:-1, 1:-1] = w
+        padded[0, 1:-1] = ring_source[r0 - 1, q0:q1] if r0 > 0 else w[0, :]
+        padded[-1, 1:-1] = ring_source[r1, q0:q1] if r1 < self.n else w[-1, :]
+        padded[1:-1, 0] = ring_source[r0:r1, q0 - 1] if q0 > 0 else w[:, 0]
+        padded[1:-1, -1] = ring_source[r0:r1, q1] if q1 < self.n else w[:, -1]
+        # Corners are never read by the 5-point stencil; leave them as-is.
+        padded[0, 0] = padded[0, 1]
+        padded[0, -1] = padded[0, -2]
+        padded[-1, 0] = padded[-1, 1]
+        padded[-1, -1] = padded[-1, -2]
+        north = padded[:-2, 1:-1]
+        south = padded[2:, 1:-1]
+        west = padded[1:-1, :-2]
+        east = padded[1:-1, 2:]
+        with np.errstate(all="ignore"):
+            delta = self.step_div_cap * (
+                power_w
+                + (north + south - 2.0 * w) / np.float32(self.ry)
+                + (east + west - 2.0 * w) / np.float32(self.rx)
+                + (np.float32(AMBIENT_TEMP) - w) / np.float32(self.rz)
+            )
+            return w + delta
+
+    def _execute_delta(self, fault: KernelFault) -> SparseOutput | None:
+        states = self._iteration_states()
+        if states is None:
+            return None  # state chain too large: fall back
+        strike_iter = int(fault.progress * self.iterations)
+        rng = fault.rng()
+
+        # Mirror _run_faulty's RNG draws exactly, then express the fault as
+        # (source box, replay start iteration, window initialiser).
+        if fault.site in ("cell_temp", "cell_line", "tile_cells", "vector_cells"):
+            r = int(rng.integers(self.n))
+            c0 = int(rng.integers(self.n))
+            c1 = min(c0 + fault.extent, self.n)
+            src = (r, r + 1, c0, c1)
+            start_it = strike_iter
+        elif fault.site == "power_input":
+            r = int(rng.integers(self.n))
+            c0 = int(rng.integers(self.n))
+            c1 = min(c0 + fault.extent, self.n)
+            src = (r, r + 1, c0, c1)
+            start_it = strike_iter
+        elif fault.site == "fpu_term":
+            i = int(rng.integers(self.n))
+            j = int(rng.integers(self.n))
+            src = (i, i + 1, j, j + 1)
+            start_it = strike_iter + 1
+        elif fault.site == "block_skip":
+            br = int(rng.integers(max(1, self.n // self.tile))) * self.tile
+            bc = int(rng.integers(max(1, self.n // self.tile))) * self.tile
+            src = (br, min(br + self.tile, self.n),
+                   bc, min(bc + self.tile, self.n))
+            start_it = strike_iter + 1
+        else:  # pragma: no cover - guarded by Kernel.run_delta
+            raise KeyError(fault.site)
+
+        growth = self.iterations - start_it
+        r0 = max(0, src[0] - growth)
+        r1 = min(self.n, src[1] + growth)
+        q0 = max(0, src[2] - growth)
+        q1 = min(self.n, src[3] + growth)
+        if r0 == 0 and q0 == 0 and r1 == self.n and q1 == self.n:
+            return None  # light cone covers the whole grid: global propagation
+
+        w = states[start_it, r0:r1, q0:q1].copy()
+        power_w = self.power[r0:r1, q0:q1]
+        if fault.site in ("cell_temp", "cell_line", "tile_cells", "vector_cells"):
+            w[r - r0, c0 - q0 : c1 - q0] = fault.flip.apply(
+                states[strike_iter, r, c0:c1], rng
+            )
+        elif fault.site == "power_input":
+            power_w = power_w.copy()
+            power_w[r - r0, c0 - q0 : c1 - q0] = fault.flip.apply(
+                self.power[r, c0:c1], rng
+            )
+        elif fault.site == "fpu_term":
+            w[i - r0, j - q0] = fault.flip.apply(
+                np.array([states[strike_iter + 1, i, j]], dtype=np.float32), rng
+            )[0]
+        elif fault.site == "block_skip":
+            w[src[0] - r0 : src[1] - r0, src[2] - q0 : src[3] - q0] = states[
+                strike_iter, src[0] : src[1], src[2] : src[3]
+            ]
+
+        for it in range(start_it, self.iterations):
+            w = self._window_step(w, power_w, states[it], (r0, r1), (q0, q1))
+
+        if not np.all(np.isfinite(w)):
+            raise KernelCrashError("hotspot: non-finite temperatures")
+        flat = (
+            np.arange(r0, r1, dtype=np.intp)[:, None] * self.n
+            + np.arange(q0, q1, dtype=np.intp)
+        ).ravel()
+        return SparseOutput(flat_indices=flat, values=w.ravel())

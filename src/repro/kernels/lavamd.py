@@ -35,6 +35,7 @@ from repro.kernels.base import (
     Kernel,
     KernelCrashError,
     KernelFault,
+    SparseOutput,
 )
 from repro.kernels.classification import TABLE_I, KernelClassification
 from repro.kernels.inputs import balanced_matrix
@@ -272,6 +273,28 @@ class LavaMD(Kernel):
 
     # -- fault handling ----------------------------------------------------------------
 
+    def _consumer_boxes(
+        self, victim_box: int, progress: float, sharing: float
+    ) -> np.ndarray:
+        """Sorted flat indices of boxes that recompute after a strike.
+
+        Boxes are processed in flat order; a box whose processing finished
+        before the strike keeps its correct result.  ``sharing`` caps how
+        many consumer boxes see the corrupted copy before it is evicted
+        (cache-pressure effect, Section V-B): the home box plus the nearest
+        neighbours, up to the cap.
+        """
+        first_affected = int(progress * self.nb**3)
+        near = self._neighbors[victim_box]
+        if np.isfinite(sharing) and sharing < len(near):
+            coords = np.array([self.box_coords(int(b)) for b in near], dtype=float)
+            centre = np.array(self.box_coords(victim_box), dtype=float)
+            order = np.argsort(((coords - centre) ** 2).sum(axis=1), kind="stable")
+            near = near[order][: max(1, int(round(sharing)))]
+        return np.array(
+            sorted(int(b) for b in near if b >= first_affected), dtype=np.intp
+        )
+
     def _recompute_affected(
         self,
         v: np.ndarray,
@@ -281,26 +304,36 @@ class LavaMD(Kernel):
         charges: np.ndarray,
         sharing: float = float("inf"),
     ) -> np.ndarray:
-        """Recompute boxes that read the victim's data after the strike.
-
-        Boxes are processed in flat order; a box whose processing finished
-        before the strike keeps its correct result.  ``sharing`` caps how
-        many consumer boxes see the corrupted copy before it is evicted
-        (cache-pressure effect, Section V-B): the home box plus the nearest
-        neighbours, up to the cap.
-        """
-        first_affected = int(progress * self.nb**3)
+        """Recompute boxes that read the victim's data after the strike."""
         v = v.reshape(self.nb**3, self.np_box, self.channels)
-        near = self._neighbors[victim_box]
-        if np.isfinite(sharing) and sharing < len(near):
-            coords = np.array([self.box_coords(int(b)) for b in near], dtype=float)
-            centre = np.array(self.box_coords(victim_box), dtype=float)
-            order = np.argsort(((coords - centre) ** 2).sum(axis=1), kind="stable")
-            near = near[order][: max(1, int(round(sharing)))]
-        for box in near:
-            if box >= first_affected:
-                v[box] = self._box_potentials(int(box), positions, charges)
+        for box in self._consumer_boxes(victim_box, progress, sharing):
+            v[box] = self._box_potentials(int(box), positions, charges)
         return v.reshape(-1)
+
+    def _boxes_sparse(
+        self,
+        boxes: np.ndarray,
+        positions: np.ndarray,
+        charges: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Sparse (flat, values) footprint of whole-box recomputations."""
+        box_elems = self.np_box * self.channels
+        if len(boxes) == 0:
+            return (
+                np.empty(0, dtype=np.intp),
+                np.empty(0, dtype=np.float64),
+            )
+        flats, vals = [], []
+        for box in boxes:
+            box = int(box)
+            out = self._box_potentials(box, positions, charges)
+            flats.append(
+                np.arange(
+                    box * box_elems, (box + 1) * box_elems, dtype=np.intp
+                )
+            )
+            vals.append(out.reshape(-1))
+        return np.concatenate(flats), np.concatenate(vals)
 
     def _run_faulty(self, fault: KernelFault) -> ExecutionOutput:
         rng = fault.rng()
@@ -365,3 +398,87 @@ class LavaMD(Kernel):
         if not finite:
             raise KernelCrashError("lavamd: non-finite potentials")
         return ExecutionOutput(output=v)
+
+    # -- delta-replay fast path ---------------------------------------------------
+    #
+    # Every LavaMD site corrupts a closed set of output elements: whole
+    # consumer boxes (charge/position/cache/scheduler sites) or individual
+    # accumulator words.  Each branch below replays the *same* RNG draws and
+    # the *same* arithmetic as ``_run_faulty``, but assembles only the
+    # touched footprint instead of copying and re-checking the dense array.
+
+    def _execute_delta(self, fault: KernelFault) -> SparseOutput:
+        rng = fault.rng()
+        golden = self.golden().output
+        n_boxes = self.nb**3
+        box_elems = self.np_box * self.channels
+
+        if fault.site in ("charge", "cache_particles"):
+            box = int(rng.integers(n_boxes))
+            p0 = int(rng.integers(self.np_box))
+            p1 = min(p0 + fault.extent, self.np_box)
+            charges = self.charges.copy()
+            charges[box, p0:p1] = fault.flip.apply(charges[box, p0:p1], rng)
+            boxes = self._consumer_boxes(box, fault.progress, fault.sharing)
+            flat, values = self._boxes_sparse(boxes, self.positions, charges)
+        elif fault.site == "position":
+            box = int(rng.integers(n_boxes))
+            p0 = int(rng.integers(self.np_box))
+            p1 = min(p0 + fault.extent, self.np_box)
+            dim = int(rng.integers(3))
+            positions = self.positions.copy()
+            positions[box, p0:p1, dim] = fault.flip.apply(
+                positions[box, p0:p1, dim], rng
+            )
+            boxes = self._consumer_boxes(box, fault.progress, fault.sharing)
+            flat, values = self._boxes_sparse(boxes, positions, self.charges)
+        elif fault.site == "potential_acc":
+            idx = int(rng.integers(golden.size))
+            value = fault.flip.apply_scalar(golden[idx], rng)
+            flat = np.array([idx], dtype=np.intp)
+            values = np.array([value], dtype=golden.dtype)
+        elif fault.site == "vector_acc":
+            i0 = int(rng.integers(golden.size))
+            i1 = min(i0 + fault.extent, golden.size)
+            values = fault.flip.apply(golden[i0:i1], rng)
+            flat = np.arange(i0, i1, dtype=np.intp)
+        elif fault.site == "sfu_exp":
+            box = int(rng.integers(n_boxes))
+            p = int(rng.integers(self.np_box))
+            near = self._neighbors[box]
+            jbox = int(near[int(rng.integers(len(near)))])
+            jp = int(rng.integers(self.np_box))
+            diff = self.positions[box, p] - self.positions[jbox, jp]
+            term = np.exp(-ALPHA2 * float(diff @ diff))
+            corrupted = fault.flip.apply_scalar(term, rng)
+            delta = self.charges[jbox, jp] * (corrupted - term)
+            base = (box * self.np_box + p) * self.channels
+            if self.include_forces:
+                flat = np.arange(base, base + 4, dtype=np.intp)
+                values = np.empty(4, dtype=golden.dtype)
+                values[0] = golden[base] + delta
+                values[1:4] = golden[base + 1 : base + 4] + (
+                    2.0 * ALPHA2 * delta * diff
+                )
+            else:
+                flat = np.array([base], dtype=np.intp)
+                values = np.array([golden[base] + delta], dtype=golden.dtype)
+        elif fault.site == "scheduler_box":
+            box = int(rng.integers(n_boxes))
+            limit = max(1, int(fault.progress * len(self._neighbors[box])))
+            out = self._box_potentials(box, self.positions, self.charges, limit)
+            flat = np.arange(
+                box * box_elems, (box + 1) * box_elems, dtype=np.intp
+            )
+            values = out.reshape(-1)
+        else:  # pragma: no cover - guarded by Kernel.run_delta
+            raise KeyError(fault.site)
+
+        # Crash parity with the full path: the untouched elements are the
+        # (pre-checked finite) golden values, so the dense finiteness check
+        # reduces to the touched footprint.
+        with np.errstate(all="ignore"):
+            finite = bool(np.all(np.isfinite(values)))
+        if not finite:
+            raise KernelCrashError("lavamd: non-finite potentials")
+        return SparseOutput(flat_indices=flat, values=values)

@@ -169,6 +169,9 @@ class CampaignScheduler:
             — but ``"serial"`` runs chunks inline for deterministic tests.
         timeout: wall-clock bound on one :meth:`run` (``None`` = the
             ``REPRO_POOL_TIMEOUT`` environment default).
+        fast_path: attempt delta replay in workers (``None`` = the
+            ``REPRO_FASTPATH`` environment default).  Records are
+            bit-identical either way, so mixed-mode resumes are safe.
         retry: the transient-failure policy (default
             :class:`RetryPolicy`).
         reuse: serve specs already complete in the store as cache hits.
@@ -189,6 +192,7 @@ class CampaignScheduler:
         chunk_size: "int | None" = None,
         backend: str = "auto",
         timeout: "float | None" = None,
+        fast_path: "bool | None" = None,
         retry: "RetryPolicy | None" = None,
         reuse: bool = True,
         seed: int = 0,
@@ -199,7 +203,7 @@ class CampaignScheduler:
         self.store = store
         self._executor = CampaignExecutor(
             workers=workers, chunk_size=chunk_size, backend=backend,
-            timeout=timeout,
+            timeout=timeout, fast_path=fast_path,
         )
         self.retry = retry if retry is not None else RetryPolicy()
         self.reuse = reuse
@@ -450,6 +454,7 @@ class CampaignScheduler:
             job.campaign.threshold_pct,
             task.indices,
             instrument,
+            self._executor.resolved_fast_path(),
         )
         if pool is None:  # serial backend: run inline, wrap as a future
             future: Future = Future()

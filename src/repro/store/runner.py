@@ -110,6 +110,7 @@ def execute_spec(
     chunk_size: "int | None" = None,
     timeout: "float | None" = None,
     backend: str = "auto",
+    fast_path: "bool | None" = None,
     reuse: bool = True,
 ) -> RunOutcome:
     """Run a spec with durable journaling (resuming/deduping via the store).
@@ -118,6 +119,11 @@ def execute_spec(
     * stored but incomplete → resume from the last durable record;
     * stored and complete → content-addressed cache hit (with ``reuse``),
       returning the stored result without simulating anything.
+
+    ``fast_path`` (``None`` = the ``REPRO_FASTPATH`` environment default)
+    is safe to flip between run and resume: fast-path records are
+    bit-identical to full re-execution, so a journal written one way
+    resumes the other way without divergence.
     """
     run_id = spec.run_id()
     stored = store.load(run_id) if store.has(run_id) else None
@@ -129,7 +135,7 @@ def execute_spec(
         )
     campaign = spec.build_campaign(
         workers=workers, chunk_size=chunk_size, timeout=timeout,
-        backend=backend,
+        backend=backend, fast_path=fast_path,
     )
     if stored is None:
         journal = store.create_run(spec)
@@ -161,6 +167,7 @@ def resume_run(
     chunk_size: "int | None" = None,
     timeout: "float | None" = None,
     backend: str = "auto",
+    fast_path: "bool | None" = None,
 ) -> RunOutcome:
     """Resume a stored run by id (``repro resume <run-id>``).
 
@@ -178,7 +185,7 @@ def resume_run(
     spec = store.load(run_id).spec
     return execute_spec(
         store, spec, workers=workers, chunk_size=chunk_size,
-        timeout=timeout, backend=backend, reuse=True,
+        timeout=timeout, backend=backend, fast_path=fast_path, reuse=True,
     )
 
 

@@ -146,8 +146,15 @@ class CampaignSpec:
         chunk_size: "int | None" = None,
         timeout: "float | None" = None,
         backend: str = "auto",
+        fast_path: "bool | None" = None,
     ):
-        """Instantiate the runnable :class:`~repro.beam.campaign.Campaign`."""
+        """Instantiate the runnable :class:`~repro.beam.campaign.Campaign`.
+
+        ``fast_path`` is an execution strategy, not part of the spec:
+        fast-path and reference records are bit-identical, so the same
+        run id addresses both (resuming a reference journal with the fast
+        path on, or vice versa, is safe by construction).
+        """
         from repro.arch.registry import make_device
         from repro.beam.campaign import Campaign
         from repro.kernels.registry import make_kernel
@@ -163,4 +170,5 @@ class CampaignSpec:
             chunk_size=chunk_size,
             timeout=timeout,
             backend=backend,
+            fast_path=fast_path,
         )

@@ -1,0 +1,308 @@
+"""Delta-replay differential suite: fast path ≡ full re-execution, bit for bit.
+
+The fast path (``Kernel.run_delta`` + sparse diffing, docs/performance.md)
+is only allowed to exist because it is *exactly* the reference path in
+fewer FLOPs.  This suite pins that contract at every level:
+
+* **site level** — for every kernel × every ``fault_sites()`` entry, the
+  materialised sparse delta equals the dense faulty output byte for byte,
+  crashes raise the same error, and the sparse observation reproduces the
+  dense one's indices/values/locality bitwise;
+* **injector level** — full record streams (serialised to hex-float rows,
+  the ``tests/golden/`` idiom) are equal with the switch on and off;
+* **campaign level** — serial/thread/process pooled runs with the fast
+  path on write byte-identical JSONL logs to the reference serial run
+  with it off;
+* **fixture level** — the recorded ``tests/golden/`` outcome sequences
+  and hex-exact summary statistics are reproduced with the fast path on;
+* **accounting** — hit/fallback counters land in the instance and the
+  metrics registry, and never double-count.
+
+A divergence anywhere here means the closed-form delta arithmetic drifted
+from the reference kernels — exactly what this suite exists to catch.
+"""
+
+import numpy as np
+import pytest
+
+from repro import observability as obs
+from repro.arch import ResourceKind, k40, xeonphi
+from repro.beam import Campaign, write_log
+from repro.beam.executor import default_fast_path
+from repro.beam.logs import record_to_row
+from repro.faults import Injector
+from repro.kernels import Clamr, Dgemm, HotSpot, LavaMD
+from repro.kernels.base import KernelCrashError
+from repro.observability.metrics import MetricsRegistry
+
+from tests.beam.test_golden_trace import (
+    CASES as GOLDEN_CASES,
+    POOL_TIMEOUT,
+    load_fixture,
+    outcome_rows,
+    summary_payload,
+)
+
+#: Small-but-representative kernels; every site of every kernel is hit.
+KERNEL_FACTORIES = {
+    "dgemm": lambda: Dgemm(n=48),
+    "hotspot": lambda: HotSpot(n=32, iterations=24),
+    "lavamd": lambda: LavaMD(nb=4, particles_per_box=16),
+    "clamr": lambda: Clamr(n=16, steps=8),
+}
+
+#: Kernels whose every site admits a closed-form delta (never falls back
+#: when the golden output is finite).
+ALWAYS_DELTA = {"dgemm", "lavamd"}
+
+#: Kernels that must always fall back (no closed-form window exists).
+NEVER_DELTA = {"clamr"}
+
+DEVICE_FOR = {"clamr": xeonphi}  # the paper runs CLAMR on the Xeon Phi
+
+TRIALS_PER_SITE = 8
+
+
+def _device_for(name):
+    return DEVICE_FOR.get(name, k40)()
+
+
+def _site_params():
+    for name, factory in sorted(KERNEL_FACTORIES.items()):
+        for site in factory().fault_sites():
+            yield pytest.param(name, site.name, id=f"{name}-{site.name}")
+
+
+def _fault_for(kernel, device, site, trial: int):
+    """One deterministic, injector-shaped fault for a given site."""
+    from repro.kernels.base import KernelFault
+
+    rng = np.random.default_rng((hash((kernel.name, site.name)) % 2**32, trial))
+    kind = ResourceKind(site.resource)
+    return KernelFault(
+        site=site.name,
+        progress=float(rng.uniform()),
+        flip=device.flip_model(kind, kernel.name),
+        seed=int(rng.integers(2**31)),
+        extent=(device.burst_extent(kind, rng) if site.supports_extent else 1),
+        sharing=device.sharing_breadth(kind, kernel),
+    )
+
+
+def _observation_bytes(observation) -> tuple:
+    """A bit-exact projection of an ErrorObservation."""
+    return (
+        tuple(observation.shape),
+        np.ascontiguousarray(observation.indices).tobytes(),
+        np.ascontiguousarray(observation.read).tobytes(),
+        np.ascontiguousarray(observation.expected).tobytes(),
+        np.ascontiguousarray(
+            observation.coordinates_for_locality()
+        ).tobytes(),
+    )
+
+
+class TestSiteDeltas:
+    """run_delta ≡ run, per kernel × fault site, bitwise."""
+
+    @pytest.mark.parametrize("kernel_name,site_name", _site_params())
+    def test_delta_matches_full_execution(self, kernel_name, site_name):
+        kernel = KERNEL_FACTORIES[kernel_name]()
+        device = _device_for(kernel_name)
+        site = {s.name: s for s in kernel.fault_sites()}[site_name]
+        golden = kernel.golden().output
+        hits = 0
+        non_crash = 0
+        for trial in range(TRIALS_PER_SITE):
+            fault = _fault_for(kernel, device, site, trial)
+
+            sparse_crash = dense_crash = None
+            sparse = None
+            try:
+                sparse = kernel.run_delta(fault)
+            except KernelCrashError as err:
+                sparse_crash = err
+            try:
+                dense = kernel.run(fault).output
+            except KernelCrashError as err:
+                dense_crash = err
+
+            if dense_crash is not None or sparse_crash is not None:
+                # Crash parity: the fast path may only crash when the
+                # reference crashes, with the same error text.
+                assert dense_crash is not None
+                if sparse_crash is not None:
+                    assert str(sparse_crash) == str(dense_crash)
+                continue
+            non_crash += 1
+            if sparse is None:
+                continue  # declared fallback: the dense path is the answer
+            hits += 1
+            materialized = sparse.materialize(golden)
+            assert materialized.dtype == dense.dtype
+            assert materialized.tobytes() == dense.tobytes(), (
+                f"{kernel_name}/{site_name} trial {trial}: sparse delta "
+                "diverges from full re-execution"
+            )
+            assert _observation_bytes(
+                kernel.observe_sparse(sparse)
+            ) == _observation_bytes(kernel.observe(dense))
+        if kernel_name in ALWAYS_DELTA:
+            assert hits == non_crash  # every non-crash trial was a hit
+        if kernel_name in NEVER_DELTA:
+            assert hits == 0
+
+    @pytest.mark.parametrize("kernel_name", sorted(ALWAYS_DELTA))
+    def test_closed_form_kernels_never_fall_back(self, kernel_name):
+        kernel = KERNEL_FACTORIES[kernel_name]()
+        device = _device_for(kernel_name)
+        for site in kernel.fault_sites():
+            fault = _fault_for(kernel, device, site, 0)
+            try:
+                sparse = kernel.run_delta(fault)
+            except KernelCrashError:
+                continue  # crash decided sparse-side: still a hit
+            assert sparse is not None, f"{kernel_name}/{site.name} fell back"
+
+
+class TestInjectorRecords:
+    """Full record streams are equal, serialised the tests/golden way."""
+
+    PAIRS = [
+        ("dgemm", k40),
+        ("hotspot", k40),
+        ("lavamd", k40),
+        ("clamr", xeonphi),
+        ("dgemm", xeonphi),
+    ]
+
+    @pytest.mark.parametrize(
+        "kernel_name,make_device",
+        PAIRS,
+        ids=[f"{k}-{d.__name__}" for k, d in PAIRS],
+    )
+    def test_records_bit_identical(self, kernel_name, make_device):
+        count, seed = 40, 29
+        reference = Injector(
+            kernel=KERNEL_FACTORIES[kernel_name](), device=make_device(),
+            seed=seed, fast_path=False,
+        ).inject_many(count)
+        fast = Injector(
+            kernel=KERNEL_FACTORIES[kernel_name](), device=make_device(),
+            seed=seed, fast_path=True,
+        ).inject_many(count)
+        assert [record_to_row(r) for r in fast] == [
+            record_to_row(r) for r in reference
+        ]
+
+    def test_counters_cover_every_kernel_execution(self):
+        injector = Injector(
+            kernel=KERNEL_FACTORIES["hotspot"](), device=k40(),
+            seed=3, fast_path=True,
+        )
+        records = injector.inject_many(40)
+        attempts = injector.fastpath_hits + injector.fastpath_fallbacks
+        # Architectural outcomes (ECC mask, control crash/hang) and
+        # unconsumed-data masks never reach the kernel, hence are neither
+        # hits nor fallbacks.
+        reached_kernel = sum(1 for r in records if r.fault is not None)
+        assert attempts == reached_kernel
+        assert injector.fastpath_hits > 0
+
+    def test_reference_path_never_counts(self):
+        injector = Injector(
+            kernel=KERNEL_FACTORIES["dgemm"](), device=k40(), seed=3,
+        )
+        injector.inject_many(10)
+        assert injector.fastpath_hits == 0
+        assert injector.fastpath_fallbacks == 0
+
+
+class TestCampaignBackends:
+    """Pooled fast-path campaigns write byte-identical logs."""
+
+    @pytest.mark.parametrize("backend", ("serial", "thread", "process"))
+    def test_log_bytes_match_reference(self, backend, tmp_path):
+        def run(fast_path, backend):
+            return Campaign(
+                kernel=Dgemm(n=48), device=k40(), n_faulty=24, seed=11,
+                workers=2, chunk_size=7, backend=backend,
+                timeout=POOL_TIMEOUT, fast_path=fast_path,
+            ).run()
+
+        reference_path = tmp_path / "reference.jsonl"
+        fast_path_log = tmp_path / f"fast_{backend}.jsonl"
+        write_log(run(False, "serial"), reference_path)
+        write_log(run(True, backend), fast_path_log)
+        assert fast_path_log.read_bytes() == reference_path.read_bytes()
+
+    def test_fallback_heavy_campaign_matches_reference(self, tmp_path):
+        # CLAMR always falls back: the switch must be a pure no-op there.
+        def run(fast_path):
+            return Campaign(
+                kernel=Clamr(n=16, steps=4), device=xeonphi(), n_faulty=12,
+                seed=7, timeout=POOL_TIMEOUT, fast_path=fast_path,
+            ).run()
+
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        write_log(run(False), a)
+        write_log(run(True), b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_registry_counters_exported(self):
+        registry = MetricsRegistry()
+        with obs.observe(metrics=registry):
+            Campaign(
+                kernel=Dgemm(n=48), device=k40(), n_faulty=24, seed=11,
+                fast_path=True,
+            ).run()
+        text = registry.dumps("prometheus")
+        assert "repro_fastpath_hits_total" in text
+
+
+class TestGoldenFixtures:
+    """The recorded golden campaigns reproduce with the fast path on."""
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_CASES))
+    def test_fixture_reproduced(self, name):
+        config = GOLDEN_CASES[name]
+        golden = load_fixture(name)
+        result = Campaign(
+            kernel=config["make_kernel"](),
+            device=config["make_device"](),
+            n_faulty=config["n_faulty"],
+            seed=config["seed"],
+            timeout=POOL_TIMEOUT,
+            fast_path=True,
+        ).run()
+        assert outcome_rows(result.records) == golden["outcomes"]
+        assert summary_payload(result) == golden["summary"]
+
+
+class TestEnvironmentDefault:
+    """REPRO_FASTPATH resolves exactly like the other REPRO_* switches."""
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [("", False), ("1", True), ("true", True), ("ON", True),
+         ("0", False), ("no", False), ("off", False)],
+    )
+    def test_parse(self, monkeypatch, value, expected):
+        monkeypatch.setenv("REPRO_FASTPATH", value)
+        assert default_fast_path() is expected
+
+    def test_unset_means_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FASTPATH", raising=False)
+        assert default_fast_path() is False
+
+    def test_garbage_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FASTPATH", "maybe")
+        with pytest.raises(ValueError):
+            default_fast_path()
+
+    def test_env_reaches_the_injector(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FASTPATH", "1")
+        from repro.beam.executor import CampaignExecutor
+
+        assert CampaignExecutor().resolved_fast_path() is True
+        assert CampaignExecutor(fast_path=False).resolved_fast_path() is False
