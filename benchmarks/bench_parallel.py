@@ -14,6 +14,18 @@ for ``--quick`` runs): serial/pool/fast-path timings, the speedups
 between them, and the hit/fallback counters.  The fast-path rows are
 checked bit-identical to the reference before anything is written.
 
+A third section times batched delta execution (``batch=True``,
+``inject_batch``) against one-at-a-time scalar replay and records
+``BENCH_batch.json`` (``benchmarks/results/BENCH_batch_quick.json`` for
+``--quick``) the same way.
+
+Every timing row records the *resolved* pool size and backend — what the
+executor actually ran with, not what was requested.  On a machine where
+a "parallel" configuration resolves to a 1-worker pool (single core, or
+too few chunks), the ``parallel_over_serial`` speedup is recorded as
+``null`` with a printed warning instead of a meaningless 1-worker-vs-
+1-worker ratio.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_parallel.py
@@ -23,6 +35,8 @@ Usage::
         --quick --observability --max-overhead-pct 10
     PYTHONPATH=src python benchmarks/bench_parallel.py \
         --expect-fastpath-speedup 3.0
+    PYTHONPATH=src python benchmarks/bench_parallel.py \
+        --quick --expect-batch-speedup 2.0
 
 ``--workers 0`` (the default) sizes the pool to the CPU count.  On a
 multi-core runner a 200-strike DGEMM campaign should clear 2x serial
@@ -54,11 +68,15 @@ FASTPATH_JSON_PATH = Path(__file__).parent.parent / "BENCH_fastpath.json"
 FASTPATH_JSON_QUICK_PATH = (
     Path(__file__).parent / "results" / "BENCH_fastpath_quick.json"
 )
+BATCH_JSON_PATH = Path(__file__).parent.parent / "BENCH_batch.json"
+BATCH_JSON_QUICK_PATH = (
+    Path(__file__).parent / "results" / "BENCH_batch_quick.json"
+)
 
 
 def run_campaign(kernel_name: str, device_name: str, n: int, faulty: int,
                  seed: int, workers: int, chunk_size: "int | None",
-                 fast_path: bool = False):
+                 fast_path: bool = False, batch: bool = False):
     """One timed campaign run; returns (seconds, result)."""
     campaign = Campaign(
         kernel=make_kernel(kernel_name, n=n),
@@ -69,14 +87,40 @@ def run_campaign(kernel_name: str, device_name: str, n: int, faulty: int,
         chunk_size=chunk_size,
         timeout=1800.0,
         fast_path=fast_path,
+        batch=batch,
     )
     start = time.perf_counter()
     result = campaign.run()
     return time.perf_counter() - start, result
 
 
-def bench(args) -> str:
+def resolved_execution(args, workers: int) -> "tuple[str, int]":
+    """The backend and pool size the executor will *actually* use.
+
+    Mirrors :meth:`CampaignExecutor.run`'s resolution: the requested
+    worker count is downshifted to the chunk count, and too-small pools
+    or workloads fall back to the serial loop.  Timing rows record this
+    (not the requested count) so a "parallel" row on a single-core
+    machine is visibly a serial run.
+    """
+    from repro.beam.executor import CampaignExecutor
+
+    executor = CampaignExecutor(workers=workers, chunk_size=args.chunk_size)
+    resolved = executor.resolved_workers()
+    backend = executor.resolved_backend(args.faulty, resolved)
+    if backend != "serial":
+        chunks = executor.plan_chunks(range(args.faulty), resolved)
+        resolved = min(resolved, len(chunks))
+        if resolved <= 1:
+            backend = "serial"
+    if backend == "serial":
+        resolved = 1
+    return backend, resolved
+
+
+def bench(args) -> "tuple[str, float | None]":
     workers = args.workers if args.workers > 0 else (os.cpu_count() or 1)
+    par_backend, par_pool = resolved_execution(args, workers)
     rows = []
     outcomes = {}
     for label, w in (("serial", 1), (f"parallel x{workers}", workers)):
@@ -89,19 +133,34 @@ def bench(args) -> str:
         outcomes[label] = [r.outcome for r in result.records]
         rows.append((label, seconds, args.faulty / seconds))
     (_, t_serial, thr_serial), (_, t_par, thr_par) = rows
-    speedup = thr_par / thr_serial
+    # A 1-worker "parallel" run measures nothing but itself: refuse to
+    # report it as a parallel speedup.
+    speedup = thr_par / thr_serial if par_pool > 1 else None
 
     identical = outcomes[rows[0][0]] == outcomes[rows[1][0]]
+    speedup_line = (
+        f"  speedup       : {speedup:8.2f}x"
+        if speedup is not None
+        else "  speedup       :     n/a (parallel run resolved to a "
+             "1-worker pool)"
+    )
     lines = [
         f"bench_parallel: {args.kernel}(n={args.n}) on {args.device}, "
         f"{args.faulty} struck executions, seed={args.seed}, "
         f"{os.cpu_count()} cores",
-        f"  serial        : {t_serial:8.2f} s  {thr_serial:8.1f} exec/s",
-        f"  parallel x{workers:<4d}: {t_par:8.2f} s  {thr_par:8.1f} exec/s",
-        f"  speedup       : {speedup:8.2f}x",
+        f"  serial        : {t_serial:8.2f} s  {thr_serial:8.1f} exec/s"
+        f"  [serial/1]",
+        f"  parallel x{workers:<4d}: {t_par:8.2f} s  {thr_par:8.1f} exec/s"
+        f"  [{par_backend}/{par_pool}]",
+        speedup_line,
         f"  records identical to serial: {identical}",
     ]
     text = "\n".join(lines)
+    if speedup is None:
+        print(
+            "WARNING: requested parallel pool resolved to 1 worker "
+            f"(backend={par_backend}); parallel speedup recorded as null."
+        )
     if not identical:
         raise SystemExit(text + "\nFATAL: parallel records differ from serial")
     return text, speedup
@@ -154,11 +213,14 @@ def bench_fastpath(args) -> "tuple[str, float, dict]":
     rows: dict = {}
     hits = fallbacks = 0
     for name, (w, fast) in configs.items():
+        backend, pool = resolved_execution(args, w)
         seconds, result, h, f = timed(w, fast)
         timings[name] = {
             "seconds": seconds,
             "exec_per_s": args.faulty / seconds,
             "workers": w,
+            "pool": pool,
+            "backend": backend,
             "fast_path": fast,
         }
         rows[name] = [record_to_row(r) for r in result.records]
@@ -167,8 +229,18 @@ def bench_fastpath(args) -> "tuple[str, float, dict]":
 
     identical = all(rows[name] == rows["serial_full"] for name in configs)
     thr = {name: slot["exec_per_s"] for name, slot in timings.items()}
+    par_pool = timings["parallel_full"]["pool"]
+    if par_pool <= 1:
+        print(
+            "WARNING: 'parallel' configurations resolved to a 1-worker "
+            f"pool (backend={timings['parallel_full']['backend']}); "
+            "parallel_over_serial recorded as null."
+        )
     speedup = {
-        "parallel_over_serial": thr["parallel_full"] / thr["serial_full"],
+        "parallel_over_serial": (
+            thr["parallel_full"] / thr["serial_full"] if par_pool > 1
+            else None
+        ),
         "fastpath_serial": thr["serial_fast"] / thr["serial_full"],
         "fastpath_parallel": thr["parallel_fast"] / thr["parallel_full"],
         "combined": thr["parallel_fast"] / thr["serial_full"],
@@ -198,6 +270,7 @@ def bench_fastpath(args) -> "tuple[str, float, dict]":
         *(
             f"  {name:<14}: {slot['seconds']:8.2f} s  "
             f"{slot['exec_per_s']:8.1f} exec/s"
+            f"  [{slot['backend']}/{slot['pool']}]"
             for name, slot in timings.items()
         ),
         f"  fast-path speedup (pooled) : "
@@ -213,6 +286,144 @@ def bench_fastpath(args) -> "tuple[str, float, dict]":
             text + "\nFATAL: fast-path records differ from full re-execution"
         )
     return text, speedup["fastpath_parallel"], payload
+
+
+def bench_batch(args) -> "tuple[str, float, dict]":
+    """Batched delta execution vs one-at-a-time scalar replay.
+
+    Times {full re-execution, scalar fast path, batched fast path} on the
+    same campaign, plus a pooled batched run, verifies every record
+    stream bit-identical to the serial full re-execution reference
+    (hex-float journal rows), and returns the section text, the
+    batch-over-scalar speedup, and the machine-readable payload for
+    ``BENCH_batch.json``.
+
+    All rows are warm-cache timings (best of ``--repeats``): the first
+    reference repeat warms the process-global golden cache, so the rows
+    measure the steady-state per-strike cost — the quantity delta replay
+    and batching actually change — not input generation.  The headline
+    number is ``batch_serial``'s absolute exec/s and its ratio over
+    ``scalar_fast``: same campaign, same fault set, only chunk-at-a-time
+    array evaluation versus a per-fault Python loop differs.
+    """
+    from repro import observability as obs
+    from repro.beam.logs import record_to_row
+
+    workers = args.workers if args.workers > 0 else (os.cpu_count() or 1)
+    repeats = max(1, args.repeats)
+
+    def timed(w: int, fast_path: bool, batch: bool):
+        best = float("inf")
+        result = None
+        hits = fallbacks = 0
+        for _ in range(repeats):
+            if fast_path:
+                registry = obs.MetricsRegistry()
+                with obs.observe(metrics=registry):
+                    seconds, res = run_campaign(
+                        args.kernel, args.device, args.n, args.faulty,
+                        args.seed, w, args.chunk_size, fast_path=True,
+                        batch=batch,
+                    )
+                metric = registry.get("repro_fastpath_hits_total")
+                hits = int(metric.total()) if metric is not None else 0
+                metric = registry.get("repro_fastpath_fallbacks_total")
+                fallbacks = int(metric.total()) if metric is not None else 0
+            else:
+                seconds, res = run_campaign(
+                    args.kernel, args.device, args.n, args.faulty,
+                    args.seed, w, args.chunk_size, batch=batch,
+                )
+            if seconds < best:
+                best, result = seconds, res
+        return best, result, hits, fallbacks
+
+    configs = {
+        "serial_full": (1, False, False),
+        "scalar_fast": (1, True, False),
+        "batch_serial": (1, True, True),
+        "batch_pooled": (workers, True, True),
+    }
+    timings: dict = {}
+    rows: dict = {}
+    hits = fallbacks = 0
+    for name, (w, fast, batch) in configs.items():
+        backend, pool = resolved_execution(args, w)
+        seconds, result, h, f = timed(w, fast, batch)
+        timings[name] = {
+            "seconds": seconds,
+            "exec_per_s": args.faulty / seconds,
+            "workers": w,
+            "pool": pool,
+            "backend": backend,
+            "fast_path": fast,
+            "batch": batch,
+        }
+        rows[name] = [record_to_row(r) for r in result.records]
+        if name == "batch_serial":
+            hits, fallbacks = h, f
+
+    identical = all(rows[name] == rows["serial_full"] for name in configs)
+    thr = {name: slot["exec_per_s"] for name, slot in timings.items()}
+    pooled_pool = timings["batch_pooled"]["pool"]
+    if pooled_pool <= 1:
+        print(
+            "WARNING: pooled batch configuration resolved to a 1-worker "
+            f"pool (backend={timings['batch_pooled']['backend']}); "
+            "parallel_over_serial recorded as null."
+        )
+    speedup = {
+        "batch_over_scalar": thr["batch_serial"] / thr["scalar_fast"],
+        "batch_over_full": thr["batch_serial"] / thr["serial_full"],
+        "batch_pooled_over_scalar": thr["batch_pooled"] / thr["scalar_fast"],
+        "parallel_over_serial": (
+            thr["batch_pooled"] / thr["batch_serial"] if pooled_pool > 1
+            else None
+        ),
+    }
+    attempts = hits + fallbacks
+    payload = {
+        "bench": "batch",
+        "kernel": args.kernel,
+        "device": args.device,
+        "n": args.n,
+        "faulty": args.faulty,
+        "seed": args.seed,
+        "workers": workers,
+        "cores": os.cpu_count(),
+        "quick": bool(args.quick),
+        "repeats": repeats,
+        "warm": True,
+        "timings": timings,
+        "speedup": speedup,
+        "fastpath": {
+            "hits": hits,
+            "fallbacks": fallbacks,
+            "hit_rate": (hits / attempts) if attempts else 0.0,
+        },
+        "records_identical": identical,
+    }
+    lines = [
+        "batched delta execution vs scalar replay:",
+        *(
+            f"  {name:<14}: {slot['seconds']:8.4f} s  "
+            f"{slot['exec_per_s']:8.1f} exec/s"
+            f"  [{slot['backend']}/{slot['pool']}]"
+            for name, slot in timings.items()
+        ),
+        f"  batch speedup vs scalar fast path : "
+        f"{speedup['batch_over_scalar']:8.2f}x",
+        f"  batch speedup vs full re-execution: "
+        f"{speedup['batch_over_full']:8.2f}x",
+        f"  hits/fallbacks             : {hits}/{fallbacks}",
+        f"  records identical to serial full re-execution: {identical}",
+    ]
+    text = "\n".join(lines)
+    if not identical:
+        raise SystemExit(
+            text + "\nFATAL: batched records differ from full re-execution"
+        )
+    return text, speedup["batch_over_scalar"], payload
 
 
 def bench_observability(args) -> "tuple[str, float]":
@@ -307,9 +518,15 @@ def main(argv=None) -> int:
     parser.add_argument("--expect-fastpath-speedup", type=float, default=None,
                         help="exit 1 unless pooled fast-path/pooled full "
                              ">= this factor")
+    parser.add_argument("--expect-batch-speedup", type=float, default=None,
+                        help="exit 1 unless batched/scalar fast path "
+                             ">= this factor")
     parser.add_argument("--skip-fastpath", action="store_true",
                         help="skip the delta-replay section (and do not "
                              "touch BENCH_fastpath.json)")
+    parser.add_argument("--skip-batch", action="store_true",
+                        help="skip the batched-execution section (and do "
+                             "not touch BENCH_batch.json)")
     parser.add_argument("--quick", action="store_true",
                         help="smoke-test workload (caps --n and --faulty)")
     parser.add_argument("--observability", action="store_true",
@@ -338,6 +555,20 @@ def main(argv=None) -> int:
             json.dumps(payload, indent=2, sort_keys=True) + "\n"
         )
         text += f"\n  baseline recorded to {json_path}"
+    batch_speedup = None
+    if not args.skip_batch:
+        import json
+
+        batch_text, batch_speedup, batch_payload = bench_batch(args)
+        text = text + "\n" + batch_text
+        batch_json_path = (
+            BATCH_JSON_QUICK_PATH if args.quick else BATCH_JSON_PATH
+        )
+        batch_json_path.parent.mkdir(exist_ok=True)
+        batch_json_path.write_text(
+            json.dumps(batch_payload, indent=2, sort_keys=True) + "\n"
+        )
+        text += f"\n  baseline recorded to {batch_json_path}"
     overhead_pct = None
     if args.observability:
         obs_text, overhead_pct = bench_observability(args)
@@ -352,12 +583,19 @@ def main(argv=None) -> int:
     results_path.write_text(text + "\n")
     print(f"\nrecorded to {results_path}")
 
-    if args.expect_speedup is not None and speedup < args.expect_speedup:
-        print(
-            f"FAIL: speedup {speedup:.2f}x below required "
-            f"{args.expect_speedup:.2f}x"
-        )
-        return 1
+    if args.expect_speedup is not None:
+        if speedup is None:
+            print(
+                "WARNING: --expect-speedup not evaluated — the parallel "
+                "run resolved to a 1-worker pool, so there is no parallel "
+                "speedup to gate on."
+            )
+        elif speedup < args.expect_speedup:
+            print(
+                f"FAIL: speedup {speedup:.2f}x below required "
+                f"{args.expect_speedup:.2f}x"
+            )
+            return 1
     if (
         args.expect_fastpath_speedup is not None
         and fastpath_speedup is not None
@@ -366,6 +604,16 @@ def main(argv=None) -> int:
         print(
             f"FAIL: fast-path speedup {fastpath_speedup:.2f}x below "
             f"required {args.expect_fastpath_speedup:.2f}x"
+        )
+        return 1
+    if (
+        args.expect_batch_speedup is not None
+        and batch_speedup is not None
+        and batch_speedup < args.expect_batch_speedup
+    ):
+        print(
+            f"FAIL: batch speedup {batch_speedup:.2f}x below "
+            f"required {args.expect_batch_speedup:.2f}x"
         )
         return 1
     if (

@@ -10,6 +10,7 @@ harness assert on campaign statistics.
 from __future__ import annotations
 
 import hashlib
+import threading
 
 import numpy as np
 
@@ -30,6 +31,23 @@ def stable_seed(*parts: object) -> int:
     return int.from_bytes(digest[:8], "little")
 
 
+def stable_seed_prefix(*parts: object) -> bytes:
+    """Precomputed digest prefix for :func:`stable_seed_suffixed`.
+
+    ``stable_seed_suffixed(stable_seed_prefix(*parts), last)`` equals
+    ``stable_seed(*parts, last)`` exactly — the joined ``repr`` string is
+    UTF-8-encoded either way, so pre-encoding the constant prefix once per
+    batch just skips re-hashing the shared parts' reprs per item.
+    """
+    return ("\x1f".join(repr(p) for p in parts) + "\x1f").encode()
+
+
+def stable_seed_suffixed(prefix: bytes, last: object) -> int:
+    """:func:`stable_seed` with all but the final part pre-encoded."""
+    digest = hashlib.sha256(prefix + repr(last).encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
 def child_rng(parent_seed: int, *parts: object) -> np.random.Generator:
     """Return a generator for a named child stream of ``parent_seed``.
 
@@ -42,3 +60,182 @@ def child_rng(parent_seed: int, *parts: object) -> np.random.Generator:
 def spawn_rngs(parent_seed: int, label: str, count: int) -> list[np.random.Generator]:
     """Return ``count`` independent generators for indexed work items."""
     return [child_rng(parent_seed, label, i) for i in range(count)]
+
+
+# ---------------------------------------------------------------------------
+# Batched seeding: ``default_rng(seed)`` streams without per-seed SeedSequence
+# construction.  ``numpy.random.default_rng(seed)`` spends most of its time in
+# SeedSequence entropy mixing and object construction; for a batch of known
+# seeds the mixing is a fixed-shape integer dataflow, so we evaluate it as one
+# vectorised pass and then re-seed a single reused ``PCG64`` per item.  The
+# arithmetic below mirrors numpy's ``SeedSequence`` (pool mixing + output
+# hashing) and ``PCG64``'s seeding recurrence exactly; :func:`_fast_seeding_ok`
+# canary-checks that equivalence at first use and, on any mismatch (e.g. a
+# numpy release changing the mixing constants), every batch silently degrades
+# to plain ``default_rng`` construction — correctness never depends on the
+# fast path.
+
+_MASK32 = 0xFFFFFFFF
+_MASK128 = (1 << 128) - 1
+_SEEDSEQ_INIT_A = 0x43B0D7E5
+_SEEDSEQ_MULT_A = 0x931E8875
+_SEEDSEQ_INIT_B = 0x8B51F9DD
+_SEEDSEQ_MULT_B = 0x58F38DED
+_SEEDSEQ_MIX_L = 0xCA01F9DD
+_SEEDSEQ_MIX_R = 0x4973F715
+#: PCG64's 128-bit LCG multiplier (O'Neill's PCG-XSL-RR 128/64 constant).
+_PCG_MULT = 0x2360ED051FC65DA44385DF649FCCF645
+
+
+def _hash_consts(init: int, mult: int, count: int):
+    """The (xor, multiply) hash-constant schedule for ``count`` hashmix steps.
+
+    SeedSequence's evolving ``hash_const`` depends only on the step number,
+    never on the entropy, so the whole schedule is precomputable.
+    """
+    hash_const = init
+    schedule = []
+    for _ in range(count):
+        xor_const = hash_const
+        hash_const = (hash_const * mult) & _MASK32
+        schedule.append((np.uint32(xor_const), np.uint32(hash_const)))
+    return schedule
+
+
+#: 4 pool-fill + 12 pool-mix hashmix steps (pool size 4, src != dst).
+_POOL_SCHEDULE = _hash_consts(_SEEDSEQ_INIT_A, _SEEDSEQ_MULT_A, 16)
+#: 8 output words (4 x uint64 of PCG64 seed material = 8 x uint32).
+_OUTPUT_SCHEDULE = _hash_consts(_SEEDSEQ_INIT_B, _SEEDSEQ_MULT_B, 8)
+_U16 = np.uint32(16)
+
+_fast_seeding_state: "bool | None" = None
+_fast_seeding_lock = threading.Lock()
+
+
+def _pcg_seed_material(seeds) -> np.ndarray:
+    """Vectorised SeedSequence mixing: ``(n,)`` uint64 seeds -> ``(n, 4)``
+    uint64 PCG64 seed words (initstate hi/lo, initseq hi/lo)."""
+    with np.errstate(over="ignore"):
+        flat = np.asarray(seeds, dtype=np.uint64)
+        n = len(flat)
+        # A <=64-bit seed is at most two 32-bit entropy words; a single-word
+        # seed zero-pads identically because SeedSequence hashes zeros into
+        # unfilled pool slots anyway.
+        entropy = np.empty((n, 2), dtype=np.uint32)
+        entropy[:, 0] = (flat & np.uint64(_MASK32)).astype(np.uint32)
+        entropy[:, 1] = (flat >> np.uint64(32)).astype(np.uint32)
+        pool = np.empty((n, 4), dtype=np.uint32)
+        step = 0
+        for i in range(4):
+            xor_const, mul_const = _POOL_SCHEDULE[step]
+            step += 1
+            value = (entropy[:, i] if i < 2 else np.zeros(n, np.uint32)) ^ xor_const
+            value = value * mul_const
+            value ^= value >> _U16
+            pool[:, i] = value
+        for src in range(4):
+            for dst in range(4):
+                if src == dst:
+                    continue
+                xor_const, mul_const = _POOL_SCHEDULE[step]
+                step += 1
+                hashed = pool[:, src] ^ xor_const
+                hashed = hashed * mul_const
+                hashed ^= hashed >> _U16
+                mixed = (
+                    pool[:, dst] * np.uint32(_SEEDSEQ_MIX_L)
+                    - hashed * np.uint32(_SEEDSEQ_MIX_R)
+                )
+                mixed ^= mixed >> _U16
+                pool[:, dst] = mixed
+        output = np.empty((n, 8), dtype=np.uint32)
+        for j in range(8):
+            xor_const, mul_const = _OUTPUT_SCHEDULE[j]
+            value = pool[:, j % 4] ^ xor_const
+            value = value * mul_const
+            value ^= value >> _U16
+            output[:, j] = value
+        return output.view(np.uint64)
+
+
+def _pcg_state_from_words(words) -> "tuple[int, int]":
+    """PCG64 seeding recurrence: 4 uint64 seed words -> (state, inc)."""
+    initstate = (int(words[0]) << 64) | int(words[1])
+    initseq = (int(words[2]) << 64) | int(words[3])
+    inc = ((initseq << 1) | 1) & _MASK128
+    state = (((inc + initstate) * _PCG_MULT) + inc) & _MASK128
+    return state, inc
+
+
+def _fast_seeding_ok() -> bool:
+    """One-time canary: does the reimplementation match this numpy exactly?"""
+    global _fast_seeding_state
+    if _fast_seeding_state is None:
+        with _fast_seeding_lock:
+            if _fast_seeding_state is None:
+                probes = [0, 1, 0x9E3779B97F4A7C15, (1 << 64) - 1]
+                try:
+                    material = _pcg_seed_material(probes)
+                    ok = True
+                    for seed, words in zip(probes, material):
+                        state, inc = _pcg_state_from_words(words)
+                        reference = np.random.default_rng(seed)
+                        if reference.bit_generator.state["state"] != {
+                            "state": state,
+                            "inc": inc,
+                        }:
+                            ok = False
+                            break
+                    _fast_seeding_state = ok
+                except Exception:
+                    _fast_seeding_state = False
+    return _fast_seeding_state
+
+
+class FastRngBatch:
+    """Bit-identical ``default_rng(seed)`` streams for a batch of seeds.
+
+    ``rng(i)`` returns a generator whose draw stream equals
+    ``np.random.default_rng(seeds[i])`` exactly, but the underlying
+    ``PCG64``/``Generator`` pair is **reused** across calls: all draws for
+    item ``i`` must finish before ``rng(j)`` is called for another item.
+    The batched injection pipeline satisfies this by construction (faults
+    are processed one at a time within each phase).
+
+    Seeds must fit in 64 bits (everything :func:`stable_seed` derives
+    does).  If the canary self-check fails — or a seed is out of range —
+    the batch transparently falls back to fresh ``default_rng`` objects.
+    """
+
+    def __init__(self, seeds):
+        self._seeds = [int(s) for s in seeds]
+        usable = _fast_seeding_ok() and all(
+            0 <= s < (1 << 64) for s in self._seeds
+        )
+        self._material = _pcg_seed_material(self._seeds) if usable else None
+        if usable:
+            self._bitgen = np.random.PCG64(0)
+            self._gen = np.random.Generator(self._bitgen)
+            self._template = {
+                "bit_generator": "PCG64",
+                "state": None,
+                "has_uint32": 0,
+                "uinteger": 0,
+            }
+
+    def __len__(self) -> int:
+        return len(self._seeds)
+
+    @property
+    def fast(self) -> bool:
+        """True when the reused-generator fast path is active."""
+        return self._material is not None
+
+    def rng(self, i: int) -> np.random.Generator:
+        """The generator for item ``i`` (reused object — see class docs)."""
+        if self._material is None:
+            return np.random.default_rng(self._seeds[i])
+        state, inc = _pcg_state_from_words(self._material[i])
+        self._template["state"] = {"state": state, "inc": inc}
+        self._bitgen.state = self._template
+        return self._gen

@@ -50,7 +50,8 @@ from repro.arch.device import DeviceModel
 from repro.core.filtering import PAPER_THRESHOLD_PCT
 from repro.faults.injector import Injector
 from repro.faults.outcomes import ExecutionRecord
-from repro.kernels.base import Kernel, golden_cache_info
+from repro.kernels.base import Kernel, capture_cache_events
+from repro.kernels.sharedmem import SharedGoldenExport, adopt_shared_golden
 from repro.observability import runtime as obs_runtime
 from repro.observability.trace import worker_id
 
@@ -72,6 +73,12 @@ TIMEOUT_ENV_VAR = "REPRO_POOL_TIMEOUT"
 #: Environment override for the default delta-replay fast-path switch
 #: (1/true/yes/on enables).  Explicit ``fast_path=`` arguments win.
 FASTPATH_ENV_VAR = "REPRO_FASTPATH"
+
+#: Environment override for the default batched-execution switch
+#: (1/true/yes/on enables).  Explicit ``batch=`` arguments win.  Like
+#: ``fast_path``, this selects an execution *strategy*, not a campaign
+#: identity: records are bit-identical either way.
+BATCH_ENV_VAR = "REPRO_BATCH"
 
 
 class ExecutorTimeoutError(RuntimeError):
@@ -171,6 +178,20 @@ def default_fast_path() -> bool:
     )
 
 
+def default_batch() -> bool:
+    """Batched-execution default used when none is requested: env override."""
+    env = os.environ.get(BATCH_ENV_VAR, "").strip().lower()
+    if not env:
+        return False
+    if env in ("1", "true", "yes", "on"):
+        return True
+    if env in ("0", "false", "no", "off"):
+        return False
+    raise ValueError(
+        f"{BATCH_ENV_VAR} must be a boolean (1/0/true/false), got {env!r}"
+    )
+
+
 def _fork_available() -> bool:
     return hasattr(os, "fork")
 
@@ -206,74 +227,100 @@ def _run_chunk(
     indices: Sequence[int],
     instrument: bool = False,
     fast_path: bool = False,
+    batch: bool = False,
 ) -> _ChunkResult:
     """Worker entry point: one Injector, one contiguous index chunk.
 
     Runs in a pool worker (or inline for the serial path).  The kernel
     instance arrives pickled and cold; its golden output is served by the
-    per-process cache after the first chunk touching that configuration.
+    per-process cache after the first chunk touching that configuration
+    (process workers may adopt the parent's shared-memory export instead
+    of executing it — see :mod:`repro.kernels.sharedmem`).
 
-    With ``instrument`` the runner also clocks each execution and the
-    chunk's golden-cache traffic; without it, the loop is the bare PR 1
-    hot path plus one try/except per execution (the pool strips tracebacks
-    and context, so failures are wrapped in :class:`ChunkWorkerError` with
-    the exact failing index either way).
+    With ``instrument`` the runner also clocks each execution; without it,
+    the loop is the bare PR 1 hot path plus one try/except per execution
+    (the pool strips tracebacks and context, so failures are wrapped in
+    :class:`ChunkWorkerError` with the exact failing index either way).
 
     With ``fast_path`` the injector attempts delta replay per execution
     (records stay bit-identical); instrumented chunks also report which
     executions hit the fast path and which fell back.
+
+    With ``batch`` the whole chunk is evaluated as one array program
+    (:meth:`Injector.inject_batch` — records still bit-identical).
+    Per-execution wall-clock timings do not exist under batching, so
+    instrumented chunks report chunk-level figures only.
+
+    Metrics discipline: the runner never mirrors counters into the
+    observability registry mid-chunk (``mirror_metrics=False`` plus a
+    :class:`~repro.kernels.base.capture_cache_events` scope).  Counters
+    travel back inside the :class:`_ChunkResult` and the parent folds them
+    exactly once per successful chunk — a chunk that fails partway and is
+    retried therefore cannot double-count its partial progress, and
+    thread-pooled chunks cannot bleed cache events into each other.
     """
     injector = Injector(
         kernel=kernel, device=device, seed=seed, threshold_pct=threshold_pct,
-        fast_path=fast_path,
+        fast_path=fast_path, mirror_metrics=False,
     )
-    cache_before = golden_cache_info() if instrument else None
     start_wall = time.time()
     t0 = time.perf_counter()
     records = []
-    exec_starts = [] if instrument else None
-    exec_durations = [] if instrument else None
-    exec_fastpath = [] if (instrument and fast_path) else None
-    for index in indices:
-        try:
-            if instrument:
-                hits_before = injector.fastpath_hits
-                falls_before = injector.fastpath_fallbacks
-                exec_wall = time.time()
-                e0 = time.perf_counter()
-                record = injector.inject_one(index)
-                exec_durations.append(time.perf_counter() - e0)
-                exec_starts.append(exec_wall)
-                if exec_fastpath is not None:
-                    if injector.fastpath_hits > hits_before:
-                        exec_fastpath.append("hit")
-                    elif injector.fastpath_fallbacks > falls_before:
-                        exec_fastpath.append("fallback")
+    exec_starts = [] if (instrument and not batch) else None
+    exec_durations = [] if (instrument and not batch) else None
+    exec_fastpath = [] if (instrument and fast_path and not batch) else None
+    with capture_cache_events() as cache_events:
+        if batch:
+            try:
+                records = injector.inject_batch(indices)
+            except ChunkWorkerError:
+                raise
+            except Exception as exc:
+                # Batched evaluation loses per-index attribution for
+                # errors raised inside a stacked pass; fall back to the
+                # index the failing phase reports, else the chunk start.
+                failing = int(getattr(exc, "index", indices[0]))
+                raise ChunkWorkerError(
+                    failing, f"{type(exc).__name__}: {exc}"
+                ) from exc
+        else:
+            for index in indices:
+                try:
+                    if instrument:
+                        hits_before = injector.fastpath_hits
+                        falls_before = injector.fastpath_fallbacks
+                        exec_wall = time.time()
+                        e0 = time.perf_counter()
+                        record = injector.inject_one(index)
+                        exec_durations.append(time.perf_counter() - e0)
+                        exec_starts.append(exec_wall)
+                        if exec_fastpath is not None:
+                            if injector.fastpath_hits > hits_before:
+                                exec_fastpath.append("hit")
+                            elif injector.fastpath_fallbacks > falls_before:
+                                exec_fastpath.append("fallback")
+                            else:
+                                exec_fastpath.append(None)
                     else:
-                        exec_fastpath.append(None)
-            else:
-                record = injector.inject_one(index)
-        except Exception as exc:
-            raise ChunkWorkerError(
-                index, f"{type(exc).__name__}: {exc}"
-            ) from exc
-        records.append(record)
-    result = _ChunkResult(
+                        record = injector.inject_one(index)
+                except Exception as exc:
+                    raise ChunkWorkerError(
+                        index, f"{type(exc).__name__}: {exc}"
+                    ) from exc
+                records.append(record)
+    return _ChunkResult(
         records=records,
         start=start_wall,
         duration=time.perf_counter() - t0,
         worker=worker_id(),
         exec_starts=exec_starts,
         exec_durations=exec_durations,
+        cache_hits=cache_events.hits,
+        cache_misses=cache_events.misses,
         fastpath_hits=injector.fastpath_hits,
         fastpath_fallbacks=injector.fastpath_fallbacks,
         exec_fastpath=exec_fastpath,
     )
-    if instrument:
-        cache_after = golden_cache_info()
-        result.cache_hits = cache_after["hits"] - cache_before["hits"]
-        result.cache_misses = cache_after["misses"] - cache_before["misses"]
-    return result
 
 
 def _inject_chunk(
@@ -283,10 +330,12 @@ def _inject_chunk(
     threshold_pct: float,
     indices: Sequence[int],
     fast_path: bool = False,
+    batch: bool = False,
 ) -> list[ExecutionRecord]:
     """Back-compat chunk runner: records only (see :func:`_run_chunk`)."""
     return _run_chunk(
-        kernel, device, seed, threshold_pct, indices, fast_path=fast_path
+        kernel, device, seed, threshold_pct, indices, fast_path=fast_path,
+        batch=batch,
     ).records
 
 
@@ -308,6 +357,11 @@ class CampaignExecutor:
         fast_path: attempt delta replay per struck execution (bit-identical
             records, sparse diffing).  ``None`` means "auto" (the
             ``REPRO_FASTPATH`` environment variable, default off).
+        batch: evaluate each chunk's delta-replay faults as one batched
+            array program (bit-identical records; per-fault scalar
+            fallback).  Implies the fast path machinery per chunk.
+            ``None`` means "auto" (the ``REPRO_BATCH`` environment
+            variable, default off).
     """
 
     workers: int | None = None
@@ -315,6 +369,7 @@ class CampaignExecutor:
     backend: str = "auto"
     timeout: float | None = None
     fast_path: bool | None = None
+    batch: bool | None = None
 
     def __post_init__(self):
         if self.backend not in ("auto", "process", "thread", "serial"):
@@ -340,6 +395,11 @@ class CampaignExecutor:
         if self.fast_path is None:
             return default_fast_path()
         return bool(self.fast_path)
+
+    def resolved_batch(self) -> bool:
+        if self.batch is None:
+            return default_batch()
+        return bool(self.batch)
 
     def resolved_backend(self, n_indices: int, workers: int) -> str:
         """The execution strategy actually used for ``n_indices`` strikes."""
@@ -422,6 +482,7 @@ class CampaignExecutor:
         progress = obs_runtime.get_progress()
         instrument = tracer is not None or metrics is not None
         fast_path = self.resolved_fast_path()
+        batch = self.resolved_batch()
 
         workers = self.resolved_workers()
         backend = self.resolved_backend(len(indices), workers)
@@ -436,13 +497,13 @@ class CampaignExecutor:
                 kernel, device, seed, threshold_pct, chunks,
                 label=label, tracer=tracer, metrics=metrics,
                 progress=progress, instrument=instrument, on_chunk=on_chunk,
-                fast_path=fast_path,
+                fast_path=fast_path, batch=batch,
             )
         return self._run_pooled(
             kernel, device, seed, threshold_pct, chunks, backend, workers,
             label=label, tracer=tracer, metrics=metrics,
             progress=progress, instrument=instrument, on_chunk=on_chunk,
-            fast_path=fast_path,
+            fast_path=fast_path, batch=batch,
         )
 
     # -- serial ------------------------------------------------------------------
@@ -450,7 +511,7 @@ class CampaignExecutor:
     def _run_serial(
         self, kernel, device, seed, threshold_pct, chunks, *,
         label, tracer, metrics, progress, instrument, on_chunk=None,
-        fast_path=False,
+        fast_path=False, batch=False,
     ) -> list[ExecutionRecord]:
         """In-process path: same chunk runner, no pool."""
         n_total = sum(len(chunk) for chunk in chunks)
@@ -460,7 +521,7 @@ class CampaignExecutor:
             try:
                 return _inject_chunk(
                     kernel, device, seed, threshold_pct, flat,
-                    fast_path=fast_path,
+                    fast_path=fast_path, batch=batch,
                 )
             except ChunkWorkerError as err:
                 raise CampaignExecutionError.wrap(
@@ -472,7 +533,7 @@ class CampaignExecutor:
             try:
                 result = _run_chunk(
                     kernel, device, seed, threshold_pct, chunk,
-                    instrument=instrument, fast_path=fast_path,
+                    instrument=instrument, fast_path=fast_path, batch=batch,
                 )
             except ChunkWorkerError as err:
                 raise CampaignExecutionError.wrap(
@@ -496,7 +557,7 @@ class CampaignExecutor:
     def _run_pooled(
         self, kernel, device, seed, threshold_pct, chunks, backend, workers, *,
         label, tracer, metrics, progress, instrument, on_chunk=None,
-        fast_path=False,
+        fast_path=False, batch=False,
     ) -> list[ExecutionRecord]:
         """Fan chunks over a pool; drain incrementally for progress/metrics."""
         timeout = self.timeout if self.timeout is not None else default_timeout()
@@ -510,66 +571,96 @@ class CampaignExecutor:
             if metrics is not None
             else None
         )
-        with self._make_pool(backend, workers) as pool:
-            chunk_of = {}
-            for chunk_no, chunk in enumerate(chunks):
-                future = pool.submit(
-                    _run_chunk, kernel, device, seed, threshold_pct, chunk,
-                    instrument, fast_path,
-                )
-                chunk_of[future] = chunk_no
-            pending = set(chunk_of)
-            if queue_gauge is not None:
-                queue_gauge.set(len(pending))
-            by_chunk: dict[int, _ChunkResult] = {}
-            completed = 0
-            while pending:
-                done, pending = wait(
-                    pending,
-                    timeout=self._wait_tick(deadline, progress),
-                    return_when=FIRST_EXCEPTION,
-                )
-                for future in done:
-                    exc = future.exception()
-                    if exc is not None:
-                        pool.shutdown(wait=False, cancel_futures=True)
-                        chunk_no = chunk_of[future]
-                        if isinstance(exc, ChunkWorkerError):
-                            raise CampaignExecutionError.wrap(
-                                exc, label=label, backend=backend,
-                                chunk=chunk_no, indices=chunks[chunk_no],
-                            ) from exc
-                        raise exc
-                    chunk_no = chunk_of[future]
-                    result = future.result()
-                    by_chunk[chunk_no] = result
-                    completed += len(result.records)
-                    self._emit_chunk(
-                        tracer, metrics, kernel, device, backend, chunk_no,
-                        result, count_cache=(backend == "process"),
+        # Process workers start with an empty per-process golden cache;
+        # export the parent's golden state (and HotSpot's iteration chain)
+        # over shared memory so each worker attaches read-only views
+        # instead of re-executing the clean kernel.  Best-effort: an
+        # export/adoption failure just leaves workers computing their own.
+        export = self._export_shared_golden(backend, kernel)
+        try:
+            with self._make_pool(
+                backend, workers,
+                payload=export.payload if export is not None else None,
+            ) as pool:
+                chunk_of = {}
+                for chunk_no, chunk in enumerate(chunks):
+                    future = pool.submit(
+                        _run_chunk, kernel, device, seed, threshold_pct, chunk,
+                        instrument, fast_path, batch,
                     )
-                    if on_chunk is not None:
-                        on_chunk(chunk_no, result.records)
+                    chunk_of[future] = chunk_no
+                pending = set(chunk_of)
                 if queue_gauge is not None:
                     queue_gauge.set(len(pending))
-                if progress is not None:
-                    progress.update(completed, total=n_total)
-                if (
-                    pending
-                    and deadline is not None
-                    and time.monotonic() >= deadline
-                ):
-                    pool.shutdown(wait=False, cancel_futures=True)
-                    raise ExecutorTimeoutError(
-                        f"campaign pool ({backend}, {workers} workers) did "
-                        f"not finish {len(pending)}/{len(chunks)} chunks "
-                        f"within {timeout:g}s"
+                by_chunk: dict[int, _ChunkResult] = {}
+                completed = 0
+                while pending:
+                    done, pending = wait(
+                        pending,
+                        timeout=self._wait_tick(deadline, progress),
+                        return_when=FIRST_EXCEPTION,
                     )
+                    for future in done:
+                        exc = future.exception()
+                        if exc is not None:
+                            pool.shutdown(wait=False, cancel_futures=True)
+                            chunk_no = chunk_of[future]
+                            if isinstance(exc, ChunkWorkerError):
+                                raise CampaignExecutionError.wrap(
+                                    exc, label=label, backend=backend,
+                                    chunk=chunk_no, indices=chunks[chunk_no],
+                                ) from exc
+                            raise exc
+                        chunk_no = chunk_of[future]
+                        result = future.result()
+                        by_chunk[chunk_no] = result
+                        completed += len(result.records)
+                        self._emit_chunk(
+                            tracer, metrics, kernel, device, backend, chunk_no,
+                            result,
+                        )
+                        if on_chunk is not None:
+                            on_chunk(chunk_no, result.records)
+                    if queue_gauge is not None:
+                        queue_gauge.set(len(pending))
+                    if progress is not None:
+                        progress.update(completed, total=n_total)
+                    if (
+                        pending
+                        and deadline is not None
+                        and time.monotonic() >= deadline
+                    ):
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        raise ExecutorTimeoutError(
+                            f"campaign pool ({backend}, {workers} workers) did "
+                            f"not finish {len(pending)}/{len(chunks)} chunks "
+                            f"within {timeout:g}s"
+                        )
+        finally:
+            if export is not None:
+                export.close()
         records: list[ExecutionRecord] = []
         for chunk_no in sorted(by_chunk):
             records.extend(by_chunk[chunk_no].records)
         records.sort(key=lambda record: record.index)
         return records
+
+    @staticmethod
+    def _export_shared_golden(
+        backend: str, kernel: Kernel
+    ) -> "SharedGoldenExport | None":
+        """Stage the kernel's golden state for process workers to adopt."""
+        if backend != "process":
+            return None
+        try:
+            export = SharedGoldenExport()
+            export.add_kernel(kernel)
+        except Exception:
+            return None
+        if not len(export):
+            export.close()
+            return None
+        return export
 
     @staticmethod
     def _wait_tick(deadline: "float | None", progress) -> "float | None":
@@ -592,41 +683,51 @@ class CampaignExecutor:
     @staticmethod
     def _emit_chunk(
         tracer, metrics, kernel, device, backend, chunk_no,
-        result: _ChunkResult, *, count_cache: bool = False,
+        result: _ChunkResult,
     ) -> None:
         emit_chunk_observability(
             tracer, metrics, kernel, device, backend, chunk_no, result,
-            count_cache=count_cache,
         )
 
     @staticmethod
-    def _make_pool(backend: str, workers: int) -> Executor:
+    def _make_pool(
+        backend: str, workers: int, payload: "dict | None" = None
+    ) -> Executor:
         if backend == "thread":
             return ThreadPoolExecutor(max_workers=workers)
+        initkw = (
+            {"initializer": adopt_shared_golden, "initargs": (payload,)}
+            if payload
+            else {}
+        )
         if _fork_available():
             import multiprocessing
 
             return ProcessPoolExecutor(
                 max_workers=workers,
                 mp_context=multiprocessing.get_context("fork"),
+                **initkw,
             )
-        return ProcessPoolExecutor(max_workers=workers)
+        return ProcessPoolExecutor(max_workers=workers, **initkw)
 
 
 def emit_chunk_observability(
     tracer, metrics, kernel, device, backend, chunk_no,
-    result: _ChunkResult, *, count_cache: bool = False,
+    result: _ChunkResult, *,
     extra_attrs: "dict | None" = None, parent=None,
 ) -> None:
     """Re-emit one finished chunk's spans and fold its metrics.
 
-    Runs in the parent process (single trace writer).  ``count_cache``
-    folds the worker's golden-cache delta into the registry — only for
-    the process backend, where the in-process hook in
-    :mod:`repro.kernels.base` cannot have seen the worker's traffic.
-    Shared by :class:`CampaignExecutor` and the multi-campaign scheduler
-    (:mod:`repro.scheduler`), which passes ``extra_attrs`` (job label,
-    run id) so interleaving is visible span by span.
+    Runs in the parent process (single trace writer).  Cache and
+    fast-path counters are folded here unconditionally: chunk runners
+    never mirror counters into the registry themselves (they run with
+    ``mirror_metrics=False`` under a capture scope), so each successful
+    chunk's deltas are counted exactly once regardless of backend — and
+    a chunk that failed partway and was retried contributes only its
+    successful attempt.  Shared by :class:`CampaignExecutor` and the
+    multi-campaign scheduler (:mod:`repro.scheduler`), which passes
+    ``extra_attrs`` (job label, run id) so interleaving is visible span
+    by span.
     """
     if tracer is None and metrics is None:
         return
@@ -704,29 +805,23 @@ def emit_chunk_observability(
             )
             for exec_duration in result.exec_durations:
                 latency.observe(exec_duration, kernel=kernel.name)
-        if count_cache and (result.cache_hits or result.cache_misses):
-            if result.cache_hits:
-                metrics.counter(
-                    "repro_golden_cache_hits_total",
-                    "Golden-output cache hits",
-                ).inc(result.cache_hits)
-            if result.cache_misses:
-                metrics.counter(
-                    "repro_golden_cache_misses_total",
-                    "Golden-output cache misses",
-                ).inc(result.cache_misses)
-        # Fast-path counters follow the golden-cache pattern: worker
-        # processes could not reach this registry, so their per-chunk
-        # deltas are folded in here; thread/serial chunks already
-        # incremented in-process via Injector._note_fastpath.
-        if count_cache and (result.fastpath_hits or result.fastpath_fallbacks):
-            if result.fastpath_hits:
-                metrics.counter(
-                    "repro_fastpath_hits_total",
-                    "Executions resolved by the delta-replay fast path",
-                ).inc(result.fastpath_hits)
-            if result.fastpath_fallbacks:
-                metrics.counter(
-                    "repro_fastpath_fallbacks_total",
-                    "Fast-path executions that fell back to full re-execution",
-                ).inc(result.fastpath_fallbacks)
+        if result.cache_hits:
+            metrics.counter(
+                "repro_golden_cache_hits_total",
+                "Golden-output cache hits",
+            ).inc(result.cache_hits)
+        if result.cache_misses:
+            metrics.counter(
+                "repro_golden_cache_misses_total",
+                "Golden-output cache misses",
+            ).inc(result.cache_misses)
+        if result.fastpath_hits:
+            metrics.counter(
+                "repro_fastpath_hits_total",
+                "Executions resolved by the delta-replay fast path",
+            ).inc(result.fastpath_hits)
+        if result.fastpath_fallbacks:
+            metrics.counter(
+                "repro_fastpath_fallbacks_total",
+                "Fast-path executions that fell back to full re-execution",
+            ).inc(result.fastpath_fallbacks)

@@ -162,6 +162,7 @@ def cmd_campaign(args) -> int:
         workers=args.workers,
         chunk_size=args.chunk_size,
         fast_path=args.fast_path,
+        batch=args.batch,
     )
     total = args.natural if args.natural else args.faulty
     tracer, metrics, progress = _campaign_instrumentation(args, total)
@@ -351,6 +352,7 @@ def cmd_queue(args) -> int:
         chunk_size=args.chunk_size,
         backend=args.backend,
         fast_path=args.fast_path,
+        batch=args.batch,
         retry=RetryPolicy(max_retries=args.retries),
     )
     for spec in _queue_specs(args):
@@ -413,6 +415,7 @@ def cmd_resume(args) -> int:
             chunk_size=args.chunk_size,
             backend=args.backend,
             fast_path=args.fast_path,
+            batch=args.batch,
         )
     except JournalError as err:
         return _input_error(str(err))
@@ -465,6 +468,7 @@ def cmd_serve(args) -> int:
         chunk_size=args.chunk_size,
         backend=args.backend,
         fast_path=args.fast_path,
+        batch=args.batch,
         retries=args.retries,
         queue_limit=args.queue_limit,
         log_requests=args.log_requests,
@@ -596,6 +600,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="attempt delta replay instead of full re-execution "
             "(records are bit-identical either way; default: the "
             "REPRO_FASTPATH environment variable, else off)",
+        )
+        verb.add_argument(
+            "--batch", action=argparse.BooleanOptionalAction,
+            default=None, dest="batch",
+            help="evaluate whole fault chunks as one batched array "
+            "program (records are bit-identical either way; default: "
+            "the REPRO_BATCH environment variable, else off)",
         )
 
     sub.add_parser("tables", help="print Tables I and II").set_defaults(

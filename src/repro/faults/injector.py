@@ -25,13 +25,19 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro._util.rng import child_rng, stable_seed
+from repro._util.rng import (
+    FastRngBatch,
+    child_rng,
+    stable_seed_prefix,
+    stable_seed_suffixed,
+)
 from repro.arch.device import DeviceModel
 from repro.arch.resources import ResourceKind
 from repro.core.criticality import evaluate_execution
 from repro.core.filtering import PAPER_THRESHOLD_PCT
+from repro.faults.batch import evaluate_sparse_batch
 from repro.faults.outcomes import ExecutionRecord, OutcomeKind
-from repro.faults.sites import choose_site
+from repro.faults.sites import site_weights
 from repro.kernels.base import Kernel, KernelCrashError, KernelFault
 from repro.observability import runtime as _obs_runtime
 
@@ -57,6 +63,12 @@ class Injector:
     seed: int = 0
     threshold_pct: float = PAPER_THRESHOLD_PCT
     fast_path: bool = False
+    #: Mirror fast-path counts into the observability registry as they
+    #: happen.  Chunk runners set this ``False`` and ship the instance
+    #: counters with the finished chunk instead: the parent folds them
+    #: exactly once per *successful* chunk, so a chunk that fails partway
+    #: and is retried cannot double-count its partial progress.
+    mirror_metrics: bool = True
 
     #: Executions resolved by delta replay (this instance).
     fastpath_hits: int = 0
@@ -74,6 +86,8 @@ class Injector:
             self.fastpath_hits += 1
         else:
             self.fastpath_fallbacks += 1
+        if not self.mirror_metrics:
+            return
         metrics = _obs_runtime.get_metrics()
         if metrics is None:
             return
@@ -99,6 +113,43 @@ class Injector:
         total = sum(weights.values())
         self._probabilities = np.array([weights[k] / total for k in self._kinds])
         self._total_cross_section = total
+        # Per-strike sampling tables, hoisted out of the hot loop.  The CDFs
+        # replicate ``Generator.choice(n, p=p)``'s internal arithmetic
+        # (cumsum normalised by its last entry, searchsorted over one
+        # ``random()`` draw) so ``_fate`` consumes the identical stream and
+        # picks the identical bucket.  Profiles, flip models and sharing
+        # breadths are deterministic per (device, kernel, kind) — caching
+        # them is a pure hoist.
+        cdf = np.cumsum(self._probabilities)
+        cdf /= cdf[-1]
+        self._kind_cdf = cdf
+        self._profiles = {k: self.device.outcome_profile(k) for k in self._kinds}
+        self._flips = {
+            k: self.device.flip_model(k, self.kernel.name) for k in self._kinds
+        }
+        self._sharings = {
+            k: self.device.sharing_breadth(k, self.kernel) for k in self._kinds
+        }
+        self._site_tables: dict = {}
+        for kind in self._kinds:
+            site_w = site_weights(self.kernel, kind)
+            if not site_w:
+                self._site_tables[kind] = None
+                continue
+            names = sorted(site_w)
+            site_p = np.array([site_w[name] for name in names])
+            site_cdf = np.cumsum(site_p)
+            site_cdf /= site_cdf[-1]
+            self._site_tables[kind] = (
+                [self.kernel.site(name) for name in names],
+                site_cdf,
+            )
+        # Pre-encoded digest prefixes: the strike/fault seed for index ``i``
+        # only varies in its final part, so hash the shared parts once.
+        self._strike_prefix = stable_seed_prefix(
+            self.seed, "strike", self.kernel.name, self.device.name
+        )
+        self._fault_prefix = stable_seed_prefix(self.seed, "fault", self.kernel.name)
 
     @property
     def total_cross_section(self) -> float:
@@ -108,51 +159,85 @@ class Injector:
     def _rng_for(self, index: int) -> np.random.Generator:
         return child_rng(self.seed, "strike", self.kernel.name, self.device.name, index)
 
-    def inject_one(self, index: int) -> ExecutionRecord:
-        """Simulate one struck execution and classify its outcome."""
-        rng = self._rng_for(index)
-        kind = self._kinds[int(rng.choice(len(self._kinds), p=self._probabilities))]
-        profile = self.device.outcome_profile(kind)
+    def _fate(self, index: int, rng: np.random.Generator):
+        """Roll phases 1–3 of the pipeline for one strike.
+
+        Returns ``(record, kind, site, fault)``: ``record`` is non-``None``
+        for strikes resolved before the kernel is touched (architectural
+        masking / crash / hang, or corrupted data the kernel never
+        consumes); otherwise the remaining fields describe the
+        data-reaching corruption still to be executed.
+
+        Draw-for-draw identical to the historical inline code:
+        ``Generator.choice`` is replaced by ``searchsorted`` over the
+        cached CDF, which consumes the same single double and selects the
+        same bucket.
+        """
+        kind = self._kinds[
+            int(self._kind_cdf.searchsorted(rng.random(), side="right"))
+        ]
+        profile = self._profiles[kind]
 
         roll = rng.uniform()
         if roll < profile.p_masked:
-            return ExecutionRecord(
-                index=index, outcome=OutcomeKind.MASKED, resource=kind,
-                detail="architectural masking (ECC / dead state)",
+            return (
+                ExecutionRecord(
+                    index=index, outcome=OutcomeKind.MASKED, resource=kind,
+                    detail="architectural masking (ECC / dead state)",
+                ),
+                kind, None, None,
             )
         roll -= profile.p_masked
         if roll < profile.p_crash:
-            return ExecutionRecord(
-                index=index, outcome=OutcomeKind.CRASH, resource=kind,
-                detail="architectural crash",
+            return (
+                ExecutionRecord(
+                    index=index, outcome=OutcomeKind.CRASH, resource=kind,
+                    detail="architectural crash",
+                ),
+                kind, None, None,
             )
         roll -= profile.p_crash
         if roll < profile.p_hang:
-            return ExecutionRecord(
-                index=index, outcome=OutcomeKind.HANG, resource=kind,
-                detail="architectural hang",
+            return (
+                ExecutionRecord(
+                    index=index, outcome=OutcomeKind.HANG, resource=kind,
+                    detail="architectural hang",
+                ),
+                kind, None, None,
             )
 
-        site = choose_site(self.kernel, kind, rng)
-        if site is None:
-            return ExecutionRecord(
-                index=index, outcome=OutcomeKind.MASKED, resource=kind,
-                detail="corrupted data not consumed by the kernel",
+        table = self._site_tables[kind]
+        if table is None:
+            return (
+                ExecutionRecord(
+                    index=index, outcome=OutcomeKind.MASKED, resource=kind,
+                    detail="corrupted data not consumed by the kernel",
+                ),
+                kind, None, None,
             )
+        sites, site_cdf = table
+        site = sites[int(site_cdf.searchsorted(rng.random(), side="right"))]
 
         fault = KernelFault(
             site=site.name,
             progress=float(rng.uniform()),
-            flip=self.device.flip_model(kind, self.kernel.name),
-            seed=stable_seed(self.seed, "fault", self.kernel.name, index),
+            flip=self._flips[kind],
+            seed=stable_seed_suffixed(self._fault_prefix, index),
             extent=(
                 self.device.burst_extent(kind, rng) if site.supports_extent else 1
             ),
-            sharing=self.device.sharing_breadth(kind, self.kernel),
+            sharing=self._sharings[kind],
         )
+        return None, kind, site, fault
+
+    def _resolve_fault(
+        self, index: int, kind: ResourceKind, site, fault: KernelFault,
+        *, use_delta: bool,
+    ) -> ExecutionRecord:
+        """Phases 4–5 for one data-reaching fault, via the scalar path."""
         sparse = None
         try:
-            if self.fast_path:
+            if use_delta:
                 try:
                     sparse = self.kernel.run_delta(fault)
                 except KernelCrashError:
@@ -186,6 +271,97 @@ class Injector:
             site=site.name, report=report, fault=fault,
         )
 
+    def inject_one(self, index: int) -> ExecutionRecord:
+        """Simulate one struck execution and classify its outcome."""
+        record, kind, site, fault = self._fate(index, self._rng_for(index))
+        if record is not None:
+            return record
+        return self._resolve_fault(
+            index, kind, site, fault, use_delta=self.fast_path
+        )
+
+    def inject_batch(self, indices) -> list[ExecutionRecord]:
+        """Simulate a whole chunk of strikes as one batched array program.
+
+        Bit-identical to ``[self.inject_one(i) for i in indices]`` by
+        construction (pinned per kernel × site by the differential suite):
+
+        1. the architectural-fate rolls run up front over batch-seeded RNG
+           streams (:class:`~repro._util.rng.FastRngBatch` replays the
+           exact per-index ``default_rng`` streams), so only data-reaching
+           strikes enter the kernel at all;
+        2. with :attr:`fast_path` on, the surviving faults go through
+           :meth:`~repro.kernels.base.Kernel.run_delta_batch` — one
+           stacked array program per kernel — with per-fault fallback:
+           a fault the kernel cannot replay in closed form drops to the
+           scalar dense path alone, never the whole chunk;
+        3. the resulting sparse deltas are observed and evaluated in one
+           concatenated pass (:func:`repro.faults.batch
+           .evaluate_sparse_batch`).
+
+        Fast-path hit/fallback counters are identical to the scalar loop's.
+        """
+        indices = [int(i) for i in indices]
+        streams = FastRngBatch(
+            [stable_seed_suffixed(self._strike_prefix, i) for i in indices]
+        )
+        records: list = [None] * len(indices)
+        pending = []  # (position, kind, site, fault) for data-reaching strikes
+        for pos, index in enumerate(indices):
+            record, kind, site, fault = self._fate(index, streams.rng(pos))
+            if record is not None:
+                records[pos] = record
+            else:
+                pending.append((pos, kind, site, fault))
+
+        if not self.fast_path:
+            for pos, kind, site, fault in pending:
+                records[pos] = self._resolve_fault(
+                    indices[pos], kind, site, fault, use_delta=False
+                )
+            return records
+
+        slots = self.kernel.run_delta_batch([entry[3] for entry in pending])
+        sparse_entries = []  # pending entries whose delta replay succeeded
+        sparses = []
+        for (pos, kind, site, fault), slot in zip(pending, slots):
+            if isinstance(slot, KernelCrashError):
+                self._note_fastpath(hit=True)
+                records[pos] = ExecutionRecord(
+                    index=indices[pos], outcome=OutcomeKind.CRASH,
+                    resource=kind, site=site.name, fault=fault,
+                    detail=str(slot),
+                )
+            elif slot is None:
+                self._note_fastpath(hit=False)
+                records[pos] = self._resolve_fault(
+                    indices[pos], kind, site, fault, use_delta=False
+                )
+            else:
+                self._note_fastpath(hit=True)
+                sparse_entries.append((pos, kind, site, fault))
+                sparses.append(slot)
+
+        evaluated = evaluate_sparse_batch(
+            self.kernel, sparses, threshold_pct=self.threshold_pct
+        )
+        for (pos, kind, site, fault), (observation, report) in zip(
+            sparse_entries, evaluated
+        ):
+            if report is None:
+                records[pos] = ExecutionRecord(
+                    index=indices[pos], outcome=OutcomeKind.MASKED,
+                    resource=kind, site=site.name, fault=fault,
+                    detail="corruption masked by the algorithm",
+                )
+            else:
+                records[pos] = ExecutionRecord(
+                    index=indices[pos], outcome=OutcomeKind.SDC,
+                    resource=kind, site=site.name, report=report, fault=fault,
+                )
+        return records
+
     def inject_many(self, count: int, *, start: int = 0) -> list[ExecutionRecord]:
-        """Simulate ``count`` struck executions (indices ``start..start+count``)."""
+        """Simulate ``count`` struck executions, one per index in the
+        half-open range ``[start, start + count)``."""
         return [self.inject_one(start + i) for i in range(count)]

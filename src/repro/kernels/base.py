@@ -81,15 +81,50 @@ def clear_golden_cache() -> None:
         _golden_cache_misses = 0
 
 
-def _note_cache_event(hit: bool) -> None:
-    """Mirror one cache event into the observability registry, if any.
+_capture_tls = threading.local()
 
-    A ``None`` check when observability is off — the zero-cost contract.
-    Only in-process cache traffic lands here; pool *worker* processes have
-    no registry configured (or an invisible fork-copy), so the executor
-    ships their per-chunk deltas back and folds them in parent-side (see
-    :meth:`repro.beam.executor.CampaignExecutor._emit_chunk`).
+
+class capture_cache_events:
+    """Capture this thread's golden-cache events instead of mirroring them.
+
+    The executor's chunk runners wrap each chunk in this context so cache
+    hits/misses land on the *chunk result* (:attr:`hits`/:attr:`misses`)
+    rather than in the process-wide registry.  Two bugs die with the old
+    behaviour: thread-pool chunks no longer race over global cache-info
+    deltas, and a chunk that fails mid-way and is retried no longer leaves
+    half-folded counts behind — the parent folds a chunk's counters
+    exactly once, on success (see
+    :func:`repro.beam.executor.emit_chunk_observability`).
     """
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def __enter__(self) -> "capture_cache_events":
+        self._previous = getattr(_capture_tls, "active", None)
+        _capture_tls.active = self
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _capture_tls.active = self._previous
+
+
+def _note_cache_event(hit: bool) -> None:
+    """Record one cache event: captured per-chunk, or mirrored globally.
+
+    When a :class:`capture_cache_events` scope is active on this thread the
+    event counts there and nowhere else (the executor ships it back with
+    the chunk).  Otherwise it mirrors into the observability registry — a
+    ``None`` check when observability is off, the zero-cost contract.
+    """
+    capture = getattr(_capture_tls, "active", None)
+    if capture is not None:
+        if hit:
+            capture.hits += 1
+        else:
+            capture.misses += 1
+        return
     metrics = _obs_runtime.get_metrics()
     if metrics is None:
         return
@@ -122,6 +157,36 @@ def _golden_cache_put(key: str, output: "ExecutionOutput") -> None:
         _golden_cache.move_to_end(key)
         while len(_golden_cache) > GOLDEN_CACHE_CAPACITY:
             _golden_cache.popitem(last=False)
+
+
+# -- adopted shared state (pool workers) ----------------------------------------
+#
+# When campaign execution fans out over *process* workers, the parent exports
+# each kernel's golden arrays (and HotSpot's per-iteration state chain) into
+# ``multiprocessing.shared_memory`` segments and every worker adopts them as
+# read-only views (see :mod:`repro.kernels.sharedmem`).  The registry below
+# holds the adopted arrays per golden-cache key; :meth:`Kernel.golden`
+# consults it on a cache miss *before* re-executing, so workers never pay
+# the per-process golden warm-up (nor duplicate HotSpot's state chain).
+
+_shared_state_registry: "dict[str, tuple[dict, dict]]" = {}
+
+
+def register_shared_state(key: str, arrays: dict, meta: dict) -> None:
+    """Install adopted shared arrays for the kernel keyed by ``key``."""
+    _shared_state_registry[key] = (arrays, meta)
+
+
+def shared_state_for(key: "str | None") -> "tuple[dict, dict] | None":
+    """The adopted ``(arrays, meta)`` for a cache key, if any."""
+    if key is None:
+        return None
+    return _shared_state_registry.get(key)
+
+
+def clear_shared_state() -> None:
+    """Drop every adopted shared-state entry (tests / pool teardown)."""
+    _shared_state_registry.clear()
 
 
 class KernelCrashError(RuntimeError):
@@ -239,6 +304,21 @@ class SparseOutput:
         if len(self.flat_indices) and np.any(np.diff(self.flat_indices) <= 0):
             raise ValueError("flat_indices must be strictly increasing")
 
+    @classmethod
+    def trusted(cls, flat_indices: np.ndarray, values: np.ndarray) -> "SparseOutput":
+        """Construct without re-validating (hot batched path).
+
+        For deltas whose indices are strictly increasing *by construction*
+        (e.g. ``row_base + arange(...)`` footprints) the ``__post_init__``
+        monotonicity scan is pure overhead; callers remain responsible for
+        the invariant, and the differential suite pins that the resulting
+        records match the validated scalar path bit-for-bit.
+        """
+        self = cls.__new__(cls)
+        self.flat_indices = flat_indices
+        self.values = values
+        return self
+
     def materialize(self, golden: np.ndarray) -> np.ndarray:
         """The equivalent dense output: golden copy with the delta applied."""
         dense = golden.copy()
@@ -310,7 +390,11 @@ class Kernel(abc.ABC):
             if key is not None:
                 cached = _golden_cache_get(key)
                 if cached is None:
-                    cached = self._execute(None)
+                    adopted = shared_state_for(key)
+                    if adopted is not None:
+                        cached = self.golden_from_shared(*adopted)
+                    if cached is None:
+                        cached = self._execute(None)
                     _golden_cache_put(key, cached)
                 self._golden = cached
             else:
@@ -379,6 +463,76 @@ class Kernel(abc.ABC):
     def _execute_delta(self, fault: KernelFault) -> SparseOutput | None:
         """Kernel-specific sparse replay; default: no fast path."""
         return None
+
+    def run_delta_batch(self, faults) -> list:
+        """Sparse-replay a whole chunk of faults as one batched program.
+
+        Returns one slot per fault, in order:
+
+        * a :class:`SparseOutput` — the fault replayed in closed form;
+        * ``None`` — no closed-form replay for this fault; the caller
+          falls back to :meth:`run` *for that fault alone*;
+        * a :class:`KernelCrashError` — the sparse replay decided the
+          crash (returned, not raised, so one crashing fault never takes
+          the rest of the chunk down with it).
+
+        Per-slot semantics match :meth:`run_delta` exactly; kernels
+        override :meth:`_execute_delta_batch` to stack same-site faults
+        into one vectorised evaluation, and the default simply loops the
+        scalar replay.
+        """
+        known = {s.name for s in self.fault_sites()}
+        for fault in faults:
+            if fault.site not in known:
+                raise KeyError(f"{self.name} has no fault site {fault.site!r}")
+        if not faults:
+            return []
+        if not self.golden_is_finite():
+            return [None] * len(faults)
+        return self._execute_delta_batch(list(faults))
+
+    def _execute_delta_batch(self, faults: list) -> list:
+        """Kernel-specific batched replay; default: loop the scalar path."""
+        slots: list = []
+        for fault in faults:
+            try:
+                slots.append(self._execute_delta(fault))
+            except KernelCrashError as crash:
+                slots.append(crash)
+        return slots
+
+    # -- shared state (process pools) --------------------------------------------
+
+    def shared_golden_payload(self) -> "dict | None":
+        """Arrays (+ small metadata) exportable to pool workers.
+
+        The pool parent calls this once per kernel and copies the arrays
+        into ``multiprocessing.shared_memory``; workers rebuild the golden
+        output from the attached read-only views via
+        :meth:`golden_from_shared` instead of re-executing.  Returns
+        ``{"arrays": {name: ndarray}, "meta": {...picklable...}}`` or
+        ``None`` to opt out.  The default shares the golden output alone
+        and therefore opts out whenever the golden execution carries aux
+        data a plain output cannot rebuild; kernels with reconstructible
+        aux (HotSpot) override both hooks in tandem.
+        """
+        golden = self.golden()
+        if golden.aux:
+            return None
+        return {"arrays": {"output": golden.output}, "meta": {}}
+
+    def golden_from_shared(
+        self, arrays: dict, meta: dict
+    ) -> "ExecutionOutput | None":
+        """Rebuild the golden execution from adopted shared arrays.
+
+        The inverse of :meth:`shared_golden_payload`; returning ``None``
+        declines the adoption (the worker falls back to executing).
+        """
+        output = arrays.get("output")
+        if output is None:
+            return None
+        return ExecutionOutput(output=output)
 
     # -- fault surface ----------------------------------------------------------
 

@@ -413,6 +413,15 @@ class Clamr(Kernel):
         """
         return None
 
+    def _execute_delta_batch(self, faults: list) -> list:
+        """Batched counterpart: every slot falls back, for the same reason.
+
+        Spelled out (rather than inheriting the base loop) so the batched
+        injection path skips per-fault dispatch and drops straight to the
+        dense executions.
+        """
+        return [None] * len(faults)
+
     # -- fault injection ------------------------------------------------------------------
 
     def _inject(self, fault: KernelFault, rng, h, hu, hv):

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro._util.rng import stable_seed
+from repro._util.rng import FastRngBatch, stable_seed
 from repro.kernels.base import (
     ExecutionOutput,
     FaultSiteSpec,
@@ -169,6 +169,31 @@ class Dgemm(Kernel):
             flat, values = handler(self.golden().output, fault)
         return SparseOutput(flat_indices=flat, values=values)
 
+    def _execute_delta_batch(self, faults: list) -> list:
+        """Batched sparse replay: every DGEMM site replays in closed form.
+
+        The per-fault *random choices* (victim element, flip bits) must
+        stay sequential per fault — each fault owns a private RNG stream —
+        so the batch win here is amortisation: fault streams come from one
+        :class:`~repro._util.rng.FastRngBatch` seeding pass, and the
+        golden lookup / errstate setup happen once per chunk instead of
+        once per fault.  Handler arithmetic is untouched, so each slot is
+        bit-identical to the scalar :meth:`_execute_delta`.
+        """
+        golden = self.golden().output
+        streams = FastRngBatch([fault.seed for fault in faults])
+        slots = []
+        with np.errstate(all="ignore"):
+            for b, fault in enumerate(faults):
+                handler = getattr(self, f"_delta_{fault.site}")
+                flat, values = handler(golden, fault, rng=streams.rng(b))
+                slots.append(
+                    SparseOutput.trusted(
+                        np.asarray(flat, dtype=np.intp), np.asarray(values)
+                    )
+                )
+        return slots
+
     # -- fault handlers -----------------------------------------------------------
     #
     # Each handler picks the victim location from the fault's private RNG,
@@ -185,8 +210,8 @@ class Dgemm(Kernel):
             + np.arange(cols.start, cols.stop, dtype=np.intp)
         ).ravel()
 
-    def _delta_input_a(self, golden, fault):
-        rng = fault.rng()
+    def _delta_input_a(self, golden, fault, rng=None):
+        rng = fault.rng() if rng is None else rng
         i = int(rng.integers(self.n))
         k0 = int(rng.integers(self.n))
         j_start = int(fault.progress * self.n)
@@ -198,8 +223,8 @@ class Dgemm(Kernel):
         flat = i * self.n + np.arange(j_start, self.n, dtype=np.intp)
         return flat, values
 
-    def _delta_input_b(self, golden, fault):
-        rng = fault.rng()
+    def _delta_input_b(self, golden, fault, rng=None):
+        rng = fault.rng() if rng is None else rng
         k = int(rng.integers(self.n))
         j0 = int(rng.integers(self.n))
         i_start = int(fault.progress * self.n)
@@ -212,8 +237,8 @@ class Dgemm(Kernel):
         flat = self._block_flat(range(i_start, self.n), range(j0, j1), self.n)
         return flat, block.ravel()
 
-    def _delta_shared_tile(self, golden, fault):
-        rng = fault.rng()
+    def _delta_shared_tile(self, golden, fault, rng=None):
+        rng = fault.rng() if rng is None else rng
         bi = int(rng.integers(self.n // self.tile)) * self.tile
         bj = int(rng.integers(self.n // self.tile)) * self.tile
         k = int(rng.integers(self.n))
@@ -228,8 +253,8 @@ class Dgemm(Kernel):
         flat = self._block_flat(range(bi, bi + self.tile), range(c0, c1), self.n)
         return flat, block.ravel()
 
-    def _delta_accumulator(self, golden, fault):
-        rng = fault.rng()
+    def _delta_accumulator(self, golden, fault, rng=None):
+        rng = fault.rng() if rng is None else rng
         i = int(rng.integers(self.n))
         j = int(rng.integers(self.n))
         value = fault.flip.apply_scalar(golden[i, j], rng)
@@ -237,8 +262,8 @@ class Dgemm(Kernel):
             [value], dtype=golden.dtype
         )
 
-    def _delta_product_term(self, golden, fault):
-        rng = fault.rng()
+    def _delta_product_term(self, golden, fault, rng=None):
+        rng = fault.rng() if rng is None else rng
         i = int(rng.integers(self.n))
         j = int(rng.integers(self.n))
         k = int(rng.integers(self.n))
@@ -248,8 +273,8 @@ class Dgemm(Kernel):
             [value], dtype=golden.dtype
         )
 
-    def _delta_vector_lane(self, golden, fault):
-        rng = fault.rng()
+    def _delta_vector_lane(self, golden, fault, rng=None):
+        rng = fault.rng() if rng is None else rng
         i = int(rng.integers(self.n))
         j0 = int(rng.integers(self.n))
         j1 = min(j0 + fault.extent, self.n)
@@ -257,8 +282,8 @@ class Dgemm(Kernel):
         flat = i * self.n + np.arange(j0, j1, dtype=np.intp)
         return flat, values
 
-    def _delta_scheduler_block(self, golden, fault):
-        rng = fault.rng()
+    def _delta_scheduler_block(self, golden, fault, rng=None):
+        rng = fault.rng() if rng is None else rng
         bi = int(rng.integers(self.n // self.tile)) * self.tile
         bj = int(rng.integers(self.n // self.tile)) * self.tile
         k_cut = int(fault.progress * self.n)
@@ -271,8 +296,8 @@ class Dgemm(Kernel):
         )
         return flat, tile_vals.ravel()
 
-    def _delta_scheduler_threads(self, golden, fault):
-        rng = fault.rng()
+    def _delta_scheduler_threads(self, golden, fault, rng=None):
+        rng = fault.rng() if rng is None else rng
         count = min(fault.extent, self.n * self.n)
         flat = rng.choice(self.n * self.n, size=count, replace=False)
         # One batched draw is bit-identical to `count` sequential scalar

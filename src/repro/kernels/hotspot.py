@@ -22,6 +22,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro._util.hashing import short_hash
+from repro._util.rng import FastRngBatch
 from repro.kernels.base import (
     ExecutionOutput,
     FaultSiteSpec,
@@ -300,21 +302,29 @@ class HotSpot(Kernel):
         ``states[t]`` is the temperature field after ``t`` clean steps —
         the same values the golden run (and the faulty run's clean restart
         prefix) computes, produced by the same ``_step`` chain.
+
+        The chain is cached in the golden output's aux (key ``"chain"``),
+        so it is computed once per *process* — every HotSpot instance with
+        the same configuration shares the process-wide golden cache entry —
+        and pool workers that adopt a shared-memory golden payload inherit
+        the chain without recomputing it.
         """
         bytes_needed = (self.iterations + 1) * self.n * self.n * 4
         if bytes_needed > DELTA_STATES_MAX_BYTES:
             return None
-        if getattr(self, "_delta_states", None) is None:
-            states = np.empty(
+        golden = self.golden()
+        chain = golden.aux.get("chain")
+        if chain is None:
+            chain = np.empty(
                 (self.iterations + 1, self.n, self.n), dtype=np.float32
             )
             temp = self.initial_temp.copy()
-            states[0] = temp
+            chain[0] = temp
             for it in range(self.iterations):
                 temp = self._step(temp, self.power)
-                states[it + 1] = temp
-            self._delta_states = states
-        return self._delta_states
+                chain[it + 1] = temp
+            golden.aux["chain"] = chain
+        return chain
 
     def _window_step(
         self,
@@ -430,3 +440,241 @@ class HotSpot(Kernel):
             + np.arange(q0, q1, dtype=np.intp)
         ).ravel()
         return SparseOutput(flat_indices=flat, values=w.ravel())
+
+    def _prepare_delta(self, fault: KernelFault, rng, states):
+        """Phase 1 of the light-cone replay for one fault: mirror the RNG
+        draws, build the corrupted start window.
+
+        Returns ``None`` for global propagation (fall back to the dense
+        path), else ``(start_it, (r0, r1, q0, q1), window, power_window)``.
+        """
+        strike_iter = int(fault.progress * self.iterations)
+        if fault.site in ("cell_temp", "cell_line", "tile_cells", "vector_cells"):
+            r = int(rng.integers(self.n))
+            c0 = int(rng.integers(self.n))
+            c1 = min(c0 + fault.extent, self.n)
+            src = (r, r + 1, c0, c1)
+            start_it = strike_iter
+        elif fault.site == "power_input":
+            r = int(rng.integers(self.n))
+            c0 = int(rng.integers(self.n))
+            c1 = min(c0 + fault.extent, self.n)
+            src = (r, r + 1, c0, c1)
+            start_it = strike_iter
+        elif fault.site == "fpu_term":
+            i = int(rng.integers(self.n))
+            j = int(rng.integers(self.n))
+            src = (i, i + 1, j, j + 1)
+            start_it = strike_iter + 1
+        elif fault.site == "block_skip":
+            br = int(rng.integers(max(1, self.n // self.tile))) * self.tile
+            bc = int(rng.integers(max(1, self.n // self.tile))) * self.tile
+            src = (br, min(br + self.tile, self.n),
+                   bc, min(bc + self.tile, self.n))
+            start_it = strike_iter + 1
+        else:  # pragma: no cover - guarded by Kernel.run_delta_batch
+            raise KeyError(fault.site)
+
+        growth = self.iterations - start_it
+        r0 = max(0, src[0] - growth)
+        r1 = min(self.n, src[1] + growth)
+        q0 = max(0, src[2] - growth)
+        q1 = min(self.n, src[3] + growth)
+        if r0 == 0 and q0 == 0 and r1 == self.n and q1 == self.n:
+            # The flip draws are never reached in the scalar path either
+            # (it bails before applying the corruption), so stream parity
+            # with `_execute_delta` holds.
+            return None
+
+        w = states[start_it, r0:r1, q0:q1].copy()
+        power_w = self.power[r0:r1, q0:q1]
+        if fault.site in ("cell_temp", "cell_line", "tile_cells", "vector_cells"):
+            w[r - r0, c0 - q0 : c1 - q0] = fault.flip.apply(
+                states[strike_iter, r, c0:c1], rng
+            )
+        elif fault.site == "power_input":
+            power_w = power_w.copy()
+            power_w[r - r0, c0 - q0 : c1 - q0] = fault.flip.apply(
+                self.power[r, c0:c1], rng
+            )
+        elif fault.site == "fpu_term":
+            w[i - r0, j - q0] = fault.flip.apply(
+                np.array([states[strike_iter + 1, i, j]], dtype=np.float32), rng
+            )[0]
+        elif fault.site == "block_skip":
+            w[src[0] - r0 : src[1] - r0, src[2] - q0 : src[3] - q0] = states[
+                strike_iter, src[0] : src[1], src[2] : src[3]
+            ]
+        return start_it, (r0, r1, q0, q1), w, power_w
+
+    def _execute_delta_batch(self, faults: list) -> list:
+        """Batched light-cone replay: step same-shape windows together.
+
+        Faults that share a replay start iteration and a window shape (the
+        common case in a large chunk — the strike iteration quantises to
+        ``iterations`` values and interior windows of equal age have equal
+        extents) are stacked into one ``(F, h, w)`` block and advanced with
+        a single vectorised stencil update per iteration, each window still
+        reading its own border from the dense golden state of that
+        iteration.  The stencil arithmetic is elementwise, so every window
+        evolves exactly as in the scalar :meth:`_execute_delta`; only the
+        fixed numpy dispatch per (fault, iteration) is amortised.
+        """
+        states = self._iteration_states()
+        if states is None:
+            return [None] * len(faults)
+        streams = FastRngBatch([fault.seed for fault in faults])
+        slots: list = [None] * len(faults)
+        groups: dict[tuple, list] = {}
+        for b, fault in enumerate(faults):
+            prepared = self._prepare_delta(fault, streams.rng(b), states)
+            if prepared is None:
+                continue  # global propagation: leave the dense fallback
+            start_it, bounds, w, power_w = prepared
+            key = (start_it, w.shape)
+            groups.setdefault(key, []).append((b, bounds, w, power_w))
+
+        n = self.n
+        for (start_it, (h, wd)), members in groups.items():
+            if h * wd > self._STACK_WINDOW_MAX or len(members) == 1:
+                # Large windows evolve fastest one at a time — a stacked
+                # working set falls out of cache and the vectorisation win
+                # turns into memory traffic.  Singleton groups have nothing
+                # to amortise.
+                for b, bounds, w, power_w in members:
+                    slots[b] = self._finish_window(
+                        start_it, bounds, w, power_w, states
+                    )
+                continue
+            step_f = max(1, self._STACK_ELEMS_BUDGET // (h * wd))
+            for base in range(0, len(members), step_f):
+                chunk = members[base : base + step_f]
+                stack = np.stack([w for _b, _bounds, w, _p in chunk])
+                power_stack = np.stack([p for _b, _bounds, _w, p in chunk])
+                bounds = [m[1] for m in chunk]
+                padded = np.empty(
+                    (len(chunk), h + 2, wd + 2), dtype=stack.dtype
+                )
+                for it in range(start_it, self.iterations):
+                    ring = states[it]
+                    padded[:, 1:-1, 1:-1] = stack
+                    for f, (r0, r1, q0, q1) in enumerate(bounds):
+                        w = stack[f]
+                        padded[f, 0, 1:-1] = (
+                            ring[r0 - 1, q0:q1] if r0 > 0 else w[0, :]
+                        )
+                        padded[f, -1, 1:-1] = (
+                            ring[r1, q0:q1] if r1 < n else w[-1, :]
+                        )
+                        padded[f, 1:-1, 0] = (
+                            ring[r0:r1, q0 - 1] if q0 > 0 else w[:, 0]
+                        )
+                        padded[f, 1:-1, -1] = (
+                            ring[r0:r1, q1] if q1 < n else w[:, -1]
+                        )
+                    # Corners are never read by the 5-point stencil.
+                    padded[:, 0, 0] = padded[:, 0, 1]
+                    padded[:, 0, -1] = padded[:, 0, -2]
+                    padded[:, -1, 0] = padded[:, -1, 1]
+                    padded[:, -1, -1] = padded[:, -1, -2]
+                    north = padded[:, :-2, 1:-1]
+                    south = padded[:, 2:, 1:-1]
+                    west = padded[:, 1:-1, :-2]
+                    east = padded[:, 1:-1, 2:]
+                    with np.errstate(all="ignore"):
+                        delta = self.step_div_cap * (
+                            power_stack
+                            + (north + south - 2.0 * stack) / np.float32(self.ry)
+                            + (east + west - 2.0 * stack) / np.float32(self.rx)
+                            + (np.float32(AMBIENT_TEMP) - stack)
+                            / np.float32(self.rz)
+                        )
+                        stack = stack + delta
+                for (b, bnd, _w, _p), w in zip(chunk, stack):
+                    slots[b] = self._seal_window(bnd, w)
+        return slots
+
+    #: Windows above this cell count replay one at a time (cache residency).
+    _STACK_WINDOW_MAX = 16384
+    #: Cap on stacked cells per block: bounds the per-iteration working set.
+    _STACK_ELEMS_BUDGET = 1 << 18
+
+    def _finish_window(self, start_it, bounds, w, power_w, states):
+        """Scalar tail of :meth:`_execute_delta` for one prepared window."""
+        r0, r1, q0, q1 = bounds
+        for it in range(start_it, self.iterations):
+            w = self._window_step(w, power_w, states[it], (r0, r1), (q0, q1))
+        return self._seal_window(bounds, w)
+
+    def _seal_window(self, bounds, w):
+        """Finiteness check + sparse assembly for one replayed window."""
+        r0, r1, q0, q1 = bounds
+        if not np.all(np.isfinite(w)):
+            return KernelCrashError("hotspot: non-finite temperatures")
+        flat = (
+            np.arange(r0, r1, dtype=np.intp)[:, None] * self.n
+            + np.arange(q0, q1, dtype=np.intp)
+        ).ravel()
+        return SparseOutput.trusted(flat, w.ravel())
+
+    # -- shared golden state ------------------------------------------------------
+
+    def golden_cache_key(self) -> "str | None":
+        """Scalar-config key despite the precomputed input arrays.
+
+        ``initial_temp`` and ``power`` are public ndarrays, which opts the
+        default key out — but both are built deterministically in
+        ``__init__`` from the scalar configuration alone, so hashing the
+        scalars is exact: equal keys imply bit-identical inputs and hence
+        bit-identical golden outputs.
+        """
+        return short_hash(
+            {
+                "kernel_class": (
+                    f"{type(self).__module__}.{type(self).__qualname__}"
+                ),
+                "config": {
+                    "n": self.n,
+                    "iterations": self.iterations,
+                    "tile": self.tile,
+                    "seed": self.seed,
+                    "snapshot_every": self.snapshot_every,
+                },
+            }
+        )
+
+    def shared_golden_payload(self):
+        """Output + full iteration-state chain, for pool workers to adopt.
+
+        The chain subsumes the snapshot/checkpoint aux (every checkpoint is
+        a chain row), so one shared block replaces both the golden run and
+        the fast path's per-worker chain recomputation.
+        """
+        states = self._iteration_states()
+        if states is None:
+            return None  # chain over budget: nothing worth sharing
+        golden = self.golden()
+        return {
+            "arrays": {"output": golden.output, "chain": states},
+            "meta": {"checkpoints": list(golden.aux["checkpoints"])},
+        }
+
+    def golden_from_shared(self, arrays, meta) -> ExecutionOutput | None:
+        output = arrays.get("output")
+        chain = arrays.get("chain")
+        if output is None or chain is None:
+            return None
+        checkpoints = [int(cp) for cp in meta.get("checkpoints", [])]
+        snapshots = [chain[cp] for cp in checkpoints]
+        states = {0: chain[0]}
+        for cp in checkpoints:
+            states[cp] = chain[cp]
+        return ExecutionOutput(
+            output=output,
+            aux={
+                "snapshots": snapshots,
+                "checkpoints": checkpoints,
+                "states": states,
+                "chain": chain,
+            },
+        )

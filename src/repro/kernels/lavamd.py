@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro._util.rng import FastRngBatch
 from repro.kernels.base import (
     ExecutionOutput,
     FaultSiteSpec,
@@ -477,6 +478,186 @@ class LavaMD(Kernel):
         # Crash parity with the full path: the untouched elements are the
         # (pre-checked finite) golden values, so the dense finiteness check
         # reduces to the touched footprint.
+        with np.errstate(all="ignore"):
+            finite = bool(np.all(np.isfinite(values)))
+        if not finite:
+            raise KernelCrashError("lavamd: non-finite potentials")
+        return SparseOutput(flat_indices=flat, values=values)
+
+    #: Cap on ``B * np * m`` per stacked evaluation (keeps the (B, np, m, 3)
+    #: difference tensor around 25 MB at float64).
+    _BATCH_PAIR_BUDGET = 1 << 20
+
+    def _execute_delta_batch(self, faults: list) -> list:
+        """Batched sparse replay: stack whole-box recomputations.
+
+        The per-fault RNG draws and flip arithmetic replay scalar (each
+        fault owns a private stream — seeded in one
+        :class:`~repro._util.rng.FastRngBatch` pass), but the expensive
+        part of LavaMD's replay — re-evaluating every consumer box's
+        pairwise interactions — is deferred, grouped by pair count ``m``
+        and evaluated as stacked ``(B, np, m)`` array programs.  The
+        batched expressions broadcast the scalar ones over a leading axis
+        only: the subtraction/``exp``/multiply stay elementwise, the
+        3-element ``einsum`` contraction and the axis-``m`` pairwise sum
+        reduce per output element exactly as in
+        :meth:`_box_potentials`, so every slot is bit-identical to
+        :meth:`_execute_delta`.
+        """
+        golden = self.golden().output
+        n_boxes = self.nb**3
+        box_elems = self.np_box * self.channels
+        streams = FastRngBatch([fault.seed for fault in faults])
+        slots: list = [None] * len(faults)
+        # Whole-box recompute jobs: (slot, box, neighbour list, positions,
+        # charges).  ``deferred[slot]`` keeps each fault's job order.
+        jobs: list = []
+        deferred: dict[int, list[int]] = {}
+
+        def _defer(slot: int, boxes, positions, charges, limit=None) -> None:
+            deferred[slot] = []
+            for box in boxes:
+                box = int(box)
+                near = self._neighbors[box]
+                if limit is not None:
+                    near = near[:limit]
+                deferred[slot].append(len(jobs))
+                jobs.append((box, near, positions, charges))
+
+        for b, fault in enumerate(faults):
+            rng = streams.rng(b)
+            if fault.site in ("charge", "cache_particles"):
+                box = int(rng.integers(n_boxes))
+                p0 = int(rng.integers(self.np_box))
+                p1 = min(p0 + fault.extent, self.np_box)
+                charges = self.charges.copy()
+                charges[box, p0:p1] = fault.flip.apply(charges[box, p0:p1], rng)
+                boxes = self._consumer_boxes(box, fault.progress, fault.sharing)
+                _defer(b, boxes, self.positions, charges)
+            elif fault.site == "position":
+                box = int(rng.integers(n_boxes))
+                p0 = int(rng.integers(self.np_box))
+                p1 = min(p0 + fault.extent, self.np_box)
+                dim = int(rng.integers(3))
+                positions = self.positions.copy()
+                positions[box, p0:p1, dim] = fault.flip.apply(
+                    positions[box, p0:p1, dim], rng
+                )
+                boxes = self._consumer_boxes(box, fault.progress, fault.sharing)
+                _defer(b, boxes, positions, self.charges)
+            elif fault.site == "scheduler_box":
+                box = int(rng.integers(n_boxes))
+                limit = max(1, int(fault.progress * len(self._neighbors[box])))
+                _defer(b, [box], self.positions, self.charges, limit=limit)
+            else:
+                # Closed-form single/few-element sites: nothing to stack.
+                try:
+                    slots[b] = self._delta_scalar_site(fault, rng, golden)
+                except KernelCrashError as crash:
+                    slots[b] = crash
+
+        if jobs:
+            results: list = [None] * len(jobs)
+            groups: dict[int, list[int]] = {}
+            for j, (_box, near, _pos, _q) in enumerate(jobs):
+                groups.setdefault(len(near), []).append(j)
+            for n_near, members in groups.items():
+                m = n_near * self.np_box
+                step = max(1, self._BATCH_PAIR_BUDGET // max(1, self.np_box * m))
+                for base in range(0, len(members), step):
+                    chunk = members[base : base + step]
+                    pos_i = np.stack([jobs[j][2][jobs[j][0]] for j in chunk])
+                    pos_j = np.stack(
+                        [jobs[j][2][jobs[j][1]].reshape(-1, 3) for j in chunk]
+                    )
+                    q_j = np.stack(
+                        [jobs[j][3][jobs[j][1]].reshape(-1) for j in chunk]
+                    )
+                    with np.errstate(all="ignore"):
+                        diff = pos_i[:, :, None, :] - pos_j[:, None, :, :]
+                        d2 = np.einsum("bijk,bijk->bij", diff, diff)
+                        weights = q_j[:, None, :] * np.exp(-ALPHA2 * d2)
+                        v = weights.sum(axis=2)
+                        if self.include_forces:
+                            forces = 2.0 * ALPHA2 * np.einsum(
+                                "bij,bijk->bik", weights, diff
+                            )
+                            outs = np.concatenate([v[:, :, None], forces], axis=2)
+                        else:
+                            outs = v[:, :, None]
+                    for j, out in zip(chunk, outs):
+                        results[j] = out
+
+            for slot, job_ids in deferred.items():
+                if job_ids:
+                    flat = np.concatenate(
+                        [
+                            np.arange(
+                                jobs[j][0] * box_elems,
+                                (jobs[j][0] + 1) * box_elems,
+                                dtype=np.intp,
+                            )
+                            for j in job_ids
+                        ]
+                    )
+                    values = np.concatenate(
+                        [results[j].reshape(-1) for j in job_ids]
+                    )
+                else:
+                    flat = np.empty(0, dtype=np.intp)
+                    values = np.empty(0, dtype=np.float64)
+                with np.errstate(all="ignore"):
+                    finite = bool(np.all(np.isfinite(values)))
+                if not finite:
+                    slots[slot] = KernelCrashError("lavamd: non-finite potentials")
+                else:
+                    slots[slot] = SparseOutput.trusted(flat, values)
+        else:
+            for slot in deferred:
+                slots[slot] = SparseOutput.trusted(
+                    np.empty(0, dtype=np.intp), np.empty(0, dtype=np.float64)
+                )
+        return slots
+
+    def _delta_scalar_site(
+        self, fault: KernelFault, rng: np.random.Generator, golden: np.ndarray
+    ) -> SparseOutput:
+        """The ``potential_acc``/``vector_acc``/``sfu_exp`` branches of
+        :meth:`_execute_delta`, with the RNG supplied by the caller."""
+        n_boxes = self.nb**3
+        if fault.site == "potential_acc":
+            idx = int(rng.integers(golden.size))
+            value = fault.flip.apply_scalar(golden[idx], rng)
+            flat = np.array([idx], dtype=np.intp)
+            values = np.array([value], dtype=golden.dtype)
+        elif fault.site == "vector_acc":
+            i0 = int(rng.integers(golden.size))
+            i1 = min(i0 + fault.extent, golden.size)
+            values = fault.flip.apply(golden[i0:i1], rng)
+            flat = np.arange(i0, i1, dtype=np.intp)
+        elif fault.site == "sfu_exp":
+            box = int(rng.integers(n_boxes))
+            p = int(rng.integers(self.np_box))
+            near = self._neighbors[box]
+            jbox = int(near[int(rng.integers(len(near)))])
+            jp = int(rng.integers(self.np_box))
+            diff = self.positions[box, p] - self.positions[jbox, jp]
+            term = np.exp(-ALPHA2 * float(diff @ diff))
+            corrupted = fault.flip.apply_scalar(term, rng)
+            delta = self.charges[jbox, jp] * (corrupted - term)
+            base = (box * self.np_box + p) * self.channels
+            if self.include_forces:
+                flat = np.arange(base, base + 4, dtype=np.intp)
+                values = np.empty(4, dtype=golden.dtype)
+                values[0] = golden[base] + delta
+                values[1:4] = golden[base + 1 : base + 4] + (
+                    2.0 * ALPHA2 * delta * diff
+                )
+            else:
+                flat = np.array([base], dtype=np.intp)
+                values = np.array([golden[base] + delta], dtype=golden.dtype)
+        else:  # pragma: no cover - guarded by Kernel.run_delta_batch
+            raise KeyError(fault.site)
         with np.errstate(all="ignore"):
             finite = bool(np.all(np.isfinite(values)))
         if not finite:

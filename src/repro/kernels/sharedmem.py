@@ -1,0 +1,181 @@
+"""Shared-memory transport for golden kernel state across pool workers.
+
+Process-backed campaign pools historically paid one golden execution (and,
+for HotSpot's fast path, one full iteration-state chain) *per worker
+process*: the per-process golden cache starts empty in every worker.  This
+module moves that state into ``multiprocessing.shared_memory`` once,
+parent-side, and hands workers a small picklable descriptor:
+
+* the parent calls :class:`SharedGoldenExport` with the campaign's kernels;
+  each kernel that opts in (:meth:`~repro.kernels.base.Kernel
+  .shared_golden_payload`) has its arrays copied into shared segments;
+* each pool worker runs :func:`adopt_shared_golden` once (pool
+  initializer), attaching **read-only** views and installing them in the
+  :func:`~repro.kernels.base.register_shared_state` registry;
+* :meth:`Kernel.golden` finds the registry entry on its first cache miss
+  and rebuilds the golden execution from the views
+  (:meth:`~repro.kernels.base.Kernel.golden_from_shared`) instead of
+  re-executing.
+
+Lifecycle is parent-owned: workers only ever attach; the parent unlinks the
+segments after the pool has drained.  Workers unregister their attachments
+from the ``resource_tracker`` so a worker exiting does not tear the
+segments down under its siblings (CPython tracks attached segments like
+created ones until 3.13).
+
+Adoption is best-effort by design: any failure (segment vanished, payload
+from a mismatched build) leaves the worker computing its own golden
+reference, which is always correct — just slower.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.kernels.base import Kernel, clear_shared_state, register_shared_state
+
+__all__ = [
+    "SharedGoldenExport",
+    "adopt_shared_golden",
+    "release_adopted",
+]
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach a segment without registering it in the resource tracker.
+
+    Attached segments must not be unlinked when *this* process exits —
+    the parent owns the segments' lifetime.  CPython < 3.13 registers
+    attachments like creations, and under ``fork`` the worker shares the
+    parent's tracker process, so unregistering *after* the fact would
+    strip the parent's own registration (the tracker's cache is one set).
+    Suppressing registration during the attach sidesteps both problems.
+    """
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+class SharedGoldenExport:
+    """Parent-side exporter: kernel golden state -> shared segments.
+
+    Usage::
+
+        export = SharedGoldenExport()
+        export.add_kernel(kernel)        # per campaign kernel; False = opt-out
+        pool = ProcessPoolExecutor(..., initargs=(export.payload,))
+        ...                              # run the campaign
+        export.close()                   # after the pool has drained
+    """
+
+    def __init__(self) -> None:
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._closed = False
+        #: Picklable descriptor to pass to :func:`adopt_shared_golden`.
+        self.payload: dict = {"entries": []}
+
+    def add_kernel(self, kernel: Kernel) -> bool:
+        """Export one kernel's golden state; ``False`` when it opts out."""
+        key = kernel.golden_cache_key()
+        if key is None:
+            return False
+        payload = kernel.shared_golden_payload()
+        if payload is None:
+            return False
+        entry: dict = {"key": key, "arrays": [], "meta": payload.get("meta", {})}
+        start = len(self._segments)
+        try:
+            for name, array in payload["arrays"].items():
+                array = np.ascontiguousarray(array)
+                shm = shared_memory.SharedMemory(
+                    create=True, size=max(1, array.nbytes)
+                )
+                self._segments.append(shm)
+                view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+                view[...] = array
+                entry["arrays"].append(
+                    (name, shm.name, tuple(array.shape), array.dtype.str)
+                )
+        except OSError:
+            # Out of /dev/shm (or segments unavailable): roll back this
+            # kernel's segments and let workers compute their own golden.
+            while len(self._segments) > start:
+                shm = self._segments.pop()
+                shm.close()
+                try:
+                    shm.unlink()
+                except OSError:
+                    pass
+            return False
+        self.payload["entries"].append(entry)
+        return True
+
+    def __len__(self) -> int:
+        return len(self.payload["entries"])
+
+    def close(self) -> None:
+        """Close and unlink every exported segment (idempotent).
+
+        Call only after the worker pool has drained: unlinking earlier is
+        safe on Linux (attached workers keep their mappings) but forfeits
+        adoption for workers that have not attached yet.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for shm in self._segments:
+            shm.close()
+            try:
+                shm.unlink()
+            except OSError:
+                pass
+        self._segments.clear()
+
+
+#: Segments this (worker) process has attached; kept open for its lifetime.
+_adopted_segments: list[shared_memory.SharedMemory] = []
+
+
+def adopt_shared_golden(payload: dict | None) -> int:
+    """Attach a :class:`SharedGoldenExport` payload in a worker process.
+
+    Installs read-only array views in the shared-state registry for
+    :meth:`Kernel.golden` to adopt.  Returns the number of kernel entries
+    adopted; entries whose segments cannot be attached are skipped.
+    """
+    if not payload:
+        return 0
+    adopted = 0
+    for entry in payload.get("entries", []):
+        arrays: dict = {}
+        segments: list[shared_memory.SharedMemory] = []
+        try:
+            for name, shm_name, shape, dtype in entry["arrays"]:
+                shm = _attach_untracked(shm_name)
+                segments.append(shm)
+                view = np.ndarray(
+                    tuple(shape), dtype=np.dtype(dtype), buffer=shm.buf
+                )
+                view.flags.writeable = False
+                arrays[name] = view
+        except (OSError, ValueError):
+            for shm in segments:
+                shm.close()
+            continue
+        _adopted_segments.extend(segments)
+        register_shared_state(entry["key"], arrays, dict(entry.get("meta", {})))
+        adopted += 1
+    return adopted
+
+
+def release_adopted() -> None:
+    """Drop adopted registry entries and close attachments (tests only)."""
+    clear_shared_state()
+    for shm in _adopted_segments:
+        shm.close()
+    _adopted_segments.clear()

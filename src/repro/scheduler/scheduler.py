@@ -49,6 +49,7 @@ from repro.beam.executor import (
     default_timeout,
     emit_chunk_observability,
 )
+from repro.kernels.sharedmem import SharedGoldenExport
 from repro.observability import runtime as obs_runtime
 from repro.scheduler.retry import RetryPolicy
 from repro.store.runner import finalise_journal, journal_chunk_records
@@ -172,6 +173,11 @@ class CampaignScheduler:
         fast_path: attempt delta replay in workers (``None`` = the
             ``REPRO_FASTPATH`` environment default).  Records are
             bit-identical either way, so mixed-mode resumes are safe.
+        batch: evaluate whole chunks as one batched array program
+            (``None`` = the ``REPRO_BATCH`` environment default).  Like
+            ``fast_path`` this is an execution strategy, not part of the
+            spec identity: records stay bit-identical, so mixed-mode
+            resumes are safe.
         retry: the transient-failure policy (default
             :class:`RetryPolicy`).
         reuse: serve specs already complete in the store as cache hits.
@@ -193,6 +199,7 @@ class CampaignScheduler:
         backend: str = "auto",
         timeout: "float | None" = None,
         fast_path: "bool | None" = None,
+        batch: "bool | None" = None,
         retry: "RetryPolicy | None" = None,
         reuse: bool = True,
         seed: int = 0,
@@ -203,7 +210,7 @@ class CampaignScheduler:
         self.store = store
         self._executor = CampaignExecutor(
             workers=workers, chunk_size=chunk_size, backend=backend,
-            timeout=timeout, fast_path=fast_path,
+            timeout=timeout, fast_path=fast_path, batch=batch,
         )
         self.retry = retry if retry is not None else RetryPolicy()
         self.reuse = reuse
@@ -323,8 +330,30 @@ class CampaignScheduler:
         )
 
         pool = None
+        export = None
         if backend != "serial" and any(job.has_work() for job in jobs):
-            pool = CampaignExecutor._make_pool(backend, workers)
+            if backend == "process":
+                # One export covers every queued campaign's kernel, so
+                # workers attach the golden state (best-effort) instead of
+                # re-executing it once per process per configuration.
+                try:
+                    export = SharedGoldenExport()
+                    seen: set = set()
+                    for job in jobs:
+                        key = job.campaign.kernel.golden_cache_key()
+                        if key is None or key in seen:
+                            continue
+                        seen.add(key)
+                        export.add_kernel(job.campaign.kernel)
+                except Exception:
+                    export = None
+                if export is not None and not len(export):
+                    export.close()
+                    export = None
+            pool = CampaignExecutor._make_pool(
+                backend, workers,
+                payload=export.payload if export is not None else None,
+            )
         previous_handler = None
         handler_installed = False
         if install_signal_handler:
@@ -388,6 +417,8 @@ class CampaignScheduler:
                 signal.signal(signal.SIGINT, previous_handler)
             if pool is not None:
                 pool.shutdown(wait=False, cancel_futures=True)
+            if export is not None:
+                export.close()
             for job in jobs:
                 if job.status == "running":
                     job.status = "interrupted"
@@ -455,6 +486,7 @@ class CampaignScheduler:
             task.indices,
             instrument,
             self._executor.resolved_fast_path(),
+            self._executor.resolved_batch(),
         )
         if pool is None:  # serial backend: run inline, wrap as a future
             future: Future = Future()
@@ -488,7 +520,6 @@ class CampaignScheduler:
         emit_chunk_observability(
             tracer, metrics, job.campaign.kernel, job.campaign.device,
             backend, task.chunk_no, result,
-            count_cache=(backend == "process"),
             extra_attrs={"label": job.label, "run_id": job.run_id},
         )
         journal_chunk_records(job.journal, result.records)

@@ -99,6 +99,9 @@ class ServiceConfig:
         fast_path: attempt delta replay in workers (``None`` = the
             ``REPRO_FASTPATH`` environment default); records are
             bit-identical either way.
+        batch: evaluate whole chunks as one batched array program
+            (``None`` = the ``REPRO_BATCH`` environment default);
+            records are bit-identical either way.
         retries: chunk retries before a job fails.
         queue_limit: admission-queue bound; a full queue answers 429.
         max_body_bytes: per-request body cap (413 above it).
@@ -116,6 +119,7 @@ class ServiceConfig:
     chunk_size: "int | None" = None
     backend: str = "auto"
     fast_path: "bool | None" = None
+    batch: "bool | None" = None
     retries: int = 3
     queue_limit: int = 64
     max_body_bytes: int = 1 << 20
@@ -545,6 +549,7 @@ class CampaignService:
             chunk_size=config.chunk_size,
             backend=config.backend,
             fast_path=config.fast_path,
+            batch=config.batch,
             retry=RetryPolicy(max_retries=config.retries),
         )
         with self._cond:

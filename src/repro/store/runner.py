@@ -111,6 +111,7 @@ def execute_spec(
     timeout: "float | None" = None,
     backend: str = "auto",
     fast_path: "bool | None" = None,
+    batch: "bool | None" = None,
     reuse: bool = True,
 ) -> RunOutcome:
     """Run a spec with durable journaling (resuming/deduping via the store).
@@ -121,9 +122,10 @@ def execute_spec(
       returning the stored result without simulating anything.
 
     ``fast_path`` (``None`` = the ``REPRO_FASTPATH`` environment default)
-    is safe to flip between run and resume: fast-path records are
-    bit-identical to full re-execution, so a journal written one way
-    resumes the other way without divergence.
+    and ``batch`` (``None`` = the ``REPRO_BATCH`` default) are safe to
+    flip between run and resume: their records are bit-identical to full
+    re-execution, so a journal written one way resumes the other way
+    without divergence.
     """
     run_id = spec.run_id()
     stored = store.load(run_id) if store.has(run_id) else None
@@ -135,7 +137,7 @@ def execute_spec(
         )
     campaign = spec.build_campaign(
         workers=workers, chunk_size=chunk_size, timeout=timeout,
-        backend=backend, fast_path=fast_path,
+        backend=backend, fast_path=fast_path, batch=batch,
     )
     if stored is None:
         journal = store.create_run(spec)
@@ -168,6 +170,7 @@ def resume_run(
     timeout: "float | None" = None,
     backend: str = "auto",
     fast_path: "bool | None" = None,
+    batch: "bool | None" = None,
 ) -> RunOutcome:
     """Resume a stored run by id (``repro resume <run-id>``).
 
@@ -185,7 +188,8 @@ def resume_run(
     spec = store.load(run_id).spec
     return execute_spec(
         store, spec, workers=workers, chunk_size=chunk_size,
-        timeout=timeout, backend=backend, fast_path=fast_path, reuse=True,
+        timeout=timeout, backend=backend, fast_path=fast_path, batch=batch,
+        reuse=True,
     )
 
 

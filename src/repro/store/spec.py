@@ -147,13 +147,15 @@ class CampaignSpec:
         timeout: "float | None" = None,
         backend: str = "auto",
         fast_path: "bool | None" = None,
+        batch: "bool | None" = None,
     ):
         """Instantiate the runnable :class:`~repro.beam.campaign.Campaign`.
 
-        ``fast_path`` is an execution strategy, not part of the spec:
-        fast-path and reference records are bit-identical, so the same
-        run id addresses both (resuming a reference journal with the fast
-        path on, or vice versa, is safe by construction).
+        ``fast_path`` and ``batch`` are execution strategies, not part of
+        the spec: their records are bit-identical to the reference path,
+        so the same run id addresses all modes (resuming a reference
+        journal with either switch on, or vice versa, is safe by
+        construction).
         """
         from repro.arch.registry import make_device
         from repro.beam.campaign import Campaign
@@ -171,4 +173,5 @@ class CampaignSpec:
             timeout=timeout,
             backend=backend,
             fast_path=fast_path,
+            batch=batch,
         )

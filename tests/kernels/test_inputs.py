@@ -3,7 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.kernels.inputs import balanced_matrix, bit_balance
+from repro.kernels.inputs import (
+    balanced_matrix,
+    bit_balance,
+    clear_input_cache,
+)
 
 
 class TestBalancedMatrix:
@@ -56,3 +60,32 @@ class TestBalancedMatrix:
     def test_bit_balance_rejects_int(self):
         with pytest.raises(TypeError):
             bit_balance(np.zeros(4, dtype=np.int64))
+
+
+class TestInputMemo:
+    def test_repeat_calls_share_one_readonly_buffer(self):
+        clear_input_cache()
+        a = balanced_matrix(3, "memo", (16, 16))
+        b = balanced_matrix(3, "memo", (16, 16))
+        assert a is b
+        assert not a.flags.writeable
+        with pytest.raises(ValueError):
+            a[0, 0] = 1.0
+
+    def test_distinct_configurations_get_distinct_buffers(self):
+        clear_input_cache()
+        base = balanced_matrix(3, "memo", (16, 16))
+        assert balanced_matrix(4, "memo", (16, 16)) is not base
+        assert balanced_matrix(3, "other", (16, 16)) is not base
+        assert balanced_matrix(3, "memo", (8, 8)) is not base
+        assert (
+            balanced_matrix(3, "memo", (16, 16), dtype=np.float32)
+            is not base
+        )
+
+    def test_clear_forces_regeneration_bit_identically(self):
+        a = balanced_matrix(3, "memo", (16, 16)).copy()
+        clear_input_cache()
+        np.testing.assert_array_equal(
+            a, balanced_matrix(3, "memo", (16, 16))
+        )
