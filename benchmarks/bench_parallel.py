@@ -72,6 +72,10 @@ BATCH_JSON_PATH = Path(__file__).parent.parent / "BENCH_batch.json"
 BATCH_JSON_QUICK_PATH = (
     Path(__file__).parent / "results" / "BENCH_batch_quick.json"
 )
+SAMPLING_JSON_PATH = Path(__file__).parent.parent / "BENCH_sampling.json"
+SAMPLING_JSON_QUICK_PATH = (
+    Path(__file__).parent / "results" / "BENCH_sampling_quick.json"
+)
 
 
 def run_campaign(kernel_name: str, device_name: str, n: int, faulty: int,
@@ -426,6 +430,133 @@ def bench_batch(args) -> "tuple[str, float, dict]":
     return text, speedup["batch_over_scalar"], payload
 
 
+def bench_sampling(args) -> "tuple[str, float, dict]":
+    """Adaptive importance sampling vs the fixed-fluence plan.
+
+    Runs the same campaign twice — once executing every strike of the
+    fixed plan, once under the adaptive sampler's default 10% CI target
+    (:mod:`repro.sampling`) — and reports *executions to target CI*: the
+    strikes the adaptive run spent against the pool the fixed plan would
+    have burned.  Two honesty gates hard-fail the section rather than
+    record a flattering number: the adaptive records must be a
+    bit-identical subset of the fixed run's (adaptivity picks *which*
+    indices run, never what they mean), and the fixed run's empirical
+    SDC rate must land inside the adaptive interval (within the
+    finite-pool binomial noise an exhaustive pool keeps).
+
+    The pool is floored at 600 strikes regardless of ``--quick``.  The
+    adaptive execution count is nearly pool-independent once the pool
+    clears the per-class floors (~100 strikes pins a 10% CI on DGEMM),
+    so a savings ratio over a tiny pool measures the floors, not the
+    estimator; 600 is the smallest pool resembling a real campaign (the
+    paper's are thousands of strikes per configuration, so the committed
+    ratio here is *conservative*).  Machine-readable output lands in
+    ``BENCH_sampling.json`` (``benchmarks/results/
+    BENCH_sampling_quick.json`` for ``--quick``).
+    """
+    from repro.beam.logs import record_to_row
+    from repro.faults.outcomes import OutcomeKind
+    from repro.sampling import SamplingPolicy
+
+    pool = max(args.faulty, 600)
+    workers = args.workers if args.workers > 0 else (os.cpu_count() or 1)
+    policy = SamplingPolicy(target_ci=0.10)
+
+    def fresh_campaign():
+        # Fresh kernel per run: see bench() on the in-process golden cache.
+        return Campaign(
+            kernel=make_kernel(args.kernel, n=args.n),
+            device=make_device(args.device),
+            n_faulty=pool,
+            seed=args.seed,
+            workers=workers,
+            chunk_size=args.chunk_size,
+            timeout=1800.0,
+        )
+
+    start = time.perf_counter()
+    fixed = fresh_campaign().run()
+    t_fixed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    adaptive = fresh_campaign().run_adaptive(policy)
+    t_adaptive = time.perf_counter() - start
+    sampling = adaptive.aux["sampling"]
+
+    by_index = {record.index: record for record in fixed.records}
+    subset_identical = bool(adaptive.records) and all(
+        record_to_row(record) == record_to_row(by_index[record.index])
+        for record in adaptive.records
+    )
+    truth = fixed.counts()[OutcomeKind.SDC] / pool
+    slack = 2.0 * (max(truth, 1e-9) * (1.0 - truth) / pool) ** 0.5
+    _, rate_low, rate_high = sampling["rate"]
+    truth_within = rate_low - slack <= truth <= rate_high + slack
+    savings = pool / max(sampling["executed"], 1)
+
+    payload = {
+        "bench": "sampling",
+        "kernel": args.kernel,
+        "device": args.device,
+        "n": args.n,
+        "pool": pool,
+        "seed": args.seed,
+        "workers": workers,
+        "cores": os.cpu_count(),
+        "quick": bool(args.quick),
+        "policy": policy.to_dict(),
+        "fixed": {
+            "seconds": t_fixed,
+            "executions": pool,
+            "sdc_rate": truth,
+        },
+        "adaptive": {
+            "seconds": t_adaptive,
+            "executions": sampling["executed"],
+            "rounds": sampling["rounds"],
+            "stop_reason": sampling["stop_reason"],
+            "rate": sampling["rate"],
+            "fit": sampling["fit"],
+            "relative_halfwidth": sampling["relative_halfwidth"],
+        },
+        "savings": {
+            "executions_ratio": savings,
+            "time_ratio": t_fixed / t_adaptive if t_adaptive > 0 else None,
+        },
+        "records_identical_subset": subset_identical,
+        "truth_within_interval": truth_within,
+    }
+    rel = sampling["relative_halfwidth"]
+    lines = [
+        "adaptive importance sampling vs the fixed plan "
+        f"(target CI {policy.target_ci:.0%}):",
+        f"  fixed plan    : {t_fixed:8.2f} s  {pool:6d} executions  "
+        f"sdc rate {truth:.4f}",
+        f"  adaptive      : {t_adaptive:8.2f} s  "
+        f"{sampling['executed']:6d} executions  "
+        f"sdc rate {sampling['rate'][0]:.4f} "
+        f"[{rate_low:.4f}, {rate_high:.4f}]",
+        f"  stop          : {sampling['stop_reason']} after "
+        f"{sampling['rounds']} rounds "
+        f"(rel. half-width {100.0 * rel:.1f}%)" if rel is not None else
+        f"  stop          : {sampling['stop_reason']} after "
+        f"{sampling['rounds']} rounds",
+        f"  executions-to-target savings: {savings:8.2f}x",
+        f"  records bit-identical subset of fixed plan: {subset_identical}",
+        f"  fixed empirical rate within adaptive CI: {truth_within}",
+    ]
+    text = "\n".join(lines)
+    if not subset_identical:
+        raise SystemExit(
+            text + "\nFATAL: adaptive records differ from the fixed plan"
+        )
+    if not truth_within:
+        raise SystemExit(
+            text + "\nFATAL: adaptive interval missed the exhaustive rate"
+        )
+    return text, savings, payload
+
+
 def bench_observability(args) -> "tuple[str, float]":
     """Cost of tracing + metrics on the same campaign, as an overhead %.
 
@@ -527,6 +658,13 @@ def main(argv=None) -> int:
     parser.add_argument("--skip-batch", action="store_true",
                         help="skip the batched-execution section (and do "
                              "not touch BENCH_batch.json)")
+    parser.add_argument("--skip-sampling", action="store_true",
+                        help="skip the adaptive-sampling section (and do "
+                             "not touch BENCH_sampling.json)")
+    parser.add_argument("--expect-sampling-savings", type=float, default=None,
+                        help="exit 1 unless the adaptive run reaches its CI "
+                             "target in at least this many times fewer "
+                             "executions than the fixed plan")
     parser.add_argument("--quick", action="store_true",
                         help="smoke-test workload (caps --n and --faulty)")
     parser.add_argument("--observability", action="store_true",
@@ -569,6 +707,22 @@ def main(argv=None) -> int:
             json.dumps(batch_payload, indent=2, sort_keys=True) + "\n"
         )
         text += f"\n  baseline recorded to {batch_json_path}"
+    sampling_savings = None
+    if not args.skip_sampling:
+        import json
+
+        sampling_text, sampling_savings, sampling_payload = bench_sampling(
+            args
+        )
+        text = text + "\n" + sampling_text
+        sampling_json_path = (
+            SAMPLING_JSON_QUICK_PATH if args.quick else SAMPLING_JSON_PATH
+        )
+        sampling_json_path.parent.mkdir(exist_ok=True)
+        sampling_json_path.write_text(
+            json.dumps(sampling_payload, indent=2, sort_keys=True) + "\n"
+        )
+        text += f"\n  baseline recorded to {sampling_json_path}"
     overhead_pct = None
     if args.observability:
         obs_text, overhead_pct = bench_observability(args)
@@ -614,6 +768,16 @@ def main(argv=None) -> int:
         print(
             f"FAIL: batch speedup {batch_speedup:.2f}x below "
             f"required {args.expect_batch_speedup:.2f}x"
+        )
+        return 1
+    if (
+        args.expect_sampling_savings is not None
+        and sampling_savings is not None
+        and sampling_savings < args.expect_sampling_savings
+    ):
+        print(
+            f"FAIL: sampling savings {sampling_savings:.2f}x below "
+            f"required {args.expect_sampling_savings:.2f}x"
         )
         return 1
     if (

@@ -8,16 +8,27 @@ imply.  This module provides the standard radiation-test intervals:
   FIT, which is ``events / fluence``;
 * **Clopper-Pearson intervals** for proportions (coverage fractions,
   filtered fractions, locality shares);
+* **Wilson score intervals** and **bootstrap percentile intervals** for
+  the streaming per-class tallies of :mod:`repro.sampling` (Wilson is
+  the sequential-stopping workhorse: cheap, well-behaved at small n,
+  never degenerate at p ∈ {0, 1});
 * a ratio test for comparing two campaigns' FIT values.
 
-Everything is exact (chi-squared / beta quantiles via scipy), not normal
-approximations — the counts here are often single digits.
+The exact intervals use chi-squared / beta quantiles via scipy, not
+normal approximations — the counts here are often single digits.
+
+Degenerate inputs are defined, not incidental: a proportion interval
+with zero trials is the vacuous ``[0, 1]`` (no data constrains nothing),
+and every interval's bounds are clamped into ``[0, 1]`` around the point
+estimate, so ``low <= estimate <= high`` holds for all inputs.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
+import numpy as np
 from scipy import stats as _stats
 
 from repro.beam.campaign import CampaignResult
@@ -73,14 +84,49 @@ def fit_interval(
     )
 
 
+def _check_proportion_args(successes: int, trials: int, confidence: float) -> None:
+    if trials < 0:
+        raise ValueError("trials must be non-negative")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must be in [0, trials]")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+
+
+def _clamp_interval(
+    estimate: float, low: float, high: float, confidence: float
+) -> Interval:
+    """Clamp bounds into ``[0, 1]`` around the estimate (NaN-safe).
+
+    The documented contract for every proportion interval here:
+    ``0 <= low <= estimate <= high <= 1``, even when the underlying
+    quantile function misbehaves at a degenerate corner.
+    """
+    if math.isnan(low):
+        low = 0.0
+    if math.isnan(high):
+        high = 1.0
+    low = min(max(low, 0.0), estimate)
+    high = max(min(high, 1.0), estimate)
+    return Interval(estimate=estimate, low=low, high=high, confidence=confidence)
+
+
 def proportion_interval(
     successes: int, trials: int, *, confidence: float = 0.95
 ) -> Interval:
-    """Exact Clopper-Pearson interval for a binomial proportion."""
-    if trials <= 0:
-        raise ValueError("trials must be positive")
-    if not 0 <= successes <= trials:
-        raise ValueError("successes must be in [0, trials]")
+    """Exact Clopper-Pearson interval for a binomial proportion.
+
+    Degenerate cases are defined, not incidental:
+
+    * ``trials == 0`` → the vacuous interval ``(estimate 0, [0, 1])`` —
+      zero observations constrain nothing;
+    * ``successes == 0`` → ``low`` is exactly ``0.0``;
+    * ``successes == trials`` → ``high`` is exactly ``1.0``;
+    * all bounds are clamped into ``[0, 1]`` around the estimate.
+    """
+    _check_proportion_args(successes, trials, confidence)
+    if trials == 0:
+        return Interval(estimate=0.0, low=0.0, high=1.0, confidence=confidence)
     alpha = 1.0 - confidence
     low = (
         0.0
@@ -92,9 +138,62 @@ def proportion_interval(
         if successes == trials
         else float(_stats.beta.ppf(1 - alpha / 2, successes + 1, trials - successes))
     )
-    return Interval(
-        estimate=successes / trials, low=low, high=high, confidence=confidence
-    )
+    return _clamp_interval(successes / trials, low, high, confidence)
+
+
+def wilson_interval(
+    successes: int, trials: int, *, confidence: float = 0.95
+) -> Interval:
+    """Wilson score interval for a binomial proportion.
+
+    The interval the adaptive sampler (:mod:`repro.sampling`) maintains
+    per equivalence class: closed-form, well-centred at small ``n``, and
+    never degenerate at observed rates of 0 or 1 (unlike the Wald
+    interval, whose width collapses to zero there).  Shares the
+    degenerate-input contract of :func:`proportion_interval`:
+    ``trials == 0`` yields the vacuous ``[0, 1]`` interval and all
+    bounds are clamped around the estimate.
+    """
+    _check_proportion_args(successes, trials, confidence)
+    if trials == 0:
+        return Interval(estimate=0.0, low=0.0, high=1.0, confidence=confidence)
+    z = float(_stats.norm.ppf(0.5 + confidence / 2.0))
+    n = float(trials)
+    p = successes / n
+    denom = 1.0 + z * z / n
+    centre = (p + z * z / (2.0 * n)) / denom
+    half = (z / denom) * math.sqrt(p * (1.0 - p) / n + z * z / (4.0 * n * n))
+    return _clamp_interval(p, centre - half, centre + half, confidence)
+
+
+def bootstrap_interval(
+    successes: int,
+    trials: int,
+    *,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> Interval:
+    """Percentile-bootstrap interval for a binomial proportion.
+
+    The resampling cross-check on :func:`wilson_interval`: ``n_resamples``
+    binomial redraws of the observed rate, seeded for determinism.  The
+    percentile band is widened (never narrowed) to contain the point
+    estimate, and the degenerate-input contract matches
+    :func:`proportion_interval`.
+    """
+    _check_proportion_args(successes, trials, confidence)
+    if n_resamples < 1:
+        raise ValueError("n_resamples must be >= 1")
+    if trials == 0:
+        return Interval(estimate=0.0, low=0.0, high=1.0, confidence=confidence)
+    p = successes / trials
+    rng = np.random.default_rng(seed)
+    resampled = rng.binomial(trials, p, size=n_resamples) / trials
+    alpha = 1.0 - confidence
+    low = float(np.quantile(resampled, alpha / 2))
+    high = float(np.quantile(resampled, 1.0 - alpha / 2))
+    return _clamp_interval(p, low, high, confidence)
 
 
 def campaign_fit_interval(

@@ -231,6 +231,11 @@ class Campaign:
     def cross_section(self) -> float:
         return self._injector.total_cross_section
 
+    @property
+    def injector(self) -> Injector:
+        """The campaign's injector (the adaptive sampler's classifier)."""
+        return self._injector
+
     def _executor(
         self, workers: "int | None", chunk_size: "int | None"
     ) -> CampaignExecutor:
@@ -285,16 +290,27 @@ class Campaign:
     def result_from_records(
         self, records: "list[ExecutionRecord]", *,
         received_fluence: "float | None" = None,
+        n_executions: "int | None" = None,
     ) -> CampaignResult:
         """Assemble the accelerated-mode :class:`CampaignResult`.
 
         The single source of the campaign's fluence arithmetic — shared by
-        :meth:`run`, the resume path (:mod:`repro.store.runner`) and the
-        multi-campaign scheduler, so a run stitched back together from a
-        journal reports bit-identical fluence, FIT and summaries.
+        :meth:`run`, the resume path (:mod:`repro.store.runner`), the
+        multi-campaign scheduler and the adaptive sampler, so a run
+        stitched back together from a journal reports bit-identical
+        fluence, FIT and summaries.
+
+        ``n_executions`` overrides the struck count (the adaptive path
+        executes fewer strikes than ``n_faulty``); the default fluence
+        stays the one the struck count statistically represents, with a
+        one-strike floor so a degenerate zero-execution result keeps
+        finite rates.
         """
+        strikes = self.n_faulty if n_executions is None else n_executions
         if received_fluence is None:
-            fluence = self.n_faulty / (self.cross_section * STRIKES_PER_FLUENCE_AU)
+            fluence = (
+                max(strikes, 1) / (self.cross_section * STRIKES_PER_FLUENCE_AU)
+            )
         else:
             if received_fluence <= 0:
                 raise ValueError("received_fluence must be positive")
@@ -306,7 +322,7 @@ class Campaign:
             records=records,
             fluence=fluence,
             cross_section=self.cross_section,
-            n_executions=self.n_faulty,
+            n_executions=strikes,
             threshold_pct=self.threshold_pct,
         )
 
@@ -361,6 +377,146 @@ class Campaign:
             )
             self._note_campaign("accelerated", result, span)
         return result
+
+    def run_adaptive(
+        self,
+        policy=None,
+        *,
+        workers: "int | None" = None,
+        chunk_size: "int | None" = None,
+        driver=None,
+        resume_missing=None,
+        on_plan=None,
+        on_records=None,
+    ) -> CampaignResult:
+        """Adaptive importance-sampled mode: stop when the CI target is met.
+
+        Runs the two-level estimation loop of :mod:`repro.sampling`:
+        classify the ``n_faulty`` candidate pool into equivalence classes
+        (pure RNG, no kernel work), then execute Neyman-allocated rounds
+        until the pooled FIT interval of the policy's category reaches its
+        requested relative half-width — or the pool/`max_executions`
+        ceiling is hit.  Records stay a pure function of ``(spec, index)``
+        so the executed subset is bit-identical to the same indices of a
+        fixed-fluence run.
+
+        The result's ``records``/``fluence``/``n_executions`` cover the
+        *executed* strikes (so plain ``fit_total()`` reflects the sampled
+        subset, which over-weights data-reaching classes); the calibrated
+        pooled estimate lives in ``result.aux["sampling"]``.
+
+        Args:
+            policy: the :class:`~repro.sampling.SamplingPolicy` (default
+                targets a 10% relative CI on the SDC FIT).
+            workers: override the campaign's worker count for this run.
+            chunk_size: override the campaign's chunk size for this run.
+            driver: a pre-built (possibly journal-replayed)
+                :class:`~repro.sampling.AdaptiveCampaign`; the store
+                runner's resume hook.  ``policy`` is ignored when given.
+            resume_missing: indices of the driver's in-progress round not
+                yet executed (from
+                :meth:`~repro.sampling.AdaptiveCampaign.replay`).
+            on_plan: durability hook, called with each
+                :class:`~repro.sampling.RoundPlan` *before* its indices
+                execute.
+            on_records: durability hook, called with each round's newly
+                executed records (sorted by index) once the round lands.
+        """
+        from repro.sampling.adaptive import AdaptiveCampaign
+
+        if driver is None:
+            if resume_missing:
+                raise ValueError("resume_missing requires a replayed driver")
+            driver = AdaptiveCampaign(self, policy)
+        executor = self._executor(workers, chunk_size)
+        tracer = obs_runtime.get_tracer()
+        executed_before = driver.executed
+        rounds_run = 0
+
+        def run_round(indices, number: int) -> list:
+            span = (
+                tracer.span(
+                    "sampling",
+                    f"{self.label}/round{number}",
+                    round=number,
+                    strikes=len(indices),
+                    executed=driver.executed,
+                    kernel=self.kernel.name,
+                    device=self.device.name,
+                )
+                if tracer is not None
+                else contextlib.nullcontext()
+            )
+            with span:
+                records = executor.run(
+                    self.kernel,
+                    self.device,
+                    seed=self.seed,
+                    threshold_pct=self.threshold_pct,
+                    indices=list(indices),
+                    label=self.label,
+                )
+            if on_records is not None and records:
+                on_records(records)
+            return records
+
+        with self._campaign_span("adaptive", self.n_faulty) as span:
+            if resume_missing:
+                # Finish the round the previous process died inside.
+                number = driver.current_round.number
+                driver.ingest(run_round(sorted(resume_missing), number))
+                rounds_run += 1
+            while True:
+                plan = driver.next_round()
+                if plan is None:
+                    break
+                if on_plan is not None:
+                    on_plan(plan)
+                driver.ingest(run_round(plan.indices, plan.number))
+                rounds_run += 1
+            estimate = driver.estimate()
+            records = driver.records()
+            result = self.result_from_records(
+                records, n_executions=len(records)
+            )
+            result.aux["sampling"] = estimate.to_dict()
+            if span is not None:
+                span.set(
+                    sampling_rounds=len(driver.rounds),
+                    sampling_stop=driver.stop_reason,
+                    sampling_pool=driver.pool,
+                )
+            self._note_campaign("adaptive", result, span)
+            self._note_sampling(
+                rounds_run, driver.executed - executed_before, driver.stop_reason
+            )
+        return result
+
+    def _note_sampling(
+        self, rounds: int, strikes: int, stop_reason: "str | None"
+    ) -> None:
+        """Fold one adaptive run into the ``repro_sampling_*`` metrics."""
+        metrics = obs_runtime.get_metrics()
+        if metrics is None:
+            return
+        labels = {"kernel": self.kernel.name, "device": self.device.name}
+        if rounds:
+            metrics.counter(
+                "repro_sampling_rounds_total",
+                "Adaptive sampling rounds executed",
+                ("kernel", "device"),
+            ).inc(rounds, **labels)
+        if strikes:
+            metrics.counter(
+                "repro_sampling_strikes_total",
+                "Strikes executed under adaptive sampling",
+                ("kernel", "device"),
+            ).inc(strikes, **labels)
+        metrics.counter(
+            "repro_sampling_stops_total",
+            "Adaptive campaigns stopped, by stopping reason",
+            ("reason",),
+        ).inc(reason=stop_reason or "none")
 
     def run_natural(
         self,

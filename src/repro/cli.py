@@ -149,6 +149,15 @@ def _write_metrics(metrics, path: str) -> None:
         fh.write(metrics.dumps(fmt))
 
 
+def _sampling_policy(args):
+    """The :class:`SamplingPolicy` a ``--target-ci`` flag requests, if any."""
+    if getattr(args, "target_ci", None) is None:
+        return None
+    from repro.sampling import SamplingPolicy
+
+    return SamplingPolicy(target_ci=args.target_ci)
+
+
 def cmd_campaign(args) -> int:
     from repro import observability as obs
 
@@ -164,16 +173,26 @@ def cmd_campaign(args) -> int:
         fast_path=args.fast_path,
         batch=args.batch,
     )
+    policy = _sampling_policy(args)
+    if policy is not None and args.natural:
+        raise SystemExit("--target-ci only applies to accelerated mode")
     total = args.natural if args.natural else args.faulty
     tracer, metrics, progress = _campaign_instrumentation(args, total)
     with obs.observe(tracer=tracer, metrics=metrics, progress=progress):
         if args.natural:
             result = campaign.run_natural(args.natural)
+        elif policy is not None:
+            result = campaign.run_adaptive(policy)
         else:
             result = campaign.run()
         if progress is not None:
             progress.close()
     print(result.summary())
+    if "sampling" in result.aux:
+        from repro.sampling import render_sampling
+
+        print()
+        print(render_sampling(result.aux["sampling"]))
     if args.log:
         path = write_log(result, args.log)
         print(f"\nlog written to {path}")
@@ -355,8 +374,9 @@ def cmd_queue(args) -> int:
         batch=args.batch,
         retry=RetryPolicy(max_retries=args.retries),
     )
+    policy = _sampling_policy(args)
     for spec in _queue_specs(args):
-        scheduler.submit(spec)
+        scheduler.submit(spec, sampling=policy)
     outcomes = scheduler.run(install_signal_handler=True)
     rows = []
     for outcome in outcomes:
@@ -416,6 +436,7 @@ def cmd_resume(args) -> int:
             backend=args.backend,
             fast_path=args.fast_path,
             batch=args.batch,
+            sampling=_sampling_policy(args),
         )
     except JournalError as err:
         return _input_error(str(err))
@@ -423,6 +444,11 @@ def cmd_resume(args) -> int:
     print(f"run {outcome.run_id} complete (resumed from {origin})")
     print()
     print(outcome.result.summary())
+    if "sampling" in outcome.result.aux:
+        from repro.sampling import render_sampling
+
+        print()
+        print(render_sampling(outcome.result.aux["sampling"]))
     return 0
 
 
@@ -449,7 +475,13 @@ def cmd_runs(args) -> int:
     print(f"  seed    : {run.spec.seed}")
     if run.close is not None:
         print()
-        print(run.result().summary())
+        result = run.result()
+        print(result.summary())
+        if "sampling" in result.aux:
+            from repro.sampling import render_sampling
+
+            print()
+            print(render_sampling(result.aux["sampling"]))
     else:
         print(
             f"  resume  : repro resume {run.run_id} --store {args.store}"
@@ -460,6 +492,7 @@ def cmd_runs(args) -> int:
 def cmd_serve(args) -> int:
     from repro.service import ServiceConfig, run_service
 
+    policy = _sampling_policy(args)
     config = ServiceConfig(
         host=args.host,
         port=args.port,
@@ -472,6 +505,7 @@ def cmd_serve(args) -> int:
         retries=args.retries,
         queue_limit=args.queue_limit,
         log_requests=args.log_requests,
+        sampling=policy.to_dict() if policy is not None else None,
     )
     return run_service(config)
 
@@ -489,10 +523,12 @@ def cmd_submit(args) -> int:
 
     client = _service_client(args)
     specs = _queue_specs(args)
+    policy = _sampling_policy(args)
+    sampling = policy.to_dict() if policy is not None else None
     submissions = []
     try:
         for spec in specs:
-            submissions.append(client.submit(spec))
+            submissions.append(client.submit(spec, sampling=sampling))
         if args.wait:
             for submission in submissions:
                 final = client.wait(submission["run_id"])
@@ -593,6 +629,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_sampling_flag(verb) -> None:
+        verb.add_argument(
+            "--target-ci", type=float, default=None, dest="target_ci",
+            metavar="FRACTION",
+            help="adaptive importance sampling: stop once the pooled SDC "
+            "FIT confidence interval reaches this relative half-width "
+            "(e.g. 0.1 = ±10%%); executes only as many strikes as the "
+            "estimate needs (see docs/sampling.md)",
+        )
+
     def add_fast_path_flag(verb) -> None:
         verb.add_argument(
             "--fast-path", action=argparse.BooleanOptionalAction,
@@ -653,6 +699,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a live throughput line to stderr at most every "
         "SECONDS seconds (0 = off)",
     )
+    add_sampling_flag(campaign)
     add_fast_path_flag(campaign)
     campaign.set_defaults(func=cmd_campaign)
 
@@ -719,6 +766,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="machine-readable outcomes (run_id/status/records/retries)",
     )
+    add_sampling_flag(queue)
     add_fast_path_flag(queue)
     queue.set_defaults(func=cmd_queue)
 
@@ -733,6 +781,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", default="auto",
         choices=("auto", "process", "thread", "serial"),
     )
+    add_sampling_flag(resume)
     add_fast_path_flag(resume)
     resume.set_defaults(func=cmd_resume)
 
@@ -775,6 +824,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--log-requests", action="store_true",
         help="emit an access-log line per request to stderr",
     )
+    add_sampling_flag(serve)
     add_fast_path_flag(serve)
     serve.set_defaults(func=cmd_serve)
 
@@ -801,6 +851,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="poll each submission to a terminal state before exiting",
     )
     submit.add_argument("--json", action="store_true")
+    add_sampling_flag(submit)
     submit.set_defaults(func=cmd_submit)
 
     status = sub.add_parser(

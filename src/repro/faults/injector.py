@@ -271,6 +271,35 @@ class Injector:
             site=site.name, report=report, fault=fault,
         )
 
+    def classify_batch(self, indices) -> "list[tuple]":
+        """Phases 1–3 only, batched: each index's fate without kernel work.
+
+        Returns one ``(outcome, kind, site_name)`` triple per index:
+        ``outcome`` is the :class:`OutcomeKind` for strikes resolved
+        architecturally (masking / crash / hang / unconsumed data) and
+        ``None`` for data-reaching strikes, whose ``site_name`` then names
+        the fault site the strike would corrupt.
+
+        This is the adaptive sampler's pre-classification pass
+        (:mod:`repro.sampling`): the fate rolls are pure RNG — replayed
+        draw-for-draw by :meth:`inject_one`/:meth:`inject_batch` when an
+        index is actually executed — so a planner can partition a whole
+        candidate pool into equivalence classes at a tiny fraction of the
+        cost of executing it.
+        """
+        indices = [int(i) for i in indices]
+        streams = FastRngBatch(
+            [stable_seed_suffixed(self._strike_prefix, i) for i in indices]
+        )
+        fates = []
+        for pos, index in enumerate(indices):
+            record, kind, site, _ = self._fate(index, streams.rng(pos))
+            if record is not None:
+                fates.append((record.outcome, kind, None))
+            else:
+                fates.append((None, kind, site.name))
+        return fates
+
     def inject_one(self, index: int) -> ExecutionRecord:
         """Simulate one struck execution and classify its outcome."""
         record, kind, site, fault = self._fate(index, self._rng_for(index))

@@ -55,7 +55,7 @@ __all__ = [
 
 #: The span taxonomy, outermost first.  ``kind`` is free-form (the schema
 #: is open), but the campaign hot path emits exactly these.
-SPAN_KINDS = ("session", "board", "campaign", "chunk", "execution")
+SPAN_KINDS = ("session", "board", "campaign", "sampling", "chunk", "execution")
 
 _TRACE_FORMAT_VERSION = 1
 

@@ -1,0 +1,65 @@
+"""Adaptive importance-sampled campaigns: two-level estimation + stopping.
+
+The fixed-fluence campaign answers "what happened over N strikes"; this
+package answers "how many strikes until the answer is pinned".  It
+implements the two-level estimation strategy of Hari et al. (*Estimating
+Silent Data Corruption Rates Using a Two-Level Model*, PAPERS.md):
+
+1. **Partition** (:mod:`repro.sampling.classes`) — fault sites group into
+   architectural equivalence classes keyed ``kernel × ResourceKind ×
+   site``, each with an *exact* strike probability derived from the
+   device's cross-section weights, outcome profiles and
+   :func:`repro.faults.sites.site_weights`.  Strikes resolved before the
+   kernel runs (ECC masking, architectural crash/hang, unconsumed data)
+   have exactly known probabilities and are never executed at all.
+2. **Tallies** (:mod:`repro.sampling.tallies`) — streaming per-class
+   SDC/DUE/masked counts with Wilson and bootstrap confidence intervals
+   (:mod:`repro.analysis.stats`); merging is associative, matching the
+   metrics-merge contract.
+3. **Allocation** (:mod:`repro.sampling.allocator`) — a Neyman-style
+   rule plans each next round of strikes toward the class with the
+   widest variance-weighted confidence interval.
+4. **Stopping** (:mod:`repro.sampling.adaptive`) — a sequential rule
+   ends the campaign the moment the pooled FIT estimate reaches the
+   requested relative half-width (:class:`SamplingPolicy.target_ci`).
+
+Determinism is load-bearing: adaptivity only chooses *which* execution
+indices run, never what any index means — records stay a pure function
+of ``(spec, index)``, so adaptive runs resume bit-identically
+(docs/sampling.md, ``tests/store/test_resume.py``).
+"""
+
+from repro.sampling.adaptive import (
+    AdaptiveCampaign,
+    AdaptiveResumeError,
+    RoundPlan,
+)
+from repro.sampling.allocator import allocate_round
+from repro.sampling.classes import Partition, SiteClass, class_label, partition_sites
+from repro.sampling.estimator import (
+    CATEGORIES,
+    SamplingEstimate,
+    fit_interval_from_rate,
+    pooled_rate_interval,
+    render_sampling,
+)
+from repro.sampling.policy import SamplingPolicy
+from repro.sampling.tallies import ClassTally
+
+__all__ = [
+    "AdaptiveCampaign",
+    "AdaptiveResumeError",
+    "CATEGORIES",
+    "ClassTally",
+    "Partition",
+    "RoundPlan",
+    "SamplingEstimate",
+    "SamplingPolicy",
+    "SiteClass",
+    "allocate_round",
+    "class_label",
+    "fit_interval_from_rate",
+    "partition_sites",
+    "pooled_rate_interval",
+    "render_sampling",
+]

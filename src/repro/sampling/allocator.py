@@ -1,0 +1,101 @@
+"""Neyman-style round allocation: where the next strikes go.
+
+Optimal (Neyman) allocation samples each stratum proportionally to
+``p_c * sigma_c`` — its probability mass times its within-class standard
+deviation.  The allocator here is the sequential version of that rule:
+it hands out a round's budget one strike at a time to the class whose
+variance-weighted confidence interval is currently widest, i.e. the
+class maximising
+
+    ``p_c * sqrt(r~_c (1 - r~_c)) / sqrt(n_c + granted_c + 1)``
+
+with ``r~_c`` the Laplace-shrunk observed rate ``(x_c + 1) / (n_c + 2)``
+(so a class that has seen only zeros keeps a positive score and cannot
+starve).  Two floors precede the greedy phase: every class gets up to
+``min_per_class`` trials before any Neyman refinement, and no class is
+ever granted more strikes than its pool has left.
+
+Guarantees (pinned by the Hypothesis property suite): every grant is a
+non-negative integer, no grant exceeds availability, and the grants sum
+to ``min(budget, total availability)``.  Ties break by class label, so
+allocation is a pure deterministic function of its inputs — the resume
+path replans byte-identically.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["allocate_round"]
+
+
+def allocate_round(
+    classes,
+    tallies: dict,
+    available: dict,
+    budget: int,
+    *,
+    category: str = "sdc",
+    min_per_class: int = 2,
+) -> dict:
+    """Plan one round of strikes over the equivalence classes.
+
+    Args:
+        classes: the partition's :class:`~repro.sampling.classes
+            .SiteClass` sequence (allocation order follows it).
+        tallies: per-label :class:`~repro.sampling.tallies.ClassTally`
+            of everything executed so far.
+        available: per-label count of candidate indices not yet executed.
+        budget: strikes this round may spend.
+        category: the outcome category whose variance drives allocation.
+        min_per_class: trials every (non-exhausted) class is owed before
+            Neyman refinement.
+
+    Returns:
+        ``{label: strikes}`` for every class granted at least one strike,
+        in partition order.
+    """
+    if budget < 0:
+        raise ValueError("budget must be non-negative")
+    if min_per_class < 0:
+        raise ValueError("min_per_class must be non-negative")
+    grants = {cls.label: 0 for cls in classes}
+    left = budget
+
+    # Floor: bring every class that still has candidates up to
+    # min_per_class trials before optimising anything.
+    for cls in classes:
+        if left <= 0:
+            break
+        tally = tallies[cls.label]
+        room = available.get(cls.label, 0)
+        need = min(max(min_per_class - tally.trials, 0), room, left)
+        grants[cls.label] += need
+        left -= need
+
+    def score(cls) -> float:
+        tally = tallies[cls.label]
+        shrunk = (tally.count(category) + 1) / (tally.trials + 2)
+        sigma = math.sqrt(shrunk * (1.0 - shrunk))
+        return cls.probability * sigma / math.sqrt(
+            tally.trials + grants[cls.label] + 1
+        )
+
+    # Greedy Neyman phase: one strike at a time to the widest
+    # variance-weighted class with candidates left.
+    while left > 0:
+        best = None
+        best_score = -1.0
+        for cls in classes:
+            if grants[cls.label] >= available.get(cls.label, 0):
+                continue
+            s = score(cls)
+            if s > best_score or (s == best_score and best is not None
+                                  and cls.label < best.label):
+                best, best_score = cls, s
+        if best is None:
+            break  # every class exhausted its candidate pool
+        grants[best.label] += 1
+        left -= 1
+
+    return {label: n for label, n in grants.items() if n > 0}

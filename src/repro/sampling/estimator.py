@@ -1,0 +1,171 @@
+"""Pooled two-level estimates: class tallies in, rate/FIT intervals out.
+
+The pooled per-strike rate of a category combines the partition's exact
+architectural constants with the sampled behavioural classes:
+
+    ``rate = arch(category) + sum_c p_c * r_c``
+
+where ``p_c`` is the class's exact probability and ``r_c`` its sampled
+within-class rate.  The architectural term carries **zero variance** —
+that is the point of the two-level model: a large share of every
+campaign's probability mass never needs executing at all.
+
+Uncertainty combines stratum-wise in quadrature, one-sided so Wilson's
+asymmetry survives pooling:
+
+    ``low  = rate - sqrt(sum_c (p_c * (r_c - low_c))^2)``
+    ``high = rate + sqrt(sum_c (p_c * (high_c - r_c))^2)``
+
+clamped into ``[0, 1]``.  An unsampled class contributes its full
+``[0, 1]`` Wilson interval — honest ignorance, which is why the stopping
+rule also demands ``min_per_class`` trials everywhere before it may
+fire.  FIT conversion is the campaign's own arithmetic:
+``FIT = rate * sigma * STRIKES_PER_FLUENCE_AU * FIT_AU_SCALE``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.stats import Interval
+from repro.beam.campaign import FIT_AU_SCALE, STRIKES_PER_FLUENCE_AU
+
+__all__ = [
+    "CATEGORIES",
+    "SamplingEstimate",
+    "fit_interval_from_rate",
+    "pooled_rate_interval",
+    "render_sampling",
+]
+
+#: Outcome categories the estimator can pin (``due`` = crash + hang).
+CATEGORIES = ("masked", "sdc", "crash", "hang", "due")
+
+
+def pooled_rate_interval(
+    partition,
+    tallies: dict,
+    category: str,
+    *,
+    confidence: float = 0.95,
+    method: str = "wilson",
+) -> Interval:
+    """Pooled per-strike rate of a category, with stratified CI."""
+    if category not in CATEGORIES:
+        raise ValueError(f"unknown category {category!r} (one of {CATEGORIES})")
+    point = partition.architectural_rate(category)
+    low_sq = 0.0
+    high_sq = 0.0
+    for cls in partition.classes:
+        interval = tallies[cls.label].interval(
+            category, confidence=confidence, method=method
+        )
+        point += cls.probability * interval.estimate
+        low_sq += (cls.probability * (interval.estimate - interval.low)) ** 2
+        high_sq += (cls.probability * (interval.high - interval.estimate)) ** 2
+    return Interval(
+        estimate=point,
+        low=max(0.0, point - math.sqrt(low_sq)),
+        high=min(1.0, point + math.sqrt(high_sq)),
+        confidence=confidence,
+    )
+
+
+def fit_interval_from_rate(rate: Interval, cross_section: float) -> Interval:
+    """Convert a per-strike rate interval to the campaign's FIT units.
+
+    Identical to the fixed campaign's arithmetic: ``events / fluence *
+    FIT_AU_SCALE`` with ``fluence = n / (sigma * STRIKES_PER_FLUENCE_AU)``
+    reduces to ``rate * sigma * STRIKES_PER_FLUENCE_AU * FIT_AU_SCALE``.
+    """
+    if cross_section <= 0:
+        raise ValueError("cross_section must be positive")
+    factor = cross_section * STRIKES_PER_FLUENCE_AU * FIT_AU_SCALE
+    return Interval(
+        estimate=rate.estimate * factor,
+        low=rate.low * factor,
+        high=rate.high * factor,
+        confidence=rate.confidence,
+    )
+
+
+@dataclass(frozen=True)
+class SamplingEstimate:
+    """The adaptive campaign's statistical output.
+
+    Attributes:
+        category: the outcome category the stopping rule pinned.
+        rate: pooled per-strike rate interval of that category.
+        fit: the same interval in the campaign's FIT units.
+        executed: strikes actually executed.
+        pool: candidate strikes the fixed plan would have executed.
+        rounds: planning rounds performed.
+        stop_reason: why planning ended (``"target_ci"`` — the CI target
+            was met; ``"max_executions"`` — the execution ceiling was
+            hit; ``"exhausted"`` — every candidate index was executed),
+            or ``None`` while the campaign is still running.
+        per_class: ``{label: {"probability", "trials", "count", "rate"}}``
+            per equivalence class, partition order.
+    """
+
+    category: str
+    rate: Interval
+    fit: Interval
+    executed: int
+    pool: int
+    rounds: int
+    stop_reason: "str | None"
+    per_class: dict
+
+    def relative_halfwidth(self) -> "float | None":
+        """Worst-side half-width over the point estimate (``None`` at 0)."""
+        if self.rate.estimate <= 0.0:
+            return None
+        half = max(
+            self.rate.estimate - self.rate.low,
+            self.rate.high - self.rate.estimate,
+        )
+        return half / self.rate.estimate
+
+    def to_dict(self) -> dict:
+        """Deterministic journal/wire form (insertion order is fixed)."""
+        return {
+            "category": self.category,
+            "confidence": self.rate.confidence,
+            "rate": [self.rate.estimate, self.rate.low, self.rate.high],
+            "fit": [self.fit.estimate, self.fit.low, self.fit.high],
+            "relative_halfwidth": self.relative_halfwidth(),
+            "executed": self.executed,
+            "pool": self.pool,
+            "rounds": self.rounds,
+            "stop_reason": self.stop_reason,
+            "per_class": self.per_class,
+        }
+
+    def summary(self) -> str:
+        """Human-readable estimate block (the CLI's closing lines)."""
+        return render_sampling(self.to_dict())
+
+
+def render_sampling(payload: dict) -> str:
+    """Human-readable estimate block from the wire/journal dict.
+
+    Accepts :meth:`SamplingEstimate.to_dict` output — the form the close
+    record, ``result.aux["sampling"]`` and the service report carry — so
+    every CLI surface renders stored and live runs identically.
+    """
+    rel = payload.get("relative_halfwidth")
+    rel_text = "n/a" if rel is None else f"{100.0 * rel:.1f}%"
+    category = payload["category"]
+    rate, fit = payload["rate"], payload["fit"]
+    lines = [
+        f"adaptive sampling: {payload['executed']}/{payload['pool']} strikes "
+        f"over {payload['rounds']} rounds "
+        f"(stop: {payload['stop_reason'] or 'running'})",
+        f"  {category} rate  {rate[0]:.4f} [{rate[1]:.4f}, {rate[2]:.4f}] "
+        f"@ {100.0 * payload['confidence']:g}%",
+        f"  {category} FIT   {fit[0]:.2f} [{fit[1]:.2f}, {fit[2]:.2f}] a.u. "
+        f"(rel. half-width {rel_text})",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,96 @@
+"""Streaming per-class outcome tallies: level two of the two-level model.
+
+One :class:`ClassTally` accumulates the executed outcomes of one
+equivalence class (:mod:`repro.sampling.classes`).  Two contracts matter:
+
+* **Associative merge.**  ``a.merge(b).merge(c) == a.merge(b.merge(c))``
+  and merging commutes — the same algebra the observability metrics
+  registry guarantees, so tallies folded chunk-by-chunk, round-by-round
+  or journal-replay order all agree (pinned by the Hypothesis suite).
+* **Defined degenerate intervals.**  A tally with zero trials reports
+  the vacuous ``[0, 1]`` interval via :mod:`repro.analysis.stats` — an
+  unsampled class honestly contributes full uncertainty, never a crash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.outcomes import OutcomeKind
+
+__all__ = ["ClassTally"]
+
+
+@dataclass(frozen=True)
+class ClassTally:
+    """Executed-outcome counts for one equivalence class (immutable)."""
+
+    masked: int = 0
+    sdc: int = 0
+    crash: int = 0
+    hang: int = 0
+
+    def __post_init__(self):
+        for name in ("masked", "sdc", "crash", "hang"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} count must be non-negative")
+
+    @property
+    def trials(self) -> int:
+        return self.masked + self.sdc + self.crash + self.hang
+
+    def count(self, category: str) -> int:
+        """Events in a category (``"due"`` = crash + hang)."""
+        if category == "due":
+            return self.crash + self.hang
+        return getattr(self, category)
+
+    def add(self, outcome: OutcomeKind) -> "ClassTally":
+        """The tally with one more executed outcome folded in."""
+        deltas = {outcome.value: getattr(self, outcome.value) + 1}
+        return ClassTally(
+            masked=deltas.get("masked", self.masked),
+            sdc=deltas.get("sdc", self.sdc),
+            crash=deltas.get("crash", self.crash),
+            hang=deltas.get("hang", self.hang),
+        )
+
+    def merge(self, other: "ClassTally") -> "ClassTally":
+        """Associative, commutative fold of two tallies."""
+        return ClassTally(
+            masked=self.masked + other.masked,
+            sdc=self.sdc + other.sdc,
+            crash=self.crash + other.crash,
+            hang=self.hang + other.hang,
+        )
+
+    def rate(self, category: str) -> float:
+        """Observed within-class rate (0.0 on an empty tally)."""
+        return self.count(category) / self.trials if self.trials else 0.0
+
+    def interval(
+        self, category: str, *, confidence: float = 0.95, method: str = "wilson"
+    ):
+        """Confidence interval on the within-class rate of a category."""
+        from repro.analysis.stats import bootstrap_interval, wilson_interval
+
+        if method == "wilson":
+            return wilson_interval(
+                self.count(category), self.trials, confidence=confidence
+            )
+        if method == "bootstrap":
+            return bootstrap_interval(
+                self.count(category), self.trials, confidence=confidence
+            )
+        raise ValueError(f"unknown interval method {method!r}")
+
+    # -- journal form ------------------------------------------------------------
+
+    def as_row(self) -> list:
+        """The compact journal encoding: ``[masked, sdc, crash, hang]``."""
+        return [self.masked, self.sdc, self.crash, self.hang]
+
+    @classmethod
+    def from_row(cls, row) -> "ClassTally":
+        masked, sdc, crash, hang = row
+        return cls(masked=masked, sdc=sdc, crash=crash, hang=hang)

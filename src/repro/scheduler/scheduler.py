@@ -52,7 +52,12 @@ from repro.beam.executor import (
 from repro.kernels.sharedmem import SharedGoldenExport
 from repro.observability import runtime as obs_runtime
 from repro.scheduler.retry import RetryPolicy
-from repro.store.runner import finalise_journal, journal_chunk_records
+from repro.store.journal import JournalError
+from repro.store.runner import (
+    _resolve_sampling,
+    finalise_journal,
+    journal_chunk_records,
+)
 from repro.store.spec import CampaignSpec
 from repro.store.store import CampaignStore, RunStatus
 
@@ -111,7 +116,8 @@ class _Task:
 class _Job:
     """Scheduler-internal state of one submitted campaign."""
 
-    def __init__(self, order, spec, run_id, campaign, journal, chunks, prior):
+    def __init__(self, order, spec, run_id, campaign, journal, chunks, prior,
+                 driver=None):
         self.order = order              # submit order (fair-share tiebreak)
         self.spec = spec
         self.run_id = run_id
@@ -119,6 +125,7 @@ class _Job:
         self.journal = journal
         self.chunks = chunks            # index chunks still to dispatch
         self.prior = prior              # records resumed from the journal
+        self.driver = driver            # AdaptiveCampaign for sampling jobs
         self.next_chunk = 0
         self.dispatched = 0             # chunks submitted (incl. retries)
         self.inflight = 0               # chunks currently in the pool
@@ -226,7 +233,11 @@ class CampaignScheduler:
     # -- submission ---------------------------------------------------------------
 
     def submit(
-        self, spec: CampaignSpec, *, priority: "int | None" = None
+        self,
+        spec: CampaignSpec,
+        *,
+        priority: "int | None" = None,
+        sampling=None,
     ) -> str:
         """Queue one campaign spec; returns its content-addressed run id.
 
@@ -235,6 +246,16 @@ class CampaignScheduler:
         becomes an immediate ``cached`` outcome (with ``reuse``); an
         incomplete stored run is queued as a resume — only the missing
         indices are dispatched.
+
+        ``sampling`` (a :class:`~repro.sampling.SamplingPolicy` or wire
+        dict) queues the job in adaptive importance-sampled mode: rounds
+        are planned as prior rounds' chunks land, and the job seals when
+        its stopping rule fires instead of when ``n_faulty`` strikes are
+        done.  Like ``fast_path``/``batch`` the policy is execution
+        strategy, not spec identity.  A stored journal holding ``plan``
+        rows always resumes adaptively under its journaled policy; a
+        stored fixed journal always finishes fixed even when ``sampling``
+        is passed (see :func:`repro.store.runner.execute_spec`).
         """
         if priority is not None:
             spec = spec.with_priority(priority)
@@ -259,23 +280,72 @@ class CampaignScheduler:
             journal = self.store.create_run(spec)
             done: set = set()
             prior: list = []
+            plan_rows: list = []
         else:
             journal = self.store.open_run(run_id)  # drops any torn tail
             done = stored.done_indices()
             prior = stored.records()
-        indices = [i for i in range(spec.n_faulty) if i not in done]
-        chunks = (
-            self._executor.plan_chunks(indices, self._executor.resolved_workers())
-            if indices
-            else []
-        )
+            plan_rows = journal.records("plan")
+        policy = _resolve_sampling(sampling)
+        driver = None
+        if plan_rows or (stored is None and policy is not None):
+            driver, chunks = self._plan_adaptive(
+                campaign, journal, policy, plan_rows, prior
+            )
+        else:
+            indices = [i for i in range(spec.n_faulty) if i not in done]
+            chunks = (
+                self._executor.plan_chunks(
+                    indices, self._executor.resolved_workers()
+                )
+                if indices
+                else []
+            )
         self._queue.append(
             _Job(
                 order=len(self._queue), spec=spec, run_id=run_id,
                 campaign=campaign, journal=journal, chunks=chunks, prior=prior,
+                driver=driver,
             )
         )
         return run_id
+
+    def _plan_adaptive(self, campaign, journal, policy, plan_rows, prior):
+        """Build (and replay) the adaptive driver for one submitted job.
+
+        Returns ``(driver, chunks)``: either the in-progress round's
+        missing indices (journal resume) or the freshly planned — and
+        journaled — first round.  The journaled policy wins over the
+        caller's, so a resumed run reproduces its own stopping decision.
+        """
+        from repro.sampling import AdaptiveCampaign, SamplingPolicy
+
+        if plan_rows:
+            journaled = plan_rows[0].get("policy")
+            if journaled is None:
+                raise JournalError(
+                    f"{journal.path}: first plan row carries no policy — "
+                    "journal predates the sampling format"
+                )
+            policy = SamplingPolicy.from_dict(journaled)
+        driver = AdaptiveCampaign(campaign, policy)
+        missing = (
+            driver.replay(plan_rows, {record.index: record for record in prior})
+            if plan_rows
+            else []
+        )
+        if missing:
+            indices = sorted(missing)
+        else:
+            plan = driver.next_round()
+            if plan is None:  # replayed straight to a stopping decision
+                return driver, []
+            journal.append("plan", **plan.payload)
+            journal.commit()
+            indices = list(plan.indices)
+        return driver, self._executor.plan_chunks(
+            indices, self._executor.resolved_workers()
+        )
 
     @property
     def pending(self) -> int:
@@ -411,6 +481,11 @@ class CampaignScheduler:
                             task, future.result(), backend, tracer, metrics
                         )
                 if progress is not None and done:
+                    # Adaptive jobs grow their chunk list round by round,
+                    # so the total is recomputed rather than cached.
+                    total = sum(
+                        sum(len(chunk) for chunk in job.chunks) for job in jobs
+                    )
                     progress.update(completed, total=total)
         finally:
             if handler_installed:
@@ -523,8 +598,31 @@ class CampaignScheduler:
             extra_attrs={"label": job.label, "run_id": job.run_id},
         )
         journal_chunk_records(job.journal, result.records)
+        if job.driver is not None and result.records:
+            if job.driver.ingest(result.records):
+                self._advance_adaptive(job)
         self._maybe_finish(job, tracer, metrics)
         return len(result.records)
+
+    def _advance_adaptive(self, job: _Job) -> None:
+        """A sampling job's round completed: plan (and journal) the next.
+
+        During a drain no new round starts — the job ends
+        ``interrupted`` with every completed round durable, and a resume
+        replans from the journal.
+        """
+        if self._draining or job.failed is not None:
+            return
+        plan = job.driver.next_round()
+        if plan is None:
+            return  # stopping rule fired; _maybe_finish seals the job
+        job.journal.append("plan", **plan.payload)
+        job.journal.commit()
+        job.chunks.extend(
+            self._executor.plan_chunks(
+                list(plan.indices), self._executor.resolved_workers()
+            )
+        )
 
     def _on_chunk_failure(
         self, task: _Task, exc: Exception, backend, tracer, metrics
@@ -591,28 +689,45 @@ class CampaignScheduler:
             return
         if job.next_chunk < len(job.chunks) or job.inflight or job.waiting:
             return
-        records = sorted(
-            job.prior + job.records, key=lambda record: record.index
-        )
-        result = job.campaign.result_from_records(records)
-        finalise_journal(job.journal, result)
+        sampling = None
+        if job.driver is not None:
+            if job.driver.current_round is not None:
+                return  # a round's records are still outstanding
+            if job.driver.stop_reason is None:
+                return  # drained before the stopping rule fired: resumable
+            records = job.driver.records()
+            result = job.campaign.result_from_records(
+                records, n_executions=len(records)
+            )
+            sampling = job.driver.estimate().to_dict()
+            result.aux["sampling"] = sampling
+        else:
+            records = sorted(
+                job.prior + job.records, key=lambda record: record.index
+            )
+            result = job.campaign.result_from_records(records)
+        finalise_journal(job.journal, result, sampling=sampling)
         job.journal.close()
         job.result = result
         job.status = "complete"
         if tracer is not None:
             counts = {kind.value: n for kind, n in result.counts().items()}
+            attrs = {
+                "run_id": job.run_id,
+                "status": "complete",
+                "priority": job.priority,
+                "retries": job.retries,
+                "resumed": len(job.prior),
+                "n_records": len(records),
+                "outcomes": counts,
+            }
+            if job.driver is not None:
+                attrs["sampling_rounds"] = len(job.driver.rounds)
+                attrs["sampling_stop"] = job.driver.stop_reason
             tracer.emit(
                 "job",
                 job.label,
                 start=job.started,
                 duration=time.time() - job.started,
-                attrs={
-                    "run_id": job.run_id,
-                    "status": "complete",
-                    "priority": job.priority,
-                    "retries": job.retries,
-                    "resumed": len(job.prior),
-                    "n_records": len(records),
-                    "outcomes": counts,
-                },
+                attrs=attrs,
             )

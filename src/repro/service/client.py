@@ -179,13 +179,24 @@ class ServiceClient:
 
     # -- API surface --------------------------------------------------------------
 
-    def submit(self, spec, *, priority: "int | None" = None) -> dict:
+    def submit(
+        self,
+        spec,
+        *,
+        priority: "int | None" = None,
+        sampling: "dict | None" = None,
+    ) -> dict:
         """``POST /v1/campaigns``; accepts a :class:`CampaignSpec` or dict.
 
         Returns the admission payload: ``run_id``, ``status``, ``cached``
         (already complete in the store — zero recompute) and ``deduped``
         (identical spec already queued/running).  Backpressure (429) is
         retried transparently per the client's policy.
+
+        ``sampling`` (a :class:`~repro.sampling.SamplingPolicy` wire dict,
+        e.g. ``{"target_ci": 0.1}``) asks the service to run the campaign
+        in adaptive importance-sampled mode; it rides next to the spec
+        fields in the body and never changes the run id.
         """
         if isinstance(spec, CampaignSpec):
             spec = spec.to_dict()
@@ -193,6 +204,8 @@ class ServiceClient:
             spec = dict(spec)
         if priority is not None:
             spec["priority"] = priority
+        if sampling is not None:
+            spec["sampling"] = dict(sampling)
         return self._json("POST", "/v1/campaigns", spec)
 
     def status(self, run_id: str) -> dict:

@@ -110,6 +110,10 @@ class ServiceConfig:
         resume_incomplete: re-enqueue incomplete journals on boot.
         poll_interval: worker-thread wakeup period (shutdown latency).
         log_requests: emit the default http.server access log lines.
+        sampling: default adaptive-sampling policy (wire dict, e.g.
+            ``{"target_ci": 0.1}``) applied to every submission that does
+            not carry its own ``"sampling"`` object in the POST body;
+            ``None`` = fixed-fluence runs by default.
     """
 
     host: str = "127.0.0.1"
@@ -127,6 +131,7 @@ class ServiceConfig:
     resume_incomplete: bool = True
     poll_interval: float = 0.1
     log_requests: bool = False
+    sampling: "dict | None" = None
 
 
 @dataclass
@@ -144,6 +149,7 @@ class JobState:
     finished_at: "float | None" = None
     initial_done: int = 0
     error: "str | None" = None
+    sampling: "dict | None" = None  # adaptive policy (wire dict) if any
 
     @property
     def label(self) -> str:
@@ -318,7 +324,33 @@ class CampaignService:
             raise _ApiError(400, "invalid_spec", str(err))
         return spec
 
-    def submit_spec(self, spec: CampaignSpec) -> "tuple[int, dict]":
+    def parse_sampling(self, payload) -> "dict | None":
+        """A submitted ``"sampling"`` object → validated wire dict (or 400).
+
+        ``None`` falls back to the service-wide default policy
+        (:attr:`ServiceConfig.sampling`).  Validation round-trips through
+        :class:`~repro.sampling.SamplingPolicy` so a bad policy fails the
+        POST instead of the scheduler batch.
+        """
+        if payload is None:
+            payload = self.config.sampling
+        if payload is None:
+            return None
+        from repro.sampling import SamplingPolicy
+
+        if not isinstance(payload, dict):
+            raise _ApiError(
+                400, "invalid_sampling",
+                "the sampling policy must be a JSON object",
+            )
+        try:
+            return SamplingPolicy.from_dict(payload).to_dict()
+        except (TypeError, ValueError) as err:
+            raise _ApiError(400, "invalid_sampling", str(err))
+
+    def submit_spec(
+        self, spec: CampaignSpec, *, sampling: "dict | None" = None
+    ) -> "tuple[int, dict]":
         """The admission decision: (HTTP status, response payload).
 
         Atomic under the service lock, so concurrent identical submissions
@@ -366,6 +398,7 @@ class CampaignService:
                 run_id=run_id, spec=spec, submitted_at=time.time(),
                 resumed=stored is not None,
                 initial_done=len(stored.rows) if stored is not None else 0,
+                sampling=sampling,
             )
             self._jobs[run_id] = state
             self._admission.append(run_id)
@@ -487,7 +520,7 @@ class CampaignService:
         result = run.result()
         counts = {kind.value: n for kind, n in result.counts().items()}
         breakdown = result.breakdown()
-        return {
+        payload = {
             "run_id": run_id,
             "label": result.label,
             "kernel": result.kernel_name,
@@ -504,6 +537,11 @@ class CampaignService:
             },
             "summary": result.summary(),
         }
+        if "sampling" in result.aux:
+            # Adaptive runs: the calibrated pooled estimate from the
+            # journal's close record (see docs/sampling.md).
+            payload["sampling"] = result.aux["sampling"]
+        return payload
 
     def runs_index(self) -> dict:
         """The ``GET /v1/runs`` payload (``repro runs --json`` schema)."""
@@ -557,7 +595,7 @@ class CampaignService:
                 job = self._jobs[run_id]
                 job.status = "running"
                 job.started_at = time.time()
-                scheduler.submit(job.spec)
+                scheduler.submit(job.spec, sampling=job.sampling)
         self._active_scheduler = scheduler
         if self._shutdown.is_set():
             scheduler.request_drain()
@@ -763,8 +801,16 @@ class _Handler(BaseHTTPRequestHandler):
             raise _ApiError(
                 400, "invalid_json", f"request body is not valid JSON: {err}"
             )
+        sampling = None
+        if isinstance(payload, dict):
+            # "sampling" rides next to the spec fields in the POST body —
+            # execution strategy, not spec identity (it never reaches the
+            # run-id hash).
+            payload = dict(payload)
+            sampling = payload.pop("sampling", None)
         spec = self.service.parse_spec(payload)
-        code, body = self.service.submit_spec(spec)
+        sampling = self.service.parse_sampling(sampling)
+        code, body = self.service.submit_spec(spec, sampling=sampling)
         self._send_json(code, body)
         return code
 

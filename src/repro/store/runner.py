@@ -78,11 +78,16 @@ def journal_chunk_records(
     return journal.commit()
 
 
-def finalise_journal(journal: Journal, result) -> None:
-    """Append + fsync the close record sealing a complete run."""
+def finalise_journal(journal: Journal, result, *, sampling: "dict | None" = None) -> None:
+    """Append + fsync the close record sealing a complete run.
+
+    ``sampling`` (an adaptive run's
+    :meth:`~repro.sampling.SamplingEstimate.to_dict`) rides in the close
+    record so the calibrated pooled estimate survives alongside the raw
+    records and reloads into ``CampaignResult.aux["sampling"]``.
+    """
     counts = {kind.value: n for kind, n in result.counts().items()}
-    journal.append(
-        "close",
+    payload = dict(
         status="complete",
         fluence=result.fluence,
         cross_section=result.cross_section,
@@ -90,6 +95,9 @@ def finalise_journal(journal: Journal, result) -> None:
         n_records=len(result.records),
         outcomes=counts,
     )
+    if sampling is not None:
+        payload["sampling"] = sampling
+    journal.append("close", **payload)
     journal.commit()
 
 
@@ -102,6 +110,86 @@ def _journal_writer(journal: Journal):
     return on_chunk
 
 
+def _resolve_sampling(sampling):
+    """Normalise a sampling request (policy / wire dict / None)."""
+    if sampling is None:
+        return None
+    from repro.sampling import SamplingPolicy
+
+    if isinstance(sampling, SamplingPolicy):
+        return sampling
+    if isinstance(sampling, dict):
+        return SamplingPolicy.from_dict(sampling)
+    raise TypeError(
+        f"sampling must be a SamplingPolicy or dict, not {type(sampling).__name__}"
+    )
+
+
+def _run_adaptive_journaled(
+    campaign,
+    journal: Journal,
+    policy,
+    plan_rows: list,
+    records_by_index: dict,
+    *,
+    workers: "int | None" = None,
+    chunk_size: "int | None" = None,
+):
+    """Drive an adaptive campaign with plan rows and records journaled.
+
+    The durability protocol that makes adaptive kill-and-resume
+    byte-identical:
+
+    1. each round's ``plan`` row is committed *before* its indices
+       execute, so the decision that chose them can never be lost;
+    2. each round's records land as **one** commit batch sorted by index
+       — a torn write leaves a sorted prefix durable, and the resumed run
+       appends exactly the sorted remainder, reproducing the bytes an
+       uninterrupted run would have written;
+    3. on resume, the driver *replans* every journaled round and verifies
+       the recomputed row matches field for field
+       (:meth:`~repro.sampling.AdaptiveCampaign.replay`), so a journal
+       from a different spec or policy fails loudly instead of silently
+       diverging.
+
+    When ``plan_rows`` exist their journaled policy wins over the caller's
+    ``policy`` argument — the run must finish under the rules it started
+    with to reproduce the same stopping decision.
+    """
+    from repro.sampling import AdaptiveCampaign, SamplingPolicy
+
+    if plan_rows:
+        journaled = plan_rows[0].get("policy")
+        if journaled is None:
+            raise JournalError(
+                f"{journal.path}: first plan row carries no policy — "
+                "journal predates the sampling format"
+            )
+        policy = SamplingPolicy.from_dict(journaled)
+    driver = AdaptiveCampaign(campaign, policy)
+    missing = driver.replay(plan_rows, records_by_index) if plan_rows else []
+
+    def on_plan(plan) -> None:
+        journal.append("plan", **plan.payload)
+        journal.commit()
+
+    def on_records(records) -> None:
+        journal_chunk_records(
+            journal, sorted(records, key=lambda record: record.index)
+        )
+
+    result = campaign.run_adaptive(
+        driver=driver,
+        resume_missing=missing or None,
+        workers=workers,
+        chunk_size=chunk_size,
+        on_plan=on_plan,
+        on_records=on_records,
+    )
+    finalise_journal(journal, result, sampling=result.aux["sampling"])
+    return result
+
+
 def execute_spec(
     store: CampaignStore,
     spec: CampaignSpec,
@@ -112,6 +200,7 @@ def execute_spec(
     backend: str = "auto",
     fast_path: "bool | None" = None,
     batch: "bool | None" = None,
+    sampling=None,
     reuse: bool = True,
 ) -> RunOutcome:
     """Run a spec with durable journaling (resuming/deduping via the store).
@@ -126,6 +215,16 @@ def execute_spec(
     flip between run and resume: their records are bit-identical to full
     re-execution, so a journal written one way resumes the other way
     without divergence.
+
+    ``sampling`` (a :class:`~repro.sampling.SamplingPolicy` or its wire
+    dict) switches the run to adaptive importance sampling — like
+    ``fast_path``/``batch`` it is execution strategy, **not** spec
+    identity, so the adaptive run shares its run id and journal with the
+    fixed run of the same spec.  A journal that already holds ``plan``
+    rows always resumes adaptively under its *journaled* policy; a fixed
+    journal (records, no plan rows) always finishes as the fixed plan
+    even when ``sampling`` is passed — switching strategies mid-journal
+    would break the byte-identical resume guarantee.
     """
     run_id = spec.run_id()
     stored = store.load(run_id) if store.has(run_id) else None
@@ -139,12 +238,40 @@ def execute_spec(
         workers=workers, chunk_size=chunk_size, timeout=timeout,
         backend=backend, fast_path=fast_path, batch=batch,
     )
+    policy = _resolve_sampling(sampling)
     if stored is None:
+        if policy is not None:
+            journal = store.create_run(spec)
+            try:
+                result = _run_adaptive_journaled(
+                    campaign, journal, policy, [], {},
+                    workers=workers, chunk_size=chunk_size,
+                )
+            finally:
+                journal.close()
+            _note_run(spec, "fresh")
+            return RunOutcome(run_id=run_id, result=result)
         journal = store.create_run(spec)
         done: set = set()
         prior: list = []
     else:
         journal = store.open_run(run_id)  # truncates any torn tail
+        plan_rows = journal.records("plan")
+        if plan_rows:
+            records_by_index = {
+                record.index: record for record in stored.records()
+            }
+            try:
+                result = _run_adaptive_journaled(
+                    campaign, journal, policy, plan_rows, records_by_index,
+                    workers=workers, chunk_size=chunk_size,
+                )
+            finally:
+                journal.close()
+            _note_run(spec, "resumed")
+            return RunOutcome(
+                run_id=run_id, result=result, resumed=len(records_by_index)
+            )
         rows = [record["row"] for record in journal.records("record")]
         done = {row["index"] for row in rows}
         prior = stored.records()
@@ -171,6 +298,7 @@ def resume_run(
     backend: str = "auto",
     fast_path: "bool | None" = None,
     batch: "bool | None" = None,
+    sampling=None,
 ) -> RunOutcome:
     """Resume a stored run by id (``repro resume <run-id>``).
 
@@ -178,7 +306,8 @@ def resume_run(
     already-durable records are skipped, the journal's torn tail (if the
     crash tore one) is dropped, and the finished journal is sealed with a
     close record.  Completing an already-complete run is a no-op cache
-    hit.
+    hit.  An adaptive journal (one holding ``plan`` rows) resumes
+    adaptively under its journaled policy regardless of ``sampling``.
     """
     if not store.has(run_id):
         raise JournalError(
@@ -189,7 +318,7 @@ def resume_run(
     return execute_spec(
         store, spec, workers=workers, chunk_size=chunk_size,
         timeout=timeout, backend=backend, fast_path=fast_path, batch=batch,
-        reuse=True,
+        sampling=sampling, reuse=True,
     )
 
 

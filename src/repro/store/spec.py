@@ -17,6 +17,15 @@ threshold and the fluence plan.  Two properties follow:
 Specs carry the *factory* configuration (the ``make_kernel`` keyword
 arguments), not introspected kernel attributes — kernels are free to
 normalise or derive attributes in their constructors.
+
+Execution *strategy* is deliberately not identity.  Worker counts,
+``fast_path``/``batch`` switches and the adaptive sampling policy
+(:class:`~repro.sampling.SamplingPolicy`) all change how much work runs
+and in what order, but never what any executed index produces — so an
+adaptive run shares its run id (and its journal) with the fixed-fluence
+run of the same spec, and the policy travels next to the spec (scheduler
+``submit(..., sampling=...)``, the service POST body, ``--target-ci``)
+rather than inside it.
 """
 
 from __future__ import annotations

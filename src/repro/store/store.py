@@ -22,7 +22,7 @@ after a crash) lives in :mod:`repro.store.runner` and the scheduler.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro._util.text import format_table
@@ -89,6 +89,12 @@ class StoredRun:
     close: "dict | None"
     created: float
     path: Path
+    plans: list = field(default_factory=list)  # adaptive "plan" rows, in order
+
+    @property
+    def adaptive(self) -> bool:
+        """Whether the journal was written by an adaptive-sampling run."""
+        return bool(self.plans)
 
     @property
     def status(self) -> str:
@@ -121,7 +127,7 @@ class StoredRun:
                 f"({len(self.rows)}/{self.spec.n_faulty} records durable); "
                 "resume it with `repro resume` before analysing"
             )
-        return CampaignResult(
+        result = CampaignResult(
             kernel_name=self.spec.kernel,
             device_name=self.spec.device,
             label=self.spec.resolved_label(),
@@ -131,6 +137,11 @@ class StoredRun:
             n_executions=self.close["n_executions"],
             threshold_pct=self.spec.resolved_threshold(),
         )
+        if "sampling" in self.close:
+            # Adaptive runs: the calibrated pooled estimate travels in the
+            # close record (see repro.store.runner.finalise_journal).
+            result.aux["sampling"] = self.close["sampling"]
+        return result
 
 
 class CampaignStore:
@@ -186,6 +197,7 @@ class CampaignStore:
             close=journal.close_record,
             created=journal.header.get("created", 0.0),
             path=journal.path,
+            plans=journal.records("plan"),
         )
 
     def load_spec(self, spec: CampaignSpec) -> "StoredRun | None":

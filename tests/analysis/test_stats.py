@@ -5,11 +5,13 @@ import pytest
 from repro.analysis.experiments import dgemm_sweep, run_spec
 from repro.analysis.stats import (
     Interval,
+    bootstrap_interval,
     campaign_fit_interval,
     fit_interval,
     fit_ratio_significant,
     poisson_interval,
     proportion_interval,
+    wilson_interval,
 )
 
 
@@ -59,6 +61,67 @@ class TestProportionInterval:
             proportion_interval(5, 0)
         with pytest.raises(ValueError):
             proportion_interval(11, 10)
+
+    def test_zero_trials_is_the_vacuous_interval(self):
+        """Regression (ISSUE 7): n=0 is defined, not a quantile crash."""
+        interval = proportion_interval(0, 0)
+        assert (interval.estimate, interval.low, interval.high) == (
+            0.0, 0.0, 1.0,
+        )
+
+    def test_degenerate_rates_stay_ordered(self):
+        """Regression: p in {0, 1} keeps low <= estimate <= high in [0, 1]."""
+        for successes, trials in [(0, 1), (1, 1), (0, 7), (7, 7)]:
+            interval = proportion_interval(successes, trials)
+            assert 0.0 <= interval.low <= interval.estimate
+            assert interval.estimate <= interval.high <= 1.0
+
+
+class TestWilsonInterval:
+    def test_zero_trials_is_the_vacuous_interval(self):
+        interval = wilson_interval(0, 0)
+        assert (interval.estimate, interval.low, interval.high) == (
+            0.0, 0.0, 1.0,
+        )
+
+    def test_never_degenerate_at_extremes(self):
+        """Unlike Wald, Wilson keeps positive width at observed 0 and 1."""
+        zero = wilson_interval(0, 20)
+        full = wilson_interval(20, 20)
+        assert zero.low == 0.0 and zero.high > 0.0
+        assert full.high == 1.0 and full.low < 1.0
+
+    def test_half_matches_textbook_value(self):
+        interval = wilson_interval(50, 100)
+        assert interval.low == pytest.approx(0.404, abs=0.002)
+        assert interval.high == pytest.approx(0.596, abs=0.002)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 4)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 2, confidence=0.0)
+
+
+class TestBootstrapInterval:
+    def test_zero_trials_is_the_vacuous_interval(self):
+        interval = bootstrap_interval(0, 0)
+        assert (interval.estimate, interval.low, interval.high) == (
+            0.0, 0.0, 1.0,
+        )
+
+    def test_band_contains_point_estimate(self):
+        interval = bootstrap_interval(3, 40)
+        assert interval.contains(3 / 40)
+
+    def test_seeded_determinism(self):
+        assert bootstrap_interval(7, 30, seed=5) == bootstrap_interval(
+            7, 30, seed=5
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_interval(1, 10, n_resamples=0)
 
 
 class TestFitInterval:

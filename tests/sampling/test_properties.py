@@ -1,0 +1,173 @@
+"""Hypothesis property suite: the invariants the stopping rule rests on.
+
+The sequential stopping rule is only sound if its ingredients behave
+monotonically and deterministically for *all* inputs, not just the ones
+the differential suite happens to draw: Wilson intervals must move with
+the data, widths must shrink as evidence accumulates, the allocator must
+conserve its budget, and tally folding must not care about order (the
+journal replays chunks in whatever grouping the crash left behind).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import bootstrap_interval, wilson_interval
+from repro.faults.outcomes import OutcomeKind
+from repro.sampling import ClassTally, SiteClass, allocate_round
+from repro.arch.resources import ResourceKind
+
+pytestmark = pytest.mark.sampling
+
+OUTCOMES = [
+    OutcomeKind.MASKED, OutcomeKind.SDC, OutcomeKind.CRASH, OutcomeKind.HANG,
+]
+
+
+def tallies_strategy():
+    return st.builds(
+        ClassTally,
+        masked=st.integers(0, 50),
+        sdc=st.integers(0, 50),
+        crash=st.integers(0, 50),
+        hang=st.integers(0, 50),
+    )
+
+
+class TestWilsonProperties:
+    @given(st.integers(1, 200), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_successes(self, trials, data):
+        """More observed events never move either bound down."""
+        lo = data.draw(st.integers(0, trials - 1))
+        hi = data.draw(st.integers(lo + 1, trials))
+        a = wilson_interval(lo, trials)
+        b = wilson_interval(hi, trials)
+        assert a.low <= b.low
+        assert a.high <= b.high
+
+    @given(st.integers(1, 100), st.data(), st.integers(2, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_width_shrinks_with_trials_at_fixed_rate(
+        self, trials, data, factor
+    ):
+        """Scaling (successes, trials) together only tightens the CI."""
+        successes = data.draw(st.integers(0, trials))
+        small = wilson_interval(successes, trials)
+        large = wilson_interval(successes * factor, trials * factor)
+        small_width = small.high - small.low
+        large_width = large.high - large.low
+        if small_width > 0:
+            assert large_width < small_width
+        else:
+            assert large_width == 0
+
+    @given(st.integers(0, 200), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_contains_point_estimate(self, trials, data):
+        successes = data.draw(st.integers(0, max(trials, 0)))
+        if successes > trials:
+            successes = trials
+        interval = wilson_interval(successes, trials)
+        point = successes / trials if trials else 0.0
+        assert interval.low <= point <= interval.high
+        assert 0.0 <= interval.low <= interval.high <= 1.0
+
+
+class TestBootstrapProperties:
+    @given(st.integers(1, 120), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_contains_point_estimate(self, trials, data):
+        successes = data.draw(st.integers(0, trials))
+        interval = bootstrap_interval(
+            successes, trials, n_resamples=300, seed=17
+        )
+        assert interval.contains(successes / trials)
+        assert 0.0 <= interval.low <= interval.high <= 1.0
+
+    @given(st.integers(1, 120), st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_deterministic_for_a_seed(self, trials, data):
+        successes = data.draw(st.integers(0, trials))
+        a = bootstrap_interval(successes, trials, n_resamples=200, seed=3)
+        b = bootstrap_interval(successes, trials, n_resamples=200, seed=3)
+        assert a == b
+
+
+def classes_strategy():
+    """2-6 synthetic equivalence classes with positive probabilities."""
+    kinds = list(ResourceKind)
+
+    def build(weights):
+        total = sum(weights) * 1.25  # leave architectural mass too
+        return tuple(
+            SiteClass(
+                kind=kinds[i % len(kinds)],
+                site=f"site{i}",
+                probability=w / total,
+            )
+            for i, w in enumerate(weights)
+        )
+
+    return st.lists(
+        st.floats(0.01, 1.0, allow_nan=False), min_size=2, max_size=6
+    ).map(build)
+
+
+class TestAllocatorProperties:
+    @given(
+        classes_strategy(),
+        st.data(),
+        st.integers(0, 200),
+        st.integers(0, 5),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_grants_are_sound(self, classes, data, budget, min_per_class):
+        """Non-negative integers, within availability, budget-conserving."""
+        tallies = {c.label: data.draw(tallies_strategy()) for c in classes}
+        available = {
+            c.label: data.draw(st.integers(0, 40)) for c in classes
+        }
+        grants = allocate_round(
+            list(classes), tallies, available, budget,
+            min_per_class=min_per_class,
+        )
+        total_available = sum(available.values())
+        for label, count in grants.items():
+            assert isinstance(count, int)
+            assert count >= 0
+            assert count <= available[label]
+        assert sum(grants.values()) == min(budget, total_available)
+
+    @given(classes_strategy(), st.data(), st.integers(1, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic(self, classes, data, budget):
+        tallies = {c.label: data.draw(tallies_strategy()) for c in classes}
+        available = {c.label: data.draw(st.integers(0, 30)) for c in classes}
+        first = allocate_round(list(classes), tallies, available, budget)
+        second = allocate_round(list(classes), tallies, available, budget)
+        assert first == second
+
+
+class TestTallyAlgebra:
+    @given(tallies_strategy(), tallies_strategy(), tallies_strategy())
+    @settings(max_examples=80, deadline=None)
+    def test_merge_is_associative(self, a, b, c):
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+    @given(tallies_strategy(), tallies_strategy())
+    @settings(max_examples=80, deadline=None)
+    def test_merge_commutes(self, a, b):
+        assert a.merge(b) == b.merge(a)
+
+    @given(tallies_strategy(), st.sampled_from(OUTCOMES))
+    @settings(max_examples=60, deadline=None)
+    def test_add_is_merge_with_a_singleton(self, tally, outcome):
+        singleton = ClassTally().add(outcome)
+        assert tally.add(outcome) == tally.merge(singleton)
+        assert tally.add(outcome).trials == tally.trials + 1
+
+    @given(tallies_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_due_splits_into_crash_and_hang(self, tally):
+        assert tally.count("due") == tally.count("crash") + tally.count("hang")

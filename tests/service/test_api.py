@@ -259,3 +259,50 @@ class TestErrorPaths:
     def test_malformed_run_id(self, url):
         code, _, body = probe(url, path="/v1/campaigns/NOT-A-RUN-ID")
         self.check_error(code, body, 404, "unknown_run")
+
+
+class TestAdaptiveSampling:
+    """ISSUE 7: the sampling policy rides in the POST body, not the spec."""
+
+    def test_submit_with_sampling_reports_the_estimate(self, make_service):
+        _, _, url = make_service()
+        client = ServiceClient(url)
+        spec = dict(TINY_SPEC, n_faulty=40, seed=21)
+        submission = client.submit(
+            spec, sampling={"target_ci": 0.25, "round_size": 10}
+        )
+        final = client.wait(submission["run_id"], timeout=300)
+        assert final["status"] == "complete"
+        report = client.report(submission["run_id"])
+        sampling = report["sampling"]
+        assert sampling["stop_reason"] is not None
+        assert 0 < sampling["executed"] <= 40
+        assert sampling["pool"] == 40
+
+    def test_sampling_never_changes_the_run_id(self, make_service):
+        _, _, url = make_service(start_worker=False)
+        client = ServiceClient(url)
+        plain = client.submit(TINY_SPEC)
+        with_policy = client.submit(TINY_SPEC, sampling={"target_ci": 0.3})
+        assert with_policy["run_id"] == plain["run_id"]
+        assert with_policy["deduped"]
+
+    def test_invalid_sampling_is_structured_400(self, make_service):
+        _, _, url = make_service(start_worker=False)
+        spec = dict(TINY_SPEC)
+        spec["sampling"] = {"target_ci": -1.0}
+        code, _, body = probe(
+            url, "POST", "/v1/campaigns", data=json.dumps(spec).encode()
+        )
+        assert code == 400
+        assert json.loads(body)["error"]["code"] == "invalid_sampling"
+
+    def test_unknown_sampling_fields_are_structured_400(self, make_service):
+        _, _, url = make_service(start_worker=False)
+        spec = dict(TINY_SPEC)
+        spec["sampling"] = {"target_ci": 0.1, "warp_factor": 9}
+        code, _, body = probe(
+            url, "POST", "/v1/campaigns", data=json.dumps(spec).encode()
+        )
+        assert code == 400
+        assert json.loads(body)["error"]["code"] == "invalid_sampling"

@@ -6,11 +6,19 @@ restarts from its last durable record and produces a final log
 thread and process executor backends.  Three facts carry the proof (see
 :mod:`repro.store.runner`): per-execution RNG derivation, hex-exact row
 serialisation, and shared fluence arithmetic.
+
+ISSUE 7 extends the guarantee to adaptive campaigns: a SIGKILL'd
+importance-sampled run resumes under its *journaled* policy, replans the
+identical rounds, reaches the identical stopping decision, and seals a
+journal byte-for-byte identical to the uninterrupted one.
 """
+
+import json
 
 import pytest
 
 from repro.beam.logs import record_to_row, write_log
+from repro.sampling import SamplingPolicy
 from repro.store import (
     CampaignSpec,
     CampaignStore,
@@ -118,3 +126,89 @@ class TestKillAndResume:
         assert outcome.result.summary() == reference.summary()
         assert outcome.result.fluence == reference.fluence
         assert outcome.result.fit_total() == reference.fit_total()
+
+
+#: Policy tuned so SPEC's pool takes several planning rounds to pin.
+ADAPTIVE_POLICY = SamplingPolicy(target_ci=0.05, round_size=10)
+
+
+def adaptive_reference(tmp_path):
+    """The uninterrupted adaptive run: (journal bytes, result)."""
+    store = CampaignStore(tmp_path / "adaptive-reference")
+    outcome = execute_spec(
+        store, SPEC, backend="serial", sampling=ADAPTIVE_POLICY
+    )
+    return store.path_for(SPEC.run_id()).read_bytes(), outcome.result
+
+
+def killed_adaptive_store(tmp_path, reference_bytes):
+    """A store holding the adaptive journal as a SIGKILL would leave it:
+
+    every line up to and including the second ``plan`` row, a partial
+    slice of that round's record batch, then a torn tail.  The prefix is
+    the *reference journal's own bytes*, so byte-identity of the resumed
+    journal is checkable end to end (header timestamp included).
+    """
+    lines = reference_bytes.splitlines(keepends=True)
+    plan_lines = [
+        i for i, line in enumerate(lines)
+        if json.loads(line).get("kind") == "plan"
+    ]
+    assert len(plan_lines) >= 2, "policy must yield at least two rounds"
+    cut = plan_lines[1] + 3  # the second plan row + a partial record batch
+    store = CampaignStore(tmp_path / "adaptive-killed")
+    path = store.path_for(SPEC.run_id())
+    path.write_bytes(
+        b"".join(lines[:cut]) + b'{"kind": "record", "index": 9'
+    )
+    return store
+
+
+class TestAdaptiveKillAndResume:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_resumed_journal_is_byte_identical(self, tmp_path, backend):
+        reference_bytes, reference = adaptive_reference(tmp_path)
+        store = killed_adaptive_store(tmp_path, reference_bytes)
+        outcome = resume_run(
+            store, SPEC.run_id(), backend=backend, workers=2, chunk_size=6
+        )
+        assert not outcome.cached
+        resumed_bytes = store.path_for(SPEC.run_id()).read_bytes()
+        assert resumed_bytes == reference_bytes
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_resume_reaches_the_same_stopping_decision(
+        self, tmp_path, backend
+    ):
+        reference_bytes, reference = adaptive_reference(tmp_path)
+        store = killed_adaptive_store(tmp_path, reference_bytes)
+        outcome = resume_run(store, SPEC.run_id(), backend=backend)
+        sampling = outcome.result.aux["sampling"]
+        assert sampling == reference.aux["sampling"]
+        assert sampling["executed"] == reference.aux["sampling"]["executed"]
+        assert sampling["stop_reason"] is not None
+
+    def test_journaled_policy_wins_over_the_caller(self, tmp_path):
+        """Resume under a *different* requested policy follows the journal."""
+        reference_bytes, reference = adaptive_reference(tmp_path)
+        store = killed_adaptive_store(tmp_path, reference_bytes)
+        outcome = resume_run(
+            store, SPEC.run_id(), backend="serial",
+            sampling=SamplingPolicy(target_ci=0.5, round_size=3),
+        )
+        assert store.path_for(SPEC.run_id()).read_bytes() == reference_bytes
+        assert outcome.result.aux["sampling"] == reference.aux["sampling"]
+
+    def test_resumed_records_match_the_fixed_campaign(self, tmp_path):
+        """Adaptive resume preserves the (spec, index) purity of records."""
+        reference_bytes, _ = adaptive_reference(tmp_path)
+        store = killed_adaptive_store(tmp_path, reference_bytes)
+        outcome = resume_run(store, SPEC.run_id(), backend="serial")
+        fixed = execute_spec(
+            CampaignStore(tmp_path / "fixed"), SPEC, backend="serial"
+        ).result
+        by_index = {r.index: r for r in fixed.records}
+        for record in outcome.result.records:
+            assert record_to_row(record) == record_to_row(
+                by_index[record.index]
+            )
