@@ -19,6 +19,12 @@ A third section times batched delta execution (``batch=True``,
 ``BENCH_batch.json`` (``benchmarks/results/BENCH_batch_quick.json`` for
 ``--quick``) the same way.
 
+A fleet section (``--skip-fleet`` to skip) boots a real coordinator and
+two :class:`~repro.fleet.FleetAgent` threads pulling chunk leases over
+HTTP, times the campaign against a local 2-worker pool, gates on the
+served log being byte-identical, and records ``BENCH_fleet.json``
+(``benchmarks/results/BENCH_fleet_quick.json`` for ``--quick``).
+
 Every timing row records the *resolved* pool size and backend — what the
 executor actually ran with, not what was requested.  On a machine where
 a "parallel" configuration resolves to a 1-worker pool (single core, or
@@ -75,6 +81,10 @@ BATCH_JSON_QUICK_PATH = (
 SAMPLING_JSON_PATH = Path(__file__).parent.parent / "BENCH_sampling.json"
 SAMPLING_JSON_QUICK_PATH = (
     Path(__file__).parent / "results" / "BENCH_sampling_quick.json"
+)
+FLEET_JSON_PATH = Path(__file__).parent.parent / "BENCH_fleet.json"
+FLEET_JSON_QUICK_PATH = (
+    Path(__file__).parent / "results" / "BENCH_fleet_quick.json"
 )
 
 
@@ -557,6 +567,143 @@ def bench_sampling(args) -> "tuple[str, float, dict]":
     return text, savings, payload
 
 
+def bench_fleet(args) -> "tuple[str, float, dict]":
+    """Two fleet agents vs one local pool on the same campaign.
+
+    Boots a real fleet coordinator (in-process HTTP server) with two
+    :class:`~repro.fleet.FleetAgent` threads pulling leases over the
+    wire, and times the same campaign against a local 2-worker thread
+    pool.  The agents execute numpy kernels, which release the GIL, so
+    two agent threads genuinely overlap — what the ratio measures is the
+    *coordination tax*: HTTP round trips, lease bookkeeping, and the
+    single-merge-point journal commits.
+
+    The honesty gate is the fleet's core claim: the coordinator-served
+    log must be **byte-identical** to the pool run's.  Divergence
+    hard-fails the section (and nothing is recorded).  Machine-readable
+    output lands in ``BENCH_fleet.json``
+    (``benchmarks/results/BENCH_fleet_quick.json`` for ``--quick``).
+    """
+    import tempfile
+    import threading
+
+    from repro.beam.logs import log_lines
+    from repro.fleet import AgentConfig, FleetAgent
+    from repro.service import (
+        CampaignService, ServiceClient, ServiceConfig, ServiceServer,
+    )
+    from repro.store import CampaignSpec, CampaignStore, execute_spec
+
+    n_agents = 2
+    spec_dict = {
+        "kernel": args.kernel,
+        "device": args.device,
+        "config": {"n": args.n},
+        "seed": args.seed,
+        "n_faulty": args.faulty,
+    }
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # Baseline: one local pool, same width as the fleet.
+        start = time.perf_counter()
+        pool_outcome = execute_spec(
+            CampaignStore(Path(tmp) / "pool-store"),
+            CampaignSpec.from_dict(dict(spec_dict)),
+            workers=n_agents, chunk_size=args.chunk_size, timeout=1800.0,
+            backend="thread", fast_path=None, batch=None,
+            sampling=None, reuse=True,
+        )
+        t_pool = time.perf_counter() - start
+        pool_text = "\n".join(log_lines(pool_outcome.result)) + "\n"
+
+        # The fleet: coordinator + two agent threads over real HTTP.
+        config = ServiceConfig(
+            host="127.0.0.1", port=0, store=Path(tmp) / "fleet-store",
+            fleet=True, lease_ttl=30.0, workers=n_agents,
+            chunk_size=args.chunk_size, poll_interval=0.02,
+        )
+        service = CampaignService(config)
+        service.start()
+        server = ServiceServer(service)
+        server_thread = threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        server_thread.start()
+        url = f"http://127.0.0.1:{server.port}"
+        client = ServiceClient(url)
+        agents = [
+            FleetAgent(AgentConfig(url=url, name=f"bench-agent-{i}",
+                                   poll=0.02))
+            for i in range(n_agents)
+        ]
+        agent_threads = [
+            threading.Thread(target=agent.run) for agent in agents
+        ]
+        try:
+            for thread in agent_threads:
+                thread.start()
+            start = time.perf_counter()
+            submitted = client.submit(dict(spec_dict))
+            client.wait(submitted["run_id"], timeout=1800.0, poll=0.05)
+            t_fleet = time.perf_counter() - start
+            fleet_text = client.result_text(submitted["run_id"])
+        finally:
+            for agent in agents:
+                agent.request_stop()
+            for thread in agent_threads:
+                thread.join(timeout=60.0)
+            server.shutdown()
+            server.server_close()
+            service.shutdown(timeout=120.0)
+            server_thread.join(timeout=10.0)
+
+        identical = fleet_text == pool_text
+
+    ratio = t_fleet / t_pool if t_pool > 0 else None
+    chunks = sum(agent.stats.chunks for agent in agents)
+    payload = {
+        "bench": "fleet",
+        "kernel": args.kernel,
+        "device": args.device,
+        "n": args.n,
+        "faulty": args.faulty,
+        "seed": args.seed,
+        "agents": n_agents,
+        "cores": os.cpu_count(),
+        "quick": bool(args.quick),
+        "pool": {
+            "seconds": t_pool,
+            "executions_per_sec": args.faulty / t_pool,
+            "backend": "thread",
+            "workers": n_agents,
+        },
+        "fleet": {
+            "seconds": t_fleet,
+            "executions_per_sec": args.faulty / t_fleet,
+            "chunks_committed": chunks,
+            "per_agent": [agent.stats.to_dict() for agent in agents],
+        },
+        "coordination_tax_ratio": ratio,
+        "records_identical": identical,
+    }
+    lines = [
+        f"fleet: {n_agents} remote agents vs one {n_agents}-worker pool:",
+        f"  local pool    : {t_pool:8.2f} s  "
+        f"{args.faulty / t_pool:8.1f} exec/s",
+        f"  fleet         : {t_fleet:8.2f} s  "
+        f"{args.faulty / t_fleet:8.1f} exec/s  "
+        f"({chunks} chunks over HTTP)",
+        f"  coordination tax: fleet/pool = {ratio:8.2f}x wall clock",
+        f"  served log byte-identical to pool run: {identical}",
+    ]
+    text = "\n".join(lines)
+    if not identical:
+        raise SystemExit(
+            text + "\nFATAL: fleet-served log differs from the pool run"
+        )
+    return text, ratio, payload
+
+
 def bench_observability(args) -> "tuple[str, float]":
     """Cost of tracing + metrics on the same campaign, as an overhead %.
 
@@ -661,6 +808,9 @@ def main(argv=None) -> int:
     parser.add_argument("--skip-sampling", action="store_true",
                         help="skip the adaptive-sampling section (and do "
                              "not touch BENCH_sampling.json)")
+    parser.add_argument("--skip-fleet", action="store_true",
+                        help="skip the fleet-vs-pool section (and do not "
+                             "touch BENCH_fleet.json)")
     parser.add_argument("--expect-sampling-savings", type=float, default=None,
                         help="exit 1 unless the adaptive run reaches its CI "
                              "target in at least this many times fewer "
@@ -723,6 +873,19 @@ def main(argv=None) -> int:
             json.dumps(sampling_payload, indent=2, sort_keys=True) + "\n"
         )
         text += f"\n  baseline recorded to {sampling_json_path}"
+    if not args.skip_fleet:
+        import json
+
+        fleet_text, _, fleet_payload = bench_fleet(args)
+        text = text + "\n" + fleet_text
+        fleet_json_path = (
+            FLEET_JSON_QUICK_PATH if args.quick else FLEET_JSON_PATH
+        )
+        fleet_json_path.parent.mkdir(exist_ok=True)
+        fleet_json_path.write_text(
+            json.dumps(fleet_payload, indent=2, sort_keys=True) + "\n"
+        )
+        text += f"\n  baseline recorded to {fleet_json_path}"
     overhead_pct = None
     if args.observability:
         obs_text, overhead_pct = bench_observability(args)

@@ -13,6 +13,8 @@ Usage (also available as ``python -m repro``)::
     repro runs --store .repro-store          # list stored runs
     repro resume 12cf6ae0b61a1d47            # finish an interrupted run
     repro serve --port 8765 --store DIR      # the campaign service daemon
+    repro serve --fleet --lease-ttl 15       # ... as a fleet coordinator
+    repro agent --url URL                    # a fleet worker agent
     repro submit dgemm k40 --url URL --wait  # submit a campaign over HTTP
     repro status 12cf6ae0b61a1d47 --url URL  # poll a submitted run
     repro fetch 12cf6ae0b61a1d47 --url URL   # download its final log
@@ -506,8 +508,37 @@ def cmd_serve(args) -> int:
         queue_limit=args.queue_limit,
         log_requests=args.log_requests,
         sampling=policy.to_dict() if policy is not None else None,
+        fleet=args.fleet,
+        lease_ttl=args.lease_ttl,
     )
     return run_service(config)
+
+
+def cmd_agent(args) -> int:
+    from repro.fleet import AgentConfig, run_agent
+    from repro.service import ServiceError
+
+    config = AgentConfig(
+        url=args.url,
+        name=args.name or "",
+        poll=args.poll,
+        idle_exit=args.idle_exit,
+        max_chunks=args.max_chunks,
+        fast_path=args.fast_path,
+        batch=args.batch,
+    )
+    try:
+        stats = run_agent(config)
+    except ServiceError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    drained = " (drained)" if stats.drained else ""
+    print(
+        f"agent {stats.worker} done: {stats.chunks} chunks, "
+        f"{stats.records} records pushed, "
+        f"{stats.leases_lost} leases lost{drained}"
+    )
+    return 0
 
 
 def _service_client(args):
@@ -824,9 +855,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--log-requests", action="store_true",
         help="emit an access-log line per request to stderr",
     )
+    serve.add_argument(
+        "--fleet", action="store_true",
+        help="run as a fleet coordinator: campaigns are leased chunk by "
+        "chunk to `repro agent` processes instead of running on a local "
+        "pool (see docs/fleet.md)",
+    )
+    serve.add_argument(
+        "--lease-ttl", type=float, default=15.0, dest="lease_ttl",
+        metavar="SECONDS",
+        help="fleet mode: seconds a chunk lease lives without a "
+        "heartbeat before its chunk is reassigned (default: 15)",
+    )
     add_sampling_flag(serve)
     add_fast_path_flag(serve)
     serve.set_defaults(func=cmd_serve)
+
+    agent = sub.add_parser(
+        "agent",
+        help="run a fleet worker agent against a coordinator "
+        "(`repro serve --fleet`)",
+    )
+    agent.add_argument("--url", default="http://127.0.0.1:8765")
+    agent.add_argument(
+        "--name", default=None, metavar="NAME",
+        help="how the agent introduces itself (default: host-pid)",
+    )
+    agent.add_argument(
+        "--poll", type=float, default=0.5, metavar="SECONDS",
+        help="idle wait between empty lease polls (default: 0.5)",
+    )
+    agent.add_argument(
+        "--idle-exit", type=float, default=None, dest="idle_exit",
+        metavar="SECONDS",
+        help="exit after this many consecutive seconds without work "
+        "(default: poll forever; SIGINT drains)",
+    )
+    agent.add_argument(
+        "--max-chunks", type=int, default=None, dest="max_chunks",
+        metavar="N",
+        help="exit after committing N chunks (default: unbounded)",
+    )
+    add_fast_path_flag(agent)
+    agent.set_defaults(func=cmd_agent)
 
     submit = sub.add_parser(
         "submit", help="submit campaign(s) to a running campaign service"

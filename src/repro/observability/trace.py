@@ -54,8 +54,12 @@ __all__ = [
 ]
 
 #: The span taxonomy, outermost first.  ``kind`` is free-form (the schema
-#: is open), but the campaign hot path emits exactly these.
-SPAN_KINDS = ("session", "board", "campaign", "sampling", "chunk", "execution")
+#: is open), but the campaign hot path emits exactly these.  ``lease``
+#: events (grant / expiry / fenced push) come from the fleet coordinator
+#: and sit beside ``chunk`` — same unit of work, remote holder.
+SPAN_KINDS = (
+    "session", "board", "campaign", "sampling", "lease", "chunk", "execution"
+)
 
 _TRACE_FORMAT_VERSION = 1
 

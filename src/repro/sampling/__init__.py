@@ -44,13 +44,14 @@ from repro.sampling.estimator import (
     render_sampling,
 )
 from repro.sampling.policy import SamplingPolicy
-from repro.sampling.tallies import ClassTally
+from repro.sampling.tallies import ClassTally, tally_of
 
 __all__ = [
     "AdaptiveCampaign",
     "AdaptiveResumeError",
     "CATEGORIES",
     "ClassTally",
+    "tally_of",
     "Partition",
     "RoundPlan",
     "SamplingEstimate",

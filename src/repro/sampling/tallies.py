@@ -18,7 +18,23 @@ from dataclasses import dataclass
 
 from repro.faults.outcomes import OutcomeKind
 
-__all__ = ["ClassTally"]
+__all__ = ["ClassTally", "tally_of"]
+
+
+def tally_of(records) -> "ClassTally":
+    """Fold executed records into one :class:`ClassTally`.
+
+    This is the tally *delta* a fleet push carries next to its raw
+    records: the agent computes it from what it executed, the
+    coordinator recomputes it from what it received, and a mismatch
+    means the batch was corrupted in flight — the same associative
+    algebra that lets tallies merge in any order lets a chunk's delta be
+    checked independently of every other chunk.
+    """
+    tally = ClassTally()
+    for record in records:
+        tally = tally.add(record.outcome)
+    return tally
 
 
 @dataclass(frozen=True)

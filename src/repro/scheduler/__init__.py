@@ -7,6 +7,12 @@ one beam.
 
 * :mod:`repro.scheduler.retry` — :class:`RetryPolicy`: bounded
   exponential backoff with seeded jitter;
+* :mod:`repro.scheduler.lease` — :class:`ChunkLease`: the chunk-grant
+  protocol (fencing token + deadline) shared by the in-process pool and
+  the distributed fleet (:mod:`repro.fleet`);
+* :mod:`repro.scheduler.jobs` — the job lifecycle both dispatchers
+  share: :func:`prepare_job` / :func:`advance_adaptive` /
+  :func:`seal_job`;
 * :mod:`repro.scheduler.scheduler` — :class:`CampaignScheduler`:
   priority/fair-share chunk interleaving, per-chunk journaling, bounded
   retry of transient worker failures, and SIGINT-safe draining.
@@ -14,6 +20,14 @@ one beam.
 The CLI verb ``repro queue`` is a thin wrapper over this package.
 """
 
+from repro.scheduler.jobs import (
+    PreparedJob,
+    advance_adaptive,
+    driver_settled,
+    prepare_job,
+    seal_job,
+)
+from repro.scheduler.lease import NO_DEADLINE, ChunkLease
 from repro.scheduler.retry import RetryPolicy
 from repro.scheduler.scheduler import (
     CampaignScheduler,
@@ -26,4 +40,11 @@ __all__ = [
     "CampaignScheduler",
     "JobOutcome",
     "SchedulerTimeoutError",
+    "ChunkLease",
+    "NO_DEADLINE",
+    "PreparedJob",
+    "prepare_job",
+    "advance_adaptive",
+    "driver_settled",
+    "seal_job",
 ]

@@ -51,15 +51,17 @@ from repro.beam.executor import (
 )
 from repro.kernels.sharedmem import SharedGoldenExport
 from repro.observability import runtime as obs_runtime
-from repro.scheduler.retry import RetryPolicy
-from repro.store.journal import JournalError
-from repro.store.runner import (
-    _resolve_sampling,
-    finalise_journal,
-    journal_chunk_records,
+from repro.scheduler.jobs import (
+    advance_adaptive,
+    driver_settled,
+    prepare_job,
+    seal_job,
 )
+from repro.scheduler.lease import ChunkLease
+from repro.scheduler.retry import RetryPolicy
+from repro.store.runner import journal_chunk_records
 from repro.store.spec import CampaignSpec
-from repro.store.store import CampaignStore, RunStatus
+from repro.store.store import CampaignStore
 
 __all__ = ["CampaignScheduler", "JobOutcome", "SchedulerTimeoutError"]
 
@@ -105,12 +107,26 @@ class JobOutcome:
 
 @dataclass
 class _Task:
-    """One dispatchable unit: a chunk of one job, with its retry count."""
+    """One dispatchable unit: a chunk of one job, under an in-process lease.
+
+    The pool path uses the same :class:`~repro.scheduler.lease.ChunkLease`
+    protocol as the fleet coordinator, with an infinite deadline (a pool
+    worker cannot outlive its future, so leases never expire) — the
+    fencing token still advances on every re-dispatch, mirroring the
+    remote contract.
+    """
 
     job: "_Job"
-    chunk_no: int
-    indices: list
+    lease: ChunkLease
     attempt: int = 0  # failures so far
+
+    @property
+    def chunk_no(self) -> int:
+        return self.lease.chunk_no
+
+    @property
+    def indices(self) -> list:
+        return list(self.lease.indices)
 
 
 class _Job:
@@ -126,6 +142,7 @@ class _Job:
         self.chunks = chunks            # index chunks still to dispatch
         self.prior = prior              # records resumed from the journal
         self.driver = driver            # AdaptiveCampaign for sampling jobs
+        self._tokens: dict = {}         # chunk_no -> last fencing token
         self.next_chunk = 0
         self.dispatched = 0             # chunks submitted (incl. retries)
         self.inflight = 0               # chunks currently in the pool
@@ -149,6 +166,18 @@ class _Job:
     def has_work(self) -> bool:
         """Has undispatched chunks (and is still eligible to run)."""
         return self.failed is None and self.next_chunk < len(self.chunks)
+
+    def grant(self, chunk_no: int) -> ChunkLease:
+        """Grant (or regrant, with a bumped token) one chunk's lease."""
+        token = self._tokens.get(chunk_no, 0) + 1
+        self._tokens[chunk_no] = token
+        return ChunkLease(
+            lease_id=f"{self.run_id[:12]}:{chunk_no}:{token}",
+            run_id=self.run_id,
+            chunk_no=chunk_no,
+            indices=tuple(self.chunks[chunk_no]),
+            token=token,
+        )
 
     def outcome(self) -> JobOutcome:
         return JobOutcome(
@@ -263,87 +292,34 @@ class CampaignScheduler:
         for entry in self._queue:
             if entry.run_id == run_id:
                 return run_id
-        stored = self.store.load(run_id) if self.store.has(run_id) else None
-        if stored is not None and stored.status == RunStatus.COMPLETE and self.reuse:
+        prepared = prepare_job(
+            self.store, spec, self._plan_job_chunks,
+            sampling=sampling, reuse=self.reuse,
+        )
+        if prepared.cached is not None:
             self._queue.append(
                 JobOutcome(
                     run_id=run_id,
                     label=spec.resolved_label(),
                     status="cached",
-                    result=stored.result(),
-                    resumed=len(stored.rows),
+                    result=prepared.cached,
+                    resumed=prepared.resumed,
                 )
             )
             return run_id
-        campaign = spec.build_campaign(backend="serial")
-        if stored is None:
-            journal = self.store.create_run(spec)
-            done: set = set()
-            prior: list = []
-            plan_rows: list = []
-        else:
-            journal = self.store.open_run(run_id)  # drops any torn tail
-            done = stored.done_indices()
-            prior = stored.records()
-            plan_rows = journal.records("plan")
-        policy = _resolve_sampling(sampling)
-        driver = None
-        if plan_rows or (stored is None and policy is not None):
-            driver, chunks = self._plan_adaptive(
-                campaign, journal, policy, plan_rows, prior
-            )
-        else:
-            indices = [i for i in range(spec.n_faulty) if i not in done]
-            chunks = (
-                self._executor.plan_chunks(
-                    indices, self._executor.resolved_workers()
-                )
-                if indices
-                else []
-            )
         self._queue.append(
             _Job(
                 order=len(self._queue), spec=spec, run_id=run_id,
-                campaign=campaign, journal=journal, chunks=chunks, prior=prior,
-                driver=driver,
+                campaign=prepared.campaign, journal=prepared.journal,
+                chunks=prepared.chunks, prior=prepared.prior,
+                driver=prepared.driver,
             )
         )
         return run_id
 
-    def _plan_adaptive(self, campaign, journal, policy, plan_rows, prior):
-        """Build (and replay) the adaptive driver for one submitted job.
-
-        Returns ``(driver, chunks)``: either the in-progress round's
-        missing indices (journal resume) or the freshly planned — and
-        journaled — first round.  The journaled policy wins over the
-        caller's, so a resumed run reproduces its own stopping decision.
-        """
-        from repro.sampling import AdaptiveCampaign, SamplingPolicy
-
-        if plan_rows:
-            journaled = plan_rows[0].get("policy")
-            if journaled is None:
-                raise JournalError(
-                    f"{journal.path}: first plan row carries no policy — "
-                    "journal predates the sampling format"
-                )
-            policy = SamplingPolicy.from_dict(journaled)
-        driver = AdaptiveCampaign(campaign, policy)
-        missing = (
-            driver.replay(plan_rows, {record.index: record for record in prior})
-            if plan_rows
-            else []
-        )
-        if missing:
-            indices = sorted(missing)
-        else:
-            plan = driver.next_round()
-            if plan is None:  # replayed straight to a stopping decision
-                return driver, []
-            journal.append("plan", **plan.payload)
-            journal.commit()
-            indices = list(plan.indices)
-        return driver, self._executor.plan_chunks(
+    def _plan_job_chunks(self, indices) -> list:
+        """The ``planner`` bound for :mod:`repro.scheduler.jobs` helpers."""
+        return self._executor.plan_chunks(
             indices, self._executor.resolved_workers()
         )
 
@@ -536,6 +512,8 @@ class CampaignScheduler:
             if task.job.failed is not None:
                 continue
             task.job.dispatched += 1
+            # A re-dispatch is a new grant: bump the fencing token.
+            task.lease = task.job.grant(task.chunk_no)
             return task
         candidates = [job for job in self._queue
                       if isinstance(job, _Job) and job.has_work()]
@@ -548,7 +526,7 @@ class CampaignScheduler:
         chunk_no = job.next_chunk
         job.next_chunk += 1
         job.dispatched += 1
-        return _Task(job=job, chunk_no=chunk_no, indices=job.chunks[chunk_no])
+        return _Task(job=job, lease=job.grant(chunk_no))
 
     def _submit_task(self, pool, task: _Task, instrument: bool) -> Future:
         job = task.job
@@ -613,15 +591,8 @@ class CampaignScheduler:
         """
         if self._draining or job.failed is not None:
             return
-        plan = job.driver.next_round()
-        if plan is None:
-            return  # stopping rule fired; _maybe_finish seals the job
-        job.journal.append("plan", **plan.payload)
-        job.journal.commit()
         job.chunks.extend(
-            self._executor.plan_chunks(
-                list(plan.indices), self._executor.resolved_workers()
-            )
+            advance_adaptive(job.driver, job.journal, self._plan_job_chunks)
         )
 
     def _on_chunk_failure(
@@ -689,25 +660,15 @@ class CampaignScheduler:
             return
         if job.next_chunk < len(job.chunks) or job.inflight or job.waiting:
             return
-        sampling = None
-        if job.driver is not None:
-            if job.driver.current_round is not None:
-                return  # a round's records are still outstanding
-            if job.driver.stop_reason is None:
-                return  # drained before the stopping rule fired: resumable
-            records = job.driver.records()
-            result = job.campaign.result_from_records(
-                records, n_executions=len(records)
-            )
-            sampling = job.driver.estimate().to_dict()
-            result.aux["sampling"] = sampling
-        else:
-            records = sorted(
-                job.prior + job.records, key=lambda record: record.index
-            )
-            result = job.campaign.result_from_records(records)
-        finalise_journal(job.journal, result, sampling=sampling)
-        job.journal.close()
+        if not driver_settled(job.driver):
+            return  # round outstanding, or drained before the stopping rule
+        n_records = (
+            len(job.driver.records()) if job.driver is not None
+            else len(job.prior) + len(job.records)
+        )
+        result, sampling = seal_job(
+            job.journal, job.campaign, job.prior, job.records, job.driver
+        )
         job.result = result
         job.status = "complete"
         if tracer is not None:
@@ -718,7 +679,7 @@ class CampaignScheduler:
                 "priority": job.priority,
                 "retries": job.retries,
                 "resumed": len(job.prior),
-                "n_records": len(records),
+                "n_records": n_records,
                 "outcomes": counts,
             }
             if job.driver is not None:

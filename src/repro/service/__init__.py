@@ -11,11 +11,17 @@ exactly how fleet-scale SDC screening operates (Dixit et al.).
   bounded-queue backpressure (429 + ``Retry-After``), graceful
   SIGTERM/SIGINT drain, crash-safe restart with auto-resume;
 * :mod:`repro.service.client` — :class:`ServiceClient`: urllib client
-  with transparent retry-with-backoff on 429/503.
+  with transparent retry-with-backoff on 429/503 and dropped
+  connections (``ConnectionResetError`` / ``socket.timeout``).
+
+With ``--fleet`` the daemon becomes a **coordinator**: campaigns are
+leased chunk by chunk to remote ``repro agent`` processes instead of a
+local pool (:mod:`repro.fleet`, ``docs/fleet.md``).
 
 CLI: ``repro serve`` runs the daemon; ``repro submit`` / ``status`` /
-``fetch`` drive it.  See ``docs/service.md`` for the API reference,
-backpressure semantics and restart/resume guarantees.
+``fetch`` drive it; ``repro agent`` joins a fleet.  See
+``docs/service.md`` for the API reference, backpressure semantics and
+restart/resume guarantees.
 """
 
 from repro.service.client import DEFAULT_URL, ServiceClient, ServiceError

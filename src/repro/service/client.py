@@ -15,8 +15,10 @@ thin wrappers over this class.
 
 from __future__ import annotations
 
+import http.client
 import json
 import random
+import socket
 import time
 import urllib.error
 import urllib.request
@@ -30,6 +32,21 @@ DEFAULT_URL = "http://127.0.0.1:8765"
 
 #: HTTP statuses the client treats as transient backpressure.
 _RETRYABLE = (429, 503)
+
+#: Transport-level drops retried with the same backoff: a reset or
+#: timed-out socket on a flaky link is transient exactly like a 503.
+#: (Safe to retry blind: every mutating route is idempotent — submits
+#: dedupe on the content-addressed run id, lease pushes settle exactly
+#: once and answer duplicates idempotently.)  ``socket.timeout`` is
+#: ``TimeoutError`` since 3.10 and ``http.client.RemoteDisconnected``
+#: subclasses ``ConnectionResetError``; both spellings kept for clarity.
+_DROPPED = (
+    ConnectionResetError,
+    ConnectionRefusedError,
+    BrokenPipeError,
+    socket.timeout,
+    http.client.RemoteDisconnected,
+)
 
 
 class ServiceError(RuntimeError):
@@ -149,6 +166,18 @@ class ServiceClient:
                     continue
                 raise ServiceError(
                     0, "unreachable", f"cannot reach {url}: {err.reason}"
+                ) from None
+            except _DROPPED as err:
+                # urllib wraps connect-time failures in URLError, but a
+                # connection dropped mid-request/-response surfaces raw.
+                if retry and attempt < self.retry.max_retries:
+                    attempt += 1
+                    self._sleep(self.retry.delay(attempt, self._rng))
+                    continue
+                raise ServiceError(
+                    0, "connection_dropped",
+                    f"connection to {url} dropped: "
+                    f"{type(err).__name__}: {err}",
                 ) from None
 
     def _delay(self, attempt: int, body: bytes, headers) -> float:
@@ -270,3 +299,38 @@ class ServiceClient:
     def metrics_text(self) -> str:
         _, _, body = self._request("GET", "/metrics")
         return body.decode("utf-8")
+
+    # -- the fleet lease surface (used by `repro agent`) --------------------------
+
+    def request_lease(self, worker: str) -> "dict | None":
+        """``POST /v1/leases``: pull the next chunk lease, or ``None``.
+
+        ``None`` means no work right now (idle fleet, or a draining
+        coordinator) — poll again later.  A coordinator started without
+        ``--fleet`` answers a structured 409 ``fleet_disabled``, which
+        surfaces as a :class:`ServiceError`.
+        """
+        payload = self._json("POST", "/v1/leases", {"worker": worker})
+        return payload.get("lease")
+
+    def lease_heartbeat(self, lease_id: str, worker: str = "") -> dict:
+        """``PUT /v1/leases/{id}``: extend a held lease's deadline."""
+        return self._json(
+            "PUT", f"/v1/leases/{lease_id}", {"worker": worker}
+        )
+
+    def push_results(self, lease_id: str, payload: dict) -> dict:
+        """``POST /v1/leases/{id}/results``: commit a lease's records.
+
+        The push is idempotent server-side (a retried batch whose first
+        attempt committed answers ``duplicate: true``), so transport
+        retries are safe.  A 409 means the lease was fenced off — the
+        chunk belongs to a newer grant and nothing was journaled.
+        """
+        return self._json(
+            "POST", f"/v1/leases/{lease_id}/results", payload
+        )
+
+    def workers(self) -> dict:
+        """``GET /v1/workers``: coordinator-side fleet state."""
+        return self._json("GET", "/v1/workers")

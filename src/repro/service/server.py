@@ -16,9 +16,19 @@ PR 3 store + scheduler with a small HTTP API (stdlib only):
                                           ``ETag`` = run id
 ``GET  /v1/runs``                         the store index (``repro runs --json``
                                           schema)
+``POST /v1/leases``                       fleet mode: pull the next chunk lease
+``PUT  /v1/leases/{id}``                  fleet mode: heartbeat a held lease
+``POST /v1/leases/{id}/results``          fleet mode: push a lease's records
+``GET  /v1/workers``                      fleet mode: agents + leases at a glance
 ``GET  /healthz`` / ``/readyz``           liveness / readiness
 ``GET  /metrics``                         Prometheus text exposition
 ========================================  =======================================
+
+With ``--fleet`` the daemon is a **coordinator**: campaigns are not
+executed by a local pool but split into chunk leases that ``repro
+agent`` processes pull, execute and push back (:mod:`repro.fleet`,
+``docs/fleet.md``).  Without it the lease routes answer a structured
+409 ``fleet_disabled``.
 
 Robustness contract (the reason this is a subsystem, not a script):
 
@@ -114,6 +124,14 @@ class ServiceConfig:
             ``{"target_ci": 0.1}``) applied to every submission that does
             not carry its own ``"sampling"`` object in the POST body;
             ``None`` = fixed-fluence runs by default.
+        fleet: run as a **fleet coordinator** instead of executing
+            campaigns on a local pool: admitted campaigns are split into
+            chunk leases that remote ``repro agent`` processes pull over
+            ``POST /v1/leases`` (see :mod:`repro.fleet` and
+            ``docs/fleet.md``).  ``workers``/``chunk_size`` then shape
+            the chunk plan; ``backend`` is ignored (agents execute).
+        lease_ttl: fleet mode only — seconds a granted lease lives
+            without a heartbeat before its chunk is reassigned.
     """
 
     host: str = "127.0.0.1"
@@ -132,6 +150,8 @@ class ServiceConfig:
     poll_interval: float = 0.1
     log_requests: bool = False
     sampling: "dict | None" = None
+    fleet: bool = False
+    lease_ttl: float = 15.0
 
 
 @dataclass
@@ -214,6 +234,20 @@ class CampaignService:
             "Campaign submissions, by admission disposition",
             ("disposition",),
         )
+        self.coordinator = None
+        if config.fleet:
+            from repro.fleet.coordinator import FleetCoordinator
+
+            self.coordinator = FleetCoordinator(
+                self.store,
+                workers=config.workers,
+                chunk_size=config.chunk_size,
+                lease_ttl=config.lease_ttl,
+                fast_path=config.fast_path,
+                batch=config.batch,
+                metrics=self.metrics,
+                on_finish=self._on_fleet_finish,
+            )
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -259,8 +293,13 @@ class CampaignService:
         """Start (or no-op if already started) the scheduler worker thread."""
         if self._worker is not None and self._worker.is_alive():
             return
+        target = (
+            self._worker_loop_fleet
+            if self.coordinator is not None
+            else self._worker_loop
+        )
         self._worker = threading.Thread(
-            target=self._worker_loop, name="repro-service-scheduler",
+            target=target, name="repro-service-scheduler",
             daemon=True,
         )
         self._worker.start()
@@ -284,6 +323,10 @@ class CampaignService:
         scheduler = self._active_scheduler
         if scheduler is not None:
             scheduler.request_drain()
+        if self.coordinator is not None:
+            # Stop granting leases right away; pushes for leases already
+            # held are still accepted until the coordinator closes.
+            self.coordinator.request_drain()
         with self._cond:
             self._cond.notify_all()
         if self._worker is not None:
@@ -628,6 +671,167 @@ class CampaignService:
                 job.finished_at = time.time()
             self._cond.notify_all()
 
+    # -- the fleet coordinator worker ----------------------------------------------
+
+    def _worker_loop_fleet(self) -> None:
+        """Fleet mode: feed admissions to the coordinator, tick the reaper.
+
+        Campaigns are *not* executed here — remote agents pull leases
+        through the HTTP surface and push results back into the
+        coordinator's journals.  This thread only (a) admits queued
+        specs and (b) periodically reaps expired leases so a dead
+        agent's chunk is regrantable even while every live agent is
+        busy.
+        """
+        self._ready.set()
+        while True:
+            with self._cond:
+                if not self._admission and not self._shutdown.is_set():
+                    self._cond.wait(timeout=self.config.poll_interval)
+                if self._shutdown.is_set():
+                    for run_id in self._admission:
+                        job = self._jobs.get(run_id)
+                        if job is not None and job.status == "queued":
+                            job.status = "interrupted"
+                    self._admission.clear()
+                    self._set_queue_gauge_locked()
+                    break
+                batch = list(self._admission)
+                self._admission.clear()
+                self._set_queue_gauge_locked()
+            for run_id in batch:
+                self._admit_fleet(run_id)
+            self.coordinator.tick()
+        # Drain: revoke outstanding leases, mark unfinished jobs
+        # interrupted (their journals stay valid and resumable).
+        self.coordinator.close()
+
+    def _admit_fleet(self, run_id: str) -> None:
+        with self._cond:
+            job = self._jobs.get(run_id)
+        if job is None:  # pragma: no cover - defensive
+            return
+        try:
+            admission = self.coordinator.admit(
+                job.spec, sampling=job.sampling
+            )
+        except Exception as exc:  # never kill the worker thread
+            with self._cond:
+                job.status = "failed"
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.finished_at = time.time()
+                self._cond.notify_all()
+            return
+        with self._cond:
+            if admission.disposition == "cached":
+                job.status = "complete"
+                job.cached = True
+                job.finished_at = time.time()
+            elif job.status == "queued":
+                # "queued"/"deduped": leases are grantable from now on.
+                # ("complete" resumes were sealed via the finish callback
+                # inside admit() and already left "queued".)
+                job.status = "running"
+                job.started_at = time.time()
+            self._cond.notify_all()
+
+    def _on_fleet_finish(self, run_id, status, result, error) -> None:
+        """Coordinator callback (fires outside its lock) on terminal jobs."""
+        with self._cond:
+            job = self._jobs.get(run_id)
+            if job is None:  # pragma: no cover - defensive
+                return
+            job.status = status
+            job.error = str(error) if error is not None else None
+            job.finished_at = time.time()
+            self._cond.notify_all()
+
+    # -- the lease API (fleet mode) ------------------------------------------------
+
+    def _require_fleet(self):
+        if self.coordinator is None:
+            raise _ApiError(
+                409, "fleet_disabled",
+                "this service runs campaigns on its local pool; start it "
+                "with `repro serve --fleet` to grant leases to agents",
+            )
+        return self.coordinator
+
+    @staticmethod
+    def _lease_api_error(err) -> _ApiError:
+        from repro.fleet.leases import StaleLeaseError, UnknownLeaseError
+
+        if isinstance(err, StaleLeaseError):
+            return _ApiError(
+                409, "stale_lease", str(err),
+                reason=err.reason, current_token=err.current_token,
+            )
+        if isinstance(err, UnknownLeaseError):
+            return _ApiError(404, "unknown_lease", str(err))
+        return _ApiError(400, "bad_push", str(err))
+
+    def lease_request(self, payload) -> dict:
+        """``POST /v1/leases``: grant the next chunk to a named worker."""
+        coordinator = self._require_fleet()
+        if not isinstance(payload, dict):
+            raise _ApiError(
+                400, "bad_request", "lease requests must be a JSON object"
+            )
+        worker = str(payload.get("worker") or "").strip()
+        if not worker:
+            raise _ApiError(
+                400, "bad_request",
+                "lease requests must carry a non-empty 'worker' name",
+            )
+        lease = coordinator.request_lease(worker)
+        answer: dict = {
+            "lease": lease,
+            "draining": coordinator.draining or self._shutdown.is_set(),
+        }
+        if lease is None:
+            answer["retry_after"] = max(
+                self.config.poll_interval, 0.05
+            )
+        return answer
+
+    def lease_heartbeat(self, lease_id: str, payload) -> dict:
+        """``PUT /v1/leases/{id}``: extend a held lease's deadline."""
+        coordinator = self._require_fleet()
+        from repro.fleet.leases import LeaseError
+
+        worker = ""
+        if isinstance(payload, dict):
+            worker = str(payload.get("worker") or "")
+        try:
+            return coordinator.heartbeat(lease_id, worker)
+        except LeaseError as err:
+            raise self._lease_api_error(err)
+
+    def lease_push(self, lease_id: str, payload) -> dict:
+        """``POST /v1/leases/{id}/results``: commit a result batch once."""
+        coordinator = self._require_fleet()
+        from repro.fleet.coordinator import PushError
+        from repro.fleet.leases import LeaseError
+
+        if not isinstance(payload, dict):
+            raise _ApiError(
+                400, "bad_push", "push bodies must be a JSON object"
+            )
+        worker = str(payload.get("worker") or "")
+        try:
+            return coordinator.push_results(lease_id, payload, worker)
+        except (LeaseError, PushError) as err:
+            raise self._lease_api_error(err)
+
+    def workers_payload(self) -> dict:
+        """``GET /v1/workers``: fleet state (or ``fleet: false``)."""
+        if self.coordinator is None:
+            return {
+                "fleet": False, "draining": False,
+                "workers": [], "jobs": {}, "leases": {},
+            }
+        return self.coordinator.snapshot()
+
 
 # -- the HTTP shell ----------------------------------------------------------------
 
@@ -689,6 +893,15 @@ class _Handler(BaseHTTPRequestHandler):
                 f"{limit}-byte cap",
             )
         return self.rfile.read(length)
+
+    def _read_json(self):
+        raw = self._read_body()
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as err:
+            raise _ApiError(
+                400, "invalid_json", f"request body is not valid JSON: {err}"
+            )
 
     def _etag_headers(self, run_id: str) -> dict:
         return {"ETag": f'"{run_id}"', "Cache-Control": "max-age=31536000"}
@@ -769,6 +982,32 @@ class _Handler(BaseHTTPRequestHandler):
         if path == "/v1/campaigns":
             self._require(method, "POST", path)
             return "/v1/campaigns", self._handle_submit()
+        if path == "/v1/workers":
+            self._require(method, "GET", path)
+            self._send_json(200, self.service.workers_payload())
+            return "/v1/workers", 200
+        if path == "/v1/leases":
+            self._require(method, "POST", path)
+            self._send_json(
+                200, self.service.lease_request(self._read_json())
+            )
+            return "/v1/leases", 200
+        match = re.match(r"^/v1/leases/([^/]+?)(/results)?$", path)
+        if match:
+            lease_id, tail = match.group(1), match.group(2) or ""
+            if tail == "/results":
+                route = "/v1/leases/{lease_id}/results"
+                self._require(method, "POST", route)
+                self._send_json(
+                    200, self.service.lease_push(lease_id, self._read_json())
+                )
+                return route, 200
+            route = "/v1/leases/{lease_id}"
+            self._require(method, "PUT", route)
+            self._send_json(
+                200, self.service.lease_heartbeat(lease_id, self._read_json())
+            )
+            return route, 200
         match = re.match(r"^/v1/campaigns/([^/]+)(/result|/report)?$", path)
         if match:
             run_id, tail = match.group(1), match.group(2) or ""
@@ -794,13 +1033,7 @@ class _Handler(BaseHTTPRequestHandler):
             )
 
     def _handle_submit(self) -> int:
-        raw = self._read_body()
-        try:
-            payload = json.loads(raw.decode("utf-8"))
-        except (ValueError, UnicodeDecodeError) as err:
-            raise _ApiError(
-                400, "invalid_json", f"request body is not valid JSON: {err}"
-            )
+        payload = self._read_json()
         sampling = None
         if isinstance(payload, dict):
             # "sampling" rides next to the spec fields in the POST body —

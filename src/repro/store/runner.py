@@ -78,6 +78,23 @@ def journal_chunk_records(
     return journal.commit()
 
 
+def journal_chunk_rows(journal: Journal, rows) -> int:
+    """Append one chunk's *already serialised* rows as a single batch.
+
+    The fleet coordinator's merge step: agents serialise records with
+    :func:`~repro.beam.logs.record_to_row` (at :data:`JOURNAL_MAX_ELEMENTS`)
+    and push the rows over the wire; committing them verbatim — rather
+    than re-serialising reconstructed records — makes the journal
+    byte-for-byte the agent's output.  The row → record → row round trip
+    is exact (pinned by the log-format tests), so both choices agree;
+    this one keeps the merge point honest.  Returns the number of rows
+    made durable.
+    """
+    for row in rows:
+        journal.append("record", index=row["index"], row=row)
+    return journal.commit()
+
+
 def finalise_journal(journal: Journal, result, *, sampling: "dict | None" = None) -> None:
     """Append + fsync the close record sealing a complete run.
 
