@@ -6,11 +6,19 @@ from collections.abc import Callable
 
 from repro.arch.device import DeviceModel
 from repro.arch.k40 import k40
+from repro.arch.variants import multibit_16nm
 from repro.arch.xeonphi import xeonphi
+
+
+def k40_16nm() -> DeviceModel:
+    """The K40 structure re-fabricated on the 16nm multi-bit node."""
+    return multibit_16nm(k40())
+
 
 DEVICE_FACTORIES: dict[str, Callable[[], DeviceModel]] = {
     "k40": k40,
     "xeonphi": xeonphi,
+    "k40-16nm": k40_16nm,
 }
 
 

@@ -73,6 +73,19 @@ STRESS: dict[str, dict[ResourceKind, float]] = {
         _R.SCHEDULER: 1.0,      # many kernel calls, thread-count changes
         _R.CONTROL_LOGIC: 1.0,  # border tests, AMR bookkeeping
     },
+    # Post-paper extension: memory-bound sparse solver.  The stencil
+    # gather keeps the matrix coefficients streaming through L2, and the
+    # per-iteration dot products make the lane reductions the signature
+    # vector-unit exposure.
+    "cg": {
+        _R.REGISTER_FILE: 0.6,
+        _R.LOCAL_MEMORY: 0.5,
+        _R.L2_CACHE: 0.9,       # sparse gather + coefficient stream
+        _R.FPU: 0.6,
+        _R.VECTOR_UNIT: 0.8,    # two dot-product reductions per step
+        _R.SCHEDULER: 0.7,      # one launch per iteration
+        _R.CONTROL_LOGIC: 0.3,
+    },
 }
 
 #: Occupancy / dispatch-pressure factor per kernel, used as the hardware
@@ -85,6 +98,7 @@ OCCUPANCY: dict[str, float] = {
     "lavamd": 0.12,
     "hotspot": 1.0,   # "achieves the highest occupancy among tested codes"
     "clamr": 0.8,
+    "cg": 0.7,        # bandwidth-bound: latency hiding caps useful occupancy
 }
 
 

@@ -11,10 +11,11 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.arch.device import DeviceModel
+from repro.arch.device import DeviceModel, FlipPolicy
 from repro.arch.memory import CacheLevel, MemoryHierarchy
 from repro.arch.resources import Resource, ResourceKind
 from repro.arch.scheduler import SchedulerModel
+from repro.bitflip.models import BurstFlip, MultiBitFlip
 
 #: Resource classes a SASSIFI-style software fault injector can reach:
 #: architecturally visible state only.  Schedulers, dispatchers and control
@@ -83,6 +84,81 @@ def restricted_to(
         raise ValueError("restriction removes every strikeable resource")
     return dataclasses.replace(
         device, name=f"{device.name}-restricted", resources=resources
+    )
+
+
+#: Storage resources whose upset pattern shifts with the process node.
+_STORAGE_KINDS = frozenset(
+    {
+        ResourceKind.REGISTER_FILE,
+        ResourceKind.LOCAL_MEMORY,
+        ResourceKind.L2_CACHE,
+        ResourceKind.VECTOR_UNIT,
+    }
+)
+
+#: Fraction of single-error-correct coverage surviving the shift to
+#: multi-cell upsets (a double-bit upset in one ECC word is detected but
+#: not corrected, and spatial multi-cell patterns straddle words).
+_MCU_ECC_DERATE = 0.85
+
+
+def multibit_16nm(device: DeviceModel) -> DeviceModel:
+    """A 16nm-generation variant with multi-bit/burst-dominant upsets.
+
+    Encodes the node shift *The Anatomy of Silent Data Corruption*
+    measures on newer parts: per-bit sensitivity drops (~10x planar vs
+    FinFET, the same [28] figure the K40 model cites in reverse) while a
+    single particle upsets *clusters* of adjacent cells — so every storage
+    resource's corruption model becomes a multi-bit burst, and SEC-DED
+    ECC, engineered for isolated single-bit flips, loses part of its
+    coverage to patterns it can detect but not correct.
+
+    Mechanical transform of any base device, so a matrix axis can pair it
+    with either paper architecture; registered as ``k40-16nm``.
+    """
+    resources = {
+        kind: (
+            dataclasses.replace(
+                res, ecc_coverage=res.ecc_coverage * _MCU_ECC_DERATE
+            )
+            if kind in _STORAGE_KINDS
+            else res
+        )
+        for kind, res in device.resources.items()
+    }
+    hierarchy = MemoryHierarchy(
+        levels=tuple(
+            dataclasses.replace(
+                level, ecc_coverage=level.ecc_coverage * _MCU_ECC_DERATE
+            )
+            for level in device.hierarchy.levels
+        )
+    )
+    # Storage corruption becomes burst-shaped; the calibrated 28nm-era
+    # overrides for those resources no longer apply.  Datapath/control
+    # models (FPU, SFU, scheduler...) describe logic, not cells — kept.
+    defaults = dict(device.flip_policy.defaults)
+    defaults[ResourceKind.REGISTER_FILE] = MultiBitFlip(n_bits=2)
+    for kind in (ResourceKind.LOCAL_MEMORY, ResourceKind.L2_CACHE):
+        defaults[kind] = BurstFlip(per_word=MultiBitFlip(n_bits=2))
+    if ResourceKind.VECTOR_UNIT in device.resources:
+        defaults[ResourceKind.VECTOR_UNIT] = BurstFlip(
+            per_word=MultiBitFlip(n_bits=2)
+        )
+    overrides = {
+        (kernel, kind): model
+        for (kernel, kind), model in device.flip_policy.overrides.items()
+        if kind not in _STORAGE_KINDS
+    }
+    return dataclasses.replace(
+        device,
+        name=f"{device.name}-16nm",
+        process="16nm FinFET (multi-bit/burst-dominant upsets)",
+        per_bit_sensitivity=device.per_bit_sensitivity / 10.0,
+        resources=resources,
+        hierarchy=hierarchy,
+        flip_policy=FlipPolicy(defaults=defaults, overrides=overrides),
     )
 
 

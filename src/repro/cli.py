@@ -160,6 +160,74 @@ def _sampling_policy(args):
     return SamplingPolicy(target_ci=args.target_ci)
 
 
+def _strategy_parent(
+    *,
+    workers_default: "int | None" = None,
+    include_workers: bool = True,
+    include_backend: bool = False,
+    include_retries: bool = False,
+    include_target_ci: bool = True,
+    include_fast_path: bool = True,
+) -> argparse.ArgumentParser:
+    """The shared execution-strategy flags, as an argparse parent.
+
+    Every verb that executes campaigns takes the same strategy surface
+    (``--workers``/``--chunk-size``, ``--backend``, ``--retries``,
+    ``--target-ci``, ``--fast-path``/``--batch``); each verb opts into
+    the subset that applies via ``parents=[_strategy_parent(...)]``
+    instead of repeating the declarations.  Strategy never changes what
+    any execution produces — only how much runs, where, and in what
+    order — which is why these flags are uniform across surfaces while
+    the spec-shaped flags (``--faulty``, ``--seed``, ...) stay per-verb.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    if include_workers:
+        parent.add_argument(
+            "--workers", type=int, default=workers_default, metavar="N",
+            help="fan struck executions over N workers "
+            "(0 = one per CPU core; results are bit-identical to serial)",
+        )
+        parent.add_argument(
+            "--chunk-size", type=int, default=None, metavar="K",
+            help="executions per worker task (default: auto)",
+        )
+    if include_backend:
+        parent.add_argument(
+            "--backend", default="auto",
+            choices=("auto", "process", "thread", "serial"),
+        )
+    if include_retries:
+        parent.add_argument(
+            "--retries", type=int, default=3,
+            help="chunk retries (exponential backoff) before a job fails",
+        )
+    if include_target_ci:
+        parent.add_argument(
+            "--target-ci", type=float, default=None, dest="target_ci",
+            metavar="FRACTION",
+            help="adaptive importance sampling: stop once the pooled SDC "
+            "FIT confidence interval reaches this relative half-width "
+            "(e.g. 0.1 = ±10%%); executes only as many strikes as the "
+            "estimate needs (see docs/sampling.md)",
+        )
+    if include_fast_path:
+        parent.add_argument(
+            "--fast-path", action=argparse.BooleanOptionalAction,
+            default=None, dest="fast_path",
+            help="attempt delta replay instead of full re-execution "
+            "(records are bit-identical either way; default: the "
+            "REPRO_FASTPATH environment variable, else off)",
+        )
+        parent.add_argument(
+            "--batch", action=argparse.BooleanOptionalAction,
+            default=None, dest="batch",
+            help="evaluate whole fault chunks as one batched array "
+            "program (records are bit-identical either way; default: "
+            "the REPRO_BATCH environment variable, else off)",
+        )
+    return parent
+
+
 def cmd_campaign(args) -> int:
     from repro import observability as obs
 
@@ -649,6 +717,168 @@ def cmd_fleet(args) -> int:
     return 0
 
 
+def _load_matrix(path: str):
+    """Load + expand a matrix file, or raise ``MatrixError``."""
+    from repro.matrix import expand_matrix, load_matrix_file
+
+    return expand_matrix(load_matrix_file(path), source=path)
+
+
+def _matrix_run_driver(args, matrix):
+    from repro.matrix import MatrixRun
+
+    client = _service_client(args) if getattr(args, "url", None) else None
+    return MatrixRun(
+        matrix,
+        args.store,
+        client=client,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        backend=args.backend,
+        fast_path=args.fast_path,
+        batch=args.batch,
+        retries=args.retries,
+        sampling=_sampling_policy(args),
+        wait_timeout=getattr(args, "wait_timeout", 600.0),
+    )
+
+
+def _render_matrix_cells(status: dict) -> str:
+    from repro._util.text import format_table
+
+    rows = [
+        (
+            cell["cell_id"],
+            cell["run_id"],
+            cell["state"],
+            "yes" if cell["cached"] else "",
+        )
+        for cell in status["cells"]
+    ]
+    counts = status["counts"]
+    tally = ", ".join(
+        f"{state}: {n}" for state, n in counts.items() if n
+    )
+    return (
+        f"matrix {status['matrix']} ({status['matrix_id']}) — {tally}\n"
+        + format_table(("cell", "run id", "state", "cached"), rows)
+    )
+
+
+def cmd_matrix_expand(args) -> int:
+    import json as _json
+
+    from repro._util.text import format_table
+    from repro.matrix import MatrixError
+    from repro.store import CampaignStore, RunStatus
+
+    try:
+        matrix = _load_matrix(args.file)
+    except MatrixError as err:
+        return _input_error(str(err))
+    store = CampaignStore(args.store)
+    cells = []
+    for cell in matrix.cells:
+        stored = store.load_spec(cell.spec)
+        cached = stored is not None and stored.status == RunStatus.COMPLETE
+        cells.append(
+            {
+                "cell_id": cell.cell_id,
+                "run_id": cell.run_id,
+                "spec": cell.spec.to_dict(),
+                "cached": cached,
+            }
+        )
+    if args.json:
+        payload = {
+            "matrix": matrix.name,
+            "matrix_id": matrix.matrix_id,
+            "cells": cells,
+        }
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    rows = [
+        (
+            cell["cell_id"],
+            cell["run_id"],
+            cell["spec"]["n_faulty"],
+            "cached" if cell["cached"] else "",
+        )
+        for cell in cells
+    ]
+    n_cached = sum(1 for cell in cells if cell["cached"])
+    print(
+        f"matrix {matrix.name} ({matrix.matrix_id}): "
+        f"{len(cells)} cells, {n_cached} already complete in {args.store}"
+    )
+    print(format_table(("cell", "run id", "faulty", "cache"), rows))
+    return 0
+
+
+def cmd_matrix_run(args) -> int:
+    import json as _json
+
+    from repro.matrix import MatrixError
+    from repro.service import ServiceError
+
+    try:
+        matrix = _load_matrix(args.file)
+    except MatrixError as err:
+        return _input_error(str(err))
+    if args.dry_run:
+        return cmd_matrix_expand(args)
+    driver = _matrix_run_driver(args, matrix)
+    try:
+        status = driver.run(only_failed=args.only_failed)
+    except ServiceError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(_json.dumps(status, indent=2, sort_keys=True))
+    else:
+        print(_render_matrix_cells(status))
+        if status["done"]:
+            print()
+            print(driver.render_report())
+    bad = status["counts"]["failed"] + status["counts"]["interrupted"]
+    if bad and not args.json:
+        print(
+            f"{bad} cell(s) failed or interrupted; "
+            f"`repro matrix rerun-failures {args.file}` resubmits them",
+            file=sys.stderr,
+        )
+    return 1 if bad else 0
+
+
+def cmd_matrix_status(args) -> int:
+    import json as _json
+
+    from repro.matrix import MatrixError, MatrixRun
+
+    try:
+        matrix = _load_matrix(args.file)
+    except MatrixError as err:
+        return _input_error(str(err))
+    driver = MatrixRun(matrix, args.store)
+    status = driver.status()
+    if args.report and not status["done"]:
+        print(
+            "error: matrix is not complete yet; run "
+            f"`repro matrix run {args.file}` first",
+            file=sys.stderr,
+        )
+        return 1
+    if args.json:
+        payload = driver.report() if args.report else status
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    if args.report:
+        print(driver.render_report())
+        return 0
+    print(_render_matrix_cells(status))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -660,37 +890,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_sampling_flag(verb) -> None:
-        verb.add_argument(
-            "--target-ci", type=float, default=None, dest="target_ci",
-            metavar="FRACTION",
-            help="adaptive importance sampling: stop once the pooled SDC "
-            "FIT confidence interval reaches this relative half-width "
-            "(e.g. 0.1 = ±10%%); executes only as many strikes as the "
-            "estimate needs (see docs/sampling.md)",
-        )
-
-    def add_fast_path_flag(verb) -> None:
-        verb.add_argument(
-            "--fast-path", action=argparse.BooleanOptionalAction,
-            default=None, dest="fast_path",
-            help="attempt delta replay instead of full re-execution "
-            "(records are bit-identical either way; default: the "
-            "REPRO_FASTPATH environment variable, else off)",
-        )
-        verb.add_argument(
-            "--batch", action=argparse.BooleanOptionalAction,
-            default=None, dest="batch",
-            help="evaluate whole fault chunks as one batched array "
-            "program (records are bit-identical either way; default: "
-            "the REPRO_BATCH environment variable, else off)",
-        )
-
     sub.add_parser("tables", help="print Tables I and II").set_defaults(
         func=cmd_tables
     )
 
-    campaign = sub.add_parser("campaign", help="run one beam campaign")
+    campaign = sub.add_parser(
+        "campaign", help="run one beam campaign",
+        parents=[_strategy_parent(workers_default=1)],
+    )
     campaign.add_argument("kernel", choices=sorted(KERNEL_FACTORIES))
     campaign.add_argument("device", choices=sorted(DEVICE_FACTORIES))
     campaign.add_argument(
@@ -699,15 +906,6 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument("--faulty", type=int, default=100)
     campaign.add_argument("--seed", type=int, default=2017)
-    campaign.add_argument(
-        "--workers", type=int, default=1, metavar="N",
-        help="fan struck executions over N worker processes "
-        "(0 = one per CPU core; results are bit-identical to serial)",
-    )
-    campaign.add_argument(
-        "--chunk-size", type=int, default=None, metavar="K",
-        help="executions per worker task (default: auto)",
-    )
     campaign.add_argument(
         "--natural", type=int, default=0, metavar="N",
         help="natural mode with N executions (Poisson strikes)",
@@ -730,8 +928,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a live throughput line to stderr at most every "
         "SECONDS seconds (0 = off)",
     )
-    add_sampling_flag(campaign)
-    add_fast_path_flag(campaign)
     campaign.set_defaults(func=cmd_campaign)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
@@ -762,6 +958,7 @@ def build_parser() -> argparse.ArgumentParser:
     queue = sub.add_parser(
         "queue",
         help="run several campaigns over one shared pool, journaled",
+        parents=[_strategy_parent(include_backend=True, include_retries=True)],
     )
     queue.add_argument(
         "kernel", nargs="?", choices=sorted(KERNEL_FACTORIES), default=None
@@ -783,38 +980,84 @@ def build_parser() -> argparse.ArgumentParser:
         help="fair-share weight (higher = more chunks per round)",
     )
     queue.add_argument("--store", default=DEFAULT_STORE, metavar="DIR")
-    queue.add_argument("--workers", type=int, default=None, metavar="N")
-    queue.add_argument("--chunk-size", type=int, default=None, metavar="K")
-    queue.add_argument(
-        "--backend", default="auto",
-        choices=("auto", "process", "thread", "serial"),
-    )
-    queue.add_argument(
-        "--retries", type=int, default=3,
-        help="chunk retries (exponential backoff) before a job fails",
-    )
     queue.add_argument(
         "--json", action="store_true",
         help="machine-readable outcomes (run_id/status/records/retries)",
     )
-    add_sampling_flag(queue)
-    add_fast_path_flag(queue)
     queue.set_defaults(func=cmd_queue)
 
     resume = sub.add_parser(
-        "resume", help="finish an interrupted run from its journal"
+        "resume", help="finish an interrupted run from its journal",
+        parents=[_strategy_parent(include_backend=True)],
     )
     resume.add_argument("run_id", help="content-addressed id (see `repro runs`)")
     resume.add_argument("--store", default=DEFAULT_STORE, metavar="DIR")
-    resume.add_argument("--workers", type=int, default=None, metavar="N")
-    resume.add_argument("--chunk-size", type=int, default=None, metavar="K")
-    resume.add_argument(
-        "--backend", default="auto",
-        choices=("auto", "process", "thread", "serial"),
-    )
-    add_sampling_flag(resume)
-    add_fast_path_flag(resume)
     resume.set_defaults(func=cmd_resume)
+
+    matrix = sub.add_parser(
+        "matrix",
+        help="declarative campaign matrices: expand, run, roll up sweeps",
+    )
+    matrix_sub = matrix.add_subparsers(dest="matrix_command", required=True)
+
+    m_expand = matrix_sub.add_parser(
+        "expand",
+        help="expand a matrix file to its cells without running anything",
+    )
+    m_expand.add_argument("file", help="matrix file (YAML subset or JSON)")
+    m_expand.add_argument("--store", default=DEFAULT_STORE, metavar="DIR")
+    m_expand.add_argument(
+        "--json", action="store_true",
+        help="machine-readable cells (cell_id/run_id/spec/cached)",
+    )
+    m_expand.set_defaults(func=cmd_matrix_expand)
+
+    def add_matrix_run_flags(verb):
+        verb.add_argument("file", help="matrix file (YAML subset or JSON)")
+        verb.add_argument("--store", default=DEFAULT_STORE, metavar="DIR")
+        verb.add_argument(
+            "--url", default=None, metavar="URL",
+            help="submit cells to a running campaign service instead of "
+            "executing in-process (fleet-compatible via `repro serve`)",
+        )
+        verb.add_argument(
+            "--wait-timeout", type=float, default=600.0, dest="wait_timeout",
+            metavar="SECONDS",
+            help="service path: total budget to wait for cells (default: 600)",
+        )
+        verb.add_argument("--json", action="store_true")
+
+    m_run = matrix_sub.add_parser(
+        "run",
+        help="run every outstanding cell of a matrix",
+        parents=[_strategy_parent(include_backend=True, include_retries=True)],
+    )
+    add_matrix_run_flags(m_run)
+    m_run.add_argument(
+        "--dry-run", action="store_true", dest="dry_run",
+        help="expand and annotate cache hits, submit nothing",
+    )
+    m_run.set_defaults(func=cmd_matrix_run, only_failed=False)
+
+    m_rerun = matrix_sub.add_parser(
+        "rerun-failures",
+        help="resubmit only the cells whose last state is failed/interrupted",
+        parents=[_strategy_parent(include_backend=True, include_retries=True)],
+    )
+    add_matrix_run_flags(m_rerun)
+    m_rerun.set_defaults(func=cmd_matrix_run, only_failed=True, dry_run=False)
+
+    m_status = matrix_sub.add_parser(
+        "status", help="per-cell state + cache info from the manifest"
+    )
+    m_status.add_argument("file", help="matrix file (YAML subset or JSON)")
+    m_status.add_argument("--store", default=DEFAULT_STORE, metavar="DIR")
+    m_status.add_argument(
+        "--report", action="store_true",
+        help="print the aggregate FIT/SDC roll-up (matrix must be complete)",
+    )
+    m_status.add_argument("--json", action="store_true")
+    m_status.set_defaults(func=cmd_matrix_status)
 
     runs = sub.add_parser("runs", help="list stored campaign runs")
     runs.add_argument(
@@ -829,7 +1072,8 @@ def build_parser() -> argparse.ArgumentParser:
     runs.set_defaults(func=cmd_runs)
 
     serve = sub.add_parser(
-        "serve", help="run the campaign service (HTTP daemon over a store)"
+        "serve", help="run the campaign service (HTTP daemon over a store)",
+        parents=[_strategy_parent(include_backend=True, include_retries=True)],
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
@@ -837,16 +1081,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="bind port (0 = pick an ephemeral port, announced on stdout)",
     )
     serve.add_argument("--store", default=DEFAULT_STORE, metavar="DIR")
-    serve.add_argument("--workers", type=int, default=None, metavar="N")
-    serve.add_argument("--chunk-size", type=int, default=None, metavar="K")
-    serve.add_argument(
-        "--backend", default="auto",
-        choices=("auto", "process", "thread", "serial"),
-    )
-    serve.add_argument(
-        "--retries", type=int, default=3,
-        help="chunk retries (exponential backoff) before a job fails",
-    )
     serve.add_argument(
         "--queue-limit", type=int, default=64, metavar="N",
         help="admission-queue bound; a full queue answers 429 + Retry-After",
@@ -867,14 +1101,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="fleet mode: seconds a chunk lease lives without a "
         "heartbeat before its chunk is reassigned (default: 15)",
     )
-    add_sampling_flag(serve)
-    add_fast_path_flag(serve)
     serve.set_defaults(func=cmd_serve)
 
     agent = sub.add_parser(
         "agent",
         help="run a fleet worker agent against a coordinator "
         "(`repro serve --fleet`)",
+        parents=[
+            _strategy_parent(include_workers=False, include_target_ci=False)
+        ],
     )
     agent.add_argument("--url", default="http://127.0.0.1:8765")
     agent.add_argument(
@@ -896,11 +1131,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="exit after committing N chunks (default: unbounded)",
     )
-    add_fast_path_flag(agent)
     agent.set_defaults(func=cmd_agent)
 
     submit = sub.add_parser(
-        "submit", help="submit campaign(s) to a running campaign service"
+        "submit", help="submit campaign(s) to a running campaign service",
+        parents=[
+            _strategy_parent(include_workers=False, include_fast_path=False)
+        ],
     )
     submit.add_argument(
         "kernel", nargs="?", choices=sorted(KERNEL_FACTORIES), default=None
@@ -922,7 +1159,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="poll each submission to a terminal state before exiting",
     )
     submit.add_argument("--json", action="store_true")
-    add_sampling_flag(submit)
     submit.set_defaults(func=cmd_submit)
 
     status = sub.add_parser(

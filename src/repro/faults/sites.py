@@ -74,4 +74,8 @@ _SITE_PREFERENCE: dict[tuple[str, ResourceKind], dict[str, float]] = {
     # HotSpot: the temperature grid is read five times per cell per
     # iteration (self + four neighbours), the power grid once.
     ("hotspot", ResourceKind.L2_CACHE): {"cell_line": 5.0, "power_input": 1.0},
+    # CG: the diagonal coefficients are re-read every iteration for the
+    # whole solve, the direction vector is rebuilt each step — matrix
+    # data sits in cache far longer than any single p.
+    ("cg", ResourceKind.L2_CACHE): {"matrix_diag": 3.0, "direction": 1.0},
 }

@@ -13,6 +13,11 @@ Four codes, chosen by the paper as representatives of broader HPC classes:
   cell-based AMR, circular dam-break problem (DOE mini-app stand-in;
   compute bound, imbalanced, irregular).
 
+Beyond Table I, the repo adds scenario kernels the matrix subsystem
+sweeps over — currently :class:`~repro.kernels.cg.ConjugateGradient`
+(Sparse Linear Algebra; memory bound, balanced, irregular), registered in
+``EXTENSIONS`` so the paper tables stay byte-stable.
+
 Every kernel computes a cached golden output and can re-execute with a
 :class:`~repro.kernels.base.KernelFault` injected mid-flight; the corrupted
 output is produced by the *real* kernel mathematics, so error propagation —
@@ -27,8 +32,11 @@ from repro.kernels.base import (
     KernelFault,
     SparseOutput,
 )
+from repro.kernels.cg import ConjugateGradient
 from repro.kernels.classification import (
+    ALL_CLASSES,
     Bound,
+    EXTENSIONS,
     KernelClassification,
     LoadBalance,
     MemoryAccess,
@@ -47,12 +55,15 @@ __all__ = [
     "KernelCrashError",
     "KernelFault",
     "SparseOutput",
+    "ALL_CLASSES",
     "Bound",
+    "EXTENSIONS",
     "KernelClassification",
     "LoadBalance",
     "MemoryAccess",
     "TABLE_I",
     "Clamr",
+    "ConjugateGradient",
     "Dgemm",
     "HotSpot",
     "LavaMD",

@@ -56,6 +56,20 @@ class KernelClassification:
         return (str(self.bound), str(self.load_balance), str(self.memory_access))
 
 
+#: Post-paper kernels classified along the same axes.  Kept out of
+#: ``TABLE_I`` so renderings of the paper's table stay verbatim; tools
+#: that want every registered kernel read ``ALL_CLASSES``.
+EXTENSIONS: dict[str, KernelClassification] = {
+    "cg": KernelClassification(
+        bound=Bound.MEMORY,
+        load_balance=LoadBalance.BALANCED,
+        memory_access=MemoryAccess.IRREGULAR,
+        domain="Sparse linear solvers",
+        berkeley_class="Sparse Linear Algebra",
+    ),
+}
+
+
 #: The paper's Table I verbatim.
 TABLE_I: dict[str, KernelClassification] = {
     "dgemm": KernelClassification(
@@ -87,3 +101,7 @@ TABLE_I: dict[str, KernelClassification] = {
         berkeley_class="Structured Grid (AMR)",
     ),
 }
+
+
+#: Every classified kernel: the paper's four plus the extensions.
+ALL_CLASSES: dict[str, KernelClassification] = {**TABLE_I, **EXTENSIONS}

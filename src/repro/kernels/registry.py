@@ -10,6 +10,7 @@ from __future__ import annotations
 from collections.abc import Callable
 
 from repro.kernels.base import Kernel
+from repro.kernels.cg import ConjugateGradient
 from repro.kernels.clamr import Clamr
 from repro.kernels.dgemm import Dgemm
 from repro.kernels.hotspot import HotSpot
@@ -20,6 +21,7 @@ KERNEL_FACTORIES: dict[str, Callable[..., Kernel]] = {
     "lavamd": LavaMD,
     "hotspot": HotSpot,
     "clamr": Clamr,
+    "cg": ConjugateGradient,
 }
 
 

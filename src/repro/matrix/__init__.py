@@ -1,0 +1,25 @@
+"""Declarative campaign matrices: sweep files → content-addressed cells.
+
+A matrix file (strict YAML subset or JSON, stdlib-only) declares axes of
+kernel x device x input size x fault model x threshold with per-cell
+overrides and excludes.  The expander materialises every surviving cell
+into a content-addressed :class:`~repro.store.spec.CampaignSpec` — so
+store dedupe, journal resume and service caching all apply to sweeps for
+free — and :class:`~repro.matrix.run.MatrixRun` drives the cells through
+the in-process scheduler or the HTTP service with one durable manifest
+and one aggregate FIT/SDC roll-up.
+"""
+
+from repro.matrix.expand import Matrix, MatrixCell, expand_matrix
+from repro.matrix.file import MatrixError, load_matrix_file, parse_matrix_text
+from repro.matrix.run import MatrixRun
+
+__all__ = [
+    "Matrix",
+    "MatrixCell",
+    "MatrixError",
+    "MatrixRun",
+    "expand_matrix",
+    "load_matrix_file",
+    "parse_matrix_text",
+]

@@ -1,0 +1,299 @@
+"""Matrix expansion: axes x overrides x excludes → content-addressed cells.
+
+The expansion contract, in order:
+
+1. The cartesian product of the declared ``axes`` (in declaration order)
+   enumerates candidate cells.
+2. ``exclude`` entries (partial matches over axis values) drop cells.
+3. ``defaults`` seed every cell's spec fields and kernel config.
+4. ``overrides`` apply in file order; an override whose ``where`` matches
+   the cell's axis values merges its ``config`` into the kernel config
+   and its ``set`` into the spec-level fields.
+5. Each surviving cell becomes a :class:`~repro.store.spec.CampaignSpec`;
+   its content-addressed ``run_id`` is the cell's identity in the store,
+   the scheduler and the service.
+
+Two cells collapsing to one run id means the file says the same
+experiment twice (commonly: a ``size`` axis value that no override maps
+onto the kernel config) — that is an authoring error and expansion
+refuses with both cell names rather than silently deduping.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.matrix.file import MatrixError
+from repro.store.spec import CampaignSpec
+from repro._util.hashing import UncanonicalError, short_hash
+
+__all__ = ["AXIS_KEYS", "Matrix", "MatrixCell", "expand_matrix"]
+
+#: Recognised axis names, in cell-id order.  ``kernel`` and ``device``
+#: name registry entries; ``size`` is a free tag that overrides map onto
+#: kernel config; ``threshold`` and ``seed`` set the spec fields.
+AXIS_KEYS = ("kernel", "device", "size", "threshold", "seed")
+
+_REQUIRED_AXES = ("kernel", "device")
+
+#: Spec-level fields an override's ``set`` block (or ``defaults``) may
+#: assign.
+_SPEC_FIELDS = ("n_faulty", "seed", "threshold_pct", "priority", "label")
+
+_DEFAULT_KEYS = _SPEC_FIELDS + ("config",)
+
+
+@dataclass(frozen=True)
+class MatrixCell:
+    """One expanded cell: its axis values and the spec they denote."""
+
+    cell_id: str
+    axes: dict
+    spec: CampaignSpec
+    run_id: str
+
+
+@dataclass(frozen=True)
+class Matrix:
+    """A fully expanded matrix: named, ordered, content-addressed."""
+
+    name: str
+    cells: tuple = field(default_factory=tuple)
+
+    @property
+    def matrix_id(self) -> str:
+        """Hash of the matrix name + every cell's run id (manifest key)."""
+        return short_hash(
+            {"name": self.name, "cells": [c.run_id for c in self.cells]}
+        )
+
+    def cell(self, cell_id: str) -> MatrixCell:
+        for cell in self.cells:
+            if cell.cell_id == cell_id:
+                return cell
+        raise KeyError(f"no cell {cell_id!r} in matrix {self.name!r}")
+
+
+def expand_matrix(doc: dict, *, source: str = "<matrix>") -> Matrix:
+    """Expand a parsed matrix document into its cells."""
+    known_kernels, known_devices = _registries()
+    _check_keys(
+        doc, ("name", "defaults", "axes", "overrides", "exclude"),
+        source, "matrix",
+    )
+    name = doc.get("name")
+    if not isinstance(name, str) or not name:
+        raise MatrixError(f"{source}: matrix needs a non-empty `name:`")
+
+    axes = _checked_axes(doc, source)
+    defaults = _checked_defaults(doc, source)
+    overrides = _checked_overrides(doc, axes, source)
+    excludes = _checked_excludes(doc, axes, source)
+
+    axis_names = list(axes)
+    cells = []
+    n_excluded = 0
+    for values in itertools.product(*(axes[a] for a in axis_names)):
+        cell_axes = dict(zip(axis_names, values))
+        if any(_matches(rule, cell_axes) for rule in excludes):
+            n_excluded += 1
+            continue
+        cells.append(_build_cell(cell_axes, defaults, overrides,
+                                 known_kernels, known_devices, source))
+    if not cells:
+        raise MatrixError(
+            f"{source}: expansion produced no cells "
+            f"({n_excluded} excluded of {n_excluded} candidates; "
+            "loosen `exclude` or add axis values)"
+            if n_excluded
+            else f"{source}: expansion produced no cells (an axis list "
+            "is empty)"
+        )
+
+    seen: dict[str, str] = {}
+    for cell in cells:
+        if cell.run_id in seen:
+            raise MatrixError(
+                f"{source}: cells {seen[cell.run_id]!r} and "
+                f"{cell.cell_id!r} expand to the same campaign "
+                f"(run id {cell.run_id}); distinguish them with an "
+                "override or drop one via `exclude`"
+            )
+        seen[cell.run_id] = cell.cell_id
+    return Matrix(name=name, cells=tuple(cells))
+
+
+# -- validation helpers ---------------------------------------------------------
+
+
+def _registries():
+    from repro.arch.registry import DEVICE_FACTORIES
+    from repro.kernels.registry import KERNEL_FACTORIES
+
+    return set(KERNEL_FACTORIES), set(DEVICE_FACTORIES)
+
+
+def _check_keys(mapping, allowed, source, what):
+    if not isinstance(mapping, dict):
+        raise MatrixError(
+            f"{source}: {what} must be a mapping, got "
+            f"{type(mapping).__name__}"
+        )
+    for key in mapping:
+        if key not in allowed:
+            raise MatrixError(
+                f"{source}: unknown {what} key {key!r}; allowed: "
+                f"{', '.join(allowed)}"
+            )
+
+
+def _checked_axes(doc, source):
+    axes = doc.get("axes")
+    if not isinstance(axes, dict) or not axes:
+        raise MatrixError(
+            f"{source}: matrix needs an `axes:` mapping of axis name to "
+            "value list"
+        )
+    _check_keys(axes, AXIS_KEYS, source, "axis")
+    for required in _REQUIRED_AXES:
+        if required not in axes:
+            raise MatrixError(
+                f"{source}: axes must include {required!r}"
+            )
+    checked = {}
+    for axis in AXIS_KEYS:  # canonical order regardless of file order
+        if axis not in axes:
+            continue
+        values = axes[axis]
+        if not isinstance(values, list):
+            values = [values]  # a single scalar is a one-value axis
+        for value in values:
+            if isinstance(value, (dict, list)):
+                raise MatrixError(
+                    f"{source}: axis {axis!r} values must be scalars, "
+                    f"got {value!r}"
+                )
+        if len(set(map(repr, values))) != len(values):
+            raise MatrixError(
+                f"{source}: axis {axis!r} repeats a value"
+            )
+        checked[axis] = values
+    return checked
+
+
+def _checked_defaults(doc, source):
+    defaults = doc.get("defaults", {})
+    _check_keys(defaults, _DEFAULT_KEYS, source, "defaults")
+    config = defaults.get("config", {})
+    if not isinstance(config, dict):
+        raise MatrixError(
+            f"{source}: defaults.config must be a mapping"
+        )
+    return defaults
+
+
+def _checked_overrides(doc, axes, source):
+    overrides = doc.get("overrides", [])
+    if not isinstance(overrides, list):
+        raise MatrixError(f"{source}: `overrides:` must be a list")
+    for n, override in enumerate(overrides, 1):
+        _check_keys(override, ("where", "config", "set"), source,
+                    f"override #{n}")
+        where = override.get("where")
+        if not isinstance(where, dict) or not where:
+            raise MatrixError(
+                f"{source}: override #{n} needs a non-empty `where:` "
+                "mapping of axis values"
+            )
+        _check_where(where, axes, source, f"override #{n}")
+        if not isinstance(override.get("config", {}), dict):
+            raise MatrixError(
+                f"{source}: override #{n} `config:` must be a mapping"
+            )
+        set_block = override.get("set", {})
+        _check_keys(set_block, _SPEC_FIELDS, source, f"override #{n} set")
+        if "config" not in override and "set" not in override:
+            raise MatrixError(
+                f"{source}: override #{n} sets nothing (add `config:` "
+                "or `set:`)"
+            )
+    return overrides
+
+
+def _checked_excludes(doc, axes, source):
+    excludes = doc.get("exclude", [])
+    if not isinstance(excludes, list):
+        raise MatrixError(f"{source}: `exclude:` must be a list")
+    for n, rule in enumerate(excludes, 1):
+        if not isinstance(rule, dict) or not rule:
+            raise MatrixError(
+                f"{source}: exclude #{n} must be a non-empty mapping of "
+                "axis values"
+            )
+        _check_where(rule, axes, source, f"exclude #{n}")
+    return excludes
+
+
+def _check_where(where, axes, source, what):
+    for key in where:
+        if key not in axes:
+            declared = ", ".join(axes) or "none"
+            raise MatrixError(
+                f"{source}: {what} refers to axis {key!r} which is not "
+                f"declared (declared axes: {declared})"
+            )
+
+
+def _matches(rule: dict, cell_axes: dict) -> bool:
+    return all(cell_axes.get(key) == value for key, value in rule.items())
+
+
+# -- cell construction ----------------------------------------------------------
+
+
+def _build_cell(cell_axes, defaults, overrides, known_kernels,
+                known_devices, source):
+    kernel = cell_axes["kernel"]
+    device = cell_axes["device"]
+    if kernel not in known_kernels:
+        raise MatrixError(
+            f"{source}: unknown kernel {kernel!r}; known kernels: "
+            f"{', '.join(sorted(known_kernels))}"
+        )
+    if device not in known_devices:
+        raise MatrixError(
+            f"{source}: unknown device {device!r}; known devices: "
+            f"{', '.join(sorted(known_devices))}"
+        )
+
+    fields = {
+        key: defaults[key] for key in _SPEC_FIELDS if key in defaults
+    }
+    if "threshold" in cell_axes:
+        fields["threshold_pct"] = cell_axes["threshold"]
+    if "seed" in cell_axes:
+        fields["seed"] = cell_axes["seed"]
+    config = dict(defaults.get("config", {}))
+    for override in overrides:
+        if _matches(override["where"], cell_axes):
+            config.update(override.get("config", {}))
+            fields.update(override.get("set", {}))
+
+    cell_id = ",".join(
+        f"{axis}={cell_axes[axis]}" for axis in AXIS_KEYS if axis in cell_axes
+    )
+    fields.setdefault("label", cell_id)
+    try:
+        spec = CampaignSpec(
+            kernel=kernel, device=device, config=config, **fields
+        )
+        run_id = spec.run_id()
+    except (TypeError, ValueError, UncanonicalError) as err:
+        raise MatrixError(
+            f"{source}: cell {cell_id!r} does not form a valid campaign "
+            f"spec: {err}"
+        ) from err
+    return MatrixCell(
+        cell_id=cell_id, axes=cell_axes, spec=spec, run_id=run_id
+    )

@@ -1,0 +1,325 @@
+"""Matrix-file loading: a strict stdlib-only YAML subset, JSON accepted.
+
+The repo takes no runtime dependencies beyond numpy/scipy, so matrix
+files are parsed by a deliberately small recursive-descent parser rather
+than a YAML library.  The accepted subset is exactly what a campaign
+matrix needs — and nothing else, so every deviation fails loudly with a
+line number instead of being silently misread:
+
+* comments (``#`` to end of line) and blank lines;
+* nested mappings via consistent space indentation (no tabs);
+* block lists (``- item``), where items may themselves be mappings;
+* inline lists ``[a, b, c]`` and inline mappings ``{k: v, ...}`` of
+  scalars;
+* scalars: integers, floats, ``true``/``false``, ``null``/``~``, quoted
+  and bare strings.
+
+Anchors, aliases, multi-document streams, flow nesting and block scalars
+are out — a file using them is rejected, not half-parsed.  A file whose
+first non-space character is ``{`` or ``[`` is parsed as JSON instead,
+so programmatically generated matrices can skip the subset entirely.
+
+Every diagnostic raised here is a one-line, actionable
+:class:`MatrixError`; the CLI maps them to exit code 2.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["MatrixError", "load_matrix_file", "parse_matrix_text"]
+
+
+class MatrixError(ValueError):
+    """A matrix file that cannot be parsed or expanded as written."""
+
+
+def load_matrix_file(path: "str | Path") -> dict:
+    """Read and parse a matrix file (YAML subset, or JSON by sniffing)."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as err:
+        raise MatrixError(f"cannot read matrix file {path}: {err}") from err
+    return parse_matrix_text(text, source=str(path))
+
+
+def parse_matrix_text(text: str, *, source: str = "<matrix>") -> dict:
+    """Parse matrix-file text into a plain dict."""
+    stripped = text.lstrip()
+    if stripped.startswith(("{", "[")):
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as err:
+            raise MatrixError(
+                f"{source}: invalid JSON at line {err.lineno}: {err.msg}"
+            ) from err
+    else:
+        doc = _parse_yaml_subset(text, source)
+    if not isinstance(doc, dict):
+        raise MatrixError(
+            f"{source}: top level must be a mapping, got "
+            f"{type(doc).__name__}"
+        )
+    return doc
+
+
+# -- the YAML subset ------------------------------------------------------------
+
+
+def _parse_yaml_subset(text: str, source: str):
+    rows = []
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = _strip_comment(raw, lineno, source)
+        if not line.strip():
+            continue
+        prefix = line[: len(line) - len(line.lstrip())]
+        if "\t" in prefix:
+            raise MatrixError(
+                f"{source}: line {lineno}: tab in indentation "
+                "(use spaces only)"
+            )
+        rows.append((len(prefix), line.strip(), lineno))
+    if not rows:
+        raise MatrixError(f"{source}: matrix file is empty")
+    value, stop = _parse_block(rows, 0, rows[0][0], source)
+    if stop != len(rows):
+        indent, _, lineno = rows[stop]
+        raise MatrixError(
+            f"{source}: line {lineno}: unexpected indentation "
+            f"(column {indent + 1} does not match any open block)"
+        )
+    return value
+
+
+def _strip_comment(raw: str, lineno: int, source: str) -> str:
+    """Drop a trailing comment, respecting quoted strings."""
+    quote = None
+    for i, ch in enumerate(raw):
+        if quote is not None:
+            if ch == quote:
+                quote = None
+        elif ch in "'\"":
+            quote = ch
+        elif ch == "#" and (i == 0 or raw[i - 1] in " \t"):
+            return raw[:i]
+    if quote is not None:
+        raise MatrixError(
+            f"{source}: line {lineno}: unterminated {quote} quote"
+        )
+    return raw
+
+
+def _parse_block(rows, i, indent, source):
+    """Parse one block (mapping or list) at exactly ``indent``."""
+    if rows[i][1].startswith("- ") or rows[i][1] == "-":
+        return _parse_list(rows, i, indent, source)
+    return _parse_mapping(rows, i, indent, source)
+
+
+def _parse_mapping(rows, i, indent, source):
+    mapping = {}
+    while i < len(rows) and rows[i][0] == indent:
+        row_indent, content, lineno = rows[i]
+        if content.startswith("- ") or content == "-":
+            raise MatrixError(
+                f"{source}: line {lineno}: list item in the middle of a "
+                "mapping"
+            )
+        key, value_text = _split_key(content, lineno, source)
+        if key in mapping:
+            raise MatrixError(
+                f"{source}: line {lineno}: duplicate key {key!r}"
+            )
+        if value_text:
+            mapping[key] = _parse_scalar_or_inline(value_text, lineno, source)
+            i += 1
+        else:
+            i += 1
+            if i < len(rows) and rows[i][0] > indent:
+                mapping[key], i = _parse_block(rows, i, rows[i][0], source)
+            else:
+                raise MatrixError(
+                    f"{source}: line {lineno}: key {key!r} has no value "
+                    "(use `key: value` or indent a block under it)"
+                )
+    if i < len(rows) and rows[i][0] > indent:
+        _, _, lineno = rows[i]
+        raise MatrixError(
+            f"{source}: line {lineno}: unexpected indent "
+            f"(expected column {indent + 1})"
+        )
+    return mapping, i
+
+
+def _parse_list(rows, i, indent, source):
+    items = []
+    while i < len(rows) and rows[i][0] == indent:
+        row_indent, content, lineno = rows[i]
+        if not (content.startswith("- ") or content == "-"):
+            break
+        body = content[2:].strip() if content.startswith("- ") else ""
+        if not body:
+            raise MatrixError(
+                f"{source}: line {lineno}: empty list item"
+            )
+        if _looks_like_mapping_entry(body):
+            # `- key: value` opens a mapping whose keys sit two columns in;
+            # rewrite the dash row as its first key and parse the block.
+            patched = rows.copy()
+            patched[i] = (indent + 2, body, lineno)
+            item, i = _parse_mapping(patched, i, indent + 2, source)
+            items.append(item)
+        else:
+            items.append(_parse_scalar_or_inline(body, lineno, source))
+            i += 1
+    if i < len(rows) and rows[i][0] > indent:
+        _, _, lineno = rows[i]
+        raise MatrixError(
+            f"{source}: line {lineno}: unexpected indent "
+            f"(expected column {indent + 1})"
+        )
+    return items, i
+
+
+def _looks_like_mapping_entry(body: str) -> bool:
+    if body.startswith(("{", "[", "'", '"')):
+        return False
+    key, sep, _ = body.partition(":")
+    return bool(sep) and ":" not in key and _is_bare_key(key.strip())
+
+
+def _is_bare_key(key: str) -> bool:
+    return bool(key) and all(
+        ch.isalnum() or ch in "_-." for ch in key
+    )
+
+
+def _split_key(content: str, lineno: int, source: str):
+    key, sep, rest = content.partition(":")
+    key = key.strip()
+    if not sep or not _is_bare_key(key):
+        raise MatrixError(
+            f"{source}: line {lineno}: expected `key: value`, got "
+            f"{content!r}"
+        )
+    if rest and not rest.startswith(" "):
+        raise MatrixError(
+            f"{source}: line {lineno}: missing space after `:` in "
+            f"{content!r}"
+        )
+    return key, rest.strip()
+
+
+def _parse_scalar_or_inline(text: str, lineno: int, source: str):
+    if text.startswith("["):
+        return _parse_inline_list(text, lineno, source)
+    if text.startswith("{"):
+        return _parse_inline_mapping(text, lineno, source)
+    return _parse_scalar(text, lineno, source)
+
+
+def _parse_inline_list(text: str, lineno: int, source: str):
+    if not text.endswith("]"):
+        raise MatrixError(
+            f"{source}: line {lineno}: inline list does not end with `]`"
+        )
+    body = text[1:-1].strip()
+    if not body:
+        return []
+    return [
+        _parse_scalar(part, lineno, source)
+        for part in _split_inline(body, lineno, source)
+    ]
+
+
+def _parse_inline_mapping(text: str, lineno: int, source: str):
+    if not text.endswith("}"):
+        raise MatrixError(
+            f"{source}: line {lineno}: inline mapping does not end with `}}`"
+        )
+    body = text[1:-1].strip()
+    mapping = {}
+    if not body:
+        return mapping
+    for part in _split_inline(body, lineno, source):
+        key, sep, value = part.partition(":")
+        key = key.strip()
+        if not sep or not _is_bare_key(key):
+            raise MatrixError(
+                f"{source}: line {lineno}: expected `key: value` inside "
+                f"{{...}}, got {part!r}"
+            )
+        if key in mapping:
+            raise MatrixError(
+                f"{source}: line {lineno}: duplicate key {key!r} in "
+                "inline mapping"
+            )
+        mapping[key] = _parse_scalar(value.strip(), lineno, source)
+    return mapping
+
+
+def _split_inline(body: str, lineno: int, source: str):
+    """Split ``a, b, c`` on commas, respecting quotes; no flow nesting."""
+    parts, current, quote = [], [], None
+    for ch in body:
+        if quote is not None:
+            current.append(ch)
+            if ch == quote:
+                quote = None
+        elif ch in "'\"":
+            current.append(ch)
+            quote = ch
+        elif ch in "[]{}":
+            raise MatrixError(
+                f"{source}: line {lineno}: nested inline collections are "
+                "not supported (use block form)"
+            )
+        elif ch == ",":
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    parts.append("".join(current))
+    parts = [part.strip() for part in parts]
+    if any(not part for part in parts):
+        raise MatrixError(
+            f"{source}: line {lineno}: empty element in inline collection"
+        )
+    return parts
+
+
+def _parse_scalar(text: str, lineno: int, source: str):
+    if not text:
+        raise MatrixError(f"{source}: line {lineno}: missing value")
+    if text[0] in "'\"":
+        if len(text) < 2 or text[-1] != text[0]:
+            raise MatrixError(
+                f"{source}: line {lineno}: unterminated quoted string "
+                f"{text!r}"
+            )
+        return text[1:-1]
+    if text in ("&", "*") or text[0] in "&*":
+        raise MatrixError(
+            f"{source}: line {lineno}: YAML anchors/aliases are not "
+            "supported"
+        )
+    if text in ("|", ">") :
+        raise MatrixError(
+            f"{source}: line {lineno}: block scalars are not supported"
+        )
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("null", "~", "none"):
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text

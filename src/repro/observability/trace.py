@@ -58,7 +58,14 @@ __all__ = [
 #: events (grant / expiry / fenced push) come from the fleet coordinator
 #: and sit beside ``chunk`` — same unit of work, remote holder.
 SPAN_KINDS = (
-    "session", "board", "campaign", "sampling", "lease", "chunk", "execution"
+    "session",
+    "matrix",  # one declarative sweep driving many campaigns
+    "board",
+    "campaign",
+    "sampling",
+    "lease",
+    "chunk",
+    "execution",
 )
 
 _TRACE_FORMAT_VERSION = 1

@@ -101,3 +101,73 @@ class TestSharingBreadth:
             return float(np.mean(sizes)) if sizes else 0.0
 
         assert mean_elements(narrow) <= mean_elements(wide)
+
+
+class TestMultibit16nm:
+    """The projected 16nm multi-bit/burst-dominant device generation."""
+
+    def test_registered_as_matrix_axis_value(self):
+        from repro.arch.registry import DEVICE_FACTORIES, make_device
+
+        assert "k40-16nm" in DEVICE_FACTORIES
+        device = make_device("k40-16nm")
+        assert device.name == "k40-16nm"
+        assert "16nm" in device.process
+
+    def test_per_bit_sensitivity_drops_tenfold(self):
+        from repro.arch.variants import multibit_16nm
+
+        base = k40()
+        assert multibit_16nm(base).per_bit_sensitivity == pytest.approx(
+            base.per_bit_sensitivity / 10.0
+        )
+
+    def test_storage_ecc_derated_logic_untouched(self):
+        from repro.arch.variants import multibit_16nm
+
+        base = k40()
+        variant = multibit_16nm(base)
+        for kind in (_R.REGISTER_FILE, _R.LOCAL_MEMORY, _R.L2_CACHE):
+            assert variant.resources[kind].ecc_coverage == pytest.approx(
+                base.resources[kind].ecc_coverage * 0.85
+            )
+        # datapath/control resources keep their coverage
+        assert (
+            variant.resources[_R.SCHEDULER].ecc_coverage
+            == base.resources[_R.SCHEDULER].ecc_coverage
+        )
+
+    def test_storage_flips_become_bursts(self):
+        from repro.arch.variants import multibit_16nm
+        from repro.bitflip.models import BurstFlip, MultiBitFlip
+
+        policy = multibit_16nm(k40()).flip_policy
+        assert isinstance(policy.defaults[_R.REGISTER_FILE], MultiBitFlip)
+        assert isinstance(policy.defaults[_R.LOCAL_MEMORY], BurstFlip)
+        assert isinstance(policy.defaults[_R.L2_CACHE], BurstFlip)
+        # calibrated 28nm-era storage overrides no longer apply
+        assert not any(
+            kind in (_R.REGISTER_FILE, _R.LOCAL_MEMORY, _R.L2_CACHE)
+            for _, kind in policy.overrides
+        )
+
+    def test_original_untouched(self):
+        from repro.arch.variants import multibit_16nm
+
+        base = k40()
+        multibit_16nm(base)
+        assert base.resources[_R.REGISTER_FILE].ecc_coverage > 0.9
+
+    def test_composes_with_either_architecture(self):
+        from repro.arch.variants import multibit_16nm
+
+        phi = multibit_16nm(xeonphi())
+        assert phi.name == "xeonphi-16nm"
+        assert _R.VECTOR_UNIT in phi.resources
+
+    def test_datasheet_renders(self):
+        from repro.arch.datasheet import render_datasheet
+        from repro.arch.registry import make_device
+
+        text = render_datasheet(make_device("k40-16nm"))
+        assert "16nm" in text

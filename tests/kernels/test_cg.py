@@ -1,0 +1,141 @@
+"""Tests for the CG kernel: convergence, fault surface, backend identity."""
+
+import numpy as np
+import pytest
+
+from repro.bitflip import ExponentBitFlip, MantissaBitFlip
+from repro.kernels import ConjugateGradient, KernelFault
+from repro.kernels.base import KernelCrashError
+
+
+@pytest.fixture(scope="module")
+def cg():
+    return ConjugateGradient(n=16, iterations=12)
+
+
+def fault(site, progress=0.0, flip=None, seed=0, extent=1):
+    return KernelFault(
+        site=site, progress=progress, flip=flip or MantissaBitFlip(), seed=seed,
+        extent=extent,
+    )
+
+
+class TestSolver:
+    def test_golden_reduces_residual(self, cg):
+        golden = cg.golden()
+        r0 = float(np.sqrt(np.sum(cg.rhs * cg.rhs)))
+        assert golden.aux["residual_norm"] < r0
+
+    def test_golden_deterministic(self):
+        a = ConjugateGradient(n=16, iterations=12).golden()
+        b = ConjugateGradient(n=16, iterations=12).golden()
+        np.testing.assert_array_equal(a.output, b.output)
+
+    def test_thread_count_is_grid(self, cg):
+        assert cg.thread_count() == 16 * 16
+
+    def test_classification_extends_table1(self, cg):
+        assert cg.classification.as_row() == ("Memory", "Balanced", "Irregular")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConjugateGradient(n=2)
+        with pytest.raises(ValueError):
+            ConjugateGradient(iterations=0)
+        with pytest.raises(ValueError):
+            ConjugateGradient(n=16, tile=0)
+
+
+class TestFaultBehaviour:
+    def test_all_sites_runnable(self, cg):
+        for site in cg.fault_sites():
+            try:
+                cg.run(fault(site.name, progress=0.5))
+            except KernelCrashError:
+                pass  # crashing is a legal outcome, hanging the test is not
+
+    def test_fault_replays_exactly(self, cg):
+        f = fault("residual", progress=0.3, seed=7)
+        a = cg.run(f)
+        b = cg.run(f)
+        np.testing.assert_array_equal(a.output, b.output)
+
+    def test_cg_self_heals_early_solution_strikes(self, cg):
+        """CG is iterative-refinement: an early iterate hit is corrected
+        by the remaining iterations, a late one survives to the output."""
+        golden = cg.golden().output
+
+        def err(progress, seed):
+            out = cg.run(fault("solution", progress=progress, seed=seed,
+                               flip=ExponentBitFlip()))
+            return float(np.max(np.abs(out.output - golden)))
+
+        for seed in range(6):
+            try:
+                assert err(0.05, seed) <= err(0.95, seed)
+            except KernelCrashError:
+                pass
+
+    def test_exponent_flip_on_dot_can_crash(self, cg):
+        crashed = 0
+        for seed in range(24):
+            try:
+                cg.run(fault("dot_reduction", progress=0.4, seed=seed,
+                                    flip=ExponentBitFlip()))
+            except KernelCrashError:
+                crashed += 1
+        assert crashed > 0
+
+    def test_persistent_matrix_fault_sticks(self, cg):
+        golden = cg.golden().output
+        out = cg.run(fault("matrix_diag", progress=0.2, seed=5,
+                                  flip=ExponentBitFlip()))
+        assert not np.array_equal(out.output, golden)
+
+    def test_faulty_run_never_mutates_inputs(self, cg):
+        rhs = cg.rhs.copy()
+        diag = cg.diag.copy()
+        for site in ("solution", "residual", "matrix_diag", "block_lag"):
+            try:
+                cg.run(fault(site, progress=0.5, seed=11))
+            except KernelCrashError:
+                pass
+            np.testing.assert_array_equal(cg.rhs, rhs)
+            np.testing.assert_array_equal(cg.diag, diag)
+
+    def test_shared_golden_roundtrip(self, cg):
+        payload = cg.shared_golden_payload()
+        rebuilt = cg.golden_from_shared(payload["arrays"], payload["meta"])
+        np.testing.assert_array_equal(rebuilt.output, cg.golden().output)
+        assert rebuilt.aux["residual_norm"] == cg.golden().aux["residual_norm"]
+
+
+class TestBackendIdentity:
+    """Acceptance: CG campaign records are bit-identical across backends."""
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_campaign_matches_serial(self, backend):
+        from repro.beam.campaign import Campaign
+        from repro.arch import k40
+
+        def records(backend_name):
+            campaign = Campaign(
+                kernel=ConjugateGradient(n=8, iterations=6),
+                device=k40(),
+                n_faulty=8,
+                seed=3,
+                workers=2 if backend_name != "serial" else None,
+                backend=backend_name,
+            )
+            return campaign.run().records
+
+        baseline = records("serial")
+        other = records(backend)
+        assert len(other) == len(baseline)
+        for a, b in zip(baseline, other):
+            assert a.outcome == b.outcome
+            assert a.site == b.site
+            assert (a.report is None) == (b.report is None)
+            if a.report is not None:
+                assert a.report.max_relative_error == b.report.max_relative_error
+                assert a.report.n_incorrect == b.report.n_incorrect

@@ -1,0 +1,184 @@
+"""The `repro matrix` verbs: exit codes, diagnostics, cache annotations."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+pytestmark = pytest.mark.matrix
+
+GOOD = """\
+name: cli-demo
+defaults:
+  n_faulty: 4
+  seed: 3
+axes:
+  kernel: [dgemm, cg]
+  device: k40
+overrides:
+  - where: {kernel: dgemm}
+    config: {n: 16}
+  - where: {kernel: cg}
+    config: {n: 8, iterations: 4}
+"""
+
+
+@pytest.fixture
+def matrix_file(tmp_path):
+    path = tmp_path / "m.yaml"
+    path.write_text(GOOD)
+    return path
+
+
+def run_cli(capsys, *argv):
+    code = main([str(a) for a in argv])
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestErrorPaths:
+    """Authoring mistakes: exit code 2 + a one-line stderr diagnostic."""
+
+    @pytest.mark.parametrize(
+        "text, fragment",
+        [
+            # unknown axis key
+            ("name: x\naxes:\n  kernel: [dgemm]\n  device: [k40]\n"
+             "  precision: [fp64]\n", "unknown axis key"),
+            # empty expansion
+            ("name: x\naxes:\n  kernel: []\n  device: [k40]\n", "no cells"),
+            # duplicate cells (size axis mapped onto nothing)
+            ("name: x\ndefaults:\n  config:\n    n: 16\naxes:\n"
+             "  kernel: [dgemm]\n  device: [k40]\n  size: [a, b]\n",
+             "same campaign"),
+            # malformed YAML subset
+            ("name: x\n\tbad: tab\n", "tab in indentation"),
+        ],
+    )
+    def test_exit_2_one_line_stderr(self, tmp_path, capsys, text, fragment):
+        path = tmp_path / "bad.yaml"
+        path.write_text(text)
+        for verb in (["matrix", "expand"], ["matrix", "run"]):
+            code, out, err = run_cli(capsys, *verb, path)
+            assert code == 2
+            assert err.startswith("error: ")
+            assert fragment in err
+            assert err.strip().count("\n") == 0
+
+    def test_missing_file_exit_2(self, tmp_path, capsys):
+        code, _, err = run_cli(capsys, "matrix", "expand", tmp_path / "no.yaml")
+        assert code == 2
+        assert "cannot read matrix file" in err
+
+
+class TestExpand:
+    def test_lists_cells_with_cache_column(self, matrix_file, tmp_path, capsys):
+        store = tmp_path / "store"
+        code, out, _ = run_cli(
+            capsys, "matrix", "expand", matrix_file, "--store", store
+        )
+        assert code == 0
+        assert "2 cells, 0 already complete" in out
+        assert "kernel=dgemm,device=k40" in out
+        assert "kernel=cg,device=k40" in out
+
+    def test_json_payload(self, matrix_file, tmp_path, capsys):
+        code, out, _ = run_cli(
+            capsys, "matrix", "expand", matrix_file,
+            "--store", tmp_path / "store", "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["matrix"] == "cli-demo"
+        assert len(payload["cells"]) == 2
+        assert all(not c["cached"] for c in payload["cells"])
+        assert payload["cells"][0]["spec"]["kernel"] == "dgemm"
+
+
+class TestRunAndStatus:
+    def test_run_then_cached_expand_and_report(
+        self, matrix_file, tmp_path, capsys
+    ):
+        store = tmp_path / "store"
+        code, out, err = run_cli(
+            capsys, "matrix", "run", matrix_file,
+            "--store", store, "--backend", "serial",
+        )
+        assert code == 0, err
+        assert "complete: 2" in out
+        assert "TOTAL (2 cells)" in out  # roll-up printed once done
+
+        # dry-run after completion annotates every cell as cached
+        code, out, _ = run_cli(
+            capsys, "matrix", "run", matrix_file,
+            "--store", store, "--dry-run",
+        )
+        assert code == 0
+        assert "2 already complete" in out
+
+        code, out, _ = run_cli(
+            capsys, "matrix", "status", matrix_file,
+            "--store", store, "--report", "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["totals"]["cells"] == 2
+        assert payload["missing"] == []
+
+    def test_status_json_marks_pending_complete_cells_cached(
+        self, matrix_file, tmp_path, capsys
+    ):
+        store = tmp_path / "store"
+        run_cli(
+            capsys, "matrix", "run", matrix_file,
+            "--store", store, "--backend", "serial",
+        )
+        # a fresh manifest (same cells, different matrix name) sees the
+        # store hits as cached before any attempt of its own
+        other = matrix_file.parent / "renamed.yaml"
+        other.write_text(GOOD.replace("cli-demo", "renamed"))
+        code, out, _ = run_cli(
+            capsys, "matrix", "status", other, "--store", store, "--json"
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert all(c["cached"] for c in payload["cells"])
+        assert all(c["state"] == "pending" for c in payload["cells"])
+
+    def test_failed_cells_exit_1_and_hint_rerun(self, tmp_path, capsys):
+        path = tmp_path / "partial.yaml"
+        path.write_text(
+            "name: partial\n"
+            "defaults: {n_faulty: 4}\n"
+            "axes:\n  kernel: [dgemm, cg]\n  device: [k40]\n"
+            "overrides:\n"
+            "  - where: {kernel: dgemm}\n"
+            "    config: {n: 12}\n"  # tile 16 > n -> build failure
+            "  - where: {kernel: cg}\n"
+            "    config: {n: 8, iterations: 4}\n"
+        )
+        store = tmp_path / "store"
+        code, out, err = run_cli(
+            capsys, "matrix", "run", path, "--store", store,
+            "--backend", "serial",
+        )
+        assert code == 1
+        assert "rerun-failures" in err
+
+        code, out, err = run_cli(
+            capsys, "matrix", "rerun-failures", path, "--store", store,
+            "--backend", "serial",
+        )
+        assert code == 1  # still failing; but only the failed cell retried
+        assert "failed: 1" in out
+
+    def test_status_report_before_completion_exits_1(
+        self, matrix_file, tmp_path, capsys
+    ):
+        code, _, err = run_cli(
+            capsys, "matrix", "status", matrix_file,
+            "--store", tmp_path / "store", "--report",
+        )
+        assert code == 1
+        assert "not complete" in err

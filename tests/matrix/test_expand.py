@@ -1,0 +1,144 @@
+"""Expansion semantics: axes, overrides, excludes, content-addressed cells."""
+
+import pytest
+
+from repro.matrix import MatrixError, expand_matrix
+from repro.store.spec import CampaignSpec
+
+pytestmark = pytest.mark.matrix
+
+
+def doc(**kwargs):
+    base = {
+        "name": "t",
+        "defaults": {"n_faulty": 5},
+        "axes": {"kernel": ["dgemm"], "device": ["k40"]},
+    }
+    base.update(kwargs)
+    return base
+
+
+class TestExpansion:
+    def test_cartesian_product_in_axis_order(self):
+        matrix = expand_matrix(doc(
+            axes={"kernel": ["dgemm", "cg"], "device": ["k40", "xeonphi"]},
+            overrides=[
+                {"where": {"kernel": "cg"}, "config": {"n": 8, "iterations": 4}},
+            ],
+        ))
+        assert [c.cell_id for c in matrix.cells] == [
+            "kernel=dgemm,device=k40",
+            "kernel=dgemm,device=xeonphi",
+            "kernel=cg,device=k40",
+            "kernel=cg,device=xeonphi",
+        ]
+
+    def test_cells_are_campaign_specs_with_run_ids(self):
+        matrix = expand_matrix(doc())
+        cell = matrix.cells[0]
+        assert isinstance(cell.spec, CampaignSpec)
+        assert cell.run_id == cell.spec.run_id()
+        # label defaults to the cell id — human-readable in `repro runs`
+        assert cell.spec.label == cell.cell_id
+
+    def test_threshold_and_seed_axes_set_spec_fields(self):
+        matrix = expand_matrix(doc(
+            axes={
+                "kernel": ["dgemm"], "device": ["k40"],
+                "threshold": [1.0, 4.0], "seed": [1, 2],
+            },
+        ))
+        assert len(matrix.cells) == 4
+        assert {c.spec.threshold_pct for c in matrix.cells} == {1.0, 4.0}
+        assert {c.spec.seed for c in matrix.cells} == {1, 2}
+
+    def test_overrides_apply_in_file_order(self):
+        matrix = expand_matrix(doc(
+            defaults={"n_faulty": 5, "config": {"n": 64}},
+            axes={"kernel": ["dgemm"], "device": ["k40"], "size": ["small", "big"]},
+            overrides=[
+                {"where": {"size": "small"}, "config": {"n": 16}},
+                {"where": {"size": "big"}, "config": {"n": 128}},
+                # later override wins on the same cell
+                {"where": {"kernel": "dgemm", "size": "big"},
+                 "set": {"n_faulty": 50}},
+            ],
+        ))
+        by_id = {c.cell_id: c.spec for c in matrix.cells}
+        small = by_id["kernel=dgemm,device=k40,size=small"]
+        big = by_id["kernel=dgemm,device=k40,size=big"]
+        assert small.config["n"] == 16 and small.n_faulty == 5
+        assert big.config["n"] == 128 and big.n_faulty == 50
+
+    def test_exclude_drops_partial_matches(self):
+        matrix = expand_matrix(doc(
+            axes={"kernel": ["dgemm", "cg"], "device": ["k40", "xeonphi"]},
+            overrides=[
+                {"where": {"kernel": "cg"}, "config": {"n": 8, "iterations": 4}},
+            ],
+            exclude=[{"kernel": "cg", "device": "xeonphi"}],
+        ))
+        assert len(matrix.cells) == 3
+        assert "kernel=cg,device=xeonphi" not in [
+            c.cell_id for c in matrix.cells
+        ]
+
+    def test_matrix_id_is_stable_and_content_addressed(self):
+        a = expand_matrix(doc())
+        b = expand_matrix(doc())
+        c = expand_matrix(doc(defaults={"n_faulty": 6}))
+        assert a.matrix_id == b.matrix_id
+        assert a.matrix_id != c.matrix_id
+
+
+class TestExpansionErrors:
+    def test_unknown_axis_key(self):
+        with pytest.raises(MatrixError, match="unknown axis key 'precision'"):
+            expand_matrix(doc(axes={
+                "kernel": ["dgemm"], "device": ["k40"], "precision": ["fp64"],
+            }))
+
+    def test_unknown_kernel_lists_known(self):
+        with pytest.raises(MatrixError, match="unknown kernel 'nope'"):
+            expand_matrix(doc(axes={"kernel": ["nope"], "device": ["k40"]}))
+
+    def test_unknown_device(self):
+        with pytest.raises(MatrixError, match="unknown device"):
+            expand_matrix(doc(axes={"kernel": ["dgemm"], "device": ["gtx"]}))
+
+    def test_empty_axis_list(self):
+        with pytest.raises(MatrixError, match="no cells"):
+            expand_matrix(doc(axes={"kernel": [], "device": ["k40"]}))
+
+    def test_everything_excluded(self):
+        with pytest.raises(MatrixError, match="excluded"):
+            expand_matrix(doc(exclude=[{"kernel": "dgemm"}]))
+
+    def test_duplicate_cells_refused_not_deduped(self):
+        # a size axis nothing maps onto the config -> identical specs
+        with pytest.raises(MatrixError, match="same campaign"):
+            expand_matrix(doc(axes={
+                "kernel": ["dgemm"], "device": ["k40"], "size": ["a", "b"],
+            }))
+
+    def test_override_must_reference_declared_axis(self):
+        with pytest.raises(MatrixError, match="not\\s+declared"):
+            expand_matrix(doc(
+                overrides=[{"where": {"size": "big"}, "config": {"n": 8}}],
+            ))
+
+    def test_override_that_sets_nothing(self):
+        with pytest.raises(MatrixError, match="sets nothing"):
+            expand_matrix(doc(overrides=[{"where": {"kernel": "dgemm"}}]))
+
+    def test_missing_required_axis(self):
+        with pytest.raises(MatrixError, match="axes must include 'device'"):
+            expand_matrix(doc(axes={"kernel": ["dgemm"]}))
+
+    def test_invalid_spec_field_value(self):
+        with pytest.raises(MatrixError, match="valid campaign spec"):
+            expand_matrix(doc(defaults={"n_faulty": -3}))
+
+    def test_unknown_top_level_key(self):
+        with pytest.raises(MatrixError, match="unknown matrix key"):
+            expand_matrix(doc(matrix="oops"))

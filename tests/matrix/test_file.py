@@ -1,0 +1,102 @@
+"""The matrix-file parser: the accepted subset, and loud rejection of the rest."""
+
+import pytest
+
+from repro.matrix import MatrixError, load_matrix_file, parse_matrix_text
+
+pytestmark = pytest.mark.matrix
+
+
+class TestAcceptedSubset:
+    def test_nested_mappings_lists_scalars(self):
+        doc = parse_matrix_text(
+            "name: demo\n"
+            "defaults:\n"
+            "  n_faulty: 10\n"
+            "  config:\n"
+            "    n: 64\n"
+            "    ratio: 0.5\n"
+            "    fast: true\n"
+            "    tag: 'quoted # not a comment'\n"
+            "    nothing: null\n"
+            "axes:\n"
+            "  kernel: [dgemm, cg]\n"
+            "  device: k40\n"
+        )
+        assert doc["defaults"]["n_faulty"] == 10
+        assert doc["defaults"]["config"] == {
+            "n": 64,
+            "ratio": 0.5,
+            "fast": True,
+            "tag": "quoted # not a comment",
+            "nothing": None,
+        }
+        assert doc["axes"]["kernel"] == ["dgemm", "cg"]
+        assert doc["axes"]["device"] == "k40"
+
+    def test_block_list_of_mappings(self):
+        doc = parse_matrix_text(
+            "overrides:\n"
+            "  - where: {kernel: cg}\n"
+            "    config: {n: 8}\n"
+            "  - where: {kernel: dgemm}\n"
+            "    set: {n_faulty: 5}\n"
+        )
+        assert doc["overrides"] == [
+            {"where": {"kernel": "cg"}, "config": {"n": 8}},
+            {"where": {"kernel": "dgemm"}, "set": {"n_faulty": 5}},
+        ]
+
+    def test_comments_and_blank_lines(self):
+        doc = parse_matrix_text(
+            "# leading comment\n"
+            "\n"
+            "name: demo  # trailing comment\n"
+        )
+        assert doc == {"name": "demo"}
+
+    def test_json_documents_accepted(self):
+        doc = parse_matrix_text('{"name": "j", "axes": {"kernel": ["cg"]}}')
+        assert doc["name"] == "j"
+        assert doc["axes"]["kernel"] == ["cg"]
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "m.yaml"
+        path.write_text("name: from-disk\n")
+        assert load_matrix_file(path) == {"name": "from-disk"}
+
+
+class TestOneLineDiagnostics:
+    """Every rejection is a one-line MatrixError naming the source line."""
+
+    @pytest.mark.parametrize(
+        "text, fragment",
+        [
+            ("name: a\n\tbad: tab\n", "tab in indentation"),
+            ("key without colon\n", "expected `key: value`"),
+            ("key:value\n", "missing space after `:`"),
+            ("a: 1\na: 2\n", "duplicate key"),
+            ("a: [1, 2\n", "does not end with `]`"),
+            ("a: {k: 1\n", "does not end with `}`"),
+            ("a: [1, [2, 3]]\n", "nested inline"),
+            ("a: 'oops\n", "unterminated"),
+            ("a: &anchor\n", "anchors/aliases"),
+            ("a: |\n  block\n", "block scalars"),
+            ("a:\n", "has no value"),
+            ("a:\n  b: 1\n c: 2\n", "indent"),
+            ("- just\n- a list\n", "top level must be a mapping"),
+            ("", "empty"),
+            ('{"broken": \n', "invalid JSON"),
+        ],
+    )
+    def test_rejected_with_line_context(self, text, fragment):
+        with pytest.raises(MatrixError) as err:
+            parse_matrix_text(text, source="m.yaml")
+        message = str(err.value)
+        assert fragment in message
+        assert "\n" not in message
+        assert message.startswith("m.yaml:")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(MatrixError, match="cannot read matrix file"):
+            load_matrix_file(tmp_path / "absent.yaml")

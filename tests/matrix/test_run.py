@@ -1,0 +1,174 @@
+"""The MatrixRun driver: manifest, cache dedupe, rerun-failures, roll-up."""
+
+import pytest
+
+from repro import observability as obs
+from repro.matrix import MatrixRun, expand_matrix
+from repro.observability import MetricsRegistry, RingBufferSink, Tracer
+from repro.scheduler.scheduler import CampaignScheduler
+from repro.store import CampaignStore
+from repro.store.journal import Journal
+
+pytestmark = pytest.mark.matrix
+
+
+def tiny_matrix(name="tiny", *, extra_overrides=(), axes=None):
+    return expand_matrix({
+        "name": name,
+        "defaults": {"n_faulty": 4, "seed": 3},
+        "axes": axes or {"kernel": ["dgemm", "cg"], "device": ["k40"]},
+        "overrides": [
+            {"where": {"kernel": "dgemm"}, "config": {"n": 16}},
+            {"where": {"kernel": "cg"}, "config": {"n": 8, "iterations": 4}},
+            *extra_overrides,
+        ],
+    })
+
+
+class TestRun:
+    def test_runs_all_cells_to_complete(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        driver = MatrixRun(tiny_matrix(), store, backend="serial")
+        status = driver.run()
+        assert status["done"]
+        assert status["counts"]["complete"] == 2
+        assert all(c["store_complete"] for c in status["cells"])
+
+    def test_second_run_resubmits_nothing(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        driver = MatrixRun(tiny_matrix(), store, backend="serial")
+        driver.run()
+        n_records = len(list(
+            Journal.open(driver.manifest_path, read_only=True).records("cell")
+        ))
+        driver.run()  # everything done -> nothing journaled, nothing run
+        again = len(list(
+            Journal.open(driver.manifest_path, read_only=True).records("cell")
+        ))
+        assert again == n_records
+
+    def test_already_complete_spec_answers_cached(self, tmp_path):
+        """Acceptance: a cell whose campaign pre-exists is never recomputed."""
+        store = CampaignStore(tmp_path / "store")
+        matrix = tiny_matrix()
+        # complete one cell's campaign outside the matrix
+        scheduler = CampaignScheduler(store, backend="serial")
+        scheduler.submit(matrix.cells[0].spec)
+        outcomes = scheduler.run()
+        assert outcomes[0].status == "complete"
+
+        driver = MatrixRun(matrix, store, backend="serial")
+        status = driver.status()
+        # before any matrix attempt the store already satisfies the cell
+        pre = {c["cell_id"]: c for c in status["cells"]}
+        assert pre[matrix.cells[0].cell_id]["cached"] is True
+
+        status = driver.run()
+        by_id = {c["cell_id"]: c for c in status["cells"]}
+        assert by_id[matrix.cells[0].cell_id]["state"] == "cached"
+        assert by_id[matrix.cells[0].cell_id]["cached"] is True
+        assert by_id[matrix.cells[1].cell_id]["state"] == "complete"
+        assert status["done"]
+
+    def test_rerun_failures_resubmits_only_failed_cells(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        # dgemm n=12 passes spec validation but fails kernel construction
+        # (default tile 16 > n) -> the cell fails while cg completes
+        matrix = expand_matrix({
+            "name": "partial",
+            "defaults": {"n_faulty": 4},
+            "axes": {"kernel": ["dgemm", "cg"], "device": ["k40"]},
+            "overrides": [
+                {"where": {"kernel": "dgemm"}, "config": {"n": 12}},
+                {"where": {"kernel": "cg"}, "config": {"n": 8, "iterations": 4}},
+            ],
+        })
+        driver = MatrixRun(matrix, store, backend="serial")
+        status = driver.run()
+        by_id = {c["cell_id"]: c for c in status["cells"]}
+        failed_id = "kernel=dgemm,device=k40"
+        ok_id = "kernel=cg,device=k40"
+        assert by_id[failed_id]["state"] == "failed"
+        assert by_id[ok_id]["state"] == "complete"
+        assert not status["done"]
+
+        def records_for(cell_id):
+            journal = Journal.open(driver.manifest_path, read_only=True)
+            return [
+                r for r in journal.records("cell") if r["cell_id"] == cell_id
+            ]
+
+        ok_before = len(records_for(ok_id))
+        failed_before = len(records_for(failed_id))
+        driver.run(only_failed=True)
+        # the complete cell was untouched; the failed one was retried
+        assert len(records_for(ok_id)) == ok_before
+        assert len(records_for(failed_id)) == failed_before + 2
+
+    def test_failure_error_is_journaled(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        matrix = expand_matrix({
+            "name": "broken",
+            "defaults": {"n_faulty": 4},
+            "axes": {"kernel": ["dgemm"], "device": ["k40"]},
+            "overrides": [
+                {"where": {"kernel": "dgemm"}, "config": {"n": 12}},
+            ],
+        })
+        driver = MatrixRun(matrix, store, backend="serial")
+        driver.run()
+        journal = Journal.open(driver.manifest_path, read_only=True)
+        last = list(journal.records("cell"))[-1]
+        assert last["state"] == "failed"
+        assert "tile" in last["error"]
+
+    def test_manifest_header_names_every_cell(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        matrix = tiny_matrix()
+        driver = MatrixRun(matrix, store, backend="serial")
+        driver.run()
+        header = Journal.open(driver.manifest_path, read_only=True).header
+        assert header["matrix_id"] == matrix.matrix_id
+        assert [c["cell_id"] for c in header["cells"]] == [
+            c.cell_id for c in matrix.cells
+        ]
+
+
+class TestObservability:
+    def test_cells_counter_and_matrix_span(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        registry = MetricsRegistry()
+        sink = RingBufferSink()
+        with obs.observe(tracer=Tracer(sink), metrics=registry):
+            MatrixRun(tiny_matrix(), store, backend="serial").run()
+        text = registry.dumps("prometheus")
+        assert 'repro_matrix_cells_total{state="complete"} 2' in text
+        matrix_spans = [e for e in sink.events() if e.kind == "matrix"]
+        assert len(matrix_spans) == 1
+        assert matrix_spans[0].attrs["cells"] == 2
+        assert matrix_spans[0].attrs["surface"] == "scheduler"
+
+
+class TestReport:
+    def test_rollup_totals_sum_cells(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        driver = MatrixRun(tiny_matrix(), store, backend="serial")
+        driver.run()
+        payload = driver.report()
+        assert payload["missing"] == []
+        assert payload["totals"]["cells"] == 2
+        assert payload["totals"]["executions"] == sum(
+            row["n_executions"] for row in payload["cells"]
+        )
+        assert payload["totals"]["fit_total"] == pytest.approx(sum(
+            row["fit_total"] for row in payload["cells"]
+        ))
+        rendered = driver.render_report()
+        assert "TOTAL (2 cells)" in rendered
+
+    def test_report_lists_missing_cells(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        driver = MatrixRun(tiny_matrix(), store, backend="serial")
+        payload = driver.report()
+        assert len(payload["missing"]) == 2
+        assert payload["totals"]["cells"] == 0

@@ -1,0 +1,101 @@
+"""A matrix driven over the HTTP service: submit, wait, dedupe, roll-up."""
+
+import threading
+
+import pytest
+
+from repro import observability as obs
+from repro.matrix import MatrixRun, expand_matrix
+from repro.observability import MetricsRegistry
+from repro.service import CampaignService, ServiceConfig, ServiceServer
+from repro.service.client import ServiceClient
+from repro.store import CampaignStore
+
+pytestmark = [pytest.mark.matrix, pytest.mark.service]
+
+
+@pytest.fixture
+def service(tmp_path):
+    config = ServiceConfig(
+        host="127.0.0.1",
+        port=0,
+        store=tmp_path / "store",
+        backend="thread",
+        workers=2,
+        poll_interval=0.02,
+    )
+    service = CampaignService(config)
+    service.start()
+    server = ServiceServer(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield service, f"http://127.0.0.1:{server.port}"
+    server.shutdown()
+    server.server_close()
+    service.shutdown(timeout=120.0)
+    thread.join(timeout=10.0)
+
+
+def two_cell_matrix():
+    return expand_matrix({
+        "name": "service-demo",
+        "defaults": {"n_faulty": 4, "seed": 3},
+        "axes": {"kernel": ["dgemm", "cg"], "device": ["k40"]},
+        "overrides": [
+            {"where": {"kernel": "dgemm"}, "config": {"n": 16}},
+            {"where": {"kernel": "cg"}, "config": {"n": 8, "iterations": 4}},
+        ],
+    })
+
+
+class TestServicePath:
+    def test_two_cells_complete_with_rollup_and_metrics(self, tmp_path, service):
+        _, url = service
+        # the driver's store is the *service's* store: the roll-up reads
+        # results the service workers wrote
+        matrix = two_cell_matrix()
+        registry = MetricsRegistry()
+        driver = MatrixRun(
+            matrix,
+            CampaignStore(tmp_path / "store"),
+            client=ServiceClient(url),
+            wait_timeout=120.0,
+        )
+        with obs.observe(metrics=registry):
+            status = driver.run()
+        assert status["done"]
+        assert status["counts"]["complete"] == 2
+
+        payload = driver.report()
+        assert payload["missing"] == []
+        assert payload["totals"]["cells"] == 2
+        assert payload["totals"]["executions"] == 8
+
+        text = registry.dumps("prometheus")
+        assert 'repro_matrix_cells_total{state="complete"} 2' in text
+
+    def test_second_submission_answers_cached(self, tmp_path, service):
+        _, url = service
+        store = CampaignStore(tmp_path / "store")
+        matrix = two_cell_matrix()
+        MatrixRun(
+            matrix, store, client=ServiceClient(url), wait_timeout=120.0
+        ).run()
+        # a distinct manifest resubmits the same specs: service dedupe
+        # answers cached, nothing recomputes
+        renamed = expand_matrix({
+            "name": "service-demo-again",
+            "defaults": {"n_faulty": 4, "seed": 3},
+            "axes": {"kernel": ["dgemm", "cg"], "device": ["k40"]},
+            "overrides": [
+                {"where": {"kernel": "dgemm"}, "config": {"n": 16}},
+                {"where": {"kernel": "cg"}, "config": {"n": 8, "iterations": 4}},
+            ],
+        })
+        assert renamed.matrix_id != matrix.matrix_id
+        status = MatrixRun(
+            renamed, store, client=ServiceClient(url), wait_timeout=120.0
+        ).run()
+        assert status["done"]
+        assert status["counts"]["cached"] == 2
+        assert all(c["cached"] for c in status["cells"])
