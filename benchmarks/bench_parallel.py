@@ -7,12 +7,16 @@ while doing so.  Output lands in ``benchmarks/results/bench_parallel.txt``
 so the perf trajectory across PRs is greppable.
 
 The benchmark also times the delta-replay fast path
-(``fast_path=True``, docs/performance.md) against full re-execution on
-the same campaign and records a machine-readable baseline in
+(``fast_path=True``, docs/performance.md) against full re-execution —
+one row set per kernel (DGEMM's closed-form delta, CLAMR's dt-invariant
+window replay, HotSpot's residual-capped cone; ``--fastpath-kernels``
+selects a subset) — and records a machine-readable baseline in
 ``BENCH_fastpath.json`` (``benchmarks/results/BENCH_fastpath_quick.json``
 for ``--quick`` runs): serial/pool/fast-path timings, the speedups
-between them, and the hit/fallback counters.  The fast-path rows are
-checked bit-identical to the reference before anything is written.
+between them, and the per-kernel hit/fallback counters.  Every kernel's
+fast-path rows are checked bit-identical to its reference before
+anything is written; ``--expect-fastpath-speedup`` and
+``--expect-fastpath-hits`` gate each kernel row for CI.
 
 A third section times batched delta execution (``batch=True``,
 ``inject_batch``) against one-at-a-time scalar replay and records
@@ -88,12 +92,13 @@ FLEET_JSON_QUICK_PATH = (
 )
 
 
-def run_campaign(kernel_name: str, device_name: str, n: int, faulty: int,
-                 seed: int, workers: int, chunk_size: "int | None",
+def run_campaign(kernel_name: str, device_name: str, config: dict,
+                 faulty: int, seed: int, workers: int,
+                 chunk_size: "int | None",
                  fast_path: bool = False, batch: bool = False):
     """One timed campaign run; returns (seconds, result)."""
     campaign = Campaign(
-        kernel=make_kernel(kernel_name, n=n),
+        kernel=make_kernel(kernel_name, **config),
         device=make_device(device_name),
         n_faulty=faulty,
         seed=seed,
@@ -108,7 +113,8 @@ def run_campaign(kernel_name: str, device_name: str, n: int, faulty: int,
     return time.perf_counter() - start, result
 
 
-def resolved_execution(args, workers: int) -> "tuple[str, int]":
+def resolved_execution(args, workers: int,
+                       faulty: "int | None" = None) -> "tuple[str, int]":
     """The backend and pool size the executor will *actually* use.
 
     Mirrors :meth:`CampaignExecutor.run`'s resolution: the requested
@@ -119,11 +125,12 @@ def resolved_execution(args, workers: int) -> "tuple[str, int]":
     """
     from repro.beam.executor import CampaignExecutor
 
+    faulty = args.faulty if faulty is None else faulty
     executor = CampaignExecutor(workers=workers, chunk_size=args.chunk_size)
     resolved = executor.resolved_workers()
-    backend = executor.resolved_backend(args.faulty, resolved)
+    backend = executor.resolved_backend(faulty, resolved)
     if backend != "serial":
-        chunks = executor.plan_chunks(range(args.faulty), resolved)
+        chunks = executor.plan_chunks(range(faulty), resolved)
         resolved = min(resolved, len(chunks))
         if resolved <= 1:
             backend = "serial"
@@ -141,8 +148,8 @@ def bench(args) -> "tuple[str, float | None]":
         # Fresh kernel per run: the in-process golden cache would otherwise
         # gift the second configuration the first one's clean reference.
         seconds, result = run_campaign(
-            args.kernel, args.device, args.n, args.faulty, args.seed, w,
-            args.chunk_size,
+            args.kernel, args.device, {"n": args.n}, args.faulty, args.seed,
+            w, args.chunk_size,
         )
         outcomes[label] = [r.outcome for r in result.records]
         rows.append((label, seconds, args.faulty / seconds))
@@ -180,34 +187,79 @@ def bench(args) -> "tuple[str, float | None]":
     return text, speedup
 
 
-def bench_fastpath(args) -> "tuple[str, float, dict]":
-    """Delta replay vs full re-execution on the same campaign.
+def fastpath_rows(args) -> dict:
+    """Kernel rows for the fast-path section, keyed by kernel name.
 
-    Times four configurations — {serial, pooled} × {full, fast path} —
-    verifies the fast-path record stream is bit-identical to the serial
-    reference (hex-float rows, the journal serialisation), and returns
-    the human-readable section plus the machine-readable payload for
-    ``BENCH_fastpath.json``.  The headline number is the pooled fast-path
-    throughput over pooled full re-execution: same pool, same chunks,
-    only the per-strike arithmetic differs.
+    DGEMM rides the benchmark's main ``--kernel/--n/--faulty`` knobs;
+    CLAMR and HotSpot run their paper configurations (CLAMR on the Xeon
+    Phi, both kernels at their default sizes — the acceptance campaign
+    for the dt-invariant window replay and the residual-bound cone cap)
+    with a smaller strike budget so the committed baseline stays
+    minutes-long.  ``--quick`` shrinks every row to smoke size.
+    ``--fastpath-kernels`` selects a subset.
+    """
+    rows = {
+        "dgemm": {
+            "device": args.device,
+            "config": {"n": args.n},
+            "faulty": args.faulty,
+        },
+        "clamr": {
+            "device": "xeonphi",
+            "config": {"n": 48, "steps": 24} if args.quick else {},
+            "faulty": 48 if args.quick else 120,
+        },
+        "hotspot": {
+            "device": "k40",
+            "config": (
+                {"n": 64, "iterations": 64} if args.quick else {}
+            ),
+            "faulty": 24 if args.quick else 60,
+        },
+    }
+    selected = [k.strip() for k in args.fastpath_kernels.split(",") if
+                k.strip()]
+    unknown = [k for k in selected if k not in rows]
+    if unknown:
+        raise SystemExit(
+            f"unknown --fastpath-kernels entries: {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(rows))})"
+        )
+    return {name: rows[name] for name in selected}
+
+
+def bench_fastpath(args) -> "tuple[str, dict, dict]":
+    """Delta replay vs full re-execution, one row set per kernel.
+
+    For each kernel of :func:`fastpath_rows` (DGEMM's closed-form delta,
+    CLAMR's dt-invariant window replay, HotSpot's residual-capped cone)
+    times four configurations — {serial, pooled} × {full, fast path} —
+    verifies the fast-path record stream is bit-identical to that
+    kernel's serial reference (hex-float rows, the journal
+    serialisation), and returns the human-readable section, the
+    per-kernel pooled speedups, and the machine-readable payload for
+    ``BENCH_fastpath.json``.  The headline number per kernel is the
+    pooled fast-path throughput over pooled full re-execution: same
+    pool, same chunks, only the per-strike arithmetic differs.
     """
     from repro import observability as obs
     from repro.beam.logs import record_to_row
 
     workers = args.workers if args.workers > 0 else (os.cpu_count() or 1)
 
-    def timed(w: int, fast_path: bool):
+    def timed(spec: dict, w: int, fast_path: bool):
         registry = obs.MetricsRegistry() if fast_path else None
         if registry is not None:
             with obs.observe(metrics=registry):
                 seconds, result = run_campaign(
-                    args.kernel, args.device, args.n, args.faulty,
-                    args.seed, w, args.chunk_size, fast_path=True,
+                    kernel_name, spec["device"], spec["config"],
+                    spec["faulty"], args.seed, w, args.chunk_size,
+                    fast_path=True,
                 )
         else:
             seconds, result = run_campaign(
-                args.kernel, args.device, args.n, args.faulty, args.seed,
-                w, args.chunk_size,
+                kernel_name, spec["device"], spec["config"], spec["faulty"],
+                args.seed, w, args.chunk_size,
             )
         hits = fallbacks = 0
         if registry is not None:
@@ -223,83 +275,99 @@ def bench_fastpath(args) -> "tuple[str, float, dict]":
         "serial_fast": (1, True),
         "parallel_fast": (workers, True),
     }
-    timings: dict = {}
-    rows: dict = {}
-    hits = fallbacks = 0
-    for name, (w, fast) in configs.items():
-        backend, pool = resolved_execution(args, w)
-        seconds, result, h, f = timed(w, fast)
-        timings[name] = {
-            "seconds": seconds,
-            "exec_per_s": args.faulty / seconds,
-            "workers": w,
-            "pool": pool,
-            "backend": backend,
-            "fast_path": fast,
-        }
-        rows[name] = [record_to_row(r) for r in result.records]
-        if name == "parallel_fast":
-            hits, fallbacks = h, f
+    kernels_payload: dict = {}
+    speedups: dict = {}
+    lines = ["delta-replay fast path vs full re-execution:"]
+    for kernel_name, spec in fastpath_rows(args).items():
+        timings: dict = {}
+        rows: dict = {}
+        hits = fallbacks = 0
+        for name, (w, fast) in configs.items():
+            backend, pool = resolved_execution(args, w, spec["faulty"])
+            seconds, result, h, f = timed(spec, w, fast)
+            timings[name] = {
+                "seconds": seconds,
+                "exec_per_s": spec["faulty"] / seconds,
+                "workers": w,
+                "pool": pool,
+                "backend": backend,
+                "fast_path": fast,
+            }
+            rows[name] = [record_to_row(r) for r in result.records]
+            if name == "parallel_fast":
+                hits, fallbacks = h, f
 
-    identical = all(rows[name] == rows["serial_full"] for name in configs)
-    thr = {name: slot["exec_per_s"] for name, slot in timings.items()}
-    par_pool = timings["parallel_full"]["pool"]
-    if par_pool <= 1:
-        print(
-            "WARNING: 'parallel' configurations resolved to a 1-worker "
-            f"pool (backend={timings['parallel_full']['backend']}); "
-            "parallel_over_serial recorded as null."
-        )
-    speedup = {
-        "parallel_over_serial": (
-            thr["parallel_full"] / thr["serial_full"] if par_pool > 1
-            else None
-        ),
-        "fastpath_serial": thr["serial_fast"] / thr["serial_full"],
-        "fastpath_parallel": thr["parallel_fast"] / thr["parallel_full"],
-        "combined": thr["parallel_fast"] / thr["serial_full"],
-    }
-    attempts = hits + fallbacks
+        identical = all(rows[name] == rows["serial_full"] for name in configs)
+        thr = {name: slot["exec_per_s"] for name, slot in timings.items()}
+        par_pool = timings["parallel_full"]["pool"]
+        if par_pool <= 1:
+            print(
+                "WARNING: 'parallel' configurations resolved to a 1-worker "
+                f"pool (backend={timings['parallel_full']['backend']}); "
+                f"{kernel_name} parallel_over_serial recorded as null."
+            )
+        speedup = {
+            "parallel_over_serial": (
+                thr["parallel_full"] / thr["serial_full"] if par_pool > 1
+                else None
+            ),
+            "fastpath_serial": thr["serial_fast"] / thr["serial_full"],
+            "fastpath_parallel": thr["parallel_fast"] / thr["parallel_full"],
+            "combined": thr["parallel_fast"] / thr["serial_full"],
+        }
+        attempts = hits + fallbacks
+        kernels_payload[kernel_name] = {
+            "device": spec["device"],
+            "config": dict(spec["config"]),
+            "faulty": spec["faulty"],
+            "timings": timings,
+            "speedup": speedup,
+            "fastpath": {
+                "hits": hits,
+                "fallbacks": fallbacks,
+                "hit_rate": (hits / attempts) if attempts else 0.0,
+            },
+            "records_identical": identical,
+        }
+        speedups[kernel_name] = speedup["fastpath_parallel"]
+        lines += [
+            f"  {kernel_name} "
+            f"({spec['device']}, {spec['config'] or 'default config'}, "
+            f"{spec['faulty']} strikes):",
+            *(
+                f"    {name:<14}: {slot['seconds']:8.2f} s  "
+                f"{slot['exec_per_s']:8.1f} exec/s"
+                f"  [{slot['backend']}/{slot['pool']}]"
+                for name, slot in timings.items()
+            ),
+            f"    fast-path speedup (pooled) : "
+            f"{speedup['fastpath_parallel']:8.2f}x",
+            f"    fast-path speedup (serial) : "
+            f"{speedup['fastpath_serial']:8.2f}x",
+            f"    combined speedup vs serial : {speedup['combined']:8.2f}x",
+            f"    hits/fallbacks             : {hits}/{fallbacks}",
+            f"    records identical to serial full re-execution: "
+            f"{identical}",
+        ]
+        if not identical:
+            raise SystemExit(
+                "\n".join(lines)
+                + f"\nFATAL: {kernel_name} fast-path records differ from "
+                "full re-execution"
+            )
+
     payload = {
         "bench": "fastpath",
-        "kernel": args.kernel,
-        "device": args.device,
-        "n": args.n,
-        "faulty": args.faulty,
         "seed": args.seed,
         "workers": workers,
         "cores": os.cpu_count(),
         "quick": bool(args.quick),
-        "timings": timings,
-        "speedup": speedup,
-        "fastpath": {
-            "hits": hits,
-            "fallbacks": fallbacks,
-            "hit_rate": (hits / attempts) if attempts else 0.0,
-        },
-        "records_identical": identical,
-    }
-    lines = [
-        "delta-replay fast path vs full re-execution:",
-        *(
-            f"  {name:<14}: {slot['seconds']:8.2f} s  "
-            f"{slot['exec_per_s']:8.1f} exec/s"
-            f"  [{slot['backend']}/{slot['pool']}]"
-            for name, slot in timings.items()
+        "kernels": kernels_payload,
+        "records_identical": all(
+            slot["records_identical"] for slot in kernels_payload.values()
         ),
-        f"  fast-path speedup (pooled) : "
-        f"{speedup['fastpath_parallel']:8.2f}x",
-        f"  fast-path speedup (serial) : {speedup['fastpath_serial']:8.2f}x",
-        f"  combined speedup vs serial : {speedup['combined']:8.2f}x",
-        f"  hits/fallbacks             : {hits}/{fallbacks}",
-        f"  records identical to serial full re-execution: {identical}",
-    ]
-    text = "\n".join(lines)
-    if not identical:
-        raise SystemExit(
-            text + "\nFATAL: fast-path records differ from full re-execution"
-        )
-    return text, speedup["fastpath_parallel"], payload
+    }
+    return "\n".join(lines), speedups, payload
 
 
 def bench_batch(args) -> "tuple[str, float, dict]":
@@ -335,9 +403,9 @@ def bench_batch(args) -> "tuple[str, float, dict]":
                 registry = obs.MetricsRegistry()
                 with obs.observe(metrics=registry):
                     seconds, res = run_campaign(
-                        args.kernel, args.device, args.n, args.faulty,
-                        args.seed, w, args.chunk_size, fast_path=True,
-                        batch=batch,
+                        args.kernel, args.device, {"n": args.n},
+                        args.faulty, args.seed, w, args.chunk_size,
+                        fast_path=True, batch=batch,
                     )
                 metric = registry.get("repro_fastpath_hits_total")
                 hits = int(metric.total()) if metric is not None else 0
@@ -345,7 +413,7 @@ def bench_batch(args) -> "tuple[str, float, dict]":
                 fallbacks = int(metric.total()) if metric is not None else 0
             else:
                 seconds, res = run_campaign(
-                    args.kernel, args.device, args.n, args.faulty,
+                    args.kernel, args.device, {"n": args.n}, args.faulty,
                     args.seed, w, args.chunk_size, batch=batch,
                 )
             if seconds < best:
@@ -722,8 +790,8 @@ def bench_observability(args) -> "tuple[str, float]":
 
     def timed_run():
         return run_campaign(
-            args.kernel, args.device, args.n, args.faulty, args.seed,
-            workers, args.chunk_size,
+            args.kernel, args.device, {"n": args.n}, args.faulty,
+            args.seed, workers, args.chunk_size,
         )
 
     t_plain = t_instr = float("inf")
@@ -794,8 +862,14 @@ def main(argv=None) -> int:
     parser.add_argument("--expect-speedup", type=float, default=None,
                         help="exit 1 unless parallel/serial >= this factor")
     parser.add_argument("--expect-fastpath-speedup", type=float, default=None,
-                        help="exit 1 unless pooled fast-path/pooled full "
-                             ">= this factor")
+                        help="exit 1 unless every fast-path kernel's pooled "
+                             "fast-path/pooled full >= this factor")
+    parser.add_argument("--expect-fastpath-hits", type=int, default=None,
+                        help="exit 1 unless every fast-path kernel records "
+                             "at least this many delta-replay hits")
+    parser.add_argument("--fastpath-kernels", default="dgemm,clamr,hotspot",
+                        help="comma-separated kernel rows for the fast-path "
+                             "section")
     parser.add_argument("--expect-batch-speedup", type=float, default=None,
                         help="exit 1 unless batched/scalar fast path "
                              ">= this factor")
@@ -829,18 +903,19 @@ def main(argv=None) -> int:
         args.n, args.faulty = quick_caps(args.n, args.faulty)
 
     text, speedup = bench(args)
-    fastpath_speedup = None
+    fastpath_speedups: dict = {}
+    fastpath_payload: dict = {}
     if not args.skip_fastpath:
         import json
 
-        fp_text, fastpath_speedup, payload = bench_fastpath(args)
+        fp_text, fastpath_speedups, fastpath_payload = bench_fastpath(args)
         text = text + "\n" + fp_text
         json_path = (
             FASTPATH_JSON_QUICK_PATH if args.quick else FASTPATH_JSON_PATH
         )
         json_path.parent.mkdir(exist_ok=True)
         json_path.write_text(
-            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+            json.dumps(fastpath_payload, indent=2, sort_keys=True) + "\n"
         )
         text += f"\n  baseline recorded to {json_path}"
     batch_speedup = None
@@ -913,16 +988,24 @@ def main(argv=None) -> int:
                 f"{args.expect_speedup:.2f}x"
             )
             return 1
-    if (
-        args.expect_fastpath_speedup is not None
-        and fastpath_speedup is not None
-        and fastpath_speedup < args.expect_fastpath_speedup
-    ):
-        print(
-            f"FAIL: fast-path speedup {fastpath_speedup:.2f}x below "
-            f"required {args.expect_fastpath_speedup:.2f}x"
-        )
-        return 1
+    if args.expect_fastpath_speedup is not None:
+        for kernel_name, fastpath_speedup in fastpath_speedups.items():
+            if fastpath_speedup < args.expect_fastpath_speedup:
+                print(
+                    f"FAIL: {kernel_name} fast-path speedup "
+                    f"{fastpath_speedup:.2f}x below required "
+                    f"{args.expect_fastpath_speedup:.2f}x"
+                )
+                return 1
+    if args.expect_fastpath_hits is not None:
+        for kernel_name, slot in fastpath_payload.get("kernels", {}).items():
+            if slot["fastpath"]["hits"] < args.expect_fastpath_hits:
+                print(
+                    f"FAIL: {kernel_name} recorded "
+                    f"{slot['fastpath']['hits']} fast-path hits, below "
+                    f"required {args.expect_fastpath_hits}"
+                )
+                return 1
     if (
         args.expect_batch_speedup is not None
         and batch_speedup is not None

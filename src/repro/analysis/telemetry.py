@@ -86,6 +86,8 @@ class TelemetryReport:
     #: attribute; both 0 when the campaign ran with the fast path off).
     fastpath_hits: int = 0
     fastpath_fallbacks: int = 0
+    #: Per-kernel split of the same counts: ``{kernel: [hits, fallbacks]}``.
+    fastpath_by_kernel: dict = field(default_factory=dict)
     latency_by_kernel: list = field(default_factory=list)
     workers: list = field(default_factory=list)
     n_chunks: int = 0
@@ -131,6 +133,20 @@ class TelemetryReport:
                 "hits": self.fastpath_hits,
                 "fallbacks": self.fastpath_fallbacks,
                 "hit_rate": self.fastpath_hit_rate,
+                "by_kernel": {
+                    kernel: {
+                        "hits": hits,
+                        "fallbacks": fallbacks,
+                        "hit_rate": (
+                            hits / (hits + fallbacks)
+                            if hits + fallbacks
+                            else 0.0
+                        ),
+                    }
+                    for kernel, (hits, fallbacks) in sorted(
+                        self.fastpath_by_kernel.items()
+                    )
+                },
             },
             "latency_by_kernel": [
                 vars(latency) for latency in self.latency_by_kernel
@@ -179,10 +195,14 @@ def analyze_trace(events: "list[SpanEvent]") -> TelemetryReport:
             kernel = event.attrs.get("kernel", "unknown")
             durations_by_kernel.setdefault(kernel, []).append(event.duration)
             fastpath = event.attrs.get("fastpath")
-            if fastpath == "hit":
-                report.fastpath_hits += 1
-            elif fastpath == "fallback":
-                report.fastpath_fallbacks += 1
+            if fastpath in ("hit", "fallback"):
+                slot = report.fastpath_by_kernel.setdefault(kernel, [0, 0])
+                if fastpath == "hit":
+                    report.fastpath_hits += 1
+                    slot[0] += 1
+                else:
+                    report.fastpath_fallbacks += 1
+                    slot[1] += 1
             slot = busy.setdefault(event.worker, [0, 0.0])
             slot[0] += 1
         elif event.kind == "chunk":
@@ -232,6 +252,27 @@ def render_telemetry(report: TelemetryReport) -> str:
             ("fast-path hit rate", f"{report.fastpath_hit_rate:.0%}")
         )
     lines.append(format_table(("quantity", "value"), overview))
+    if report.fastpath_by_kernel:
+        lines.append("")
+        lines.append("fast path by kernel:")
+        lines.append(
+            format_table(
+                ("kernel", "hits", "fallbacks", "hit rate"),
+                [
+                    (
+                        kernel,
+                        hits,
+                        fallbacks,
+                        f"{hits / (hits + fallbacks):.0%}"
+                        if hits + fallbacks
+                        else "0%",
+                    )
+                    for kernel, (hits, fallbacks) in sorted(
+                        report.fastpath_by_kernel.items()
+                    )
+                ],
+            )
+        )
     if report.latency_by_kernel:
         lines.append("")
         lines.append("injection latency by kernel [ms]:")

@@ -819,9 +819,11 @@ def emit_chunk_observability(
             metrics.counter(
                 "repro_fastpath_hits_total",
                 "Executions resolved by the delta-replay fast path",
-            ).inc(result.fastpath_hits)
+                ("kernel",),
+            ).inc(result.fastpath_hits, kernel=kernel.name)
         if result.fastpath_fallbacks:
             metrics.counter(
                 "repro_fastpath_fallbacks_total",
                 "Fast-path executions that fell back to full re-execution",
-            ).inc(result.fastpath_fallbacks)
+                ("kernel",),
+            ).inc(result.fastpath_fallbacks, kernel=kernel.name)

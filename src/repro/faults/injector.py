@@ -95,12 +95,14 @@ class Injector:
             metrics.counter(
                 "repro_fastpath_hits_total",
                 "Executions resolved by the delta-replay fast path",
-            ).inc()
+                labels=("kernel",),
+            ).inc(kernel=self.kernel.name)
         else:
             metrics.counter(
                 "repro_fastpath_fallbacks_total",
                 "Fast-path executions that fell back to full re-execution",
-            ).inc()
+                labels=("kernel",),
+            ).inc(kernel=self.kernel.name)
 
     def __post_init__(self):
         weights = self.device.strike_weights(self.kernel)

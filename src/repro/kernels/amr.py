@@ -109,8 +109,13 @@ def coarsen_smooth_blocks(
     not be recovered as the execution continue[s]".
 
     Args:
-        fields: arrays to coarsen together (h, hu, hv); all square, even
-            side.
+        fields: arrays to coarsen together (h, hu, hv); all the same shape
+            with both sides even.  Rectangular shapes are accepted so the
+            delta-replay fast path can coarsen a block-aligned *window* of
+            the grid; because the decision and the replacement are strictly
+            2x2-block-local, coarsening a window slice is bit-identical to
+            coarsening the full grid and slicing (pinned by
+            ``tests/fastpath/test_differential.py``).
         smoothness_of: the field whose block-internal range drives the
             decision (CLAMR refines on height).
         threshold: a block is coarsened when its max-min range in
@@ -121,18 +126,18 @@ def coarsen_smooth_blocks(
         is replaced by its mean — sums (mass, momentum) are conserved
         exactly up to rounding.
     """
-    n = smoothness_of.shape[0]
-    if smoothness_of.shape != (n, n) or n % 2:
-        raise ValueError("fields must be square with an even side")
-    blocks = smoothness_of.reshape(n // 2, 2, n // 2, 2)
+    rows, cols = smoothness_of.shape
+    if rows % 2 or cols % 2:
+        raise ValueError("fields must have even sides")
+    blocks = smoothness_of.reshape(rows // 2, 2, cols // 2, 2)
     spread = blocks.max(axis=(1, 3)) - blocks.min(axis=(1, 3))
     smooth = spread < threshold
     out = []
     for field in fields:
-        fb = field.reshape(n // 2, 2, n // 2, 2)
+        fb = field.reshape(rows // 2, 2, cols // 2, 2)
         mean = fb.mean(axis=(1, 3), keepdims=True)
         fb = np.where(smooth[:, None, :, None], mean, fb)
-        out.append(fb.reshape(n, n))
+        out.append(fb.reshape(rows, cols))
     return tuple(out), int(smooth.sum())
 
 

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro._util.hashing import short_hash
 from repro._util.rng import FastRngBatch
+from repro.kernels import stencil
 from repro.kernels.base import (
     ExecutionOutput,
     FaultSiteSpec,
@@ -288,13 +289,23 @@ class HotSpot(Kernel):
     # The 5-point stencil is a light cone: a disturbance introduced at
     # iteration ``t`` can reach, after ``s`` further steps, only cells within
     # (L1, hence L-inf) distance ``s`` of the disturbed region.  The fast
-    # path therefore replays only the bounding window of the fault's final
-    # light cone, feeding each iteration's window border from the dense
-    # golden state of that iteration — border cells are provably outside the
-    # cone, so their values equal the full faulty run's values bit for bit,
-    # and the elementwise update inside the window reproduces the dense
-    # update exactly.  Faults whose cone covers the whole grid "propagate
-    # globally" and fall back to full re-execution.
+    # path replays only a window containing the disturbance, feeding each
+    # iteration's window border from the dense golden state of that
+    # iteration — border cells are provably outside the disturbed region, so
+    # their values equal the full faulty run's values bit for bit, and the
+    # elementwise update inside the window reproduces the dense update
+    # exactly.
+    #
+    # The window is *adaptive* (the residual-bound cone cap): each iteration
+    # it grows by the 1-cell stencil halo, then border rows/columns whose
+    # values are byte-identical to the golden state are shrunk away
+    # (:func:`repro.kernels.stencil.shrink_equal_bounds`).  The stencil is a
+    # contraction, so an injected disturbance decays toward the golden field;
+    # once its edge falls below one ULP of the border values the bytes match
+    # and the window stops growing — wide strikes whose *worst-case* cone
+    # covers the grid stay windowed in practice.  Only a disturbance that
+    # actually keeps the whole grid corrupted (window grown to full
+    # coverage) falls back to dense re-execution.
 
     def _iteration_states(self) -> np.ndarray | None:
         """Dense golden state after every iteration, or ``None`` if too big.
@@ -342,18 +353,11 @@ class HotSpot(Kernel):
         """
         r0, r1 = rows
         q0, q1 = cols
-        h, wd = w.shape
-        padded = np.empty((h + 2, wd + 2), dtype=w.dtype)
-        padded[1:-1, 1:-1] = w
-        padded[0, 1:-1] = ring_source[r0 - 1, q0:q1] if r0 > 0 else w[0, :]
-        padded[-1, 1:-1] = ring_source[r1, q0:q1] if r1 < self.n else w[-1, :]
-        padded[1:-1, 0] = ring_source[r0:r1, q0 - 1] if q0 > 0 else w[:, 0]
-        padded[1:-1, -1] = ring_source[r0:r1, q1] if q1 < self.n else w[:, -1]
-        # Corners are never read by the 5-point stencil; leave them as-is.
-        padded[0, 0] = padded[0, 1]
-        padded[0, -1] = padded[0, -2]
-        padded[-1, 0] = padded[-1, 1]
-        padded[-1, -1] = padded[-1, -2]
+        # Corner cells of the padded window are never read by the 5-point
+        # stencil; the shared helper fills them with band replicas.
+        padded = stencil.padded_window(
+            w, ring_source, (r0, r1, q0, q1), self.n, 1, wall="edge"
+        )
         north = padded[:-2, 1:-1]
         south = padded[2:, 1:-1]
         west = padded[1:-1, :-2]
@@ -367,244 +371,133 @@ class HotSpot(Kernel):
             )
             return w + delta
 
+    def _prepare_delta(self, fault: KernelFault, rng, states):
+        """Mirror ``_run_faulty``'s RNG draws; build the corrupted source box.
+
+        Returns ``(start_it, (r0, r1, q0, q1), window, power_row)`` — the
+        replay start iteration, the source box, the corrupted window over
+        exactly that box, and (for ``power_input``) the persistent power
+        patch ``(r, c0, c1, corrupted values)``, ``None`` otherwise.
+        """
+        strike_iter = int(fault.progress * self.iterations)
+        power_row = None
+        if fault.site in ("cell_temp", "cell_line", "tile_cells", "vector_cells"):
+            r = int(rng.integers(self.n))
+            c0 = int(rng.integers(self.n))
+            c1 = min(c0 + fault.extent, self.n)
+            src = (r, r + 1, c0, c1)
+            start_it = strike_iter
+            # Assignment into the float32 window mirrors the dense path's
+            # cast of the flip result.
+            w = states[strike_iter, r : r + 1, c0:c1].copy()
+            w[0, :] = fault.flip.apply(states[strike_iter, r, c0:c1], rng)
+        elif fault.site == "power_input":
+            r = int(rng.integers(self.n))
+            c0 = int(rng.integers(self.n))
+            c1 = min(c0 + fault.extent, self.n)
+            src = (r, r + 1, c0, c1)
+            start_it = strike_iter
+            w = states[strike_iter, r : r + 1, c0:c1].copy()
+            power_row = (r, c0, c1, fault.flip.apply(self.power[r, c0:c1], rng))
+        elif fault.site == "fpu_term":
+            i = int(rng.integers(self.n))
+            j = int(rng.integers(self.n))
+            src = (i, i + 1, j, j + 1)
+            start_it = strike_iter + 1
+            w = states[strike_iter + 1, i : i + 1, j : j + 1].copy()
+            w[0, 0] = fault.flip.apply(
+                np.array([states[strike_iter + 1, i, j]], dtype=np.float32), rng
+            )[0]
+        elif fault.site == "block_skip":
+            br = int(rng.integers(max(1, self.n // self.tile))) * self.tile
+            bc = int(rng.integers(max(1, self.n // self.tile))) * self.tile
+            src = (br, min(br + self.tile, self.n),
+                   bc, min(bc + self.tile, self.n))
+            start_it = strike_iter + 1
+            # The mis-scheduled tile lags one timestep behind.
+            w = states[strike_iter, src[0] : src[1], src[2] : src[3]].copy()
+        else:  # pragma: no cover - guarded by Kernel.run_delta
+            raise KeyError(fault.site)
+        return start_it, src, w, power_row
+
+    def _replay_adaptive(self, start_it, bounds, w, power_row, states):
+        """Advance a window with per-iteration growth and residual shrink.
+
+        Each iteration grows the window by the stencil halo, steps it
+        against the golden ring, then shrinks away border rows/columns that
+        are byte-identical to the golden field — the contraction decays the
+        disturbance, so most windows stop growing (or vanish entirely) long
+        before the worst-case light cone would cover the grid.  Returns a
+        :class:`SparseOutput`, ``None`` (window grew to full coverage:
+        dense fallback), or a :class:`KernelCrashError` instance.
+        """
+        n = self.n
+        # A corrupted power cell re-injects its disturbance every iteration;
+        # never shrink the window below that persistent source.
+        floor = None
+        if power_row is not None:
+            pr, pc0, pc1, _ = power_row
+            floor = (pr, pr + 1, pc0, pc1)
+        for it in range(start_it, self.iterations):
+            grown = stencil.grow_bounds(bounds, 1, n)
+            w = stencil.expand_window(w, states[it], bounds, grown)
+            bounds = grown
+            if stencil.covers_grid(bounds, n):
+                return None  # the disturbance really is global: fall back
+            r0, r1, q0, q1 = bounds
+            power_w = self.power[r0:r1, q0:q1]
+            if power_row is not None:
+                pr, pc0, pc1, values = power_row
+                power_w = power_w.copy()
+                power_w[pr - r0, pc0 - q0 : pc1 - q0] = values
+            w = self._window_step(w, power_w, states[it], (r0, r1), (q0, q1))
+            w, bounds = stencil.shrink_equal_bounds(
+                w, states[it + 1], bounds, floor=floor
+            )
+            r0, r1, q0, q1 = bounds
+            if r0 >= r1 or q0 >= q1:
+                # The disturbance decayed below one ULP everywhere: the
+                # faulty run equals the golden run from here on.
+                return SparseOutput.trusted(
+                    np.empty(0, dtype=np.intp), np.empty(0, dtype=np.float32)
+                )
+        return self._seal_window(bounds, w)
+
     def _execute_delta(self, fault: KernelFault) -> SparseOutput | None:
         states = self._iteration_states()
         if states is None:
             return None  # state chain too large: fall back
-        strike_iter = int(fault.progress * self.iterations)
-        rng = fault.rng()
-
-        # Mirror _run_faulty's RNG draws exactly, then express the fault as
-        # (source box, replay start iteration, window initialiser).
-        if fault.site in ("cell_temp", "cell_line", "tile_cells", "vector_cells"):
-            r = int(rng.integers(self.n))
-            c0 = int(rng.integers(self.n))
-            c1 = min(c0 + fault.extent, self.n)
-            src = (r, r + 1, c0, c1)
-            start_it = strike_iter
-        elif fault.site == "power_input":
-            r = int(rng.integers(self.n))
-            c0 = int(rng.integers(self.n))
-            c1 = min(c0 + fault.extent, self.n)
-            src = (r, r + 1, c0, c1)
-            start_it = strike_iter
-        elif fault.site == "fpu_term":
-            i = int(rng.integers(self.n))
-            j = int(rng.integers(self.n))
-            src = (i, i + 1, j, j + 1)
-            start_it = strike_iter + 1
-        elif fault.site == "block_skip":
-            br = int(rng.integers(max(1, self.n // self.tile))) * self.tile
-            bc = int(rng.integers(max(1, self.n // self.tile))) * self.tile
-            src = (br, min(br + self.tile, self.n),
-                   bc, min(bc + self.tile, self.n))
-            start_it = strike_iter + 1
-        else:  # pragma: no cover - guarded by Kernel.run_delta
-            raise KeyError(fault.site)
-
-        growth = self.iterations - start_it
-        r0 = max(0, src[0] - growth)
-        r1 = min(self.n, src[1] + growth)
-        q0 = max(0, src[2] - growth)
-        q1 = min(self.n, src[3] + growth)
-        if r0 == 0 and q0 == 0 and r1 == self.n and q1 == self.n:
-            return None  # light cone covers the whole grid: global propagation
-
-        w = states[start_it, r0:r1, q0:q1].copy()
-        power_w = self.power[r0:r1, q0:q1]
-        if fault.site in ("cell_temp", "cell_line", "tile_cells", "vector_cells"):
-            w[r - r0, c0 - q0 : c1 - q0] = fault.flip.apply(
-                states[strike_iter, r, c0:c1], rng
-            )
-        elif fault.site == "power_input":
-            power_w = power_w.copy()
-            power_w[r - r0, c0 - q0 : c1 - q0] = fault.flip.apply(
-                self.power[r, c0:c1], rng
-            )
-        elif fault.site == "fpu_term":
-            w[i - r0, j - q0] = fault.flip.apply(
-                np.array([states[strike_iter + 1, i, j]], dtype=np.float32), rng
-            )[0]
-        elif fault.site == "block_skip":
-            w[src[0] - r0 : src[1] - r0, src[2] - q0 : src[3] - q0] = states[
-                strike_iter, src[0] : src[1], src[2] : src[3]
-            ]
-
-        for it in range(start_it, self.iterations):
-            w = self._window_step(w, power_w, states[it], (r0, r1), (q0, q1))
-
-        if not np.all(np.isfinite(w)):
-            raise KernelCrashError("hotspot: non-finite temperatures")
-        flat = (
-            np.arange(r0, r1, dtype=np.intp)[:, None] * self.n
-            + np.arange(q0, q1, dtype=np.intp)
-        ).ravel()
-        return SparseOutput(flat_indices=flat, values=w.ravel())
-
-    def _prepare_delta(self, fault: KernelFault, rng, states):
-        """Phase 1 of the light-cone replay for one fault: mirror the RNG
-        draws, build the corrupted start window.
-
-        Returns ``None`` for global propagation (fall back to the dense
-        path), else ``(start_it, (r0, r1, q0, q1), window, power_window)``.
-        """
-        strike_iter = int(fault.progress * self.iterations)
-        if fault.site in ("cell_temp", "cell_line", "tile_cells", "vector_cells"):
-            r = int(rng.integers(self.n))
-            c0 = int(rng.integers(self.n))
-            c1 = min(c0 + fault.extent, self.n)
-            src = (r, r + 1, c0, c1)
-            start_it = strike_iter
-        elif fault.site == "power_input":
-            r = int(rng.integers(self.n))
-            c0 = int(rng.integers(self.n))
-            c1 = min(c0 + fault.extent, self.n)
-            src = (r, r + 1, c0, c1)
-            start_it = strike_iter
-        elif fault.site == "fpu_term":
-            i = int(rng.integers(self.n))
-            j = int(rng.integers(self.n))
-            src = (i, i + 1, j, j + 1)
-            start_it = strike_iter + 1
-        elif fault.site == "block_skip":
-            br = int(rng.integers(max(1, self.n // self.tile))) * self.tile
-            bc = int(rng.integers(max(1, self.n // self.tile))) * self.tile
-            src = (br, min(br + self.tile, self.n),
-                   bc, min(bc + self.tile, self.n))
-            start_it = strike_iter + 1
-        else:  # pragma: no cover - guarded by Kernel.run_delta_batch
-            raise KeyError(fault.site)
-
-        growth = self.iterations - start_it
-        r0 = max(0, src[0] - growth)
-        r1 = min(self.n, src[1] + growth)
-        q0 = max(0, src[2] - growth)
-        q1 = min(self.n, src[3] + growth)
-        if r0 == 0 and q0 == 0 and r1 == self.n and q1 == self.n:
-            # The flip draws are never reached in the scalar path either
-            # (it bails before applying the corruption), so stream parity
-            # with `_execute_delta` holds.
-            return None
-
-        w = states[start_it, r0:r1, q0:q1].copy()
-        power_w = self.power[r0:r1, q0:q1]
-        if fault.site in ("cell_temp", "cell_line", "tile_cells", "vector_cells"):
-            w[r - r0, c0 - q0 : c1 - q0] = fault.flip.apply(
-                states[strike_iter, r, c0:c1], rng
-            )
-        elif fault.site == "power_input":
-            power_w = power_w.copy()
-            power_w[r - r0, c0 - q0 : c1 - q0] = fault.flip.apply(
-                self.power[r, c0:c1], rng
-            )
-        elif fault.site == "fpu_term":
-            w[i - r0, j - q0] = fault.flip.apply(
-                np.array([states[strike_iter + 1, i, j]], dtype=np.float32), rng
-            )[0]
-        elif fault.site == "block_skip":
-            w[src[0] - r0 : src[1] - r0, src[2] - q0 : src[3] - q0] = states[
-                strike_iter, src[0] : src[1], src[2] : src[3]
-            ]
-        return start_it, (r0, r1, q0, q1), w, power_w
+        start_it, bounds, w, power_row = self._prepare_delta(
+            fault, fault.rng(), states
+        )
+        result = self._replay_adaptive(start_it, bounds, w, power_row, states)
+        if isinstance(result, KernelCrashError):
+            raise result
+        return result
 
     def _execute_delta_batch(self, faults: list) -> list:
-        """Batched light-cone replay: step same-shape windows together.
+        """Batched light-cone replay: per-fault adaptive windows.
 
-        Faults that share a replay start iteration and a window shape (the
-        common case in a large chunk — the strike iteration quantises to
-        ``iterations`` values and interior windows of equal age have equal
-        extents) are stacked into one ``(F, h, w)`` block and advanced with
-        a single vectorised stencil update per iteration, each window still
-        reading its own border from the dense golden state of that
-        iteration.  The stencil arithmetic is elementwise, so every window
-        evolves exactly as in the scalar :meth:`_execute_delta`; only the
-        fixed numpy dispatch per (fault, iteration) is amortised.
+        The residual-bound cone cap keeps nearly every window a few cells
+        wide, so the per-fault adaptive replay beats the former fixed-cone
+        window stacking (whose cones grew with the remaining iterations);
+        the batch path shares the state chain and the
+        :class:`FastRngBatch` seeding machinery, and returns crashes as
+        instances per slot.
         """
         states = self._iteration_states()
         if states is None:
             return [None] * len(faults)
         streams = FastRngBatch([fault.seed for fault in faults])
-        slots: list = [None] * len(faults)
-        groups: dict[tuple, list] = {}
+        slots: list = []
         for b, fault in enumerate(faults):
-            prepared = self._prepare_delta(fault, streams.rng(b), states)
-            if prepared is None:
-                continue  # global propagation: leave the dense fallback
-            start_it, bounds, w, power_w = prepared
-            key = (start_it, w.shape)
-            groups.setdefault(key, []).append((b, bounds, w, power_w))
-
-        n = self.n
-        for (start_it, (h, wd)), members in groups.items():
-            if h * wd > self._STACK_WINDOW_MAX or len(members) == 1:
-                # Large windows evolve fastest one at a time — a stacked
-                # working set falls out of cache and the vectorisation win
-                # turns into memory traffic.  Singleton groups have nothing
-                # to amortise.
-                for b, bounds, w, power_w in members:
-                    slots[b] = self._finish_window(
-                        start_it, bounds, w, power_w, states
-                    )
-                continue
-            step_f = max(1, self._STACK_ELEMS_BUDGET // (h * wd))
-            for base in range(0, len(members), step_f):
-                chunk = members[base : base + step_f]
-                stack = np.stack([w for _b, _bounds, w, _p in chunk])
-                power_stack = np.stack([p for _b, _bounds, _w, p in chunk])
-                bounds = [m[1] for m in chunk]
-                padded = np.empty(
-                    (len(chunk), h + 2, wd + 2), dtype=stack.dtype
-                )
-                for it in range(start_it, self.iterations):
-                    ring = states[it]
-                    padded[:, 1:-1, 1:-1] = stack
-                    for f, (r0, r1, q0, q1) in enumerate(bounds):
-                        w = stack[f]
-                        padded[f, 0, 1:-1] = (
-                            ring[r0 - 1, q0:q1] if r0 > 0 else w[0, :]
-                        )
-                        padded[f, -1, 1:-1] = (
-                            ring[r1, q0:q1] if r1 < n else w[-1, :]
-                        )
-                        padded[f, 1:-1, 0] = (
-                            ring[r0:r1, q0 - 1] if q0 > 0 else w[:, 0]
-                        )
-                        padded[f, 1:-1, -1] = (
-                            ring[r0:r1, q1] if q1 < n else w[:, -1]
-                        )
-                    # Corners are never read by the 5-point stencil.
-                    padded[:, 0, 0] = padded[:, 0, 1]
-                    padded[:, 0, -1] = padded[:, 0, -2]
-                    padded[:, -1, 0] = padded[:, -1, 1]
-                    padded[:, -1, -1] = padded[:, -1, -2]
-                    north = padded[:, :-2, 1:-1]
-                    south = padded[:, 2:, 1:-1]
-                    west = padded[:, 1:-1, :-2]
-                    east = padded[:, 1:-1, 2:]
-                    with np.errstate(all="ignore"):
-                        delta = self.step_div_cap * (
-                            power_stack
-                            + (north + south - 2.0 * stack) / np.float32(self.ry)
-                            + (east + west - 2.0 * stack) / np.float32(self.rx)
-                            + (np.float32(AMBIENT_TEMP) - stack)
-                            / np.float32(self.rz)
-                        )
-                        stack = stack + delta
-                for (b, bnd, _w, _p), w in zip(chunk, stack):
-                    slots[b] = self._seal_window(bnd, w)
+            start_it, bounds, w, power_row = self._prepare_delta(
+                fault, streams.rng(b), states
+            )
+            slots.append(
+                self._replay_adaptive(start_it, bounds, w, power_row, states)
+            )
         return slots
-
-    #: Windows above this cell count replay one at a time (cache residency).
-    _STACK_WINDOW_MAX = 16384
-    #: Cap on stacked cells per block: bounds the per-iteration working set.
-    _STACK_ELEMS_BUDGET = 1 << 18
-
-    def _finish_window(self, start_it, bounds, w, power_w, states):
-        """Scalar tail of :meth:`_execute_delta` for one prepared window."""
-        r0, r1, q0, q1 = bounds
-        for it in range(start_it, self.iterations):
-            w = self._window_step(w, power_w, states[it], (r0, r1), (q0, q1))
-        return self._seal_window(bounds, w)
 
     def _seal_window(self, bounds, w):
         """Finiteness check + sparse assembly for one replayed window."""

@@ -52,11 +52,11 @@ KERNEL_FACTORIES = {
 }
 
 #: Kernels whose every site admits a closed-form delta (never falls back
-#: when the golden output is finite).
+#: when the golden output is finite).  HotSpot and CLAMR are conditional:
+#: HotSpot replays any strike whose residual window stays off the full
+#: grid, and CLAMR replays strikes that provably cannot win the global
+#: CFL dt min-reduction (docs/performance.md has the full matrix).
 ALWAYS_DELTA = {"dgemm", "lavamd"}
-
-#: Kernels that must always fall back (no closed-form window exists).
-NEVER_DELTA = {"clamr"}
 
 DEVICE_FOR = {"clamr": xeonphi}  # the paper runs CLAMR on the Xeon Phi
 
@@ -149,8 +149,6 @@ class TestSiteDeltas:
             ) == _observation_bytes(kernel.observe(dense))
         if kernel_name in ALWAYS_DELTA:
             assert hits == non_crash  # every non-crash trial was a hit
-        if kernel_name in NEVER_DELTA:
-            assert hits == 0
 
     @pytest.mark.parametrize("kernel_name", sorted(ALWAYS_DELTA))
     def test_closed_form_kernels_never_fall_back(self, kernel_name):
@@ -163,6 +161,104 @@ class TestSiteDeltas:
             except KernelCrashError:
                 continue  # crash decided sparse-side: still a hit
             assert sparse is not None, f"{kernel_name}/{site.name} fell back"
+
+
+class _ScaleFlip:
+    """Deterministic multiplicative corruption for pinned fast-path cases.
+
+    Scaling by a power of two keeps the arithmetic exact while steering
+    the perturbation's wave speed: a huge factor forcibly wins the CFL
+    min-reduction, a shrink factor provably cannot.
+    """
+
+    def __init__(self, factor: float):
+        self.factor = factor
+
+    def apply(self, values, rng):
+        return np.asarray(values) * self.factor
+
+    def apply_scalar(self, value):
+        return float(value) * self.factor
+
+
+class TestClamrDtInvariance:
+    """CLAMR replays dt-invariant strikes and refuses dt-winning ones."""
+
+    def _fault(self, factor, progress=0.25):
+        from repro.kernels.base import KernelFault
+
+        return KernelFault(
+            site="cell_h", progress=progress, flip=_ScaleFlip(factor),
+            seed=101, extent=2, sharing=1,
+        )
+
+    def test_dt_unchanged_strike_replays_in_window(self):
+        # Shrinking the water column lowers its wave speed: the golden
+        # per-step max is untouched, so the strike replays in its light
+        # cone and must land byte-identical to the dense faulty run.
+        kernel = Clamr(n=16, steps=8)
+        golden = kernel.golden().output
+        fault = self._fault(0.5)
+        sparse = kernel.run_delta(fault)
+        assert sparse is not None, "dt-invariant strike fell back"
+        dense = kernel.run(fault).output
+        assert sparse.materialize(golden).tobytes() == dense.tobytes()
+
+    def test_dt_winning_strike_falls_back(self):
+        # Pinned regression: a strike that inflates the local wave speed
+        # past the golden per-step max rewrites dt for the whole grid —
+        # the window replay is unsound there and must *declare* fallback
+        # rather than return a plausible-but-wrong delta.
+        kernel = Clamr(n=16, steps=8)
+        assert kernel.run_delta(self._fault(2.0**40)) is None
+
+    def test_natural_faults_mix_hits_and_fallbacks(self):
+        # Under the paper's Xeon Phi flip models the default campaign
+        # must keep a nonzero hit rate (the headline of this fast path)
+        # while dt-winning strikes keep falling back.
+        kernel = KERNEL_FACTORIES["clamr"]()
+        device = _device_for("clamr")
+        golden = kernel.golden().output
+        hits = fallbacks = 0
+        for site in kernel.fault_sites():
+            for trial in range(TRIALS_PER_SITE):
+                fault = _fault_for(kernel, device, site, trial)
+                try:
+                    sparse = kernel.run_delta(fault)
+                except KernelCrashError:
+                    continue
+                if sparse is None:
+                    fallbacks += 1
+                    continue
+                hits += 1
+                dense = kernel.run(fault).output
+                assert sparse.materialize(golden).tobytes() == dense.tobytes()
+        assert hits > 0
+        assert fallbacks > 0
+
+
+class TestHotSpotConeCap:
+    """The residual-bound cap keeps early wide strikes off the dense path."""
+
+    def test_early_strike_stays_windowed(self):
+        # progress=0.0 leaves every iteration ahead of the strike: the
+        # PR 5 fixed cone (1 cell/side/iteration) would cover the grid
+        # and fall back.  The adaptive window stops growing once the
+        # disturbance's borders decay below one ULP, so the replay stays
+        # sparse — and still byte-identical to the dense faulty run.
+        kernel = HotSpot(n=32, iterations=24)
+        device = k40()
+        site = {s.name: s for s in kernel.fault_sites()}["cell_temp"]
+        fault = _fault_for(kernel, device, site, 0)
+        fault = type(fault)(
+            site=fault.site, progress=0.0, flip=fault.flip,
+            seed=fault.seed, extent=fault.extent, sharing=fault.sharing,
+        )
+        golden = kernel.golden().output
+        sparse = kernel.run_delta(fault)
+        assert sparse is not None, "adaptive cone cap regressed to fallback"
+        dense = kernel.run(fault).output
+        assert sparse.materialize(golden).tobytes() == dense.tobytes()
 
 
 class TestInjectorRecords:
@@ -237,7 +333,9 @@ class TestCampaignBackends:
         assert fast_path_log.read_bytes() == reference_path.read_bytes()
 
     def test_fallback_heavy_campaign_matches_reference(self, tmp_path):
-        # CLAMR always falls back: the switch must be a pure no-op there.
+        # CLAMR mixes dt-invariant window hits with dt-winning fallbacks;
+        # whichever side each strike lands on, the switch must stay
+        # invisible in the log bytes.
         def run(fast_path):
             return Campaign(
                 kernel=Clamr(n=16, steps=4), device=xeonphi(), n_faulty=12,
@@ -248,6 +346,24 @@ class TestCampaignBackends:
         write_log(run(False), a)
         write_log(run(True), b)
         assert a.read_bytes() == b.read_bytes()
+
+    @pytest.mark.parametrize("backend", ("serial", "thread", "process"))
+    def test_clamr_log_bytes_match_reference(self, backend, tmp_path):
+        # The CLAMR window replay rides the same pooled machinery as the
+        # closed-form kernels: every backend's fast-path log must equal
+        # the reference serial run with the switch off, byte for byte.
+        def run(fast_path, backend):
+            return Campaign(
+                kernel=Clamr(n=16, steps=8), device=xeonphi(), n_faulty=18,
+                seed=11, workers=2, chunk_size=5, backend=backend,
+                timeout=POOL_TIMEOUT, fast_path=fast_path,
+            ).run()
+
+        reference_path = tmp_path / "reference.jsonl"
+        fast_path_log = tmp_path / f"fast_{backend}.jsonl"
+        write_log(run(False, "serial"), reference_path)
+        write_log(run(True, backend), fast_path_log)
+        assert fast_path_log.read_bytes() == reference_path.read_bytes()
 
     def test_registry_counters_exported(self):
         registry = MetricsRegistry()
